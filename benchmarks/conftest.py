@@ -1,0 +1,8 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table/figure, prints the
+paper-vs-measured rows, and asserts the reproduction's shape criteria
+(DESIGN.md §4).  Timings reported by pytest-benchmark measure the cost
+of regenerating the result, making regressions in the simulation
+substrate visible.
+"""

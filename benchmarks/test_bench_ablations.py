@@ -1,0 +1,44 @@
+"""Benchmarks: mechanism ablations (DESIGN.md §6).
+
+Not a paper figure — these quantify what each SmartCrowd mechanism is
+buying, by disabling it and measuring the attack it was blocking.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_escrow,
+    ablate_report_fee,
+    ablate_two_phase,
+)
+
+
+def test_bench_ablate_two_phase(benchmark):
+    result = benchmark(ablate_two_phase)
+    result.to_table().print()
+
+    # With the commitment the thief never wins; without it, the
+    # fee-outbidding copy wins essentially always.
+    assert result.rate_with == 0.0
+    assert result.rate_without > 0.9
+
+
+def test_bench_ablate_escrow(benchmark):
+    result = benchmark(ablate_escrow)
+    result.to_table().print()
+
+    for fraction, (with_escrow, without) in result.payout_rates.items():
+        assert with_escrow == 1.0
+        assert without == pytest.approx(1.0 - fraction, abs=0.08)
+
+
+def test_bench_ablate_report_fee(benchmark):
+    result = benchmark(ablate_report_fee)
+    result.to_table().print()
+
+    fees = [fee for fee, _ in result.points]
+    junk = [count for _, count in result.points]
+    # Spam exposure grows monotonically as the fee drops, diverging at 0.
+    assert junk == sorted(junk)
+    assert junk[-1] == float("inf")
+    assert fees[0] == 0.011  # the paper's operating point

@@ -1,0 +1,27 @@
+"""Benchmark: the §VI-B capability analysis (Eq. 11) and §VIII fleet mix."""
+
+import pytest
+
+from repro.experiments.capability_curve import (
+    run_capability_curve,
+    run_fleet_composition,
+)
+
+
+def test_bench_capability_curve(benchmark):
+    result = benchmark(run_capability_curve)
+    result.to_table().print()
+
+    theory = [result.points[m][0] for m in sorted(result.points)]
+    assert theory == sorted(theory)  # DC_T monotone in m
+    assert theory[-1] > 0.99  # approaches 1 (§VI-B)
+    for m, (closed_form, simulated) in result.points.items():
+        assert simulated == pytest.approx(closed_form, abs=0.04)
+
+
+def test_bench_fleet_composition(benchmark):
+    result = benchmark(run_fleet_composition)
+    result.to_table().print()
+
+    assert max(result.mean_coverage, key=result.mean_coverage.get) == "mixed"
+    assert result.mean_coverage["mixed"] > 0.99

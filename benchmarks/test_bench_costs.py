@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the §VII gas-cost measurements."""
+
+import pytest
+
+from repro.experiments import run_costs
+
+
+def test_bench_costs(benchmark):
+    result = benchmark(run_costs, releases=3)
+    result.to_table().print()
+
+    # Paper: SRA deployment ≈ 0.095 ether; detection report ≈ 0.011.
+    assert result.sra_cost_ether == pytest.approx(0.095, rel=0.02)
+    assert result.report_cost_ether == pytest.approx(0.011, rel=0.05)

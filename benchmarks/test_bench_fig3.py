@@ -1,0 +1,29 @@
+"""Benchmarks: regenerate Fig. 3 (mining rewards and block time)."""
+
+import statistics
+
+import pytest
+
+from repro.experiments import run_fig3a, run_fig3b
+
+
+def test_bench_fig3a(benchmark):
+    result = benchmark(run_fig3a, blocks=2000)
+    result.to_table().print()
+
+    # Shape: rewards are ~5 ether per block for everyone; win counts
+    # track hashpower shares.
+    assert result.block_reward_ether == 5.0
+    total_share = sum(result.shares.values())
+    for name, share in result.shares.items():
+        win_fraction = result.blocks_won[name] / result.blocks_total
+        assert win_fraction == pytest.approx(share / total_share, abs=0.05)
+
+
+def test_bench_fig3b(benchmark):
+    result = benchmark(run_fig3b, blocks=2000)
+    result.to_table().print()
+
+    # Shape: mean ≈ 15.35 s (paper), right-skewed distribution.
+    assert result.mean == pytest.approx(15.35, rel=0.1)
+    assert statistics.median(result.intervals) < result.mean

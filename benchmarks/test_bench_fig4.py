@@ -1,0 +1,30 @@
+"""Benchmarks: regenerate Fig. 4 (provider incentives and punishments)."""
+
+import pytest
+
+from repro.experiments import run_fig4a, run_fig4b
+
+
+def test_bench_fig4a(benchmark):
+    result = benchmark(run_fig4a, duration=1800.0)
+    result.to_table().print()
+
+    # Shape: incentives grow with time for every provider; the top-HP
+    # provider out-earns the bottom one over the full window.
+    for provider in result.shares:
+        assert result.at_time(provider, 1800.0) >= result.at_time(provider, 600.0)
+    assert result.at_time("provider-1", 1800.0) > result.at_time("provider-5", 1800.0)
+
+
+def test_bench_fig4b(benchmark):
+    result = benchmark(run_fig4b)
+    result.to_table().print()
+
+    # Shape: punishment linear in VP with slope = insurance; the
+    # end-to-end simulated spot check matches the closed form.
+    for insurance, curve in result.curves.items():
+        (vp0, p0), (vp1, p1) = curve[0], curve[-1]
+        slope = (p1 - p0) / (vp1 - vp0)
+        assert slope == pytest.approx(insurance, rel=0.01)
+    insurance, vp, measured = result.spot_check
+    assert measured == pytest.approx(vp * insurance + 0.095, rel=0.02)

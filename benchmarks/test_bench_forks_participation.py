@@ -1,0 +1,48 @@
+"""Benchmarks: fork-rate sweep and detector-participation equilibrium."""
+
+import pytest
+
+from repro.analysis.participation import (
+    equilibrium_fleet_size,
+    simulate_participation,
+)
+from repro.core.incentives import IncentiveParameters
+from repro.experiments.forks import run_fork_rate
+from repro.units import to_wei
+
+
+def test_bench_fork_rate(benchmark):
+    result = benchmark.pedantic(
+        run_fork_rate, kwargs={"blocks": 200}, iterations=1, rounds=2
+    )
+    result.to_table().print()
+
+    rates = [result.orphan_rate(ratio) for ratio in sorted(result.points)]
+    # Negligible at the paper's operating point, rising with delay.
+    assert rates[0] < 0.03
+    assert rates[-1] > rates[0]
+
+
+def test_bench_participation_equilibrium(benchmark):
+    params = IncentiveParameters()
+
+    def _run():
+        outcome = simulate_participation(params, candidate_pool=60, epochs=120)
+        return outcome
+
+    outcome = benchmark(_run)
+    print(
+        f"participation: equilibrium fleet {outcome.equilibrium_size}, "
+        f"coverage {outcome.final_coverage:.4f}, "
+        f"member balance {outcome.final_balances[0]:.1f} ETH/epoch"
+    )
+
+    # Incentives recruit a crowd; the crowd's coverage is near-total;
+    # everyone still breaks even (the entry condition).
+    assert outcome.equilibrium_size >= 8
+    assert outcome.final_coverage > 0.99
+    assert all(balance >= 0 for balance in outcome.final_balances)
+    # Bigger bounties sustain strictly more participation.
+    small = equilibrium_fleet_size(IncentiveParameters(bounty_wei=to_wei(50)))
+    large = equilibrium_fleet_size(IncentiveParameters(bounty_wei=to_wei(500)))
+    assert large > small

@@ -1,0 +1,17 @@
+"""Benchmark: detection-to-payout latency (automation responsiveness)."""
+
+from repro.experiments.latency import run_payout_latency
+
+
+def test_bench_payout_latency(benchmark):
+    result = benchmark.pedantic(run_payout_latency, iterations=1, rounds=2)
+    result.to_table().print()
+
+    assert result.announce_to_pay, "campaign paid no bounties"
+    # The mean sits above the 2-confirmation floor but within a few
+    # block times of it — payouts are automatic, not operator-driven.
+    mean = sum(result.announce_to_pay) / len(result.announce_to_pay)
+    assert result.theoretical_floor * 0.8 < mean < result.theoretical_floor * 3.0
+    # The R†-confirm → pay leg carries one confirmation wait.
+    confirm_mean = sum(result.confirm_to_pay) / len(result.confirm_to_pay)
+    assert confirm_mean > result.confirmation_depth * result.mean_block_time * 0.5

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table I (third-party scan inconsistency)."""
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark(run_table1)
+    result.to_table().print()
+
+    # Shape criteria: the signature services report zero, jaq.alibaba
+    # dominates, and pairwise overlap is strictly partial.
+    for service in ("VirusTotal", "Andrototal"):
+        assert all(
+            counts == (0, 0, 0) for counts in result.counts[service].values()
+        )
+    totals = {
+        service: sum(sum(counts) for counts in per_app.values())
+        for service, per_app in result.counts.items()
+    }
+    assert max(totals, key=totals.get) == "jaq.alibaba"
+    assert 0.0 < result.max_overlap() < 1.0

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Retrospective detection: flaws found *after* you deployed.
+
+A consumer deploys a thermostat firmware that round-1 detection called
+clean (the fleet online at the time was weak).  Months later the strong
+fleet comes online, the vendor opens a re-detection round with a fresh
+insurance, the missed flaws surface — and the retrospective monitor
+alerts every registered deployment.  Detectors are only paid for *new*
+discoveries; flaws already bought in earlier rounds are excluded.
+"""
+
+import random
+
+from repro import PlatformConfig, SmartCrowdPlatform, from_wei, to_wei
+from repro.chain import PAPER_HASHPOWER_SHARES
+from repro.core import ConsumerClient, RetrospectiveMonitor
+from repro.detection import (
+    DetectionCapability,
+    Detector,
+    build_detector_fleet,
+    build_system,
+)
+
+
+def main() -> None:
+    weak = Detector(
+        "legacy-scanner",
+        DetectionCapability(threads=1, per_thread_hit=0.02),
+        rng=random.Random(5),
+    )
+    strong = build_detector_fleet(seed=5)
+    platform = SmartCrowdPlatform(
+        PAPER_HASHPOWER_SHARES,
+        [weak] + strong,
+        PlatformConfig(seed=5, detection_window=600.0),
+    )
+    # Round 1: only the legacy scanner exists; pretend the strong fleet
+    # hasn't joined the platform yet.
+    for detector in strong:
+        platform.isolated_detectors.add(detector.detector_id)
+
+    firmware = build_system("thermostat", "4.2.0", vulnerability_count=3,
+                            rng=random.Random(6))
+    sra1 = platform.announce_release("provider-2", firmware, insurance_wei=to_wei(1000))
+    platform.run_for(900.0)
+    platform.finish_pending()
+
+    consumer = ConsumerClient(platform.mining.chain)
+    reference = consumer.lookup("thermostat", "4.2.0")
+    case1 = platform.release_case(sra1.sra_id)
+    print(f"round 1: confirmed flaws = {reference.vulnerability_count}, "
+          f"insurance refunded = {from_wei(case1.refunded_wei):.0f} ETH")
+    print(f"consumer deploys? {consumer.should_deploy('thermostat', '4.2.0')}  "
+          f"(ground truth: {len(firmware.ground_truth)} latent flaws!)")
+
+    monitor = RetrospectiveMonitor(platform.mining.chain)
+    monitor.register_deployment("alice-home", "thermostat", "4.2.0")
+    print(f"alice deploys and registers; notifications so far: "
+          f"{len(monitor.poll())}")
+
+    # The modern fleet joins; the vendor reopens detection.
+    for detector in strong:
+        platform.isolated_detectors.discard(detector.detector_id)
+    print("\n-- strong detector fleet joins; provider reopens detection --")
+    sra2 = platform.reopen_release(sra1.sra_id, insurance_wei=to_wei(1000))
+    platform.run_for(900.0)
+    platform.finish_pending()
+
+    case2 = platform.release_case(sra2.sra_id)
+    print(f"round 2: bounties paid = {sum(case2.awarded_counts.values())}, "
+          f"insurance refunded = {from_wei(case2.refunded_wei):.0f} ETH")
+
+    notifications = monitor.poll()
+    print(f"\nalice is notified of {len(notifications)} newly confirmed flaws:")
+    for notification in notifications:
+        print(f"  [{notification.description.severity.value:>6}] "
+              f"{notification.description.wording} "
+              f"(found by {notification.detected_by})")
+    print(f"\nre-polling sends nothing new: {monitor.poll() == []}")
+    reference = consumer.lookup("thermostat", "4.2.0")
+    print(f"public reference now shows {reference.vulnerability_count} flaws; "
+          f"deploy? {consumer.should_deploy('thermostat', '4.2.0')}")
+
+
+if __name__ == "__main__":
+    main()

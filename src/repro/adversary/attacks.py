@@ -1,0 +1,151 @@
+"""Attack library — the misbehaviours of §III-A and §IV-B.
+
+Each function *constructs* an attack artifact (a spoofed SRA, a forged
+or plagiarized report, a tampered copy); the security tests then assert
+that SmartCrowd's defences reject it exactly where §VI says they do.
+Keeping construction separate from assertion lets the ablation benches
+also measure what happens when a defence is disabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.core.reports import (
+    DetailedReport,
+    InitialReport,
+    build_report_pair,
+)
+from repro.core.sra import SRA, SignedSRA
+from repro.crypto.keys import Address, KeyPair
+from repro.detection.descriptions import VulnerabilityDescription
+from repro.detection.iot_system import IoTSystem
+from repro.detection.vulnerability import Severity
+
+__all__ = [
+    "spoof_sra",
+    "tamper_sra_insurance",
+    "forge_report",
+    "plagiarize_report",
+    "steal_report_payout",
+    "tamper_report_wallet",
+]
+
+
+def spoof_sra(
+    victim_provider_id: str,
+    attacker_keys: KeyPair,
+    system: IoTSystem,
+    insurance_wei: int,
+    bounty_wei: int,
+) -> SignedSRA:
+    """SRA spoofing: frame a benign provider for a release.
+
+    The announcement names the victim as ``P_i`` but is signed with the
+    attacker's key — "a misbehaved IoT entity can launch spoofing
+    attack and frame benign IoT providers" (§IV-B).  Δ_id is honest, so
+    only the signature check catches it.
+    """
+    body = SRA(
+        provider_id=victim_provider_id,
+        system_name=system.name,
+        system_version=system.version,
+        artifact_hash=system.artifact_hash,
+        download_link=system.download_link,
+        insurance_wei=insurance_wei,
+        bounty_wei=bounty_wei,
+    )
+    sra_id = body.sra_id()
+    return SignedSRA(body=body, claimed_id=sra_id, signature=attacker_keys.sign(sra_id))
+
+
+def tamper_sra_insurance(original: SignedSRA, new_insurance_wei: int) -> SignedSRA:
+    """In-flight tampering: lower the insurance but keep id/signature.
+
+    Caught by the Δ_id recomputation of §V-A.
+    """
+    tampered_body = replace(original.body, insurance_wei=new_insurance_wei)
+    return SignedSRA(
+        body=tampered_body,
+        claimed_id=original.claimed_id,
+        signature=original.signature,
+    )
+
+
+def forge_report(
+    sra_id: bytes,
+    detector_id: str,
+    detector_keys: KeyPair,
+    fake_vulnerability_count: int = 1,
+    rng: Optional[random.Random] = None,
+) -> Tuple[InitialReport, DetailedReport]:
+    """A forged report: claims vulnerabilities that do not exist.
+
+    "The detector can simply declare a forged detection report without
+    even having detected the IoT system" (§III-A).  Structurally valid
+    and correctly signed — only ``AutoVerif`` can reject it.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    descriptions = tuple(
+        VulnerabilityDescription(
+            canonical=f"VULN-forged-{rng.randrange(16**8):08x}",
+            severity=Severity.HIGH,
+            category="auth-bypass",
+            wording="critical flaw discovered (details withheld)",
+        )
+        for _ in range(fake_vulnerability_count)
+    )
+    return build_report_pair(
+        sra_id=sra_id,
+        detector_id=detector_id,
+        detector_keys=detector_keys,
+        wallet=detector_keys.address,
+        descriptions=descriptions,
+    )
+
+
+def plagiarize_report(
+    victim_detailed: DetailedReport,
+    thief_id: str,
+    thief_keys: KeyPair,
+) -> Tuple[InitialReport, DetailedReport]:
+    """Plagiarism: re-sign a victim's published findings as one's own.
+
+    The thief copies the descriptions verbatim into its own (R†, R*)
+    pair.  The pair passes Algorithm 1 (it is internally consistent),
+    but the thief could only see the descriptions after the victim's R*
+    was published — by which time the victim's R† was already confirmed
+    — so the thief loses every per-vulnerability race (§VI-A ii).
+    """
+    return build_report_pair(
+        sra_id=victim_detailed.sra_id,
+        detector_id=thief_id,
+        detector_keys=thief_keys,
+        wallet=thief_keys.address,
+        descriptions=victim_detailed.descriptions,
+    )
+
+
+def steal_report_payout(
+    victim_detailed: DetailedReport, thief_wallet: Address
+) -> DetailedReport:
+    """Redirect a victim's detailed report to the thief's wallet.
+
+    Keeps the victim's id and signature; caught by the ID*
+    recomputation in Algorithm 1 (the wallet is hashed into ID*).
+    """
+    return replace(victim_detailed, wallet=thief_wallet)
+
+
+def tamper_report_wallet(
+    victim_initial: InitialReport, thief_wallet: Address
+) -> InitialReport:
+    """Tamper an in-flight R†'s payee wallet.
+
+    "The compromised detector can also attempt to accuse other
+    detectors ... by tampering their detection reports" (§III-A).
+    Caught by the ID† recomputation (Eq. 3 hashes W_D).
+    """
+    return replace(victim_initial, wallet=thief_wallet)

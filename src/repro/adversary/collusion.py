@@ -1,0 +1,129 @@
+"""Collusion scenarios — §IV-B challenge 3 and §VI-A.
+
+A compromised detector colludes with a minority IoT provider so that
+the provider writes the detector's forged report into a block.  With
+honest-majority PoW, the colluders' block is either (a) rejected by
+honest providers at validation (it contains a record that fails
+Algorithm 1/AutoVerif) and never extended, or (b) orphaned because the
+honest majority out-mines the colluding minority.  This module builds
+those scenarios on the real chain machinery so tests can check both
+paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.chain.block import Block, ChainRecord
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import make_genesis
+from repro.chain.pow import MiningModel
+from repro.crypto.keys import Address, KeyPair
+
+__all__ = ["CollusionOutcome", "run_collusion_race", "build_colluding_block"]
+
+
+def build_colluding_block(
+    chain: Blockchain,
+    colluder: Address,
+    forged_record: ChainRecord,
+    timestamp: float,
+    difficulty: int,
+) -> Block:
+    """The colluding provider's block carrying the forged report."""
+    return Block.assemble(
+        prev_block_id=chain.head.block_id,
+        height=chain.height + 1,
+        records=(forged_record,),
+        timestamp=timestamp,
+        difficulty=difficulty,
+        miner=colluder,
+    )
+
+
+@dataclass(frozen=True)
+class CollusionOutcome:
+    """Result of a collusion race."""
+
+    forged_record_on_canonical: bool
+    honest_blocks: int
+    colluder_blocks: int
+
+
+def run_collusion_race(
+    colluder_share: float,
+    forged_record: ChainRecord,
+    race_blocks: int = 60,
+    difficulty: int = 1000,
+    seed: int = 0,
+) -> CollusionOutcome:
+    """Race a colluding minority fork (carrying a forged report) against
+    the honest majority chain.
+
+    Honest providers refuse to extend any block containing the forged
+    record (their Algorithm 1 verdict is FALSE), so the colluder mines
+    its fork alone; whichever branch is heavier after ``race_blocks``
+    total blocks wins.  With ``colluder_share`` < 0.5 the forged record
+    almost never ends up canonical.
+    """
+    if not 0.0 < colluder_share < 1.0:
+        raise ValueError("colluder share must be in (0, 1)")
+    rng = random.Random(seed)
+    genesis = make_genesis(difficulty=difficulty)
+    chain = Blockchain(genesis, confirmation_depth=6)
+
+    honest_miner = KeyPair.from_seed(b"honest-pool").address
+    colluder = KeyPair.from_seed(b"colluder").address
+    model = MiningModel(
+        {"honest": 1.0 - colluder_share, "colluder": colluder_share},
+        difficulty=difficulty,
+        rng=rng,
+    )
+
+    # Two competing tips: honest tip never includes the forged record;
+    # the colluder's tip starts with the block carrying it.
+    honest_tip = genesis
+    colluder_tip: Optional[Block] = None
+    honest_count = 0
+    colluder_count = 0
+    clock = 0.0
+    for _ in range(race_blocks):
+        outcome = model.next_block()
+        clock += outcome.interval
+        if outcome.winner == "honest":
+            block = Block.assemble(
+                prev_block_id=honest_tip.block_id,
+                height=honest_tip.height + 1,
+                records=(),
+                timestamp=clock,
+                difficulty=difficulty,
+                miner=honest_miner,
+            )
+            chain.add_block(block)
+            honest_tip = block
+            honest_count += 1
+        else:
+            parent = colluder_tip if colluder_tip is not None else genesis
+            records: Tuple[ChainRecord, ...] = (
+                (forged_record,) if colluder_tip is None else ()
+            )
+            block = Block.assemble(
+                prev_block_id=parent.block_id,
+                height=parent.height + 1,
+                records=records,
+                timestamp=clock,
+                difficulty=difficulty,
+                miner=colluder,
+            )
+            chain.add_block(block)
+            colluder_tip = block
+            colluder_count += 1
+
+    on_canonical = chain.locate_record(forged_record.record_id) is not None
+    return CollusionOutcome(
+        forged_record_on_canonical=on_canonical,
+        honest_blocks=honest_count,
+        colluder_blocks=colluder_count,
+    )

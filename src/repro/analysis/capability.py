@@ -1,0 +1,104 @@
+"""Total detection capability — Eq. 11 and its limit behaviour.
+
+DC_T = Σ_i DC_i · ρ_i, where DC_i is detector *i*'s probability of
+identifying a vulnerability and ρ_i the probability its result is the
+one recorded.  §VI-B's qualitative claim — "an increased m will
+introduce a larger DC_T approaching to 1" — is made precise here under
+the reproduction's race model, where for a flaw every racer can find,
+ρ_i is the probability detector *i* wins the first-commit race among
+the detectors that found it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.detection.detector import DetectionCapability
+
+__all__ = [
+    "total_detection_capability",
+    "race_rhos",
+    "coverage_probability",
+]
+
+
+def total_detection_capability(
+    capabilities: Sequence[float], rhos: Sequence[float]
+) -> float:
+    """Eq. 11: DC_T = Σ DC_i · ρ_i.
+
+    Following the paper's gloss — "DC_i·ρ_i denote the probability that
+    D_i can discover a vulnerability that would be finally recorded" —
+    ρ_i is the *conditional* probability a discovery is recorded, so
+    the products DC_i·ρ_i (not the ρ's themselves) are the exclusive
+    per-vulnerability win probabilities; "up to one detection result
+    can be confirmed for one vulnerability" becomes Σ DC_i·ρ_i ≤ 1,
+    which is validated here.
+    """
+    if len(capabilities) != len(rhos):
+        raise ValueError("capabilities and rhos must align")
+    for value in capabilities:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("DC_i must be in [0, 1]")
+    for value in rhos:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("rho_i must be in [0, 1]")
+    total = sum(dc * rho for dc, rho in zip(capabilities, rhos))
+    if total > 1.0 + 1e-9:
+        raise ValueError(
+            "Σ DC_i·rho_i cannot exceed 1 (one confirmed result per vulnerability)"
+        )
+    return total
+
+
+def race_rhos(fleet: Sequence[DetectionCapability]) -> List[float]:
+    """ρ_i under the exponential first-commit race.
+
+    ρ_i is the probability detector *i*'s discovery is the one finally
+    recorded, *conditioned on i discovering the flaw* (the paper's
+    reading of Eq. 11 — DC_i·ρ_i is the unconditional win probability).
+    Among the detectors that found the flaw, the winner is drawn
+    proportionally to race rate; this exact computation enumerates
+    which subset of the *other* detectors also found it (2^(m-1) terms
+    per detector, fleets up to m = 16).
+    """
+    m = len(fleet)
+    if m == 0:
+        return []
+    if m > 16:
+        raise ValueError("exact subset enumeration supports up to 16 detectors")
+    detection = [c.detection_probability for c in fleet]
+    rates = [c.rate for c in fleet]
+    rhos = [0.0] * m
+    for i in range(m):
+        others = [j for j in range(m) if j != i]
+        conditional = 0.0
+        for mask in range(1 << len(others)):
+            probability = 1.0
+            subset_rate = rates[i]
+            for bit, j in enumerate(others):
+                if mask & (1 << bit):
+                    probability *= detection[j]
+                    subset_rate += rates[j]
+                else:
+                    probability *= 1.0 - detection[j]
+            if probability == 0.0:
+                continue
+            conditional += probability * rates[i] / subset_rate
+        rhos[i] = conditional
+    return rhos
+
+
+def coverage_probability(capabilities: Sequence[float]) -> float:
+    """Probability at least one detector finds a given flaw.
+
+    Equals DC_T under the race model: Σ DC_i·ρ_i with the conditional
+    race ρ's telescopes to 1 - Π(1 - DC_i) — exactly the chance the
+    flaw is found at all, which approaches 1 as m grows (§VI-B).
+    """
+    missed = 1.0
+    for value in capabilities:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError("DC_i must be in [0, 1]")
+        missed *= 1.0 - value
+    return 1.0 - missed

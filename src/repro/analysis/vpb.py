@@ -1,0 +1,85 @@
+"""The VP baseline (VPB) — the break-even vulnerability proportion.
+
+§VII-A: "we define the VP baseline (VPB) that enables an IoT provider
+achieve a balance of payments (i.e., the incentives are equal to the
+punishments)."  Releasing at VP above VPB is financially lossy, below
+it profitable — the economic force that pushes providers toward secure
+releases (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from scipy.optimize import brentq
+
+from repro.analysis.balance import provider_balance_ether
+from repro.core.incentives import IncentiveParameters
+from repro.units import from_wei
+
+__all__ = ["vpb_closed_form", "vpb_numeric"]
+
+
+def vpb_closed_form(
+    params: IncentiveParameters,
+    zeta_i: float,
+    insurance_ether: float,
+    window: float,
+    releases: float = 1.0,
+    omega_per_block: float = 0.0,
+) -> float:
+    """Solve incentives == punishments for VP analytically.
+
+    Balance is linear in VP:  income − releases·(VP·I + cp) = 0, so
+
+        VPB = (income/releases − cp) / I
+
+    clamped to [0, 1].  A provider whose income cannot even cover the
+    deployment gas has VPB 0 (it loses money even on clean releases).
+    """
+    if insurance_ether <= 0:
+        raise ValueError("insurance must be positive")
+    if releases <= 0:
+        raise ValueError("releases must be positive")
+    blocks = window / params.block_time
+    nu = from_wei(params.block_reward_wei)
+    psi = from_wei(params.report_fee_wei)
+    cp = from_wei(params.deployment_cost_wei)
+    income = zeta_i * blocks * (nu + psi * omega_per_block)
+    vpb = (income / releases - cp) / insurance_ether
+    return max(0.0, min(1.0, vpb))
+
+
+def vpb_numeric(
+    params: IncentiveParameters,
+    zeta_i: float,
+    insurance_ether: float,
+    window: float,
+    releases: float = 1.0,
+    omega_per_block: float = 0.0,
+) -> Optional[float]:
+    """Root-find VPB from the balance function directly.
+
+    Cross-checks :func:`vpb_closed_form`; returns None when no root
+    exists in (0, 1) (balance has the same sign everywhere).
+    """
+
+    def balance(vp: float) -> float:
+        return provider_balance_ether(
+            params,
+            zeta_i=zeta_i,
+            vulnerability_proportion=vp,
+            insurance_ether=insurance_ether,
+            window=window,
+            releases=releases,
+            omega_per_block=omega_per_block,
+        )
+
+    low, high = balance(0.0), balance(1.0)
+    if low == 0.0:
+        return 0.0
+    if high == 0.0:
+        return 1.0
+    if low * high > 0:
+        return None
+    return float(brentq(balance, 0.0, 1.0, xtol=1e-12))

@@ -1,0 +1,250 @@
+"""The blockchain store: fork choice, reorgs, confirmation depth.
+
+SmartCrowd stores verified detection results in a PoW chain maintained
+by IoT providers (§V-C).  "Like Bitcoin system, this block recording
+detection results will be finally confirmed when 6 newly generated
+blocks are linked to this blockchain" — confirmation depth is exposed
+as :attr:`Blockchain.confirmation_depth` (default 6) and drives the
+incentive triggers in :mod:`repro.core`.
+
+Fork choice is heaviest-chain (total difficulty), as in Ethereum; with
+the paper's fixed difficulty this coincides with longest-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.chain.block import (
+    Block,
+    ChainRecord,
+    GENESIS_PARENT,
+    RecordKind,
+)
+from repro.crypto.keys import Address
+
+__all__ = ["Blockchain", "ChainError", "DEFAULT_CONFIRMATION_DEPTH", "RecordLocation"]
+
+#: Bitcoin-style finality depth used by the paper (§V-C).
+DEFAULT_CONFIRMATION_DEPTH = 6
+
+
+class ChainError(ValueError):
+    """Raised for structurally invalid chain operations."""
+
+
+@dataclass(frozen=True)
+class RecordLocation:
+    """Where a record lives on the canonical chain."""
+
+    block_id: bytes
+    height: int
+    index_in_block: int
+
+
+class Blockchain:
+    """An append-only block DAG with heaviest-chain fork choice.
+
+    All received valid blocks are retained (side branches included) so
+    reorgs can switch the canonical head.  Record indexes are rebuilt
+    against the canonical chain on every head change; consumers query
+    only confirmed records.
+    """
+
+    def __init__(
+        self,
+        genesis: Block,
+        confirmation_depth: int = DEFAULT_CONFIRMATION_DEPTH,
+    ) -> None:
+        if genesis.header.prev_block_id != GENESIS_PARENT:
+            raise ChainError("genesis must point at the zero parent")
+        if confirmation_depth < 0:
+            raise ChainError("confirmation depth cannot be negative")
+        self._blocks: Dict[bytes, Block] = {genesis.block_id: genesis}
+        self._total_difficulty: Dict[bytes, int] = {
+            genesis.block_id: genesis.header.difficulty
+        }
+        self._children: Dict[bytes, List[bytes]] = {}
+        self._genesis_id = genesis.block_id
+        self._head_id = genesis.block_id
+        self.confirmation_depth = confirmation_depth
+        self._record_index: Dict[bytes, RecordLocation] = {}
+        self._reindex()
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def genesis(self) -> Block:
+        """The genesis block."""
+        return self._blocks[self._genesis_id]
+
+    @property
+    def head(self) -> Block:
+        """The tip of the canonical (heaviest) chain."""
+        return self._blocks[self._head_id]
+
+    @property
+    def height(self) -> int:
+        """Height of the canonical head."""
+        return self.head.height
+
+    def __len__(self) -> int:
+        """Number of blocks on the canonical chain (including genesis)."""
+        return self.head.height + 1
+
+    def __contains__(self, block_id: bytes) -> bool:
+        return block_id in self._blocks
+
+    def get_block(self, block_id: bytes) -> Optional[Block]:
+        """Fetch any stored block (canonical or side-branch) by id."""
+        return self._blocks.get(block_id)
+
+    def block_at_height(self, height: int) -> Optional[Block]:
+        """The canonical block at ``height``, or None if above the head."""
+        if height < 0 or height > self.head.height:
+            return None
+        block = self.head
+        while block.height > height:
+            block = self._blocks[block.header.prev_block_id]
+        return block
+
+    def iter_canonical(self) -> Iterator[Block]:
+        """Iterate canonical blocks from genesis to head."""
+        chain: List[Block] = []
+        block = self.head
+        while True:
+            chain.append(block)
+            if block.block_id == self._genesis_id:
+                break
+            block = self._blocks[block.header.prev_block_id]
+        return iter(reversed(chain))
+
+    def total_difficulty(self, block_id: Optional[bytes] = None) -> int:
+        """Cumulative difficulty from genesis to ``block_id`` (default head)."""
+        return self._total_difficulty[block_id or self._head_id]
+
+    def is_canonical(self, block_id: bytes) -> bool:
+        """True if ``block_id`` lies on the canonical chain."""
+        block = self._blocks.get(block_id)
+        if block is None:
+            return False
+        canonical = self.block_at_height(block.height)
+        return canonical is not None and canonical.block_id == block_id
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Store a block whose parent is known.
+
+        Returns True if the head moved (extension or reorg).  Raises
+        :class:`ChainError` for orphan parents or duplicate ids; PoW and
+        record validity are the responsibility of
+        :mod:`repro.chain.validation` before insertion.
+        """
+        parent_id = block.header.prev_block_id
+        if block.block_id in self._blocks:
+            raise ChainError("duplicate block")
+        parent = self._blocks.get(parent_id)
+        if parent is None:
+            raise ChainError("unknown parent block")
+        if block.height != parent.height + 1:
+            raise ChainError(
+                f"height {block.height} does not extend parent height {parent.height}"
+            )
+        self._blocks[block.block_id] = block
+        self._total_difficulty[block.block_id] = (
+            self._total_difficulty[parent_id] + block.header.difficulty
+        )
+        self._children.setdefault(parent_id, []).append(block.block_id)
+
+        if self._total_difficulty[block.block_id] > self._total_difficulty[self._head_id]:
+            is_extension = parent_id == self._head_id
+            self._head_id = block.block_id
+            if is_extension:
+                # Pure extension: index only the new block's records.
+                for position, record in enumerate(block.records):
+                    self._record_index[record.record_id] = RecordLocation(
+                        block_id=block.block_id,
+                        height=block.height,
+                        index_in_block=position,
+                    )
+            else:
+                self._reindex()  # reorg: rebuild against the new branch
+            return True
+        return False
+
+    def _reindex(self) -> None:
+        """Rebuild the record index against the canonical chain."""
+        self._record_index = {}
+        for block in self.iter_canonical():
+            for position, record in enumerate(block.records):
+                self._record_index[record.record_id] = RecordLocation(
+                    block_id=block.block_id,
+                    height=block.height,
+                    index_in_block=position,
+                )
+
+    # -- confirmation & queries -------------------------------------------
+
+    def confirmations(self, block_id: bytes) -> int:
+        """Blocks linked after ``block_id`` on the canonical chain.
+
+        Returns -1 if the block is unknown or off the canonical chain
+        (an orphaned/side-branch block has no confirmations).
+        """
+        if not self.is_canonical(block_id):
+            return -1
+        return self.head.height - self._blocks[block_id].height
+
+    def is_confirmed(self, block_id: bytes) -> bool:
+        """True once ``confirmation_depth`` blocks extend ``block_id``."""
+        depth = self.confirmations(block_id)
+        return depth >= self.confirmation_depth
+
+    def locate_record(self, record_id: bytes) -> Optional[RecordLocation]:
+        """Find a record on the canonical chain."""
+        return self._record_index.get(record_id)
+
+    def get_record(self, record_id: bytes) -> Optional[ChainRecord]:
+        """Fetch a canonical record by id."""
+        location = self._record_index.get(record_id)
+        if location is None:
+            return None
+        return self._blocks[location.block_id].records[location.index_in_block]
+
+    def record_is_confirmed(self, record_id: bytes) -> bool:
+        """True if the record's containing block is confirmed."""
+        location = self._record_index.get(record_id)
+        return location is not None and self.is_confirmed(location.block_id)
+
+    def confirmed_records(
+        self, kind: Optional[RecordKind] = None
+    ) -> List[ChainRecord]:
+        """All confirmed canonical records, optionally filtered by kind."""
+        results: List[ChainRecord] = []
+        for block in self.iter_canonical():
+            if not self.is_confirmed(block.block_id):
+                continue
+            for record in block.records:
+                if kind is None or record.kind == kind:
+                    results.append(record)
+        return results
+
+    def record_ids_on_canonical(self) -> Set[bytes]:
+        """The set of record ids on the canonical chain (mempool dedup)."""
+        return set(self._record_index)
+
+    def blocks_mined_by(self, miner: Address) -> List[Block]:
+        """Canonical blocks credited to ``miner`` (χ in Eq. 8)."""
+        return [
+            block
+            for block in self.iter_canonical()
+            if block.header.miner == miner and block.height > 0
+        ]
+
+    def fork_ids(self) -> Tuple[bytes, ...]:
+        """Ids of stored blocks that are NOT canonical (side branches)."""
+        return tuple(
+            block_id for block_id in self._blocks if not self.is_canonical(block_id)
+        )

@@ -1,0 +1,105 @@
+"""Mempool of pending records awaiting inclusion in a block.
+
+IoT providers accumulate verified SRAs and detection reports, then
+aggregate them into blocks (§V-C: "IoT providers can aggregate and
+record the received detection results in the blockchain").  Selection
+is fee-priority with FIFO tiebreak, as real miners do — this is what
+makes the report transaction fee ψ an actual incentive (Eq. 8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.chain.block import ChainRecord, RecordKind
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Pending, not-yet-mined chain records.
+
+    Records are deduplicated by ``record_id``: re-announcing the same
+    report (or a plagiarized byte-identical copy) is a no-op, which is
+    the chain-level half of SmartCrowd's plagiarism defence.
+    """
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        self._records: Dict[bytes, ChainRecord] = {}
+        self._arrival: Dict[bytes, int] = {}
+        self._counter = itertools.count()
+        self._max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id: bytes) -> bool:
+        return record_id in self._records
+
+    def add(self, record: ChainRecord) -> bool:
+        """Queue a record; returns False on duplicate or overflow."""
+        if record.record_id in self._records:
+            return False
+        if self._max_size is not None and len(self._records) >= self._max_size:
+            # Evict the lowest-fee record if the newcomer pays more.
+            victim_id = min(
+                self._records,
+                key=lambda rid: (self._records[rid].fee, -self._arrival[rid]),
+            )
+            if self._records[victim_id].fee >= record.fee:
+                return False
+            self.remove(victim_id)
+        self._records[record.record_id] = record
+        self._arrival[record.record_id] = next(self._counter)
+        return True
+
+    def add_all(self, records: Iterable[ChainRecord]) -> int:
+        """Queue many records; returns how many were accepted."""
+        return sum(1 for record in records if self.add(record))
+
+    def remove(self, record_id: bytes) -> Optional[ChainRecord]:
+        """Remove and return a record, or None if absent."""
+        self._arrival.pop(record_id, None)
+        return self._records.pop(record_id, None)
+
+    def prune(self, mined_ids: Iterable[bytes]) -> int:
+        """Drop records that made it into a block; returns count dropped."""
+        dropped = 0
+        for record_id in mined_ids:
+            if self.remove(record_id) is not None:
+                dropped += 1
+        return dropped
+
+    def select(
+        self,
+        limit: Optional[int] = None,
+        kind: Optional[RecordKind] = None,
+        exclude: Optional[Set[bytes]] = None,
+    ) -> Tuple[ChainRecord, ...]:
+        """Pick records for the next block: highest fee first, FIFO ties.
+
+        ``exclude`` lets miners skip ids already on their canonical
+        chain (protection against re-mining after a reorg).
+        """
+        candidates: List[ChainRecord] = [
+            record
+            for record in self._records.values()
+            if (kind is None or record.kind == kind)
+            and (exclude is None or record.record_id not in exclude)
+        ]
+        candidates.sort(
+            key=lambda record: (-record.fee, self._arrival[record.record_id])
+        )
+        if limit is not None:
+            candidates = candidates[:limit]
+        return tuple(candidates)
+
+    def pending_ids(self) -> Set[bytes]:
+        """The set of queued record ids."""
+        return set(self._records)
+
+    def clear(self) -> None:
+        """Drop everything (used when resetting simulations)."""
+        self._records.clear()
+        self._arrival.clear()

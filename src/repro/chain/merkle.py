@@ -1,0 +1,117 @@
+"""Merkle trees over block records.
+
+Fig. 2 of the paper: "block *i* contains ω_i detection results, which is
+organized based on the Merkle tree structure like the transaction
+organization in Bitcoin."  This module provides the tree, audit-path
+proofs, and proof verification used by lightweight detectors (§V-B),
+which do not store the chain and instead verify inclusion proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import merkle_leaf_hash, merkle_pair_hash, sha3_256
+
+__all__ = ["MerkleTree", "MerkleProof", "compute_merkle_root"]
+
+#: Root of the empty tree (hash of an empty marker, Bitcoin-style).
+EMPTY_ROOT = sha3_256(b"smartcrowd-empty-merkle")
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An audit path proving one leaf's inclusion under a root.
+
+    ``path`` lists sibling hashes from leaf level to just below the
+    root; ``directions[i]`` is True when the sibling at level *i* is the
+    *right* child (i.e. our running hash is the left input).
+    """
+
+    leaf_index: int
+    leaf_hash: bytes
+    path: Tuple[bytes, ...]
+    directions: Tuple[bool, ...]
+
+    def verify(self, root: bytes) -> bool:
+        """Check the audit path against ``root``."""
+        if len(self.path) != len(self.directions):
+            return False
+        node = self.leaf_hash
+        for sibling, sibling_is_right in zip(self.path, self.directions):
+            if sibling_is_right:
+                node = merkle_pair_hash(node, sibling)
+            else:
+                node = merkle_pair_hash(sibling, node)
+        return node == root
+
+
+class MerkleTree:
+    """A binary Merkle tree with Bitcoin-style odd-node duplication.
+
+    Levels are materialized bottom-up at construction; proofs are then
+    O(log n) lookups.  Leaves are raw record payloads; they are
+    domain-separated from interior nodes (see :mod:`repro.crypto.hashing`)
+    so an interior node cannot masquerade as a leaf.
+    """
+
+    def __init__(self, payloads: Sequence[bytes]) -> None:
+        self._leaf_hashes: List[bytes] = [merkle_leaf_hash(p) for p in payloads]
+        self._levels: List[List[bytes]] = self._build_levels(self._leaf_hashes)
+
+    @staticmethod
+    def _build_levels(leaves: List[bytes]) -> List[List[bytes]]:
+        if not leaves:
+            return [[EMPTY_ROOT]]
+        levels = [list(leaves)]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            if len(current) % 2 == 1:
+                current = current + [current[-1]]  # duplicate odd tail
+            nxt = [
+                merkle_pair_hash(current[i], current[i + 1])
+                for i in range(0, len(current), 2)
+            ]
+            levels.append(nxt)
+        return levels
+
+    def __len__(self) -> int:
+        return len(self._leaf_hashes)
+
+    @property
+    def root(self) -> bytes:
+        """The Merkle root committing to all leaves."""
+        return self._levels[-1][0]
+
+    def leaf_hash(self, index: int) -> bytes:
+        """The hash of the leaf at ``index``."""
+        return self._leaf_hashes[index]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build the audit path for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaf_hashes):
+            raise IndexError(f"leaf index {index} out of range")
+        path: List[bytes] = []
+        directions: List[bool] = []
+        position = index
+        for level in self._levels[:-1]:
+            padded = level if len(level) % 2 == 0 else level + [level[-1]]
+            if position % 2 == 0:
+                path.append(padded[position + 1])
+                directions.append(True)
+            else:
+                path.append(padded[position - 1])
+                directions.append(False)
+            position //= 2
+        return MerkleProof(
+            leaf_index=index,
+            leaf_hash=self._leaf_hashes[index],
+            path=tuple(path),
+            directions=tuple(directions),
+        )
+
+
+def compute_merkle_root(payloads: Sequence[bytes]) -> bytes:
+    """Convenience: the Merkle root of ``payloads`` without keeping the tree."""
+    return MerkleTree(payloads).root

@@ -1,0 +1,147 @@
+"""Difficulty retargeting — an extension beyond the paper's prototype.
+
+The prototype fixes difficulty at 0xf00000 (§VII), which only holds the
+15.35 s block time while total hashpower is constant.  Real deployments
+see providers join and leave; this module adds an Ethereum-Homestead-
+style per-block adjustment and a Bitcoin-style epoch adjustment so the
+block time re-converges after hashpower changes (exercised in
+``tests/chain/test_retarget.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.chain.pow import MiningModel
+
+__all__ = [
+    "homestead_adjust",
+    "epoch_adjust",
+    "RetargetingMiner",
+]
+
+#: Minimum difficulty floor (avoids death spirals at tiny hashpower).
+MIN_DIFFICULTY = 16
+
+
+def homestead_adjust(
+    parent_difficulty: int,
+    block_interval: float,
+    target_time: float = 15.35,
+) -> int:
+    """Per-block adjustment à la Ethereum Homestead.
+
+    Difficulty moves by ``parent/2048 × clamp(1 − interval/(target·2/3), −99)``:
+    fast blocks push difficulty up, slow blocks pull it down, bounded
+    so one outlier interval cannot swing it far.
+    """
+    if parent_difficulty < 1:
+        raise ValueError("difficulty must be positive")
+    if block_interval < 0:
+        raise ValueError("interval cannot be negative")
+    sensitivity = max(1 - int(block_interval / (target_time * 2 / 3)), -99)
+    adjusted = parent_difficulty + (parent_difficulty // 2048) * sensitivity
+    return max(MIN_DIFFICULTY, adjusted)
+
+
+def epoch_adjust(
+    current_difficulty: int,
+    epoch_intervals: List[float],
+    target_time: float = 15.35,
+    max_factor: float = 4.0,
+) -> int:
+    """Epoch adjustment à la Bitcoin: rescale by observed vs target time.
+
+    The correction factor is clamped to ``[1/max_factor, max_factor]``
+    per epoch, as Bitcoin does, so a single anomalous epoch cannot move
+    difficulty arbitrarily.
+    """
+    if not epoch_intervals:
+        raise ValueError("epoch must contain at least one interval")
+    observed_mean = sum(epoch_intervals) / len(epoch_intervals)
+    factor = target_time / observed_mean if observed_mean > 0 else max_factor
+    factor = min(max(factor, 1.0 / max_factor), max_factor)
+    return max(MIN_DIFFICULTY, int(current_difficulty * factor))
+
+
+@dataclass
+class RetargetStep:
+    """One mined block under retargeting."""
+
+    interval: float
+    difficulty: int
+    winner: str
+
+
+class RetargetingMiner:
+    """A mining competition whose difficulty tracks a target block time.
+
+    Wraps :class:`~repro.chain.pow.MiningModel`, re-deriving the model
+    after every difficulty change; hashrates can be updated mid-run to
+    model providers joining/leaving.
+    """
+
+    def __init__(
+        self,
+        hashrates: dict,
+        initial_difficulty: int,
+        target_time: float = 15.35,
+        scheme: str = "homestead",
+        epoch_length: int = 32,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if scheme not in ("homestead", "epoch"):
+            raise ValueError(f"unknown retargeting scheme {scheme!r}")
+        self._hashrates = dict(hashrates)
+        self.difficulty = initial_difficulty
+        self.target_time = target_time
+        self.scheme = scheme
+        self.epoch_length = epoch_length
+        self._rng = rng if rng is not None else random.Random()
+        self._epoch_buffer: List[float] = []
+        self.history: List[RetargetStep] = []
+
+    def set_hashrate(self, miner: str, hashrate: float) -> None:
+        """Model a provider joining, leaving, or rescaling."""
+        if hashrate <= 0:
+            self._hashrates.pop(miner, None)
+            if not self._hashrates:
+                raise ValueError("cannot remove the last miner")
+        else:
+            self._hashrates[miner] = hashrate
+
+    def step(self) -> RetargetStep:
+        """Mine one block and retarget."""
+        model = MiningModel(self._hashrates, difficulty=self.difficulty, rng=self._rng)
+        outcome = model.next_block()
+        step = RetargetStep(
+            interval=outcome.interval,
+            difficulty=self.difficulty,
+            winner=outcome.winner,
+        )
+        self.history.append(step)
+        if self.scheme == "homestead":
+            self.difficulty = homestead_adjust(
+                self.difficulty, outcome.interval, self.target_time
+            )
+        else:
+            self._epoch_buffer.append(outcome.interval)
+            if len(self._epoch_buffer) >= self.epoch_length:
+                self.difficulty = epoch_adjust(
+                    self.difficulty, self._epoch_buffer, self.target_time
+                )
+                self._epoch_buffer = []
+        return step
+
+    def run_blocks(self, count: int) -> List[RetargetStep]:
+        """Mine ``count`` blocks."""
+        return [self.step() for _ in range(count)]
+
+    def recent_mean_interval(self, window: int = 64) -> float:
+        """Mean block time over the last ``window`` blocks."""
+        recent = self.history[-window:]
+        if not recent:
+            raise ValueError("no blocks mined yet")
+        return sum(step.interval for step in recent) / len(recent)

@@ -1,0 +1,115 @@
+"""Signed value transactions — the "transactions" of Fig. 2.
+
+"Each block records several transactions that have been conducted in a
+distributed system" (§II).  Besides SRAs and reports, SmartCrowd blocks
+carry plain value transfers (detectors cashing out bounties, providers
+topping up insurance accounts).  A transaction is authorized by an
+ECDSA signature over its content and ordered per-sender by an account
+nonce, exactly the two mechanisms that make an Ethereum-style account
+ledger safe against forgery and replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codec import pack, unpack
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import Address, KeyPair, PublicKey
+
+__all__ = ["SignedTransaction", "make_transaction"]
+
+
+@dataclass(frozen=True)
+class SignedTransaction:
+    """A value transfer: sender → recipient, authorized and replay-safe."""
+
+    sender: Address
+    recipient: Address
+    value_wei: int
+    fee_wei: int
+    nonce: int
+    sender_key: PublicKey  # the key that must hash to ``sender``
+    signature: Signature
+
+    def tx_id(self) -> bytes:
+        """Content hash (also the chain record id)."""
+        return hash_fields(
+            b"transaction",
+            self.sender.value,
+            self.recipient.value,
+            self.value_wei,
+            self.fee_wei,
+            self.nonce,
+        )
+
+    def verify(self) -> bool:
+        """Signature and key-to-address binding checks.
+
+        A transaction is only valid if the embedded public key derives
+        the claimed sender address *and* signed this content — nonce
+        and balance checks are the ledger's job at execution time.
+        """
+        if self.value_wei < 0 or self.fee_wei < 0 or self.nonce < 0:
+            return False
+        if self.sender_key.address() != self.sender:
+            return False
+        return self.sender_key.verify(self.tx_id(), self.signature)
+
+    def to_payload(self) -> bytes:
+        """Serialize for inclusion as a chain record."""
+        return pack(
+            [
+                self.sender.value,
+                self.recipient.value,
+                self.value_wei.to_bytes(16, "big"),
+                self.fee_wei.to_bytes(16, "big"),
+                self.nonce.to_bytes(8, "big"),
+                self.sender_key.to_bytes(),
+                self.signature.to_bytes(),
+            ]
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "SignedTransaction":
+        """Parse the chain-record form."""
+        sender, recipient, value, fee, nonce, key, signature = unpack(payload, 7)
+        return cls(
+            sender=Address(sender),
+            recipient=Address(recipient),
+            value_wei=int.from_bytes(value, "big"),
+            fee_wei=int.from_bytes(fee, "big"),
+            nonce=int.from_bytes(nonce, "big"),
+            sender_key=PublicKey.from_bytes(key),
+            signature=Signature.from_bytes(signature),
+        )
+
+
+def make_transaction(
+    sender_keys: KeyPair,
+    recipient: Address,
+    value_wei: int,
+    nonce: int,
+    fee_wei: int = 0,
+) -> SignedTransaction:
+    """Build and sign a transfer from ``sender_keys``."""
+    unsigned = SignedTransaction(
+        sender=sender_keys.address,
+        recipient=recipient,
+        value_wei=value_wei,
+        fee_wei=fee_wei,
+        nonce=nonce,
+        sender_key=sender_keys.public,
+        signature=Signature(1, 1),  # placeholder, replaced below
+    )
+    signature = sender_keys.sign(unsigned.tx_id())
+    return SignedTransaction(
+        sender=unsigned.sender,
+        recipient=unsigned.recipient,
+        value_wei=unsigned.value_wei,
+        fee_wei=unsigned.fee_wei,
+        nonce=unsigned.nonce,
+        sender_key=unsigned.sender_key,
+        signature=signature,
+    )

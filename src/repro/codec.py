@@ -1,0 +1,47 @@
+"""Length-prefixed binary serialization.
+
+Chain-record payloads embed raw hashes, signatures, and addresses —
+arbitrary bytes that may contain any delimiter — so all payload
+encodings use explicit length framing (4-byte big-endian per field)
+rather than separators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["pack", "unpack", "CodecError"]
+
+
+class CodecError(ValueError):
+    """Raised for malformed framed payloads."""
+
+
+def pack(fields: Sequence[bytes]) -> bytes:
+    """Frame a sequence of byte strings into one payload."""
+    parts: List[bytes] = []
+    for field in fields:
+        if not isinstance(field, (bytes, bytearray)):
+            raise TypeError(f"pack expects bytes, got {type(field).__name__}")
+        parts.append(len(field).to_bytes(4, "big"))
+        parts.append(bytes(field))
+    return b"".join(parts)
+
+
+def unpack(payload: bytes, expected: int) -> List[bytes]:
+    """Parse a framed payload into exactly ``expected`` fields."""
+    fields: List[bytes] = []
+    offset = 0
+    size = len(payload)
+    while offset < size:
+        if offset + 4 > size:
+            raise CodecError("truncated length prefix")
+        length = int.from_bytes(payload[offset : offset + 4], "big")
+        offset += 4
+        if offset + length > size:
+            raise CodecError("field overruns payload")
+        fields.append(payload[offset : offset + length])
+        offset += length
+    if len(fields) != expected:
+        raise CodecError(f"expected {expected} fields, found {len(fields)}")
+    return fields

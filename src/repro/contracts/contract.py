@@ -1,0 +1,124 @@
+"""Contract abstraction: storage, events, guarded methods.
+
+The paper implements "SmartCrowd contracts with 350 lines of solidity"
+(§VII).  With no EVM available, contracts here are Python classes run
+by :class:`~repro.contracts.vm.ContractRuntime` under the same
+discipline the EVM enforces: deterministic execution, metered gas,
+value transfer through a runtime-controlled ledger, atomic revert on
+failure, and an append-only event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.keys import Address
+
+__all__ = ["Contract", "ContractError", "ContractEvent", "CallContext"]
+
+
+class ContractError(RuntimeError):
+    """A contract-level revert (bad caller, bad state, bad arguments)."""
+
+
+@dataclass(frozen=True)
+class ContractEvent:
+    """One emitted event, like a Solidity ``event`` log entry."""
+
+    contract: Address
+    name: str
+    payload: Dict[str, Any]
+    block_time: float
+
+
+@dataclass
+class CallContext:
+    """Per-call environment the runtime passes to contract methods.
+
+    Mirrors Solidity's ``msg`` object: ``sender``/``value`` plus the
+    simulated block timestamp.
+    """
+
+    sender: Address
+    value_wei: int
+    block_time: float
+    runtime: "ContractRuntimeApi"
+
+
+class ContractRuntimeApi:
+    """Interface contracts use to move value and emit events.
+
+    Implemented by :class:`~repro.contracts.vm.ContractRuntime`;
+    declared separately so contracts do not import the runtime.
+    """
+
+    def contract_balance(self, contract: Address) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def contract_pay(
+        self, contract: Address, recipient: Address, amount_wei: int
+    ) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def emit(self, event: ContractEvent) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Contract:
+    """Base class for deployed contracts.
+
+    Subclasses implement public methods taking ``(ctx, ...)``; state
+    lives in ordinary attributes.  The runtime snapshots the world
+    state (not contract storage) around calls; contracts must therefore
+    mutate their own storage only after all checks pass — the same
+    checks-effects-interactions discipline Solidity code follows.
+    """
+
+    def __init__(self) -> None:
+        self.address: Optional[Address] = None
+        self.owner: Optional[Address] = None
+
+    def on_deploy(self, ctx: CallContext) -> None:
+        """Hook run at deployment (constructor body)."""
+
+    def require(self, condition: bool, message: str) -> None:
+        """Solidity-style ``require``: revert with ``message`` if false."""
+        if not condition:
+            raise ContractError(message)
+
+    def emit_event(self, ctx: CallContext, name: str, **payload: Any) -> None:
+        """Emit a log event through the runtime."""
+        assert self.address is not None, "contract not deployed"
+        ctx.runtime.emit(
+            ContractEvent(
+                contract=self.address,
+                name=name,
+                payload=payload,
+                block_time=ctx.block_time,
+            )
+        )
+
+    def balance(self, ctx: CallContext) -> int:
+        """Ether currently held by this contract."""
+        assert self.address is not None, "contract not deployed"
+        return ctx.runtime.contract_balance(self.address)
+
+    def pay(self, ctx: CallContext, recipient: Address, amount_wei: int) -> None:
+        """Send ether from the contract's escrow to ``recipient``."""
+        assert self.address is not None, "contract not deployed"
+        ctx.runtime.contract_pay(self.address, recipient, amount_wei)
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """The result of a deployment or call."""
+
+    success: bool
+    contract: Address
+    operation: str
+    gas_used: int
+    fee_wei: int
+    return_value: Any = None
+    error: Optional[str] = None
+    events: Tuple[ContractEvent, ...] = field(default_factory=tuple)

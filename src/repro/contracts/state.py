@@ -1,0 +1,97 @@
+"""World state: accounts, ether balances, and conservation accounting.
+
+The contract runtime operates on this ledger.  All balances are integer
+wei so that the incentive-conservation invariant — every wei paid out
+was either deposited, charged as a fee, or minted as a block reward —
+can be asserted exactly in tests (see ``tests/contracts``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+from repro.crypto.keys import Address
+
+__all__ = ["WorldState", "InsufficientFunds", "BURN_ADDRESS"]
+
+#: Sink for burned value (e.g. forfeited deposits with no payee).
+BURN_ADDRESS = Address(b"\xff" * 20)
+
+
+class InsufficientFunds(ValueError):
+    """Raised when a transfer or charge exceeds the sender's balance."""
+
+
+@dataclass
+class WorldState:
+    """Account balances plus mint/burn tallies.
+
+    Supports O(1) snapshots via copy-on-write of the balance dict —
+    failed contract calls revert atomically (§V-D's automated
+    allocation must be all-or-nothing).
+    """
+
+    _balances: Dict[Address, int] = field(default_factory=dict)
+    _minted: int = 0
+
+    def balance(self, account: Address) -> int:
+        """Current balance in wei (0 for unknown accounts)."""
+        return self._balances.get(account, 0)
+
+    def accounts(self) -> Iterator[Tuple[Address, int]]:
+        """Iterate (address, balance) pairs with non-zero balances."""
+        return iter(
+            (account, amount)
+            for account, amount in self._balances.items()
+            if amount != 0
+        )
+
+    def mint(self, account: Address, amount_wei: int) -> None:
+        """Create new ether (block rewards ν per Eq. 8)."""
+        if amount_wei < 0:
+            raise ValueError("cannot mint a negative amount")
+        self._balances[account] = self.balance(account) + amount_wei
+        self._minted += amount_wei
+
+    def transfer(self, sender: Address, recipient: Address, amount_wei: int) -> None:
+        """Move value between accounts; raises on insufficient funds."""
+        if amount_wei < 0:
+            raise ValueError("cannot transfer a negative amount")
+        available = self.balance(sender)
+        if available < amount_wei:
+            raise InsufficientFunds(
+                f"{sender} holds {available} wei, needs {amount_wei}"
+            )
+        self._balances[sender] = available - amount_wei
+        self._balances[recipient] = self.balance(recipient) + amount_wei
+
+    def burn(self, account: Address, amount_wei: int) -> None:
+        """Destroy value from an account (sent to the burn sink)."""
+        self.transfer(account, BURN_ADDRESS, amount_wei)
+
+    @property
+    def total_minted(self) -> int:
+        """All wei ever created by mint (for conservation checks)."""
+        return self._minted
+
+    def total_supply(self) -> int:
+        """Sum of all balances; equals :attr:`total_minted` at all times."""
+        return sum(self._balances.values())
+
+    def snapshot(self) -> "WorldStateSnapshot":
+        """Capture state for atomic revert."""
+        return WorldStateSnapshot(balances=dict(self._balances), minted=self._minted)
+
+    def restore(self, snap: "WorldStateSnapshot") -> None:
+        """Roll back to a snapshot."""
+        self._balances = dict(snap.balances)
+        self._minted = snap.minted
+
+
+@dataclass(frozen=True)
+class WorldStateSnapshot:
+    """Immutable capture of a :class:`WorldState` for revert."""
+
+    balances: Dict[Address, int]
+    minted: int

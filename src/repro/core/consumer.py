@@ -1,0 +1,153 @@
+"""Consumer reference queries — the "authoritative reference" feature.
+
+"Consumers can access the public blockchain for learning the
+authoritative references regarding with the security of IoT systems.
+They can deploy IoT systems only if no (or less) vulnerability is
+discovered" (§IV-A).  The client here reads *only* what a consumer
+could read — confirmed chain records — never the simulation's ground
+truth, so tests can check that the public view converges to the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.block import RecordKind
+from repro.chain.chain import Blockchain
+from repro.core.reports import DetailedReport
+from repro.core.sra import SignedSRA
+from repro.detection.descriptions import VulnerabilityDescription, deduplicate
+from repro.detection.vulnerability import Severity
+
+__all__ = ["SecurityReference", "ProviderTrackRecord", "ConsumerClient"]
+
+
+@dataclass(frozen=True)
+class SecurityReference:
+    """What a consumer learns about one release before deploying it."""
+
+    system_name: str
+    system_version: str
+    provider_id: str
+    sra_confirmed: bool
+    vulnerabilities: Tuple[VulnerabilityDescription, ...]
+
+    @property
+    def vulnerability_count(self) -> int:
+        """Distinct confirmed vulnerabilities."""
+        return len(self.vulnerabilities)
+
+    @property
+    def is_clean_so_far(self) -> bool:
+        """True if no confirmed vulnerability has been recorded yet."""
+        return not self.vulnerabilities
+
+    def counts_by_severity(self) -> Dict[Severity, int]:
+        """High/medium/low tallies for display."""
+        counts = {severity: 0 for severity in Severity}
+        for description in self.vulnerabilities:
+            counts[description.severity] += 1
+        return counts
+
+
+@dataclass(frozen=True)
+class ProviderTrackRecord:
+    """A provider's accountability history, derived from the chain."""
+
+    provider_id: str
+    releases: int
+    vulnerable_releases: int
+    total_confirmed_vulnerabilities: int
+
+    @property
+    def vulnerable_fraction(self) -> float:
+        """Observed VP: fraction of releases with confirmed flaws."""
+        if self.releases == 0:
+            return 0.0
+        return self.vulnerable_releases / self.releases
+
+
+class ConsumerClient:
+    """Reads the public chain to answer deploy-or-not questions."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+
+    def _confirmed_sras(self) -> List[SignedSRA]:
+        return [
+            SignedSRA.from_payload(record.payload)
+            for record in self.chain.confirmed_records(RecordKind.SRA)
+        ]
+
+    def _confirmed_detailed_reports(self) -> List[DetailedReport]:
+        return [
+            DetailedReport.from_payload(record.payload)
+            for record in self.chain.confirmed_records(RecordKind.DETAILED_REPORT)
+        ]
+
+    def lookup(
+        self, system_name: str, system_version: str
+    ) -> Optional[SecurityReference]:
+        """The authoritative reference for one release, or None if no
+        confirmed SRA exists for it yet.
+
+        Aggregates across all confirmed SRAs of the release — a
+        re-detection round (SmartRetro-style) publishes a second SRA
+        for the same version, and its findings belong to the same
+        reference.
+        """
+        matching = [
+            candidate
+            for candidate in self._confirmed_sras()
+            if candidate.body.system_name == system_name
+            and candidate.body.system_version == system_version
+        ]
+        if not matching:
+            return None
+        sra_ids = {sra.sra_id for sra in matching}
+        descriptions: List[VulnerabilityDescription] = []
+        for report in self._confirmed_detailed_reports():
+            if report.sra_id in sra_ids:
+                descriptions.extend(report.descriptions)
+        return SecurityReference(
+            system_name=system_name,
+            system_version=system_version,
+            provider_id=matching[0].body.provider_id,
+            sra_confirmed=True,
+            vulnerabilities=tuple(deduplicate(descriptions)),
+        )
+
+    def should_deploy(
+        self,
+        system_name: str,
+        system_version: str,
+        max_vulnerabilities: int = 0,
+    ) -> bool:
+        """The consumer's decision rule: deploy only if the confirmed
+        vulnerability count is within tolerance (and the SRA exists)."""
+        reference = self.lookup(system_name, system_version)
+        if reference is None:
+            return False  # unannounced software: never deploy
+        return reference.vulnerability_count <= max_vulnerabilities
+
+    def provider_track_record(self, provider_id: str) -> ProviderTrackRecord:
+        """Accountability summary over all of a provider's releases."""
+        sras = [s for s in self._confirmed_sras() if s.body.provider_id == provider_id]
+        reports = self._confirmed_detailed_reports()
+        vulnerable = 0
+        total_flaws = 0
+        for sra in sras:
+            keys = set()
+            for report in reports:
+                if report.sra_id == sra.sra_id:
+                    keys.update(report.vulnerability_keys())
+            if keys:
+                vulnerable += 1
+                total_flaws += len(keys)
+        return ProviderTrackRecord(
+            provider_id=provider_id,
+            releases=len(sras),
+            vulnerable_releases=vulnerable,
+            total_confirmed_vulnerabilities=total_flaws,
+        )

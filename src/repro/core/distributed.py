@@ -1,0 +1,249 @@
+"""Distributed chain replicas — Phase #3 with real replication.
+
+The economics experiments use a logical shared chain (honest majority,
+no partitions ⇒ all replicas converge, see
+:mod:`repro.chain.consensus`).  This module implements the replication
+itself: every provider is a :class:`ReplicaNode` holding its *own*
+:class:`~repro.chain.chain.Blockchain` copy, mining on its own head,
+validating every received block (structure + semantic record hook),
+buffering out-of-order arrivals, and reorging when a heavier branch
+shows up.  This is the machinery behind the paper's claim that "a small
+amount of compromised IoT providers will not outplay the whole
+SmartCrowd platform" (§V-C) — and the tests drive it through
+partitions, byzantine miners, and fork races.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Set
+
+from repro.chain.block import Block, ChainRecord
+from repro.chain.chain import Blockchain, ChainError
+from repro.chain.consensus import make_genesis
+from repro.chain.pow import MiningModel
+from repro.chain.validation import BlockValidator
+from repro.crypto.keys import KeyPair
+from repro.network.gossip import GossipNetwork, build_topology
+from repro.network.latency import DEFAULT_LATENCY, LatencyModel
+from repro.network.messages import Message, MessageKind
+from repro.network.node import Node
+from repro.network.simulator import Simulator
+
+__all__ = ["ReplicaNode", "DistributedChain"]
+
+#: Semantic record check a replica applies before accepting a block.
+RecordCheck = Callable[[ChainRecord], bool]
+
+
+class ReplicaNode(Node):
+    """A provider node holding a full chain replica.
+
+    Receives blocks over gossip, validates them against its own copy,
+    buffers orphans whose parent has not arrived yet, and serves as the
+    mining context (new blocks extend *this* replica's head — two
+    replicas with divergent views naturally produce forks).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        genesis: Block,
+        record_check: Optional[RecordCheck] = None,
+        confirmation_depth: int = 6,
+        keys: Optional[KeyPair] = None,
+    ) -> None:
+        super().__init__(name, keys)
+        self.chain = Blockchain(genesis, confirmation_depth=confirmation_depth)
+        self.validator = BlockValidator(
+            record_validator=record_check, require_pow=False
+        )
+        #: Orphans keyed by the missing parent id.
+        self._orphans: Dict[bytes, List[Block]] = {}
+        self.blocks_accepted = 0
+        self.blocks_rejected = 0
+        self.on(MessageKind.BLOCK_ANNOUNCE, self._on_block_message)
+
+    # -- receive path -----------------------------------------------------
+
+    def _on_block_message(self, _node: Node, message: Message) -> None:
+        self.receive_block(message.payload)
+
+    def receive_block(self, block: Block) -> None:
+        """Validate and adopt a block; buffer it if the parent is unknown."""
+        if block.block_id in self.chain:
+            return
+        if block.header.prev_block_id not in self.chain:
+            self._orphans.setdefault(block.header.prev_block_id, []).append(block)
+            return
+        result = self.validator.validate(block, self.chain)
+        if not result.ok:
+            self.blocks_rejected += 1
+            return
+        try:
+            self.chain.add_block(block)
+        except ChainError:
+            self.blocks_rejected += 1
+            return
+        self.blocks_accepted += 1
+        self._adopt_orphans(block.block_id)
+
+    def _adopt_orphans(self, parent_id: bytes) -> None:
+        """Recursively attach buffered children of a newly known parent."""
+        children = self._orphans.pop(parent_id, [])
+        for child in children:
+            self.receive_block(child)
+
+    # -- mine path ---------------------------------------------------------
+
+    def assemble_block(
+        self,
+        timestamp: float,
+        records: tuple = (),
+        difficulty: Optional[int] = None,
+    ) -> Block:
+        """Assemble a block on this replica's current head."""
+        head = self.chain.head
+        return Block.assemble(
+            prev_block_id=head.block_id,
+            height=head.height + 1,
+            records=records,
+            timestamp=max(timestamp, head.header.timestamp),
+            difficulty=difficulty if difficulty is not None else head.header.difficulty,
+            miner=self.address,
+        )
+
+    def head_id(self) -> bytes:
+        """This replica's canonical head id."""
+        return self.chain.head.block_id
+
+
+@dataclass
+class _PendingRecords:
+    """Records a byzantine miner wants to sneak into its blocks."""
+
+    records: List[ChainRecord]
+
+
+class DistributedChain:
+    """A network of chain replicas driven by the PoW competition.
+
+    Each sampled mining round: the simulator advances by the block
+    interval (delivering in-flight gossip), the winner assembles a
+    block on *its own* head, and broadcasts it.  Byzantine winners
+    inject their queued records regardless of validity; honest replicas
+    with a semantic record check reject such blocks and keep mining the
+    clean branch.
+    """
+
+    def __init__(
+        self,
+        shares: Mapping[str, float],
+        record_check: Optional[RecordCheck] = None,
+        byzantine: Optional[Set[str]] = None,
+        difficulty: int = 1000,
+        mean_block_time: float = 15.35,
+        topology_kind: str = "complete",
+        latency: LatencyModel = DEFAULT_LATENCY,
+        confirmation_depth: int = 6,
+        seed: int = 0,
+    ) -> None:
+        rng = random.Random(seed)
+        self.simulator = Simulator()
+        names = list(shares)
+        self.network = GossipNetwork(
+            self.simulator,
+            build_topology(names, topology_kind, rng=random.Random(rng.randrange(2**31))),
+            latency=latency,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        genesis = make_genesis(difficulty=difficulty)
+        self.byzantine = set(byzantine or ())
+        self.replicas: Dict[str, ReplicaNode] = {}
+        for name in names:
+            # Byzantine replicas skip the semantic check on their own
+            # copy (they will happily build on forged records).
+            check = None if name in self.byzantine else record_check
+            replica = ReplicaNode(
+                name, genesis, record_check=check,
+                confirmation_depth=confirmation_depth,
+            )
+            self.replicas[name] = replica
+            self.network.attach(replica)
+        self.model = MiningModel.from_shares(
+            shares, difficulty=difficulty, mean_block_time=mean_block_time,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        self._difficulty = difficulty
+        self._byzantine_queue: Dict[str, _PendingRecords] = {
+            name: _PendingRecords([]) for name in self.byzantine
+        }
+        self._honest_mempool: List[ChainRecord] = []
+        self.blocks_mined = 0
+
+    # -- record feeds -------------------------------------------------------
+
+    def submit_record(self, record: ChainRecord) -> None:
+        """Queue an honest record for inclusion by the next honest miner."""
+        self._honest_mempool.append(record)
+
+    def inject_byzantine_record(self, miner: str, record: ChainRecord) -> None:
+        """Queue a (typically invalid) record for a byzantine miner."""
+        if miner not in self.byzantine:
+            raise ValueError(f"{miner} is not byzantine")
+        self._byzantine_queue[miner].records.append(record)
+
+    # -- drive ---------------------------------------------------------------
+
+    def step(self) -> Block:
+        """One mining round: advance time, mine on the winner's head."""
+        outcome = self.model.next_block()
+        self.simulator.run_until(self.simulator.now + outcome.interval)
+        winner = self.replicas[outcome.winner]
+        if outcome.winner in self.byzantine:
+            queued = self._byzantine_queue[outcome.winner]
+            records = tuple(queued.records)
+            queued.records = []
+        else:
+            records = tuple(self._honest_mempool)
+            self._honest_mempool = []
+        block = winner.assemble_block(
+            timestamp=self.simulator.now, records=records,
+            difficulty=self._difficulty,
+        )
+        winner.receive_block(block)
+        winner.broadcast(MessageKind.BLOCK_ANNOUNCE, block)
+        self.blocks_mined += 1
+        return block
+
+    def run_blocks(self, count: int) -> List[Block]:
+        """Mine ``count`` rounds."""
+        return [self.step() for _ in range(count)]
+
+    def settle(self) -> None:
+        """Deliver all in-flight gossip."""
+        self.simulator.run()
+
+    # -- inspection ------------------------------------------------------------
+
+    def heads(self) -> Dict[str, bytes]:
+        """Each replica's canonical head id."""
+        return {name: replica.head_id() for name, replica in self.replicas.items()}
+
+    def converged(self, among: Optional[Set[str]] = None) -> bool:
+        """True if (the given) replicas agree on the canonical head."""
+        names = among if among is not None else set(self.replicas)
+        head_ids = {self.replicas[name].head_id() for name in names}
+        return len(head_ids) == 1
+
+    def honest_names(self) -> Set[str]:
+        """Replicas not marked byzantine."""
+        return set(self.replicas) - self.byzantine
+
+    def record_on_honest_chains(self, record_id: bytes) -> bool:
+        """True if any honest replica has the record on its canonical chain."""
+        return any(
+            self.replicas[name].chain.locate_record(record_id) is not None
+            for name in self.honest_names()
+        )

@@ -1,0 +1,60 @@
+"""Identity registry: long-lived keys of IoT entities.
+
+"In SmartCrowd, every IoT entity (e.g., IoT provider, detector, and
+consumer) has long-time lived public key pk and private key sk" (§V-A).
+Verifiers resolve an entity id (``P_i``, ``D_i``) to its public key
+through this registry — the reproduction's stand-in for whatever PKI or
+on-chain key registration a deployment would use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.crypto.keys import Address, PublicKey
+
+__all__ = ["IdentityRegistry"]
+
+
+class IdentityRegistry:
+    """Maps entity ids to public keys (and payout addresses)."""
+
+    def __init__(self) -> None:
+        self._keys: Dict[str, PublicKey] = {}
+        self._wallets: Dict[str, Address] = {}
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def register(
+        self,
+        entity_id: str,
+        public_key: PublicKey,
+        wallet: Optional[Address] = None,
+    ) -> None:
+        """Bind an entity id to its long-lived public key.
+
+        Re-registering an id with a *different* key is rejected —
+        identities are long-lived, and allowing silent rebinding would
+        let an attacker hijack a detector's payouts.
+        """
+        existing = self._keys.get(entity_id)
+        if existing is not None and existing != public_key:
+            raise ValueError(f"identity {entity_id!r} is already bound to another key")
+        self._keys[entity_id] = public_key
+        self._wallets[entity_id] = wallet if wallet is not None else public_key.address()
+
+    def public_key(self, entity_id: str) -> Optional[PublicKey]:
+        """Resolve an id to its public key (None if unknown)."""
+        return self._keys.get(entity_id)
+
+    def wallet(self, entity_id: str) -> Optional[Address]:
+        """Resolve an id to its payout address."""
+        return self._wallets.get(entity_id)
+
+    def entities(self) -> Iterator[Tuple[str, PublicKey]]:
+        """Iterate all registered (id, key) pairs."""
+        return iter(self._keys.items())

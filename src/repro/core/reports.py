@@ -1,0 +1,202 @@
+"""Two-phase detection reports — Eq. 3, 4, 5.
+
+Phase I (initial report, declares the discovery without revealing it):
+
+    R† = {ID†, Δ, D_i, H_{R*}, W_D, D_Sign†}                 (Eq. 3)
+    ID† = H(Δ || D_i || H_{R*} || W_D)
+    D_Sign† = Sign_{sk_{D_i}}(ID†)                            (Eq. 4)
+
+Phase II (detailed report, published only after R† is confirmed):
+
+    R* = {ID*, Δ, D_i, W_D, Des, D_Sign*}                     (Eq. 5)
+    ID* = H(Δ || D_i || W_D || Des)
+
+The anti-plagiarism property: ``H_{R*}`` in R† is the hash of the
+yet-unpublished R*, so a thief who copies a published R* produces a
+commitment that was already registered — by its victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.codec import pack, unpack
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import Address, KeyPair
+from repro.detection.descriptions import VulnerabilityDescription
+
+__all__ = [
+    "DetailedReport",
+    "InitialReport",
+    "build_report_pair",
+    "detailed_report_hash",
+]
+
+
+@dataclass(frozen=True)
+class DetailedReport:
+    """R* — the full findings (Eq. 5)."""
+
+    sra_id: bytes  # Δ (by id)
+    detector_id: str  # D_i
+    wallet: Address  # W_D
+    descriptions: Tuple[VulnerabilityDescription, ...]  # Des
+    report_id: bytes  # ID*
+    signature: Signature  # D_Sign*
+
+    @staticmethod
+    def compute_id(
+        sra_id: bytes,
+        detector_id: str,
+        wallet: Address,
+        descriptions: Tuple[VulnerabilityDescription, ...],
+    ) -> bytes:
+        """ID* = H(Δ || D_i || W_D || Des)."""
+        return hash_fields(
+            sra_id,
+            detector_id,
+            wallet.value,
+            *[description.to_wire() for description in descriptions],
+        )
+
+    def body_hash(self) -> bytes:
+        """H(R*) — the value committed in the initial report."""
+        return detailed_report_hash(self)
+
+    def vulnerability_keys(self) -> Tuple[str, ...]:
+        """Canonical keys of the claimed flaws."""
+        return tuple(description.canonical for description in self.descriptions)
+
+    def to_payload(self) -> bytes:
+        """Serialize for inclusion as a chain record."""
+        des_blob = "\x1e".join(d.to_wire() for d in self.descriptions)
+        return pack(
+            [
+                self.sra_id,
+                self.detector_id.encode(),
+                self.wallet.value,
+                des_blob.encode(),
+                self.report_id,
+                self.signature.to_bytes(),
+            ]
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "DetailedReport":
+        """Parse the chain-record form."""
+        sra_id, detector, wallet, des_blob, report_id, signature = unpack(payload, 6)
+        descriptions = tuple(
+            VulnerabilityDescription.from_wire(part)
+            for part in des_blob.decode().split("\x1e")
+            if part
+        )
+        return cls(
+            sra_id=sra_id,
+            detector_id=detector.decode(),
+            wallet=Address(wallet),
+            descriptions=descriptions,
+            report_id=report_id,
+            signature=Signature.from_bytes(signature),
+        )
+
+
+def detailed_report_hash(report: DetailedReport) -> bytes:
+    """H(R*): hash of the canonical R* content (excluding the signature).
+
+    Computed over the identifying body so the commitment is stable
+    regardless of signature encoding.
+    """
+    des_blob = "\x1e".join(d.to_wire() for d in report.descriptions)
+    return hash_fields(
+        b"detailed-report",
+        report.sra_id,
+        report.detector_id,
+        report.wallet.value,
+        des_blob,
+    )
+
+
+@dataclass(frozen=True)
+class InitialReport:
+    """R† — the hash commitment announcing a discovery (Eq. 3)."""
+
+    sra_id: bytes  # Δ (by id)
+    detector_id: str  # D_i
+    detailed_hash: bytes  # H_{R*}
+    wallet: Address  # W_D
+    report_id: bytes  # ID†
+    signature: Signature  # D_Sign†
+
+    @staticmethod
+    def compute_id(
+        sra_id: bytes, detector_id: str, detailed_hash: bytes, wallet: Address
+    ) -> bytes:
+        """ID† = H(Δ || D_i || H_{R*} || W_D)."""
+        return hash_fields(sra_id, detector_id, detailed_hash, wallet.value)
+
+    def to_payload(self) -> bytes:
+        """Serialize for inclusion as a chain record."""
+        return pack(
+            [
+                self.sra_id,
+                self.detector_id.encode(),
+                self.detailed_hash,
+                self.wallet.value,
+                self.report_id,
+                self.signature.to_bytes(),
+            ]
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "InitialReport":
+        """Parse the chain-record form."""
+        sra_id, detector, detailed_hash, wallet, report_id, signature = unpack(
+            payload, 6
+        )
+        return cls(
+            sra_id=sra_id,
+            detector_id=detector.decode(),
+            detailed_hash=detailed_hash,
+            wallet=Address(wallet),
+            report_id=report_id,
+            signature=Signature.from_bytes(signature),
+        )
+
+
+def build_report_pair(
+    sra_id: bytes,
+    detector_id: str,
+    detector_keys: KeyPair,
+    wallet: Address,
+    descriptions: Tuple[VulnerabilityDescription, ...],
+) -> Tuple[InitialReport, DetailedReport]:
+    """Construct a matching (R†, R*) pair for a set of findings.
+
+    The detailed report is built first (its hash is the commitment),
+    but published second — callers submit R†, wait for confirmation,
+    then publish R*.
+    """
+    if not descriptions:
+        raise ValueError("a report must describe at least one vulnerability")
+    detailed_id = DetailedReport.compute_id(sra_id, detector_id, wallet, descriptions)
+    detailed = DetailedReport(
+        sra_id=sra_id,
+        detector_id=detector_id,
+        wallet=wallet,
+        descriptions=descriptions,
+        report_id=detailed_id,
+        signature=detector_keys.sign(detailed_id),
+    )
+    commitment = detailed.body_hash()
+    initial_id = InitialReport.compute_id(sra_id, detector_id, commitment, wallet)
+    initial = InitialReport(
+        sra_id=sra_id,
+        detector_id=detector_id,
+        detailed_hash=commitment,
+        wallet=wallet,
+        report_id=initial_id,
+        signature=detector_keys.sign(initial_id),
+    )
+    return initial, detailed

@@ -1,0 +1,342 @@
+"""Pure-Python ECDSA over secp256k1.
+
+SmartCrowd signs SRAs and detection reports with ECDSA on the
+secp256k1 curve (§VII: "SmartCrowd supports ECDSA signature and hashing
+function SHA-3 ... using secp256k1 curve").  No third-party crypto
+library is available offline, so the curve arithmetic is implemented
+here directly:
+
+* Jacobian-coordinate point arithmetic for speed.
+* RFC 6979 deterministic nonces, so signing is reproducible and never
+  leaks the key through a bad RNG.
+* Low-``s`` normalization (as Ethereum does) so signatures are
+  non-malleable: ``verify`` rejects high-``s`` signatures.
+
+This module operates on 32-byte message *digests*; callers hash first
+(see :mod:`repro.crypto.hashing`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "CURVE",
+    "CurveParams",
+    "EcdsaError",
+    "Signature",
+    "scalar_mult",
+    "point_add",
+    "sign",
+    "verify",
+    "recover_candidates",
+]
+
+
+class EcdsaError(ValueError):
+    """Raised for invalid keys, digests, or signatures."""
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Domain parameters of a short Weierstrass curve y^2 = x^3 + ax + b."""
+
+    name: str
+    p: int  # field prime
+    a: int
+    b: int
+    g: Tuple[int, int]  # base point
+    n: int  # group order
+    h: int  # cofactor
+
+
+#: secp256k1, the curve used by Bitcoin and Ethereum.
+CURVE = CurveParams(
+    name="secp256k1",
+    p=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F,
+    a=0,
+    b=7,
+    g=(
+        0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798,
+        0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8,
+    ),
+    n=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141,
+    h=1,
+)
+
+# Point at infinity sentinel for affine points.
+_INFINITY: Optional[Tuple[int, int]] = None
+
+
+def _inv_mod(value: int, modulus: int) -> int:
+    """Modular inverse via Python's built-in extended-gcd pow."""
+    return pow(value, -1, modulus)
+
+
+# --- Jacobian coordinate arithmetic ------------------------------------
+#
+# A Jacobian point (X, Y, Z) represents the affine point (X/Z^2, Y/Z^3).
+# The point at infinity is represented with Z == 0.
+
+_JacPoint = Tuple[int, int, int]
+_JAC_INFINITY: _JacPoint = (1, 1, 0)
+
+
+def _to_jacobian(point: Optional[Tuple[int, int]]) -> _JacPoint:
+    if point is None:
+        return _JAC_INFINITY
+    return (point[0], point[1], 1)
+
+
+def _from_jacobian(point: _JacPoint, p: int) -> Optional[Tuple[int, int]]:
+    x, y, z = point
+    if z == 0:
+        return None
+    z_inv = _inv_mod(z, p)
+    z_inv_sq = (z_inv * z_inv) % p
+    return ((x * z_inv_sq) % p, (y * z_inv_sq * z_inv) % p)
+
+
+def _jac_double(point: _JacPoint, p: int) -> _JacPoint:
+    x, y, z = point
+    if z == 0 or y == 0:
+        return _JAC_INFINITY
+    # Doubling formulas specialised for a == 0 (secp256k1).
+    y_sq = (y * y) % p
+    s = (4 * x * y_sq) % p
+    m = (3 * x * x) % p
+    x3 = (m * m - 2 * s) % p
+    y3 = (m * (s - x3) - 8 * y_sq * y_sq) % p
+    z3 = (2 * y * z) % p
+    return (x3, y3, z3)
+
+
+def _jac_add(p1: _JacPoint, p2: _JacPoint, p: int) -> _JacPoint:
+    x1, y1, z1 = p1
+    x2, y2, z2 = p2
+    if z1 == 0:
+        return p2
+    if z2 == 0:
+        return p1
+    z1_sq = (z1 * z1) % p
+    z2_sq = (z2 * z2) % p
+    u1 = (x1 * z2_sq) % p
+    u2 = (x2 * z1_sq) % p
+    s1 = (y1 * z2_sq * z2) % p
+    s2 = (y2 * z1_sq * z1) % p
+    if u1 == u2:
+        if s1 != s2:
+            return _JAC_INFINITY
+        return _jac_double(p1, p)
+    h = (u2 - u1) % p
+    r = (s2 - s1) % p
+    h_sq = (h * h) % p
+    h_cu = (h_sq * h) % p
+    v = (u1 * h_sq) % p
+    x3 = (r * r - h_cu - 2 * v) % p
+    y3 = (r * (v - x3) - s1 * h_cu) % p
+    z3 = (h * z1 * z2) % p
+    return (x3, y3, z3)
+
+
+def point_add(
+    p1: Optional[Tuple[int, int]],
+    p2: Optional[Tuple[int, int]],
+    curve: CurveParams = CURVE,
+) -> Optional[Tuple[int, int]]:
+    """Add two affine points on ``curve`` (None is the point at infinity)."""
+    result = _jac_add(_to_jacobian(p1), _to_jacobian(p2), curve.p)
+    return _from_jacobian(result, curve.p)
+
+
+def scalar_mult(
+    k: int,
+    point: Optional[Tuple[int, int]],
+    curve: CurveParams = CURVE,
+) -> Optional[Tuple[int, int]]:
+    """Compute ``k * point`` using double-and-add in Jacobian coordinates."""
+    if point is None or k % curve.n == 0:
+        return None
+    k %= curve.n
+    accumulator = _JAC_INFINITY
+    addend = _to_jacobian(point)
+    while k:
+        if k & 1:
+            accumulator = _jac_add(accumulator, addend, curve.p)
+        addend = _jac_double(addend, curve.p)
+        k >>= 1
+    return _from_jacobian(accumulator, curve.p)
+
+
+def is_on_curve(point: Optional[Tuple[int, int]], curve: CurveParams = CURVE) -> bool:
+    """Check curve membership of an affine point."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + curve.a * x + curve.b)) % curve.p == 0
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature ``(r, s)`` in canonical low-``s`` form."""
+
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Serialize as the 64-byte ``r || s`` fixed-width encoding."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Signature":
+        """Parse a 64-byte ``r || s`` encoding."""
+        if len(data) != 64:
+            raise EcdsaError(f"signature must be 64 bytes, got {len(data)}")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+    def is_low_s(self, curve: CurveParams = CURVE) -> bool:
+        """True if ``s`` is in the lower half of the group order."""
+        return 1 <= self.s <= curve.n // 2
+
+
+def _bits_to_int(data: bytes, n: int) -> int:
+    """Leftmost-bits conversion from RFC 6979 §2.3.2."""
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - n.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def _rfc6979_nonce(private_key: int, digest: bytes, curve: CurveParams) -> int:
+    """Deterministic nonce generation per RFC 6979 with HMAC-SHA256."""
+    n = curve.n
+    holen = 32  # SHA-256 output length
+    x_bytes = private_key.to_bytes(32, "big")
+    h1 = _bits_to_int(digest, n) % n
+    h1_bytes = h1.to_bytes(32, "big")
+
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac.new(k, v + b"\x00" + x_bytes + h1_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + x_bytes + h1_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = _bits_to_int(v, n)
+        if 1 <= candidate < n:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+def _check_digest(digest: bytes) -> None:
+    if not isinstance(digest, (bytes, bytearray)) or len(digest) != 32:
+        raise EcdsaError("message digest must be exactly 32 bytes")
+
+
+def sign(private_key: int, digest: bytes, curve: CurveParams = CURVE) -> Signature:
+    """Sign a 32-byte digest, returning a canonical low-``s`` signature.
+
+    Nonces are deterministic (RFC 6979), so signing the same digest with
+    the same key always yields the same signature.
+    """
+    _check_digest(digest)
+    if not 1 <= private_key < curve.n:
+        raise EcdsaError("private key out of range")
+    z = _bits_to_int(digest, curve.n) % curve.n
+    while True:
+        k = _rfc6979_nonce(private_key, bytes(digest), curve)
+        point = scalar_mult(k, curve.g, curve)
+        assert point is not None
+        r = point[0] % curve.n
+        if r == 0:
+            digest = hashlib.sha256(bytes(digest)).digest()  # pragma: no cover
+            continue  # pragma: no cover
+        s = (_inv_mod(k, curve.n) * (z + r * private_key)) % curve.n
+        if s == 0:
+            digest = hashlib.sha256(bytes(digest)).digest()  # pragma: no cover
+            continue  # pragma: no cover
+        if s > curve.n // 2:
+            s = curve.n - s
+        return Signature(r, s)
+
+
+def verify(
+    public_key: Tuple[int, int],
+    digest: bytes,
+    signature: Signature,
+    curve: CurveParams = CURVE,
+) -> bool:
+    """Verify a signature over a 32-byte digest.
+
+    Returns False (never raises) for any malformed or non-canonical
+    signature, matching the drop-don't-crash semantics of Algorithm 1.
+    """
+    try:
+        _check_digest(digest)
+    except EcdsaError:
+        return False
+    if not is_on_curve(public_key, curve) or public_key is None:
+        return False
+    r, s = signature.r, signature.s
+    if not (1 <= r < curve.n):
+        return False
+    if not signature.is_low_s(curve):
+        return False
+    z = _bits_to_int(digest, curve.n) % curve.n
+    s_inv = _inv_mod(s, curve.n)
+    u1 = (z * s_inv) % curve.n
+    u2 = (r * s_inv) % curve.n
+    point = point_add(
+        scalar_mult(u1, curve.g, curve),
+        scalar_mult(u2, public_key, curve),
+        curve,
+    )
+    if point is None:
+        return False
+    return point[0] % curve.n == r
+
+
+def recover_candidates(
+    digest: bytes,
+    signature: Signature,
+    curve: CurveParams = CURVE,
+) -> Tuple[Tuple[int, int], ...]:
+    """Recover the candidate public keys that could have produced ``signature``.
+
+    ECDSA public-key recovery (as used by Ethereum's ``ecrecover``).
+    Returns up to two candidate keys; callers disambiguate with a
+    recovery id or by comparing addresses.
+    """
+    _check_digest(digest)
+    r, s = signature.r, signature.s
+    if not (1 <= r < curve.n and 1 <= s < curve.n):
+        raise EcdsaError("signature scalars out of range")
+    z = _bits_to_int(digest, curve.n) % curve.n
+    candidates = []
+    for j in range(curve.h + 1):
+        x = r + j * curve.n
+        if x >= curve.p:
+            continue
+        # Solve y^2 = x^3 + 7 (p ≡ 3 mod 4 so sqrt is a power).
+        y_sq = (pow(x, 3, curve.p) + curve.a * x + curve.b) % curve.p
+        y = pow(y_sq, (curve.p + 1) // 4, curve.p)
+        if (y * y) % curve.p != y_sq:
+            continue
+        for y_candidate in ((y, curve.p - y) if y != 0 else (y,)):
+            point_r = (x, y_candidate)
+            r_inv = _inv_mod(r, curve.n)
+            # Q = r^-1 (s*R - z*G)
+            sr = scalar_mult(s, point_r, curve)
+            zg = scalar_mult(z, curve.g, curve)
+            neg_zg = None if zg is None else (zg[0], (-zg[1]) % curve.p)
+            q_point = scalar_mult(r_inv, point_add(sr, neg_zg, curve), curve)
+            if q_point is not None and verify(q_point, digest, signature, curve):
+                candidates.append(q_point)
+    return tuple(candidates)

@@ -1,0 +1,108 @@
+"""Canonical vulnerability-description language.
+
+§VIII (N-version vulnerability descriptions): different detectors word
+the same flaw differently; the paper defers deduplication to a
+Vigilante-style "common description language".  We implement one: a
+description is a structured record (category, severity, locus) that
+canonicalizes to the ground-truth key, plus free-text wording that
+varies per detector.  Two differently-worded descriptions of the same
+flaw canonicalize identically, so the contract's at-most-once payout
+works across N-version wording.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.detection.vulnerability import Severity, Vulnerability
+
+__all__ = [
+    "VulnerabilityDescription",
+    "describe",
+    "canonical_key",
+    "deduplicate",
+]
+
+#: Phrasebook for N-version wording of the same finding.
+_PHRASES: Tuple[str, ...] = (
+    "discovered {category} issue affecting {system}",
+    "{severity}-severity {category} found during analysis of {system}",
+    "scanner flagged {category} ({severity}) in {system}",
+    "manual review confirms {category} vulnerability in {system}",
+    "fuzzing exposed {category} behaviour in {system}",
+)
+
+
+@dataclass(frozen=True)
+class VulnerabilityDescription:
+    """One detector's wording of a discovered flaw (Des in Eq. 5).
+
+    The structured triple (``canonical``, ``severity``, ``category``)
+    is the common-language part; ``wording`` is the detector-specific
+    free text that differs across N versions.
+    """
+
+    canonical: str
+    severity: Severity
+    category: str
+    wording: str
+
+    def to_wire(self) -> str:
+        """Serialize for inclusion in a detailed report payload."""
+        return "|".join(
+            [self.canonical, self.severity.value, self.category, self.wording]
+        )
+
+    @classmethod
+    def from_wire(cls, text: str) -> "VulnerabilityDescription":
+        """Parse the wire form."""
+        canonical, severity, category, wording = text.split("|", 3)
+        return cls(
+            canonical=canonical,
+            severity=Severity(severity),
+            category=category,
+            wording=wording,
+        )
+
+
+def describe(
+    vulnerability: Vulnerability,
+    system_name: str,
+    rng: Optional[random.Random] = None,
+) -> VulnerabilityDescription:
+    """Produce one detector's (randomly worded) description of a flaw."""
+    rng = rng if rng is not None else random.Random()
+    template = rng.choice(_PHRASES)
+    wording = template.format(
+        category=vulnerability.category,
+        severity=vulnerability.severity.value,
+        system=system_name,
+    )
+    return VulnerabilityDescription(
+        canonical=vulnerability.key,
+        severity=vulnerability.severity,
+        category=vulnerability.category,
+        wording=wording,
+    )
+
+
+def canonical_key(description: VulnerabilityDescription) -> str:
+    """The dedup identity of a description."""
+    return description.canonical
+
+
+def deduplicate(
+    descriptions: List[VulnerabilityDescription],
+) -> List[VulnerabilityDescription]:
+    """Collapse N-version wordings: keep the first of each canonical key."""
+    seen = set()
+    unique: List[VulnerabilityDescription] = []
+    for description in descriptions:
+        key = canonical_key(description)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(description)
+    return unique

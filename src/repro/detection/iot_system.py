@@ -1,0 +1,128 @@
+"""IoT system artifacts: firmware/app images with ground-truth flaws.
+
+Stands in for the real binaries the paper's detectors download from the
+SRA's ``U_l`` link.  Each :class:`IoTSystem` carries a deterministic
+pseudo-binary image (so ``U_h`` hash checks are meaningful), a version,
+and its ground-truth vulnerability set.  Repackaging — "the released
+systems may be maliciously repackaged with malware" (§I) — is modelled
+by :func:`repackage_with_malware`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.crypto.hashing import hash_fields, sha3_256
+from repro.detection.vulnerability import (
+    Severity,
+    Vulnerability,
+    sample_vulnerabilities,
+)
+
+__all__ = ["IoTSystem", "build_system", "new_version", "repackage_with_malware"]
+
+
+@dataclass(frozen=True)
+class IoTSystem:
+    """A concrete IoT firmware/software release.
+
+    ``image`` is the artifact detectors download; ``artifact_hash`` is
+    the ``U_h`` committed in the SRA (Eq. 1); ``download_link`` is
+    ``U_l``.  ``ground_truth`` is the simulation's omniscient flaw list
+    — detectors only ever see samples of it.
+    """
+
+    name: str
+    version: str
+    image: bytes
+    download_link: str
+    ground_truth: Tuple[Vulnerability, ...]
+
+    @property
+    def artifact_hash(self) -> bytes:
+        """U_h — SHA-3 of the released image."""
+        return sha3_256(self.image)
+
+    @property
+    def is_vulnerable(self) -> bool:
+        """True if the release contains at least one flaw."""
+        return bool(self.ground_truth)
+
+    def count_by_severity(self) -> dict:
+        """Ground-truth counts per severity (Table I row shape)."""
+        counts = {severity: 0 for severity in Severity}
+        for vulnerability in self.ground_truth:
+            counts[vulnerability.severity] += 1
+        return counts
+
+
+def _synth_image(name: str, version: str, salt: int) -> bytes:
+    """Deterministic pseudo-binary: 4 KiB derived from identity."""
+    blocks = [hash_fields("iot-image", name, version, salt, i) for i in range(128)]
+    return b"".join(blocks)
+
+
+def build_system(
+    name: str,
+    version: str = "1.0.0",
+    vulnerability_count: int = 0,
+    rng: Optional[random.Random] = None,
+    salt: int = 0,
+) -> IoTSystem:
+    """Create a release with ``vulnerability_count`` sampled flaws."""
+    rng = rng if rng is not None else random.Random(hash((name, version)) & 0xFFFF)
+    flaw_list = sample_vulnerabilities(f"{name}-{version}", vulnerability_count, rng)
+    return IoTSystem(
+        name=name,
+        version=version,
+        image=_synth_image(name, version, salt),
+        download_link=f"iot://releases/{name}/{version}",
+        ground_truth=tuple(flaw_list),
+    )
+
+
+def new_version(
+    system: IoTSystem,
+    version: str,
+    vulnerability_count: int,
+    rng: Optional[random.Random] = None,
+) -> IoTSystem:
+    """Release an upgrade: new image, fresh ground truth.
+
+    Models §I: "the newly released systems might still introduce new
+    vulnerabilities."
+    """
+    rng = rng if rng is not None else random.Random(hash((system.name, version)) & 0xFFFF)
+    flaw_list = sample_vulnerabilities(
+        f"{system.name}-{version}", vulnerability_count, rng
+    )
+    return IoTSystem(
+        name=system.name,
+        version=version,
+        image=_synth_image(system.name, version, 0),
+        download_link=f"iot://releases/{system.name}/{version}",
+        ground_truth=tuple(flaw_list),
+    )
+
+
+def repackage_with_malware(system: IoTSystem, marketplace: str) -> IoTSystem:
+    """A malicious marketplace repackages a release with malware.
+
+    The image changes (so ``U_h`` no longer matches an honest SRA) and
+    a ``repackaged-malware`` flaw is appended to the ground truth.
+    """
+    malware = Vulnerability.create(
+        f"{system.name}-{system.version}@{marketplace}",
+        index=len(system.ground_truth),
+        severity=Severity.HIGH,
+        category="repackaged-malware",
+    )
+    tampered_image = system.image + hash_fields("malware", marketplace, system.name)
+    return replace(
+        system,
+        image=tampered_image,
+        download_link=f"iot://{marketplace}/{system.name}/{system.version}",
+        ground_truth=system.ground_truth + (malware,),
+    )

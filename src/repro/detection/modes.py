@@ -1,0 +1,164 @@
+"""Detection modes — static analysis, dynamic analysis, fuzzing.
+
+§VIII: "SmartCrowd enables incentives not only for static detection,
+but also for dynamic or fuzzy testing as long as IoT detectors or
+providers have these detection capabilities."  This module models the
+three modes with the trade-off that makes fleet *diversity* matter:
+
+* **static** — fast, broad, but blind to runtime-only behaviour;
+* **dynamic** — slower, sees runtime flaws (auth bypass, info leaks)
+  that static analysis misses;
+* **fuzzing** — slowest, the only reliable way to surface
+  memory-corruption classes.
+
+Each vulnerability category has a per-mode detectability factor; a
+detector's effective hit probability for a flaw is its base capability
+scaled by its mode's factor for that category.  The
+``fleet-composition`` experiment shows a mixed fleet achieving coverage
+no single-mode fleet reaches — the operational content of the paper's
+claim that more (and more diverse) detectors push DC_T toward 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.detection.descriptions import describe
+from repro.detection.detector import Detection, DetectionCapability, Detector
+from repro.detection.iot_system import IoTSystem
+
+__all__ = ["DetectionMode", "ModalDetector", "MODE_DETECTABILITY", "build_mixed_fleet"]
+
+
+class DetectionMode(enum.Enum):
+    """How a detector analyzes a release."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    FUZZING = "fuzzing"
+
+
+#: Per-mode detectability factor per vulnerability category: how much
+#: of a detector's base hit probability survives for that category.
+MODE_DETECTABILITY: Dict[DetectionMode, Mapping[str, float]] = {
+    DetectionMode.STATIC: {
+        "hardcoded-credentials": 1.0,
+        "weak-crypto": 1.0,
+        "insecure-default-config": 1.0,
+        "insecure-update": 0.8,
+        "path-traversal": 0.7,
+        "command-injection": 0.5,
+        "info-leak": 0.2,
+        "auth-bypass": 0.15,
+        "buffer-overflow": 0.1,
+        "repackaged-malware": 0.9,
+    },
+    DetectionMode.DYNAMIC: {
+        "hardcoded-credentials": 0.3,
+        "weak-crypto": 0.3,
+        "insecure-default-config": 0.8,
+        "insecure-update": 0.7,
+        "path-traversal": 0.8,
+        "command-injection": 0.8,
+        "info-leak": 1.0,
+        "auth-bypass": 1.0,
+        "buffer-overflow": 0.3,
+        "repackaged-malware": 0.6,
+    },
+    DetectionMode.FUZZING: {
+        "hardcoded-credentials": 0.05,
+        "weak-crypto": 0.1,
+        "insecure-default-config": 0.2,
+        "insecure-update": 0.3,
+        "path-traversal": 0.6,
+        "command-injection": 0.9,
+        "info-leak": 0.4,
+        "auth-bypass": 0.3,
+        "buffer-overflow": 1.0,
+        "repackaged-malware": 0.2,
+    },
+}
+
+#: Relative search speed per mode (static is the 1.0 baseline).
+MODE_SPEED: Dict[DetectionMode, float] = {
+    DetectionMode.STATIC: 1.0,
+    DetectionMode.DYNAMIC: 0.5,
+    DetectionMode.FUZZING: 0.25,
+}
+
+
+class ModalDetector(Detector):
+    """A detector whose coverage depends on its analysis mode."""
+
+    def __init__(
+        self,
+        detector_id: str,
+        capability: DetectionCapability,
+        mode: DetectionMode,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(detector_id, capability, rng=rng)
+        self.mode = mode
+
+    def hit_probability(self, category: str) -> float:
+        """Effective per-flaw hit probability for a category."""
+        factor = MODE_DETECTABILITY[self.mode].get(category, 0.5)
+        return self.capability.detection_probability * factor
+
+    def scan(self, system: IoTSystem) -> List[Detection]:
+        """Mode-aware scan: category detectability × mode-scaled speed."""
+        self.scans_performed += 1
+        speed = MODE_SPEED[self.mode]
+        findings: List[Detection] = []
+        for vulnerability in system.ground_truth:
+            if self._rng.random() >= self.hit_probability(vulnerability.category):
+                continue
+            found_after = self.capability.sample_find_time(self._rng) / speed
+            findings.append(
+                Detection(
+                    vulnerability=vulnerability,
+                    found_after=found_after,
+                    description=describe(vulnerability, system.name, self._rng),
+                )
+            )
+        findings.sort(key=lambda detection: detection.found_after)
+        return findings
+
+
+def build_mixed_fleet(
+    per_mode: int = 3,
+    threads: int = 4,
+    per_thread_hit: float = 0.6,
+    seed: int = 0,
+) -> List[ModalDetector]:
+    """A fleet with ``per_mode`` detectors of each analysis mode."""
+    rng = random.Random(seed)
+    fleet: List[ModalDetector] = []
+    for mode in DetectionMode:
+        for index in range(per_mode):
+            fleet.append(
+                ModalDetector(
+                    detector_id=f"{mode.value}-{index + 1}",
+                    capability=DetectionCapability(
+                        threads=threads, per_thread_hit=per_thread_hit
+                    ),
+                    mode=mode,
+                    rng=random.Random(rng.randrange(2**31)),
+                )
+            )
+    return fleet
+
+
+def fleet_coverage(
+    fleet: Sequence[ModalDetector], categories: Sequence[str]
+) -> Dict[str, float]:
+    """Per-category probability the fleet finds a flaw of that category."""
+    coverage: Dict[str, float] = {}
+    for category in categories:
+        missed = 1.0
+        for detector in fleet:
+            missed *= 1.0 - detector.hit_probability(category)
+        coverage[category] = 1.0 - missed
+    return coverage

@@ -1,0 +1,69 @@
+"""Experiment runners — one per table/figure in the paper's evaluation.
+
+=============  =======================================================
+Experiment     Runner
+=============  =======================================================
+Table I        :func:`repro.experiments.table1.run_table1`
+Fig. 3(a)      :func:`repro.experiments.fig3.run_fig3a`
+Fig. 3(b)      :func:`repro.experiments.fig3.run_fig3b`
+Fig. 4(a)      :func:`repro.experiments.fig4.run_fig4a`
+Fig. 4(b)      :func:`repro.experiments.fig4.run_fig4b`
+Fig. 5(a)      :func:`repro.experiments.fig5.run_fig5a`
+Fig. 5(b)      :func:`repro.experiments.fig5.run_fig5b`
+Fig. 6(a)+(b)  :func:`repro.experiments.fig6.run_fig6`
+§VII costs     :func:`repro.experiments.costs.run_costs`
+=============  =======================================================
+"""
+
+from repro.experiments.ablations import (
+    ablate_escrow,
+    ablate_report_fee,
+    ablate_two_phase,
+)
+from repro.experiments.capability_curve import (
+    run_capability_curve,
+    run_fleet_composition,
+)
+from repro.experiments.costs import CostResult, run_costs
+from repro.experiments.forks import ForkRateResult, run_fork_rate
+from repro.experiments.latency import LatencyResult, run_payout_latency
+from repro.experiments.fig3 import Fig3aResult, Fig3bResult, run_fig3a, run_fig3b
+from repro.experiments.fig4 import Fig4aResult, Fig4bResult, run_fig4a, run_fig4b
+from repro.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.harness import Comparison, ResultTable, summarize
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result, run_table1
+
+__all__ = [
+    "Comparison",
+    "CostResult",
+    "Fig3aResult",
+    "Fig3bResult",
+    "Fig4aResult",
+    "Fig4bResult",
+    "Fig5aResult",
+    "Fig5bResult",
+    "Fig6Result",
+    "ForkRateResult",
+    "LatencyResult",
+    "PAPER_TABLE1",
+    "ResultTable",
+    "Table1Result",
+    "ablate_escrow",
+    "ablate_report_fee",
+    "ablate_two_phase",
+    "run_capability_curve",
+    "run_costs",
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig6",
+    "run_fleet_composition",
+    "run_fork_rate",
+    "run_payout_latency",
+    "run_table1",
+    "summarize",
+]

@@ -1,0 +1,67 @@
+"""Run every experiment: ``python -m repro.experiments``.
+
+Regenerates all paper tables/figures plus the reproduction's own
+analyses (ablations, capability curves), printing each in order.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import (
+    run_costs,
+    run_fig3a,
+    run_fig3b,
+    run_fig4a,
+    run_fig4b,
+    run_fig5a,
+    run_fig5b,
+    run_fig6,
+    run_table1,
+)
+from repro.experiments.ablations import (
+    ablate_escrow,
+    ablate_report_fee,
+    ablate_two_phase,
+)
+from repro.experiments.capability_curve import (
+    run_capability_curve,
+    run_fleet_composition,
+)
+from repro.experiments.forks import run_fork_rate
+from repro.experiments.latency import run_payout_latency
+
+RUNNERS = [
+    ("Table I", run_table1),
+    ("Fig. 3(a)", run_fig3a),
+    ("Fig. 3(b)", run_fig3b),
+    ("Fig. 4(a)", run_fig4a),
+    ("Fig. 4(b)", run_fig4b),
+    ("Fig. 5(a)", run_fig5a),
+    ("Fig. 5(b)", run_fig5b),
+    ("Fig. 6", run_fig6),
+    ("§VII costs", run_costs),
+    ("Ablation: two-phase", ablate_two_phase),
+    ("Ablation: escrow", ablate_escrow),
+    ("Ablation: report fee", ablate_report_fee),
+    ("Eq. 11 capability curve", run_capability_curve),
+    ("§VIII fleet composition", run_fleet_composition),
+    ("Payout latency", run_payout_latency),
+    ("Fork rate", run_fork_rate),
+]
+
+
+def main() -> int:
+    """Run all experiments; returns a process exit code."""
+    started = time.time()
+    for label, runner in RUNNERS:
+        print(f"--- {label} " + "-" * max(0, 60 - len(label)))
+        result = runner()
+        result.to_table().print()
+    print(f"all experiments completed in {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

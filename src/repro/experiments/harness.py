@@ -1,0 +1,94 @@
+"""Shared experiment harness: result tables and comparison rows.
+
+Every experiment runner returns structured results *and* can render a
+paper-style table via :class:`ResultTable`, with the paper's reported
+value alongside the measured one so EXPERIMENTS.md rows are generated,
+not transcribed.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ResultTable", "Comparison", "summarize"]
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        """Attach a footnote."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Format as an aligned text table."""
+
+        def _fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        header = [str(column) for column in self.columns]
+        body = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"* {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table."""
+        print(self.render())
+        print()
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    metric: str
+    paper: Optional[float]
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper (None when the paper value is unknown/zero)."""
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean/median/stdev/min/max of a sample set."""
+    data = list(samples)
+    return {
+        "mean": statistics.fmean(data),
+        "median": statistics.median(data),
+        "stdev": statistics.stdev(data) if len(data) > 1 else 0.0,
+        "min": min(data),
+        "max": max(data),
+    }

@@ -1,0 +1,33 @@
+"""P2P network substrate: discrete-event simulation and gossip overlay.
+
+Replaces the prototype's physical LAN with a reproducible simulator:
+SRAs, reports, and blocks are flooded over a configurable topology with
+sampled link latency, optional loss, and partition injection.
+"""
+
+from repro.network.gossip import GossipNetwork, build_topology
+from repro.network.latency import (
+    ConstantLatency,
+    DEFAULT_LATENCY,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.network.messages import Message, MessageKind
+from repro.network.node import Node
+from repro.network.simulator import ScheduledEvent, Simulator
+
+__all__ = [
+    "ConstantLatency",
+    "DEFAULT_LATENCY",
+    "GossipNetwork",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Message",
+    "MessageKind",
+    "Node",
+    "ScheduledEvent",
+    "Simulator",
+    "UniformLatency",
+    "build_topology",
+]

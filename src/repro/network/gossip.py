@@ -1,0 +1,194 @@
+"""Gossip overlay: flooding with dedup, loss, and partitions.
+
+SRAs propagate hop by hop — "Only no error occurs can P_i propagate Δ
+to its neighbors" (§V-A) — so the overlay supports *relay filters*: a
+node may validate a message before forwarding it, which is how spoofed
+SRAs die at the first honest hop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.network.latency import DEFAULT_LATENCY, LatencyModel
+from repro.network.messages import Message
+from repro.network.node import GossipNetworkApi, Node
+from repro.network.simulator import Simulator
+
+__all__ = ["GossipNetwork", "build_topology"]
+
+#: Relay predicate: (relaying node, message) -> forward it or not.
+RelayFilter = Callable[[Node, Message], bool]
+
+
+def build_topology(
+    names: List[str],
+    kind: str = "complete",
+    degree: int = 4,
+    rng: Optional[random.Random] = None,
+) -> nx.Graph:
+    """Build an overlay topology over ``names``.
+
+    ``complete`` — everyone peers with everyone (the paper's 5-provider
+    LAN); ``ring`` — a cycle; ``random_regular`` — d-regular random
+    graph (Bitcoin-like); ``small_world`` — Watts–Strogatz.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    count = len(names)
+    if kind == "complete":
+        graph = nx.complete_graph(count)
+    elif kind == "ring":
+        graph = nx.cycle_graph(count)
+    elif kind == "random_regular":
+        actual_degree = min(degree, count - 1)
+        if (actual_degree * count) % 2 == 1:
+            actual_degree = max(1, actual_degree - 1)
+        graph = nx.random_regular_graph(actual_degree, count, seed=rng.randrange(2**31))
+    elif kind == "small_world":
+        k = min(degree, count - 1)
+        if k % 2 == 1:
+            k = max(2, k - 1)
+        graph = nx.watts_strogatz_graph(count, k, 0.1, seed=rng.randrange(2**31))
+    else:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    return nx.relabel_nodes(graph, dict(enumerate(names)))
+
+
+class GossipNetwork(GossipNetworkApi):
+    """A flooding gossip overlay on a simulator clock.
+
+    Messages travel edges with sampled latency; each node forwards a
+    message to its neighbors the first time it sees it (by dedup key),
+    unless a relay filter vetoes forwarding.  Supports probabilistic
+    message loss and explicit partitions for fault-injection tests.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: nx.Graph,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.simulator = simulator
+        self.topology = topology
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self._rng = rng if rng is not None else random.Random(0)
+        self._nodes: Dict[str, Node] = {}
+        self._seen: Dict[str, Set[bytes]] = {}
+        self._relay_filters: List[RelayFilter] = []
+        self._cut_links: Set[Tuple[str, str]] = set()
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- membership --------------------------------------------------------
+
+    def attach(self, node: Node) -> None:
+        """Register a node; it must exist in the topology."""
+        if node.name not in self.topology:
+            raise ValueError(f"{node.name} is not in the topology")
+        self._nodes[node.name] = node
+        self._seen[node.name] = set()
+        node.network = self
+
+    def attach_all(self, nodes: Iterable[Node]) -> None:
+        """Attach many nodes."""
+        for node in nodes:
+            self.attach(node)
+
+    def node(self, name: str) -> Node:
+        """Look up an attached node."""
+        return self._nodes[name]
+
+    def neighbors(self, name: str) -> List[str]:
+        """Current (non-partitioned) neighbors of a node."""
+        return [
+            peer
+            for peer in self.topology.neighbors(name)
+            if not self._is_cut(name, peer)
+        ]
+
+    # -- fault injection -----------------------------------------------------
+
+    def add_relay_filter(self, predicate: RelayFilter) -> None:
+        """Install a forwarding veto (decentralized SRA verification)."""
+        self._relay_filters.append(predicate)
+
+    def cut_link(self, a: str, b: str) -> None:
+        """Sever a link (partition injection)."""
+        self._cut_links.add((min(a, b), max(a, b)))
+
+    def heal_link(self, a: str, b: str) -> None:
+        """Restore a severed link."""
+        self._cut_links.discard((min(a, b), max(a, b)))
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> None:
+        """Cut every link between two node groups."""
+        group_b = list(group_b)
+        for a in group_a:
+            for b in group_b:
+                if self.topology.has_edge(a, b):
+                    self.cut_link(a, b)
+
+    def heal_all(self) -> None:
+        """Restore every severed link."""
+        self._cut_links.clear()
+
+    def _is_cut(self, a: str, b: str) -> bool:
+        return (min(a, b), max(a, b)) in self._cut_links
+
+    # -- transport -----------------------------------------------------------
+
+    def broadcast(self, origin: str, message: Message) -> None:
+        """Flood a message from ``origin`` to the whole overlay."""
+        self._seen[origin].add(message.dedup_key)
+        self._forward(origin, message)
+
+    def unicast(self, origin: str, destination: str, message: Message) -> None:
+        """Direct delivery along one (virtual) link — not relayed."""
+        if destination not in self._nodes:
+            raise ValueError(f"unknown destination {destination}")
+        self._transmit(origin, destination, message, relay=False)
+
+    def _forward(self, relay: str, message: Message) -> None:
+        for peer in self.neighbors(relay):
+            if peer not in self._nodes:
+                continue
+            self._transmit(relay, peer, message)
+
+    def _transmit(
+        self, src: str, dst: str, message: Message, relay: bool = True
+    ) -> None:
+        if self._is_cut(src, dst):
+            return
+        self.messages_sent += 1
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(src, dst, self._rng)
+        self.simulator.schedule(delay, self._receive, dst, message, relay)
+
+    def _receive(self, name: str, message: Message, relay: bool = True) -> None:
+        node = self._nodes.get(name)
+        if node is None:
+            return
+        if message.dedup_key in self._seen[name]:
+            return
+        self._seen[name].add(message.dedup_key)
+        node.deliver(message)
+        # Relay unless unicast or a filter vetoes (failed SRA verification).
+        if relay and all(
+            predicate(node, message) for predicate in self._relay_filters
+        ):
+            self._forward(name, message)
+
+    def reach(self, dedup_key: bytes) -> int:
+        """How many nodes have seen a message with this key."""
+        return sum(1 for seen in self._seen.values() if dedup_key in seen)

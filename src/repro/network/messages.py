@@ -1,0 +1,69 @@
+"""Message envelopes for the P2P layer.
+
+Every payload travelling the SmartCrowd overlay — SRAs, initial and
+detailed reports, freshly mined blocks — is wrapped in a
+:class:`Message` with a content-derived id so gossip deduplication is
+exact.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import hash_fields
+
+__all__ = ["MessageKind", "Message"]
+
+_uid = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """Overlay message types (Phases #1-#3 of §IV-B)."""
+
+    SRA_ANNOUNCE = "sra_announce"
+    INITIAL_REPORT = "initial_report"
+    DETAILED_REPORT = "detailed_report"
+    BLOCK_ANNOUNCE = "block_announce"
+    CONSUMER_QUERY = "consumer_query"
+    CONSUMER_RESPONSE = "consumer_response"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A gossiped message.
+
+    ``dedup_key`` identifies the *content* (e.g. a report id), so a
+    relayed copy is recognized as already-seen regardless of path;
+    ``uid`` identifies this particular envelope.
+    """
+
+    kind: MessageKind
+    payload: Any
+    origin: str
+    dedup_key: bytes
+    uid: int = field(default_factory=lambda: next(_uid))
+
+    @classmethod
+    def wrap(cls, kind: MessageKind, payload: Any, origin: str) -> "Message":
+        """Wrap a payload, deriving a dedup key from its identity.
+
+        Payloads exposing ``record_id``/``report_id``/``sra_id`` use
+        that as content identity; everything else hashes origin+uid
+        (i.e. never deduplicated against other messages).
+        """
+        for attribute in ("record_id", "report_id", "sra_id", "block_id"):
+            key = getattr(payload, attribute, None)
+            if isinstance(key, bytes):
+                return cls(kind=kind, payload=payload, origin=origin, dedup_key=key)
+        unique = next(_uid)
+        return cls(
+            kind=kind,
+            payload=payload,
+            origin=origin,
+            dedup_key=hash_fields(kind.value, origin, unique),
+            uid=unique,
+        )

@@ -1,0 +1,71 @@
+"""Network nodes: the common base for providers, detectors, consumers.
+
+A node owns a handler table keyed by :class:`MessageKind`; the gossip
+layer calls :meth:`deliver` when a message arrives.  Subclasses in
+:mod:`repro.core` implement the stakeholder behaviours of §IV-A.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.keys import KeyPair
+from repro.network.messages import Message, MessageKind
+
+__all__ = ["Node", "MessageHandler"]
+
+MessageHandler = Callable[["Node", Message], None]
+
+
+class Node:
+    """A named overlay participant with a keypair and message handlers."""
+
+    def __init__(self, name: str, keys: Optional[KeyPair] = None) -> None:
+        self.name = name
+        self.keys = keys if keys is not None else KeyPair.from_seed(name.encode())
+        self._handlers: Dict[MessageKind, List[MessageHandler]] = {}
+        self.network: Optional["GossipNetworkApi"] = None
+        self.delivered_count = 0
+
+    @property
+    def address(self):
+        """The node's account address."""
+        return self.keys.address
+
+    def on(self, kind: MessageKind, handler: MessageHandler) -> None:
+        """Register a handler for a message kind (multiple allowed)."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the gossip layer when a message reaches this node."""
+        self.delivered_count += 1
+        for handler in self._handlers.get(message.kind, []):
+            handler(self, message)
+
+    def broadcast(self, kind: MessageKind, payload) -> Message:
+        """Gossip a payload to the whole overlay."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.name} is not attached to a network")
+        message = Message.wrap(kind, payload, origin=self.name)
+        self.network.broadcast(self.name, message)
+        return message
+
+    def send(self, destination: str, kind: MessageKind, payload) -> Message:
+        """Send a payload point-to-point."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.name} is not attached to a network")
+        message = Message.wrap(kind, payload, origin=self.name)
+        self.network.unicast(self.name, destination, message)
+        return message
+
+
+class GossipNetworkApi:
+    """Interface nodes use to reach the overlay (implemented by gossip)."""
+
+    def broadcast(self, origin: str, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def unicast(
+        self, origin: str, destination: str, message: Message
+    ) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,117 @@
+"""Discrete-event simulation engine.
+
+SmartCrowd's announcements and reports "are disseminated among all
+stakeholders" (§IV-B) over a peer-to-peer network.  The reproduction
+replaces the prototype's LAN with a deterministic discrete-event
+simulator: events are (time, sequence, callback) triples on a heap;
+ties break by insertion order so runs are exactly reproducible for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Simulator", "ScheduledEvent"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """One pending event; ordering is (time, seq) for determinism."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal but complete discrete-event simulator.
+
+    Not a wall-clock system: ``now`` only advances when events fire.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = start_time
+        self._queue: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled shells)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any, **kwargs: Any
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args, **kwargs)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        bound: Callable[[], None]
+        if args or kwargs:
+            bound = lambda: callback(*args, **kwargs)  # noqa: E731
+        else:
+            bound = callback
+        event = ScheduledEvent(time=self._now + delay, seq=next(self._seq), callback=bound)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any, **kwargs: Any
+    ) -> ScheduledEvent:
+        """Schedule at an absolute simulated time."""
+        return self.schedule(time - self._now, callback, *args, **kwargs)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run to quiescence (or ``max_events``); returns events fired."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Fire all events with time <= ``deadline``; advance ``now`` to it."""
+        fired = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+            fired += 1
+        self._now = max(self._now, deadline)
+        return fired

@@ -1,0 +1,178 @@
+"""A web3-style RPC facade over the simulated node.
+
+The prototype wires detectors to contracts through "the Ethereum JSON
+API and a python module library of Web3" (§VII).  This module
+reproduces that programming surface in-process: a :class:`Web3Shim`
+fronts a chain + contract runtime with the ``w3.eth``-shaped calls the
+paper's scripts would make — balances, blocks, transaction receipts,
+contract deploy/call — so code written against the prototype's glue
+layer ports to the simulator nearly verbatim.
+
+Method names follow web3.py (``get_balance``, ``block_number``,
+``get_block``); values use the same conventions (wei amounts, ``0x``
+hex identifiers, dict-shaped blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain
+from repro.contracts.contract import Contract, Receipt
+from repro.contracts.vm import ContractRuntime
+from repro.crypto.keys import Address
+
+__all__ = ["Web3Shim", "Eth", "RpcError"]
+
+BlockIdentifier = Union[int, str, bytes]
+
+
+class RpcError(ValueError):
+    """Raised for unknown blocks, records, or malformed identifiers."""
+
+
+def _hex(data: bytes) -> str:
+    return "0x" + data.hex()
+
+
+@dataclass
+class Eth:
+    """The ``w3.eth`` namespace."""
+
+    chain: Blockchain
+    runtime: ContractRuntime
+
+    # -- chain reads --------------------------------------------------------
+
+    @property
+    def block_number(self) -> int:
+        """Height of the canonical head."""
+        return self.chain.height
+
+    def get_block(self, identifier: BlockIdentifier) -> Dict[str, Any]:
+        """A block as a web3-shaped dict.
+
+        Accepts a height, the strings ``"latest"``/``"earliest"``, or a
+        block hash (bytes or ``0x`` hex).
+        """
+        block = self._resolve_block(identifier)
+        return {
+            "number": block.height,
+            "hash": _hex(block.block_id),
+            "parentHash": _hex(block.header.prev_block_id),
+            "timestamp": block.header.timestamp,
+            "nonce": block.header.nonce,
+            "difficulty": block.header.difficulty,
+            "miner": block.header.miner.hex(),
+            "merkleRoot": _hex(block.header.merkle_root),
+            "transactions": [_hex(record.record_id) for record in block.records],
+        }
+
+    def _resolve_block(self, identifier: BlockIdentifier) -> Block:
+        if identifier == "latest":
+            return self.chain.head
+        if identifier == "earliest":
+            return self.chain.genesis
+        if isinstance(identifier, int):
+            block = self.chain.block_at_height(identifier)
+            if block is None:
+                raise RpcError(f"no block at height {identifier}")
+            return block
+        raw = identifier
+        if isinstance(raw, str):
+            try:
+                raw = bytes.fromhex(raw.removeprefix("0x"))
+            except ValueError as error:
+                raise RpcError(f"bad block identifier {identifier!r}") from error
+        block = self.chain.get_block(raw)
+        if block is None:
+            raise RpcError("unknown block hash")
+        return block
+
+    def get_transaction(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
+        """Look up a canonical chain record by id (web3's tx lookup)."""
+        raw = record_id
+        if isinstance(raw, str):
+            raw = bytes.fromhex(raw.removeprefix("0x"))
+        location = self.chain.locate_record(raw)
+        if location is None:
+            raise RpcError("transaction not found")
+        record = self.chain.get_record(raw)
+        return {
+            "hash": _hex(raw),
+            "blockHash": _hex(location.block_id),
+            "blockNumber": location.height,
+            "transactionIndex": location.index_in_block,
+            "kind": record.kind.value,
+            "fee": record.fee,
+            "from": record.sender.hex() if record.sender else None,
+            "input": _hex(record.payload),
+            "confirmations": self.chain.confirmations(location.block_id),
+        }
+
+    # -- account reads ------------------------------------------------------
+
+    def get_balance(self, account: Union[Address, str]) -> int:
+        """Balance in wei (accepts an Address or 0x hex string)."""
+        if isinstance(account, str):
+            account = Address.from_hex(account)
+        return self.runtime.state.balance(account)
+
+    # -- contract interaction ------------------------------------------------
+
+    def deploy_contract(
+        self, contract: Contract, sender: Address, value_wei: int = 0
+    ) -> Receipt:
+        """Deploy a contract (web3's ``contract.constructor().transact()``)."""
+        return self.runtime.deploy(contract, sender, value_wei=value_wei)
+
+    def call_contract(
+        self,
+        address: Union[Address, str],
+        method: str,
+        sender: Address,
+        *args: Any,
+        value_wei: int = 0,
+        **kwargs: Any,
+    ) -> Receipt:
+        """Invoke a contract function (web3's ``fn(...).transact()``)."""
+        if isinstance(address, str):
+            address = Address.from_hex(address)
+        return self.runtime.call(
+            address, method, sender, value_wei, None, *args, **kwargs
+        )
+
+    def get_logs(self, event_name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Event logs, optionally filtered by name (web3's ``get_logs``)."""
+        events = (
+            self.runtime.events_named(event_name)
+            if event_name is not None
+            else self.runtime.events
+        )
+        return [
+            {
+                "address": event.contract.hex(),
+                "event": event.name,
+                "args": dict(event.payload),
+                "blockTime": event.block_time,
+            }
+            for event in events
+        ]
+
+
+class Web3Shim:
+    """Top-level handle, mirroring ``web3.Web3``."""
+
+    def __init__(self, chain: Blockchain, runtime: ContractRuntime) -> None:
+        self.eth = Eth(chain=chain, runtime=runtime)
+
+    @classmethod
+    def connect(cls, platform) -> "Web3Shim":
+        """Attach to a running :class:`~repro.core.platform.SmartCrowdPlatform`."""
+        return cls(platform.mining.chain, platform.runtime)
+
+    def is_connected(self) -> bool:
+        """Liveness probe (always true in-process)."""
+        return True

@@ -1,0 +1,50 @@
+"""Currency and time units.
+
+SmartCrowd's evaluation is denominated in ether (§VII: "we use 'ether',
+the cryptocurrency in Ethereum").  Internally all balances are integer
+wei (1 ether = 10^18 wei) so that incentive conservation can be checked
+exactly — floating-point ether would make "payouts == deposits + fees"
+assertions flaky.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+#: 1 wei, the indivisible currency unit.
+WEI = 1
+#: 1 gwei = 10^9 wei (gas prices are quoted in gwei).
+GWEI = 10**9
+#: 1 ether = 10^18 wei.
+ETHER = 10**18
+
+Numeric = Union[int, float, Fraction]
+
+
+def to_wei(amount: Numeric, unit: int = ETHER) -> int:
+    """Convert an amount in ``unit`` to integer wei.
+
+    Floats are routed through :class:`fractions.Fraction` so that e.g.
+    ``to_wei(0.095)`` is exact for the decimal literals used in the
+    paper's measurements.
+    """
+    if isinstance(amount, int):
+        return amount * unit
+    return int(Fraction(str(amount) if isinstance(amount, float) else amount) * unit)
+
+
+def from_wei(amount_wei: int, unit: int = ETHER) -> float:
+    """Convert integer wei to a float amount of ``unit`` (for display)."""
+    return amount_wei / unit
+
+
+def format_ether(amount_wei: int, precision: int = 4) -> str:
+    """Human-readable ether string, e.g. ``'5.0000 ETH'``."""
+    return f"{from_wei(amount_wei):.{precision}f} ETH"
+
+
+#: Seconds per minute, for readability in experiment configs.
+MINUTE = 60.0
+#: Seconds per hour.
+HOUR = 3600.0

@@ -1,0 +1,13 @@
+"""Workload presets: the paper's experimental setups in one place."""
+
+from repro.workloads.scenarios import (
+    PaperSetup,
+    paper_setup,
+    provider_zeta,
+)
+
+__all__ = [
+    "PaperSetup",
+    "paper_setup",
+    "provider_zeta",
+]

@@ -1,0 +1,42 @@
+"""Tests for collusion fork races (§VI-A)."""
+
+from repro.chain.block import ChainRecord, RecordKind
+from repro.adversary.collusion import run_collusion_race
+from repro.crypto.hashing import hash_fields
+
+
+def _forged_record() -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.DETAILED_REPORT,
+        record_id=hash_fields("forged-report"),
+        payload=b"forged",
+    )
+
+
+class TestCollusionRace:
+    def test_minority_colluder_loses(self):
+        outcomes = [
+            run_collusion_race(0.2, _forged_record(), race_blocks=80, seed=seed)
+            for seed in range(10)
+        ]
+        on_chain = sum(1 for o in outcomes if o.forged_record_on_canonical)
+        assert on_chain == 0
+
+    def test_majority_colluder_wins(self):
+        outcomes = [
+            run_collusion_race(0.8, _forged_record(), race_blocks=80, seed=seed)
+            for seed in range(5)
+        ]
+        on_chain = sum(1 for o in outcomes if o.forged_record_on_canonical)
+        assert on_chain == 5
+
+    def test_block_counts_reflect_shares(self):
+        outcome = run_collusion_race(0.3, _forged_record(), race_blocks=200, seed=1)
+        assert outcome.honest_blocks + outcome.colluder_blocks == 200
+        assert outcome.honest_blocks > outcome.colluder_blocks
+
+    def test_invalid_share_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            run_collusion_race(0.0, _forged_record())

@@ -1,0 +1,91 @@
+"""Tests for Eq. 11 — total detection capability."""
+
+import pytest
+
+from repro.analysis.capability import (
+    coverage_probability,
+    race_rhos,
+    total_detection_capability,
+)
+from repro.detection.detector import DetectionCapability
+
+
+class TestEq11:
+    def test_simple_sum(self):
+        assert total_detection_capability([0.5, 0.5], [0.4, 0.6]) == pytest.approx(0.5)
+
+    def test_win_probability_sum_constraint(self):
+        # Σ DC_i·ρ_i > 1 would mean more than one confirmed result for
+        # a single vulnerability.
+        with pytest.raises(ValueError):
+            total_detection_capability([1.0, 1.0], [0.7, 0.7])
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            total_detection_capability([1.5], [0.5])
+        with pytest.raises(ValueError):
+            total_detection_capability([0.5], [-0.1])
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            total_detection_capability([0.5], [0.5, 0.5])
+
+    def test_monotone_in_m(self):
+        # Adding a detector (with its fair rho share) never lowers DC_T.
+        fleets = [
+            [DetectionCapability(threads=t) for t in range(1, m + 1)]
+            for m in (2, 4, 6, 8)
+        ]
+        values = []
+        for fleet in fleets:
+            rhos = race_rhos(fleet)
+            capabilities = [c.detection_probability for c in fleet]
+            values.append(total_detection_capability(capabilities, rhos))
+        assert values == sorted(values)
+
+
+class TestRaceRhos:
+    def test_empty_fleet(self):
+        assert race_rhos([]) == []
+
+    def test_single_detector_always_wins_when_it_finds(self):
+        cap = DetectionCapability(threads=2, per_thread_hit=0.5)
+        (rho,) = race_rhos([cap])
+        assert rho == pytest.approx(1.0)
+
+    def test_dc_times_rho_sums_to_coverage(self):
+        fleet = [DetectionCapability(threads=t) for t in (1, 3, 8)]
+        rhos = race_rhos(fleet)
+        capabilities = [c.detection_probability for c in fleet]
+        coverage = coverage_probability(capabilities)
+        assert total_detection_capability(capabilities, rhos) == pytest.approx(
+            coverage
+        )
+
+    def test_certain_detectors_split_by_rate(self):
+        fleet = [
+            DetectionCapability(threads=1, per_thread_hit=1.0),
+            DetectionCapability(threads=3, per_thread_hit=1.0),
+        ]
+        rhos = race_rhos(fleet)
+        assert rhos[0] == pytest.approx(0.25)
+        assert rhos[1] == pytest.approx(0.75)
+
+    def test_large_fleet_rejected(self):
+        fleet = [DetectionCapability(threads=1)] * 17
+        with pytest.raises(ValueError):
+            race_rhos(fleet)
+
+
+class TestCoverage:
+    def test_no_detectors_zero_coverage(self):
+        assert coverage_probability([]) == 0.0
+
+    def test_coverage_approaches_one_with_m(self):
+        values = [coverage_probability([0.5] * m) for m in (1, 2, 4, 8)]
+        assert values == sorted(values)
+        assert values[-1] > 0.99
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            coverage_probability([1.2])

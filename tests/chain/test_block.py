@@ -1,0 +1,114 @@
+"""Tests for block structure and chain records."""
+
+import pytest
+
+from repro.chain.block import Block, BlockHeader, ChainRecord, GENESIS_PARENT, RecordKind
+from repro.crypto.keys import KeyPair
+
+MINER = KeyPair.from_seed(b"miner").address
+
+
+def _record(tag: bytes, fee: int = 0) -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.TRANSACTION,
+        record_id=tag.ljust(32, b"\x00"),
+        payload=b"payload-" + tag,
+        fee=fee,
+        sender=MINER,
+    )
+
+
+class TestChainRecord:
+    def test_requires_32_byte_id(self):
+        with pytest.raises(ValueError):
+            ChainRecord(RecordKind.SRA, b"short", b"x")
+
+    def test_rejects_negative_fee(self):
+        with pytest.raises(ValueError):
+            ChainRecord(RecordKind.SRA, b"\x00" * 32, b"x", fee=-1)
+
+    def test_encoding_changes_with_fee(self):
+        assert _record(b"a", 1).to_bytes() != _record(b"a", 2).to_bytes()
+
+    def test_encoding_changes_with_kind(self):
+        base = _record(b"a")
+        other = ChainRecord(
+            kind=RecordKind.SRA,
+            record_id=base.record_id,
+            payload=base.payload,
+            sender=base.sender,
+        )
+        assert base.to_bytes() != other.to_bytes()
+
+
+class TestBlockHeader:
+    def _header(self, **overrides):
+        defaults = dict(
+            prev_block_id=GENESIS_PARENT,
+            merkle_root=b"\x01" * 32,
+            timestamp=1.5,
+            nonce=7,
+            height=1,
+            difficulty=1000,
+            miner=MINER,
+        )
+        defaults.update(overrides)
+        return BlockHeader(**defaults)
+
+    def test_hash_deterministic(self):
+        assert self._header().header_hash() == self._header().header_hash()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("prev_block_id", b"\x02" * 32),
+            ("merkle_root", b"\x03" * 32),
+            ("timestamp", 2.0),
+            ("nonce", 8),
+            ("height", 2),
+            ("difficulty", 2000),
+        ],
+    )
+    def test_hash_depends_on_every_field(self, field, value):
+        assert self._header().header_hash() != self._header(**{field: value}).header_hash()
+
+    def test_with_nonce_only_changes_nonce(self):
+        header = self._header()
+        bumped = header.with_nonce(99)
+        assert bumped.nonce == 99
+        assert bumped.prev_block_id == header.prev_block_id
+        assert bumped.merkle_root == header.merkle_root
+
+
+class TestBlock:
+    def test_assemble_computes_merkle_root(self):
+        records = (_record(b"a"), _record(b"b"))
+        block = Block.assemble(GENESIS_PARENT, 1, records, 0.0, 10, MINER)
+        tree = block.merkle_tree()
+        assert block.header.merkle_root == tree.root
+
+    def test_omega_counts_records(self):
+        block = Block.assemble(GENESIS_PARENT, 1, (_record(b"a"),), 0.0, 10, MINER)
+        assert block.omega == 1
+
+    def test_total_fees(self):
+        records = (_record(b"a", 5), _record(b"b", 7))
+        block = Block.assemble(GENESIS_PARENT, 1, records, 0.0, 10, MINER)
+        assert block.total_fees() == 12
+
+    def test_find_record(self):
+        records = (_record(b"a"), _record(b"b"))
+        block = Block.assemble(GENESIS_PARENT, 1, records, 0.0, 10, MINER)
+        assert block.find_record(records[1].record_id) == records[1]
+        assert block.find_record(b"\xaa" * 32) is None
+
+    def test_merkle_tree_cached(self):
+        block = Block.assemble(GENESIS_PARENT, 1, (_record(b"a"),), 0.0, 10, MINER)
+        assert block.merkle_tree() is block.merkle_tree()
+
+    def test_record_proofs_verify_against_header(self):
+        records = tuple(_record(bytes([i])) for i in range(5))
+        block = Block.assemble(GENESIS_PARENT, 1, records, 0.0, 10, MINER)
+        tree = block.merkle_tree()
+        for index in range(len(records)):
+            assert tree.proof(index).verify(block.header.merkle_root)

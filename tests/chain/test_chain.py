@@ -1,0 +1,194 @@
+"""Tests for the blockchain store: fork choice, reorgs, confirmation."""
+
+import pytest
+
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain, ChainError
+from repro.chain.consensus import make_genesis
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import KeyPair
+
+MINER_A = KeyPair.from_seed(b"miner-a").address
+MINER_B = KeyPair.from_seed(b"miner-b").address
+
+
+def _record(tag: str, fee: int = 0) -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.TRANSACTION,
+        record_id=hash_fields("record", tag),
+        payload=tag.encode(),
+        fee=fee,
+        sender=MINER_A,
+    )
+
+
+def _extend(chain: Blockchain, parent: Block, miner=MINER_A, records=(), difficulty=None, ts=None) -> Block:
+    block = Block.assemble(
+        prev_block_id=parent.block_id,
+        height=parent.height + 1,
+        records=tuple(records),
+        timestamp=ts if ts is not None else parent.header.timestamp + 10.0,
+        difficulty=difficulty if difficulty is not None else parent.header.difficulty,
+        miner=miner,
+    )
+    chain.add_block(block)
+    return block
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    return Blockchain(make_genesis(difficulty=100), confirmation_depth=2)
+
+
+class TestBasics:
+    def test_genesis_is_head(self, chain):
+        assert chain.head == chain.genesis
+        assert chain.height == 0
+        assert len(chain) == 1
+
+    def test_genesis_must_point_at_zero_parent(self):
+        genesis = make_genesis()
+        bad = Block.assemble(genesis.block_id, 1, (), 0.0, 100, MINER_A)
+        with pytest.raises(ChainError):
+            Blockchain(bad)
+
+    def test_negative_confirmation_depth_rejected(self):
+        with pytest.raises(ChainError):
+            Blockchain(make_genesis(), confirmation_depth=-1)
+
+    def test_extend_moves_head(self, chain):
+        block = _extend(chain, chain.genesis)
+        assert chain.head == block
+        assert chain.height == 1
+
+    def test_duplicate_block_rejected(self, chain):
+        block = _extend(chain, chain.genesis)
+        with pytest.raises(ChainError):
+            chain.add_block(block)
+
+    def test_orphan_parent_rejected(self, chain):
+        orphan = Block.assemble(b"\xaa" * 32, 1, (), 0.0, 100, MINER_A)
+        with pytest.raises(ChainError):
+            chain.add_block(orphan)
+
+    def test_wrong_height_rejected(self, chain):
+        bad = Block.assemble(chain.genesis.block_id, 5, (), 0.0, 100, MINER_A)
+        with pytest.raises(ChainError):
+            chain.add_block(bad)
+
+    def test_block_at_height(self, chain):
+        b1 = _extend(chain, chain.genesis)
+        b2 = _extend(chain, b1)
+        assert chain.block_at_height(0) == chain.genesis
+        assert chain.block_at_height(1) == b1
+        assert chain.block_at_height(2) == b2
+        assert chain.block_at_height(3) is None
+        assert chain.block_at_height(-1) is None
+
+    def test_iter_canonical_order(self, chain):
+        b1 = _extend(chain, chain.genesis)
+        b2 = _extend(chain, b1)
+        heights = [block.height for block in chain.iter_canonical()]
+        assert heights == [0, 1, 2]
+
+
+class TestForkChoice:
+    def test_side_branch_does_not_move_head(self, chain):
+        main1 = _extend(chain, chain.genesis, MINER_A)
+        main2 = _extend(chain, main1, MINER_A)
+        side1 = Block.assemble(
+            chain.genesis.block_id, 1, (), 5.0, 100, MINER_B
+        )
+        moved = chain.add_block(side1)
+        assert not moved
+        assert chain.head == main2
+
+    def test_heavier_fork_reorgs(self, chain):
+        main1 = _extend(chain, chain.genesis, MINER_A)
+        side1 = Block.assemble(chain.genesis.block_id, 1, (), 5.0, 100, MINER_B)
+        chain.add_block(side1)
+        side2 = Block.assemble(side1.block_id, 2, (), 15.0, 100, MINER_B)
+        moved = chain.add_block(side2)
+        assert moved
+        assert chain.head == side2
+        assert not chain.is_canonical(main1.block_id)
+
+    def test_higher_difficulty_branch_wins_despite_shorter(self, chain):
+        _extend(chain, chain.genesis, MINER_A)  # main: total 200
+        heavy = Block.assemble(chain.genesis.block_id, 1, (), 5.0, 500, MINER_B)
+        moved = chain.add_block(heavy)
+        assert moved
+        assert chain.head == heavy
+
+    def test_reorg_updates_record_index(self, chain):
+        record = _record("on-main")
+        main1 = _extend(chain, chain.genesis, MINER_A, [record])
+        assert chain.locate_record(record.record_id) is not None
+        side1 = Block.assemble(chain.genesis.block_id, 1, (), 5.0, 100, MINER_B)
+        chain.add_block(side1)
+        side2 = Block.assemble(side1.block_id, 2, (), 15.0, 100, MINER_B)
+        chain.add_block(side2)
+        # The record fell off the canonical chain with the reorg.
+        assert chain.locate_record(record.record_id) is None
+        assert main1.block_id in chain.fork_ids()
+
+
+class TestConfirmation:
+    def test_confirmations_count(self, chain):
+        b1 = _extend(chain, chain.genesis)
+        assert chain.confirmations(b1.block_id) == 0
+        b2 = _extend(chain, b1)
+        assert chain.confirmations(b1.block_id) == 1
+        _extend(chain, b2)
+        assert chain.confirmations(b1.block_id) == 2
+
+    def test_is_confirmed_at_depth(self, chain):
+        b1 = _extend(chain, chain.genesis)
+        _extend(chain, _extend(chain, b1))
+        assert chain.is_confirmed(b1.block_id)  # depth 2 fixture
+
+    def test_unknown_block_has_negative_confirmations(self, chain):
+        assert chain.confirmations(b"\x42" * 32) == -1
+
+    def test_side_branch_block_not_confirmed(self, chain):
+        b1 = _extend(chain, chain.genesis, MINER_A)
+        _extend(chain, b1, MINER_A)
+        side = Block.assemble(chain.genesis.block_id, 1, (), 5.0, 100, MINER_B)
+        chain.add_block(side)
+        assert chain.confirmations(side.block_id) == -1
+        assert not chain.is_confirmed(side.block_id)
+
+
+class TestRecordQueries:
+    def test_locate_and_get_record(self, chain):
+        record = _record("find-me")
+        block = _extend(chain, chain.genesis, records=[record])
+        location = chain.locate_record(record.record_id)
+        assert location.block_id == block.block_id
+        assert chain.get_record(record.record_id) == record
+
+    def test_record_confirmation_follows_block(self, chain):
+        record = _record("confirm-me")
+        b1 = _extend(chain, chain.genesis, records=[record])
+        assert not chain.record_is_confirmed(record.record_id)
+        b2 = _extend(chain, b1)
+        _extend(chain, b2)
+        assert chain.record_is_confirmed(record.record_id)
+
+    def test_confirmed_records_filter_by_kind(self, chain):
+        tx = _record("tx")
+        sra = ChainRecord(
+            kind=RecordKind.SRA,
+            record_id=hash_fields("sra-record"),
+            payload=b"sra",
+        )
+        b1 = _extend(chain, chain.genesis, records=[tx, sra])
+        b2 = _extend(chain, b1)
+        _extend(chain, b2)
+        assert chain.confirmed_records(RecordKind.SRA) == [sra]
+        assert len(chain.confirmed_records()) == 2
+
+    def test_blocks_mined_by_excludes_genesis(self, chain):
+        _extend(chain, chain.genesis, MINER_A)
+        assert len(chain.blocks_mined_by(MINER_A)) == 1
+        assert chain.blocks_mined_by(MINER_B) == []

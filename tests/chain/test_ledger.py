@@ -1,0 +1,170 @@
+"""Tests for the ledger state machine (chain → balances)."""
+
+import pytest
+
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import make_genesis
+from repro.chain.ledger import LedgerError, LedgerStateMachine, apply_block
+from repro.chain.transactions import make_transaction
+from repro.crypto.keys import KeyPair
+from repro.units import to_wei
+
+ALICE = KeyPair.from_seed(b"ledger-alice")
+BOB = KeyPair.from_seed(b"ledger-bob")
+MINER = KeyPair.from_seed(b"ledger-miner").address
+DIFFICULTY = 100
+
+
+def _tx_record(tx) -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.TRANSACTION,
+        record_id=tx.tx_id(),
+        payload=tx.to_payload(),
+        fee=tx.fee_wei,
+        sender=tx.sender,
+    )
+
+
+def _chain() -> Blockchain:
+    return Blockchain(make_genesis(difficulty=DIFFICULTY), confirmation_depth=2)
+
+
+def _extend(chain, records=(), miner=MINER):
+    block = Block.assemble(
+        chain.head.block_id, chain.height + 1, tuple(records),
+        chain.head.header.timestamp + 10.0, DIFFICULTY, miner,
+    )
+    chain.add_block(block)
+    return block
+
+
+@pytest.fixture
+def machine() -> LedgerStateMachine:
+    return LedgerStateMachine(
+        genesis_allocations={ALICE.address: to_wei(100)}
+    )
+
+
+class TestReplay:
+    def test_genesis_allocations_seeded(self, machine):
+        chain = _chain()
+        state, _ = machine.replay(chain)
+        assert state.balance(ALICE.address) == to_wei(100)
+
+    def test_block_rewards_minted(self, machine):
+        chain = _chain()
+        _extend(chain)
+        _extend(chain)
+        state, _ = machine.replay(chain)
+        assert state.balance(MINER) == 2 * to_wei(5)
+
+    def test_transfer_executed(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(30), nonce=0, fee_wei=to_wei(1))
+        _extend(chain, [_tx_record(tx)])
+        state, nonces = machine.replay(chain)
+        assert state.balance(BOB.address) == to_wei(30)
+        assert state.balance(ALICE.address) == to_wei(69)
+        assert state.balance(MINER) == to_wei(5) + to_wei(1)  # reward + fee
+        assert nonces[ALICE.address] == 1
+
+    def test_replay_deterministic(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=0)
+        _extend(chain, [_tx_record(tx)])
+        first, _ = machine.replay(chain)
+        second, _ = machine.replay(chain)
+        assert dict(first.accounts()) == dict(second.accounts())
+
+    def test_supply_conserved(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=0, fee_wei=5)
+        _extend(chain, [_tx_record(tx)])
+        state, _ = machine.replay(chain)
+        assert state.total_supply() == state.total_minted
+
+
+class TestExecutionRules:
+    def test_replayed_transaction_rejected(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=0)
+        _extend(chain, [_tx_record(tx)])
+        # The same signed transaction appears again in the next block.
+        block = Block.assemble(
+            chain.head.block_id, chain.height + 1,
+            (ChainRecord(
+                kind=RecordKind.TRANSACTION,
+                record_id=tx.tx_id()[:-1] + b"\x01",  # distinct record id
+                payload=tx.to_payload(),
+            ),),
+            chain.head.header.timestamp + 10.0, DIFFICULTY, MINER,
+        )
+        chain.add_block(block)
+        with pytest.raises(LedgerError, match="nonce"):
+            machine.replay(chain)
+
+    def test_out_of_order_nonce_rejected(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=5)
+        _extend(chain, [_tx_record(tx)])
+        with pytest.raises(LedgerError, match="nonce"):
+            machine.replay(chain)
+
+    def test_unfunded_transaction_rejected(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(1000), nonce=0)
+        _extend(chain, [_tx_record(tx)])
+        with pytest.raises(LedgerError, match="unfunded"):
+            machine.replay(chain)
+
+    def test_forged_signature_rejected(self, machine):
+        from dataclasses import replace
+
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=0)
+        forged = replace(tx, value_wei=to_wei(90))
+        _extend(chain, [_tx_record(forged)])
+        with pytest.raises(LedgerError, match="forged"):
+            machine.replay(chain)
+
+    def test_validate_block_reports_reason(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(1000), nonce=0)
+        candidate = Block.assemble(
+            chain.head.block_id, 1, (_tx_record(tx),), 10.0, DIFFICULTY, MINER
+        )
+        reason = machine.validate_block(chain, candidate)
+        assert reason is not None and "unfunded" in reason
+
+    def test_validate_block_accepts_good_block(self, machine):
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=0)
+        candidate = Block.assemble(
+            chain.head.block_id, 1, (_tx_record(tx),), 10.0, DIFFICULTY, MINER
+        )
+        assert machine.validate_block(chain, candidate) is None
+
+
+class TestReorgRederivation:
+    def test_balances_follow_the_canonical_branch(self, machine):
+        chain = _chain()
+        # Main branch: Alice pays Bob 40.
+        tx_main = make_transaction(ALICE, BOB.address, to_wei(40), nonce=0)
+        _extend(chain, [_tx_record(tx_main)])
+        assert machine.balance_at_head(chain, BOB.address) == to_wei(40)
+
+        # A heavier side branch where Alice paid only 5 reorgs the chain.
+        tx_side = make_transaction(ALICE, BOB.address, to_wei(5), nonce=0)
+        side1 = Block.assemble(
+            chain.genesis.block_id, 1, (_tx_record(tx_side),), 5.0,
+            DIFFICULTY, MINER,
+        )
+        chain.add_block(side1)
+        side2 = Block.assemble(
+            side1.block_id, 2, (), 15.0, DIFFICULTY, MINER
+        )
+        chain.add_block(side2)
+        # History rewrote: Bob's balance re-derives to 5, not 40.
+        assert machine.balance_at_head(chain, BOB.address) == to_wei(5)
+        assert machine.balance_at_head(chain, ALICE.address) == to_wei(95)

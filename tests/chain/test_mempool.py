@@ -1,0 +1,122 @@
+"""Tests for the mempool: dedup, fee priority, eviction."""
+
+from repro.chain.block import ChainRecord, RecordKind
+from repro.chain.mempool import Mempool
+from repro.crypto.hashing import hash_fields
+
+
+def _record(tag: str, fee: int = 0, kind: RecordKind = RecordKind.TRANSACTION):
+    return ChainRecord(
+        kind=kind,
+        record_id=hash_fields("mempool", tag),
+        payload=tag.encode(),
+        fee=fee,
+    )
+
+
+class TestAdd:
+    def test_add_and_contains(self):
+        pool = Mempool()
+        record = _record("a")
+        assert pool.add(record)
+        assert record.record_id in pool
+        assert len(pool) == 1
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        record = _record("a")
+        assert pool.add(record)
+        assert not pool.add(record)
+        assert len(pool) == 1
+
+    def test_add_all_counts(self):
+        pool = Mempool()
+        records = [_record("a"), _record("b"), _record("a")]
+        assert pool.add_all(records) == 2
+
+
+class TestEviction:
+    def test_overflow_rejects_low_fee(self):
+        pool = Mempool(max_size=2)
+        pool.add(_record("a", fee=10))
+        pool.add(_record("b", fee=10))
+        assert not pool.add(_record("c", fee=5))
+        assert len(pool) == 2
+
+    def test_overflow_evicts_lowest_fee_for_higher(self):
+        pool = Mempool(max_size=2)
+        cheap = _record("a", fee=1)
+        pool.add(cheap)
+        pool.add(_record("b", fee=10))
+        assert pool.add(_record("c", fee=20))
+        assert cheap.record_id not in pool
+
+    def test_equal_fee_newcomer_rejected(self):
+        pool = Mempool(max_size=1)
+        pool.add(_record("a", fee=5))
+        assert not pool.add(_record("b", fee=5))
+
+
+class TestSelect:
+    def test_fee_priority(self):
+        pool = Mempool()
+        low = _record("low", fee=1)
+        high = _record("high", fee=10)
+        pool.add(low)
+        pool.add(high)
+        selected = pool.select()
+        assert selected[0] == high
+        assert selected[1] == low
+
+    def test_fifo_tiebreak(self):
+        pool = Mempool()
+        first = _record("first", fee=3)
+        second = _record("second", fee=3)
+        pool.add(first)
+        pool.add(second)
+        assert pool.select() == (first, second)
+
+    def test_limit(self):
+        pool = Mempool()
+        pool.add_all(_record(f"r{i}", fee=i) for i in range(5))
+        assert len(pool.select(limit=2)) == 2
+
+    def test_kind_filter(self):
+        pool = Mempool()
+        tx = _record("tx")
+        sra = _record("sra", kind=RecordKind.SRA)
+        pool.add_all([tx, sra])
+        assert pool.select(kind=RecordKind.SRA) == (sra,)
+
+    def test_exclude(self):
+        pool = Mempool()
+        a, b = _record("a"), _record("b")
+        pool.add_all([a, b])
+        assert pool.select(exclude={a.record_id}) == (b,)
+
+    def test_select_does_not_remove(self):
+        pool = Mempool()
+        pool.add(_record("a"))
+        pool.select()
+        assert len(pool) == 1
+
+
+class TestPrune:
+    def test_prune_removes_mined(self):
+        pool = Mempool()
+        a, b = _record("a"), _record("b")
+        pool.add_all([a, b])
+        assert pool.prune([a.record_id]) == 1
+        assert a.record_id not in pool
+        assert b.record_id in pool
+
+    def test_prune_ignores_unknown(self):
+        pool = Mempool()
+        assert pool.prune([hash_fields("ghost")]) == 0
+
+    def test_clear(self):
+        pool = Mempool()
+        pool.add_all([_record("a"), _record("b")])
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.pending_ids() == set()

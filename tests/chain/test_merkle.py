@@ -1,0 +1,116 @@
+"""Tests for Merkle trees and inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.merkle import EMPTY_ROOT, MerkleProof, MerkleTree, compute_merkle_root
+
+
+class TestMerkleTree:
+    def test_empty_tree_root(self):
+        assert MerkleTree([]).root == EMPTY_ROOT
+
+    def test_single_leaf(self):
+        tree = MerkleTree([b"only"])
+        assert tree.proof(0).verify(tree.root)
+
+    def test_root_deterministic(self):
+        payloads = [b"a", b"b", b"c"]
+        assert MerkleTree(payloads).root == MerkleTree(payloads).root
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_changes_with_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_len(self):
+        assert len(MerkleTree([b"a", b"b", b"c"])) == 3
+
+    def test_compute_merkle_root_matches_tree(self):
+        payloads = [b"x", b"y", b"z", b"w"]
+        assert compute_merkle_root(payloads) == MerkleTree(payloads).root
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 7, 8, 13])
+    def test_all_proofs_verify(self, count):
+        payloads = [bytes([i]) * 4 for i in range(count)]
+        tree = MerkleTree(payloads)
+        for index in range(count):
+            assert tree.proof(index).verify(tree.root)
+
+    def test_proof_fails_against_other_root(self):
+        tree_a = MerkleTree([b"a", b"b", b"c"])
+        tree_b = MerkleTree([b"a", b"b", b"d"])
+        assert not tree_a.proof(0).verify(tree_b.root)
+
+    def test_proof_out_of_range(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(IndexError):
+            tree.proof(1)
+        with pytest.raises(IndexError):
+            tree.proof(-1)
+
+    def test_tampered_leaf_hash_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.proof(2)
+        tampered = MerkleProof(
+            leaf_index=proof.leaf_index,
+            leaf_hash=b"\x00" * 32,
+            path=proof.path,
+            directions=proof.directions,
+        )
+        assert not tampered.verify(tree.root)
+
+    def test_tampered_path_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.proof(0)
+        tampered = MerkleProof(
+            leaf_index=proof.leaf_index,
+            leaf_hash=proof.leaf_hash,
+            path=(b"\xff" * 32,) + proof.path[1:],
+            directions=proof.directions,
+        )
+        assert not tampered.verify(tree.root)
+
+    def test_mismatched_proof_lengths_fail(self):
+        tree = MerkleTree([b"a", b"b"])
+        proof = tree.proof(0)
+        broken = MerkleProof(
+            leaf_index=0,
+            leaf_hash=proof.leaf_hash,
+            path=proof.path,
+            directions=proof.directions + (True,),
+        )
+        assert not broken.verify(tree.root)
+
+    def test_duplicate_payloads_still_prove(self):
+        tree = MerkleTree([b"same", b"same", b"same"])
+        for index in range(3):
+            assert tree.proof(index).verify(tree.root)
+
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=24))
+    @settings(max_examples=40, deadline=None)
+    def test_property_all_leaves_prove(self, payloads):
+        tree = MerkleTree(payloads)
+        for index in range(len(payloads)):
+            assert tree.proof(index).verify(tree.root)
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=8), min_size=2, max_size=10),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_wrong_index_leaf_fails(self, payloads, data):
+        tree = MerkleTree(payloads)
+        index = data.draw(st.integers(min_value=0, max_value=len(payloads) - 1))
+        other = data.draw(st.integers(min_value=0, max_value=len(payloads) - 1))
+        proof = tree.proof(index)
+        if tree.leaf_hash(other) != proof.leaf_hash:
+            swapped = MerkleProof(
+                leaf_index=proof.leaf_index,
+                leaf_hash=tree.leaf_hash(other),
+                path=proof.path,
+                directions=proof.directions,
+            )
+            assert not swapped.verify(tree.root)

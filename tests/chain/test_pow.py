@@ -1,0 +1,141 @@
+"""Tests for PoW: literal mining and the stochastic model."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.chain.block import Block, GENESIS_PARENT
+from repro.chain.pow import (
+    MAX_TARGET,
+    PAPER_DIFFICULTY,
+    PAPER_HASHPOWER_SHARES,
+    PAPER_MEAN_BLOCK_TIME,
+    MiningModel,
+    check_pow,
+    difficulty_to_target,
+    mine_block,
+    network_hashrate_for_block_time,
+)
+from repro.crypto.keys import KeyPair
+
+MINER = KeyPair.from_seed(b"pow-miner").address
+
+
+class TestTarget:
+    def test_difficulty_one_accepts_everything(self):
+        assert difficulty_to_target(1) == MAX_TARGET
+
+    def test_target_shrinks_with_difficulty(self):
+        assert difficulty_to_target(100) < difficulty_to_target(10)
+
+    def test_rejects_nonpositive_difficulty(self):
+        with pytest.raises(ValueError):
+            difficulty_to_target(0)
+
+    def test_paper_difficulty_value(self):
+        assert PAPER_DIFFICULTY == 0xF00000
+
+
+class TestLiteralMining:
+    def _block(self, difficulty: int) -> Block:
+        return Block.assemble(GENESIS_PARENT, 1, (), 0.0, difficulty, MINER)
+
+    def test_mine_low_difficulty_succeeds(self):
+        mined = mine_block(self._block(difficulty=4))
+        assert mined is not None
+        assert check_pow(mined.header)
+
+    def test_mined_block_preserves_records(self):
+        block = self._block(difficulty=2)
+        mined = mine_block(block)
+        assert mined.records == block.records
+        assert mined.header.merkle_root == block.header.merkle_root
+
+    def test_mine_gives_up_after_max_attempts(self):
+        # At astronomically high difficulty a handful of nonces never win.
+        block = self._block(difficulty=1 << 255)
+        assert mine_block(block, max_attempts=5) is None
+
+    def test_check_pow_rejects_unmined(self):
+        block = self._block(difficulty=1 << 200)
+        assert not check_pow(block.header)
+
+
+class TestHashrateCalibration:
+    def test_block_time_inversion(self):
+        rate = network_hashrate_for_block_time(PAPER_DIFFICULTY, PAPER_MEAN_BLOCK_TIME)
+        assert rate * PAPER_MEAN_BLOCK_TIME == pytest.approx(PAPER_DIFFICULTY)
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            network_hashrate_for_block_time(100, 0)
+
+
+class TestMiningModel:
+    def test_requires_miners(self):
+        with pytest.raises(ValueError):
+            MiningModel({})
+
+    def test_rejects_nonpositive_hashrate(self):
+        with pytest.raises(ValueError):
+            MiningModel({"a": 0.0})
+
+    def test_mean_block_time_matches_configuration(self):
+        model = MiningModel.from_shares(
+            PAPER_HASHPOWER_SHARES, rng=random.Random(0)
+        )
+        assert model.mean_block_time == pytest.approx(PAPER_MEAN_BLOCK_TIME)
+
+    def test_shares_normalized(self):
+        model = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(0))
+        total = sum(
+            model.hashrate_share(name) for name in PAPER_HASHPOWER_SHARES
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_sampled_mean_close_to_target(self):
+        model = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(3))
+        intervals = model.sample_intervals(4000)
+        assert statistics.fmean(intervals) == pytest.approx(
+            PAPER_MEAN_BLOCK_TIME, rel=0.1
+        )
+
+    def test_win_rates_proportional_to_hashpower(self):
+        model = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(4))
+        wins = {name: 0 for name in PAPER_HASHPOWER_SHARES}
+        rounds = 6000
+        for _ in range(rounds):
+            wins[model.next_block().winner] += 1
+        total_share = sum(PAPER_HASHPOWER_SHARES.values())
+        for name, share in PAPER_HASHPOWER_SHARES.items():
+            expected = share / total_share
+            assert wins[name] / rounds == pytest.approx(expected, abs=0.03)
+
+    def test_intervals_are_positive(self):
+        model = MiningModel({"solo": 10.0}, difficulty=100, rng=random.Random(5))
+        assert all(interval > 0 for interval in model.sample_intervals(100))
+
+    def test_set_hashrate_adds_and_removes(self):
+        model = MiningModel({"a": 1.0, "b": 1.0}, rng=random.Random(0))
+        model.set_hashrate("c", 2.0)
+        assert model.hashrate_share("c") == pytest.approx(0.5)
+        model.set_hashrate("c", 0.0)
+        assert model.total_hashrate == pytest.approx(2.0)
+
+    def test_cannot_remove_last_miner(self):
+        model = MiningModel({"solo": 1.0})
+        with pytest.raises(ValueError):
+            model.set_hashrate("solo", 0.0)
+
+    def test_reproducible_with_seed(self):
+        a = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(9))
+        b = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(9))
+        assert a.sample_intervals(50) == b.sample_intervals(50)
+
+    def test_exponential_distribution_shape(self):
+        # P(T > mean) for an exponential is e^-1 ~= 0.368.
+        model = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(6))
+        intervals = model.sample_intervals(4000)
+        tail = sum(1 for t in intervals if t > PAPER_MEAN_BLOCK_TIME) / len(intervals)
+        assert tail == pytest.approx(0.368, abs=0.04)

@@ -1,0 +1,116 @@
+"""Tests for difficulty retargeting (extension beyond the prototype)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.chain.retarget import (
+    MIN_DIFFICULTY,
+    RetargetingMiner,
+    epoch_adjust,
+    homestead_adjust,
+)
+
+TARGET = 15.35
+
+
+class TestHomesteadAdjust:
+    def test_fast_block_raises_difficulty(self):
+        assert homestead_adjust(1_000_000, 2.0, TARGET) > 1_000_000
+
+    def test_slow_block_lowers_difficulty(self):
+        assert homestead_adjust(1_000_000, 60.0, TARGET) < 1_000_000
+
+    def test_on_target_block_keeps_difficulty_close(self):
+        adjusted = homestead_adjust(1_000_000, TARGET, TARGET)
+        assert abs(adjusted - 1_000_000) <= 1_000_000 // 2048
+
+    def test_adjustment_clamped(self):
+        # Even an hours-long gap moves difficulty at most 99 steps.
+        adjusted = homestead_adjust(1_000_000, 36000.0, TARGET)
+        assert adjusted >= 1_000_000 - 99 * (1_000_000 // 2048)
+
+    def test_floor_enforced(self):
+        assert homestead_adjust(MIN_DIFFICULTY, 1000.0, TARGET) == MIN_DIFFICULTY
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            homestead_adjust(0, 10.0)
+        with pytest.raises(ValueError):
+            homestead_adjust(100, -1.0)
+
+
+class TestEpochAdjust:
+    def test_slow_epoch_lowers_difficulty(self):
+        intervals = [TARGET * 2] * 32
+        assert epoch_adjust(1_000_000, intervals, TARGET) == pytest.approx(
+            500_000, rel=0.01
+        )
+
+    def test_fast_epoch_raises_difficulty(self):
+        intervals = [TARGET / 2] * 32
+        assert epoch_adjust(1_000_000, intervals, TARGET) == pytest.approx(
+            2_000_000, rel=0.01
+        )
+
+    def test_clamped_to_max_factor(self):
+        intervals = [TARGET * 100] * 32
+        assert epoch_adjust(1_000_000, intervals, TARGET, max_factor=4.0) == 250_000
+
+    def test_empty_epoch_rejected(self):
+        with pytest.raises(ValueError):
+            epoch_adjust(1000, [])
+
+
+class TestRetargetingMiner:
+    def _miner(self, scheme: str, seed: int = 0) -> RetargetingMiner:
+        rates = {f"m{i}": 1000.0 for i in range(4)}
+        # Start 8x off-target: expected block time ~2 s instead of 15.35.
+        return RetargetingMiner(
+            rates,
+            initial_difficulty=int(sum(rates.values()) * TARGET / 8),
+            scheme=scheme,
+            rng=random.Random(seed),
+        )
+
+    @pytest.mark.parametrize("scheme,blocks", [("homestead", 8000), ("epoch", 1200)])
+    def test_converges_to_target(self, scheme, blocks):
+        # Homestead moves difficulty by d/2048 per block (multiplicative),
+        # so closing an 8x gap takes thousands of blocks; the epoch
+        # scheme jumps by the full observed/target ratio per epoch.
+        miner = self._miner(scheme)
+        miner.run_blocks(blocks)
+        assert miner.recent_mean_interval(512) == pytest.approx(TARGET, rel=0.25)
+
+    def test_reconverges_after_hashpower_doubling(self):
+        miner = self._miner("epoch", seed=1)
+        miner.run_blocks(800)
+        # Two new providers join, doubling the network hashrate.
+        miner.set_hashrate("new-1", 2000.0)
+        miner.set_hashrate("new-2", 2000.0)
+        miner.run_blocks(1500)
+        assert miner.recent_mean_interval(256) == pytest.approx(TARGET, rel=0.25)
+
+    def test_difficulty_rose_with_hashpower(self):
+        miner = self._miner("homestead", seed=2)
+        miner.run_blocks(800)
+        difficulty_before = miner.difficulty
+        miner.set_hashrate("new-1", 4000.0)
+        miner.run_blocks(1500)
+        assert miner.difficulty > difficulty_before
+
+    def test_cannot_remove_last_miner(self):
+        miner = RetargetingMiner({"solo": 10.0}, initial_difficulty=100)
+        with pytest.raises(ValueError):
+            miner.set_hashrate("solo", 0.0)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            RetargetingMiner({"a": 1.0}, initial_difficulty=100, scheme="magic")
+
+    def test_history_records_difficulty_trajectory(self):
+        miner = self._miner("homestead", seed=3)
+        miner.run_blocks(50)
+        assert len(miner.history) == 50
+        assert all(step.difficulty >= MIN_DIFFICULTY for step in miner.history)

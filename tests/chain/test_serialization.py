@@ -1,0 +1,109 @@
+"""Tests for block/chain serialization."""
+
+import pytest
+
+from repro.codec import CodecError
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import make_genesis
+from repro.chain.serialization import (
+    decode_block,
+    decode_record,
+    encode_block,
+    encode_record,
+    export_chain,
+    import_chain,
+)
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import KeyPair
+
+MINER = KeyPair.from_seed(b"ser-miner").address
+
+
+def _record(tag: str, fee: int = 7) -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.DETAILED_REPORT,
+        record_id=hash_fields("ser", tag),
+        payload=b"\x00|\x1f" + tag.encode(),  # delimiter-hostile bytes
+        fee=fee,
+        sender=MINER,
+    )
+
+
+def _chain_with_blocks(count: int = 4) -> Blockchain:
+    chain = Blockchain(make_genesis(difficulty=100), confirmation_depth=2)
+    parent = chain.genesis
+    for height in range(1, count + 1):
+        block = Block.assemble(
+            parent.block_id, height,
+            (_record(f"b{height}a"), _record(f"b{height}b")),
+            parent.header.timestamp + 12.5, 100, MINER,
+        )
+        chain.add_block(block)
+        parent = block
+    return chain
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        record = _record("x")
+        assert decode_record(encode_record(record)) == record
+
+    def test_round_trip_without_sender(self):
+        record = ChainRecord(
+            kind=RecordKind.SRA, record_id=hash_fields("nosender"), payload=b"p"
+        )
+        assert decode_record(encode_record(record)) == record
+
+
+class TestBlockCodec:
+    def test_round_trip_preserves_block_id(self):
+        chain = _chain_with_blocks(1)
+        block = chain.head
+        decoded = decode_block(encode_block(block))
+        assert decoded.block_id == block.block_id
+        assert decoded.records == block.records
+
+    def test_tampered_records_rejected(self):
+        chain = _chain_with_blocks(1)
+        encoded = bytearray(encode_block(chain.head))
+        # Flip a byte inside a record payload region (the tail).
+        encoded[-3] ^= 0xFF
+        with pytest.raises(CodecError):
+            decode_block(bytes(encoded))
+
+
+class TestChainCodec:
+    def test_export_import_round_trip(self):
+        chain = _chain_with_blocks(4)
+        rebuilt = import_chain(export_chain(chain), confirmation_depth=2)
+        assert rebuilt.head.block_id == chain.head.block_id
+        assert rebuilt.height == chain.height
+        originals = [block.block_id for block in chain.iter_canonical()]
+        restored = [block.block_id for block in rebuilt.iter_canonical()]
+        assert originals == restored
+
+    def test_records_queryable_after_import(self):
+        chain = _chain_with_blocks(4)
+        rebuilt = import_chain(export_chain(chain), confirmation_depth=2)
+        record_id = hash_fields("ser", "b2a")
+        assert rebuilt.get_record(record_id) is not None
+        assert rebuilt.record_is_confirmed(record_id)
+
+    def test_empty_dump_rejected(self):
+        with pytest.raises(CodecError):
+            import_chain(b"")
+
+    def test_truncated_dump_rejected(self):
+        chain = _chain_with_blocks(3)
+        data = export_chain(chain)
+        # Drop the middle block: the tail no longer links.
+        blocks = []
+        offset = 0
+        while offset < len(data):
+            length = int.from_bytes(data[offset : offset + 4], "big")
+            blocks.append(data[offset : offset + 4 + length])
+            offset += 4 + length
+        mangled = b"".join([blocks[0], blocks[2], blocks[3]])
+        with pytest.raises(CodecError):
+            import_chain(mangled)

@@ -1,0 +1,60 @@
+"""Tests for signed value transactions."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain.transactions import SignedTransaction, make_transaction
+from repro.crypto.keys import KeyPair
+
+ALICE = KeyPair.from_seed(b"tx-alice")
+BOB = KeyPair.from_seed(b"tx-bob")
+
+
+class TestConstruction:
+    def test_signed_transaction_verifies(self):
+        tx = make_transaction(ALICE, BOB.address, 100, nonce=0, fee_wei=3)
+        assert tx.verify()
+
+    def test_tx_id_binds_every_field(self):
+        base = make_transaction(ALICE, BOB.address, 100, nonce=0, fee_wei=3)
+        variants = [
+            replace(base, recipient=ALICE.address),
+            replace(base, value_wei=101),
+            replace(base, fee_wei=4),
+            replace(base, nonce=1),
+        ]
+        for variant in variants:
+            assert variant.tx_id() != base.tx_id()
+
+
+class TestVerification:
+    def test_tampered_value_rejected(self):
+        tx = make_transaction(ALICE, BOB.address, 100, nonce=0)
+        tampered = replace(tx, value_wei=10_000)
+        assert not tampered.verify()
+
+    def test_tampered_recipient_rejected(self):
+        tx = make_transaction(ALICE, BOB.address, 100, nonce=0)
+        tampered = replace(tx, recipient=ALICE.address)
+        assert not tampered.verify()
+
+    def test_key_address_binding_enforced(self):
+        # Signature valid for Bob's key, but the sender field claims Alice.
+        tx = make_transaction(BOB, ALICE.address, 100, nonce=0)
+        spoofed = replace(tx, sender=ALICE.address)
+        assert not spoofed.verify()
+
+    def test_negative_amounts_rejected(self):
+        tx = make_transaction(ALICE, BOB.address, 100, nonce=0)
+        assert not replace(tx, value_wei=-1).verify()
+        assert not replace(tx, fee_wei=-1).verify()
+        assert not replace(tx, nonce=-1).verify()
+
+
+class TestPayload:
+    def test_round_trip(self):
+        tx = make_transaction(ALICE, BOB.address, 123, nonce=7, fee_wei=9)
+        parsed = SignedTransaction.from_payload(tx.to_payload())
+        assert parsed == tx
+        assert parsed.verify()

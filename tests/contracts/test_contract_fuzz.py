@@ -1,0 +1,98 @@
+"""Fuzz the SmartCrowd contract with random operation sequences.
+
+Whatever order of commits, awards (verified or not), closes, and clock
+advances an adversarial environment produces, the contract must
+preserve: exact ether conservation, at-most-one payout per
+vulnerability key, total payouts bounded by the insurance, and no
+payouts after close.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.smartcrowd_contract import ContractPhase, SmartCrowdContract
+from repro.contracts.vm import ContractRuntime
+from repro.crypto.keys import KeyPair
+from repro.units import to_wei
+
+PROVIDER = KeyPair.from_seed(b"fuzz-provider").address
+AUTHORITY = KeyPair.from_seed(b"fuzz-authority").address
+DETECTORS = [
+    (f"det-{i}", KeyPair.from_seed(f"fuzz-det-{i}".encode()).address) for i in range(4)
+]
+KEYS = [f"CVE-{i}" for i in range(6)]
+WINDOW = 600.0
+
+# One fuzz operation: (opcode, detector index, key index, flag)
+operation = st.tuples(
+    st.integers(0, 3),  # 0=commit, 1=award, 2=advance time, 3=close
+    st.integers(0, 3),
+    st.integers(0, 5),
+    st.booleans(),
+)
+
+
+@given(st.lists(operation, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_contract_invariants_under_random_operations(operations):
+    runtime = ContractRuntime()
+    runtime.state.mint(PROVIDER, to_wei(3000))
+    runtime.state.mint(AUTHORITY, to_wei(100))
+    insurance = to_wei(1000)
+    bounty = to_wei(250)
+    contract = SmartCrowdContract(
+        sra_id=b"\x22" * 32,
+        provider=PROVIDER,
+        bounty_per_vulnerability_wei=bounty,
+        detection_window=WINDOW,
+        trigger_authority=AUTHORITY,
+    )
+    receipt = runtime.deploy(contract, PROVIDER, value_wei=insurance)
+    assert receipt.success
+
+    commitments = {}  # (detector idx) -> commitment bytes used
+    closed = False
+
+    for opcode, detector_index, key_index, flag in operations:
+        detector_id, wallet = DETECTORS[detector_index]
+        if opcode == 0:
+            commitment = bytes([detector_index]) * 32
+            runtime.call(
+                contract.address, "confirm_initial_report", AUTHORITY, 0,
+                "confirm_report", detector_id, wallet, commitment,
+            )
+            commitments[detector_index] = commitment
+        elif opcode == 1:
+            commitment = commitments.get(detector_index, bytes([detector_index]) * 32)
+            before_paid = contract.total_paid_wei()
+            result = runtime.call(
+                contract.address, "award_detailed_report", AUTHORITY, 0,
+                "confirm_report", detector_id, wallet, commitment,
+                (KEYS[key_index],), flag,
+            )
+            if closed:
+                assert not result.success or result.return_value in (0, None)
+                assert contract.total_paid_wei() == before_paid
+        elif opcode == 2:
+            runtime.advance_time(runtime.block_time + 150.0)
+        else:
+            result = runtime.call(
+                contract.address, "close", AUTHORITY, 0, "refund_insurance"
+            )
+            if result.success:
+                closed = True
+
+        # Invariants after every operation:
+        assert runtime.state.total_supply() == runtime.state.total_minted
+        assert contract.total_paid_wei() <= insurance
+        award_keys = [a.vulnerability_key for a in contract.awards()]
+        assert len(award_keys) == len(set(award_keys))
+        if contract.phase != ContractPhase.OPEN:
+            # Once closed, the escrow account is empty.
+            assert runtime.state.balance(contract.address) == 0
+
+    # Terminal: every paid award went to a registered detector wallet.
+    wallets = {wallet for _, wallet in DETECTORS}
+    assert all(award.wallet in wallets for award in contract.awards())

@@ -1,0 +1,116 @@
+"""Tests for the world state ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contracts.state import BURN_ADDRESS, InsufficientFunds, WorldState
+from repro.crypto.keys import KeyPair
+
+ALICE = KeyPair.from_seed(b"alice").address
+BOB = KeyPair.from_seed(b"bob").address
+
+
+class TestBasics:
+    def test_unknown_account_has_zero(self):
+        assert WorldState().balance(ALICE) == 0
+
+    def test_mint_credits(self):
+        state = WorldState()
+        state.mint(ALICE, 100)
+        assert state.balance(ALICE) == 100
+        assert state.total_minted == 100
+
+    def test_mint_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WorldState().mint(ALICE, -1)
+
+    def test_transfer_moves_value(self):
+        state = WorldState()
+        state.mint(ALICE, 100)
+        state.transfer(ALICE, BOB, 30)
+        assert state.balance(ALICE) == 70
+        assert state.balance(BOB) == 30
+
+    def test_transfer_insufficient_raises(self):
+        state = WorldState()
+        state.mint(ALICE, 10)
+        with pytest.raises(InsufficientFunds):
+            state.transfer(ALICE, BOB, 11)
+
+    def test_transfer_negative_rejected(self):
+        state = WorldState()
+        state.mint(ALICE, 10)
+        with pytest.raises(ValueError):
+            state.transfer(ALICE, BOB, -5)
+
+    def test_self_transfer_is_noop(self):
+        state = WorldState()
+        state.mint(ALICE, 10)
+        state.transfer(ALICE, ALICE, 10)
+        assert state.balance(ALICE) == 10
+
+    def test_burn_moves_to_sink(self):
+        state = WorldState()
+        state.mint(ALICE, 10)
+        state.burn(ALICE, 4)
+        assert state.balance(ALICE) == 6
+        assert state.balance(BURN_ADDRESS) == 4
+
+    def test_accounts_iterates_nonzero(self):
+        state = WorldState()
+        state.mint(ALICE, 5)
+        state.mint(BOB, 0)
+        assert dict(state.accounts()) == {ALICE: 5}
+
+
+class TestConservation:
+    def test_supply_equals_minted(self):
+        state = WorldState()
+        state.mint(ALICE, 100)
+        state.transfer(ALICE, BOB, 40)
+        state.burn(BOB, 10)
+        assert state.total_supply() == state.total_minted == 100
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([0, 1, 2]), st.integers(0, 50)),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_supply_invariant_under_random_ops(self, operations):
+        state = WorldState()
+        parties = [ALICE, BOB, BURN_ADDRESS]
+        state.mint(ALICE, 500)
+        for op, amount in operations:
+            try:
+                if op == 0:
+                    state.mint(parties[amount % 2], amount)
+                elif op == 1:
+                    state.transfer(ALICE, BOB, amount)
+                else:
+                    state.transfer(BOB, ALICE, amount)
+            except InsufficientFunds:
+                pass
+            assert state.total_supply() == state.total_minted
+
+
+class TestSnapshot:
+    def test_restore_rolls_back_balances(self):
+        state = WorldState()
+        state.mint(ALICE, 100)
+        snap = state.snapshot()
+        state.transfer(ALICE, BOB, 60)
+        state.mint(BOB, 7)
+        state.restore(snap)
+        assert state.balance(ALICE) == 100
+        assert state.balance(BOB) == 0
+        assert state.total_minted == 100
+
+    def test_snapshot_is_immutable_copy(self):
+        state = WorldState()
+        state.mint(ALICE, 5)
+        snap = state.snapshot()
+        state.mint(ALICE, 5)
+        assert snap.balances[ALICE] == 5

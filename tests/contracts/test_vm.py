@@ -1,0 +1,198 @@
+"""Tests for the contract runtime: gas, revert atomicity, events."""
+
+import pytest
+
+from repro.contracts.contract import CallContext, Contract, ContractError
+from repro.contracts.state import BURN_ADDRESS, WorldState
+from repro.contracts.vm import ContractRuntime
+from repro.crypto.keys import KeyPair
+from repro.units import to_wei
+
+SENDER = KeyPair.from_seed(b"vm-sender").address
+PAYEE = KeyPair.from_seed(b"vm-payee").address
+
+
+class Piggybank(Contract):
+    """Test contract: accepts deposits, pays out, can fail mid-flight."""
+
+    def on_deploy(self, ctx: CallContext) -> None:
+        self.deposits = 0
+        self.emit_event(ctx, "Deployed", value=ctx.value_wei)
+
+    def deposit(self, ctx: CallContext) -> int:
+        self.deposits += 1
+        self.emit_event(ctx, "Deposit", amount=ctx.value_wei)
+        return self.balance(ctx)
+
+    def withdraw(self, ctx: CallContext, amount: int) -> None:
+        self.require(ctx.sender == self.owner, "only owner")
+        self.pay(ctx, ctx.sender, amount)
+
+    def pay_then_fail(self, ctx: CallContext, amount: int) -> None:
+        self.pay(ctx, PAYEE, amount)
+        raise ContractError("deliberate failure after paying")
+
+    def _hidden(self, ctx: CallContext) -> None:  # pragma: no cover
+        raise AssertionError("private methods must not be callable")
+
+
+@pytest.fixture
+def runtime() -> ContractRuntime:
+    rt = ContractRuntime()
+    rt.state.mint(SENDER, to_wei(100))
+    return rt
+
+
+def _deploy(runtime, value=0):
+    receipt = runtime.deploy(Piggybank(), SENDER, value_wei=value)
+    assert receipt.success, receipt.error
+    return receipt
+
+
+class TestDeploy:
+    def test_deploy_succeeds_and_registers(self, runtime):
+        receipt = _deploy(runtime)
+        assert runtime.get_contract(receipt.contract) is not None
+
+    def test_deploy_charges_gas(self, runtime):
+        before = runtime.state.balance(SENDER)
+        receipt = _deploy(runtime)
+        assert runtime.state.balance(SENDER) == before - receipt.fee_wei
+
+    def test_deploy_value_escrowed(self, runtime):
+        receipt = _deploy(runtime, value=to_wei(10))
+        assert runtime.state.balance(receipt.contract) == to_wei(10)
+
+    def test_deploy_addresses_unique(self, runtime):
+        a = _deploy(runtime)
+        b = _deploy(runtime)
+        assert a.contract != b.contract
+
+    def test_deploy_sets_owner(self, runtime):
+        receipt = _deploy(runtime)
+        assert runtime.get_contract(receipt.contract).owner == SENDER
+
+
+class TestCall:
+    def test_call_returns_value(self, runtime):
+        receipt = _deploy(runtime)
+        result = runtime.call(receipt.contract, "deposit", SENDER, to_wei(3))
+        assert result.success
+        assert result.return_value == to_wei(3)
+
+    def test_unknown_contract_raises(self, runtime):
+        with pytest.raises(ContractError):
+            runtime.call(BURN_ADDRESS, "deposit", SENDER)
+
+    def test_unknown_method_reverts(self, runtime):
+        receipt = _deploy(runtime)
+        result = runtime.call(receipt.contract, "no_such_method", SENDER)
+        assert not result.success
+
+    def test_private_method_not_callable(self, runtime):
+        receipt = _deploy(runtime)
+        result = runtime.call(receipt.contract, "_hidden", SENDER)
+        assert not result.success
+
+    def test_owner_guard(self, runtime):
+        receipt = _deploy(runtime, value=to_wei(5))
+        stranger = KeyPair.from_seed(b"stranger").address
+        runtime.state.mint(stranger, to_wei(1))
+        result = runtime.call(receipt.contract, "withdraw", stranger, 0, None, to_wei(1))
+        assert not result.success
+        assert "only owner" in result.error
+
+
+class TestRevertAtomicity:
+    def test_failed_call_keeps_gas_but_reverts_value(self, runtime):
+        receipt = _deploy(runtime, value=to_wei(5))
+        before_sender = runtime.state.balance(SENDER)
+        before_payee = runtime.state.balance(PAYEE)
+        result = runtime.call(
+            receipt.contract, "pay_then_fail", SENDER, 0, None, to_wei(2)
+        )
+        assert not result.success
+        # Payment inside the failed call was rolled back...
+        assert runtime.state.balance(PAYEE) == before_payee
+        assert runtime.state.balance(receipt.contract) == to_wei(5)
+        # ...but the gas fee was not refunded.
+        assert runtime.state.balance(SENDER) == before_sender - result.fee_wei
+
+    def test_failed_deploy_unregisters(self, runtime):
+        class FailingDeploy(Contract):
+            def on_deploy(self, ctx):
+                raise ContractError("nope")
+
+        contract = FailingDeploy()
+        receipt = runtime.deploy(contract, SENDER)
+        assert not receipt.success
+        assert runtime.get_contract(receipt.contract) is None
+        assert contract.address is None
+
+    def test_cannot_pay_gas_returns_failure(self, runtime):
+        pauper = KeyPair.from_seed(b"pauper").address
+        receipt = _deploy(runtime)
+        result = runtime.call(receipt.contract, "deposit", pauper)
+        assert not result.success
+        assert "cannot pay gas" in result.error
+
+    def test_insufficient_value_reverts(self, runtime):
+        receipt = _deploy(runtime)
+        result = runtime.call(
+            receipt.contract, "deposit", SENDER, to_wei(10_000)
+        )
+        assert not result.success
+
+
+class TestEventsAndFees:
+    def test_events_logged_on_success(self, runtime):
+        receipt = _deploy(runtime)
+        runtime.call(receipt.contract, "deposit", SENDER, 1)
+        assert len(runtime.events_named("Deposit")) == 1
+
+    def test_events_discarded_on_failure(self, runtime):
+        receipt = _deploy(runtime, value=to_wei(5))
+
+        class _:  # noqa: N801
+            pass
+
+        result = runtime.call(
+            receipt.contract, "pay_then_fail", SENDER, 0, None, to_wei(1)
+        )
+        assert not result.success
+        # Only the deployment event survives.
+        assert [event.name for event in runtime.events] == ["Deployed"]
+
+    def test_gas_flows_to_fee_collector(self, runtime):
+        collector = KeyPair.from_seed(b"collector").address
+        runtime.fee_collector = collector
+        receipt = _deploy(runtime)
+        assert runtime.state.balance(collector) == receipt.fee_wei
+
+    def test_conservation_across_calls(self, runtime):
+        receipt = _deploy(runtime, value=to_wei(10))
+        runtime.call(receipt.contract, "deposit", SENDER, to_wei(1))
+        runtime.call(receipt.contract, "withdraw", SENDER, 0, None, to_wei(4))
+        assert runtime.state.total_supply() == runtime.state.total_minted
+
+
+class TestTime:
+    def test_advance_time_monotonic(self, runtime):
+        runtime.advance_time(5.0)
+        with pytest.raises(ValueError):
+            runtime.advance_time(4.0)
+
+    def test_block_time_visible_in_context(self, runtime):
+        times = []
+
+        class Clock(Contract):
+            def on_deploy(self, ctx):
+                pass
+
+            def read(self, ctx):
+                times.append(ctx.block_time)
+
+        receipt = runtime.deploy(Clock(), SENDER)
+        runtime.advance_time(42.0)
+        runtime.call(receipt.contract, "read", SENDER)
+        assert times == [42.0]

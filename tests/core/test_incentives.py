@@ -1,0 +1,111 @@
+"""Tests for the incentive equations (Eq. 7-10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incentives import (
+    IncentiveParameters,
+    detector_cost,
+    detector_incentive,
+    provider_incentive,
+    provider_punishment,
+)
+from repro.units import to_wei
+
+PARAMS = IncentiveParameters()
+
+
+class TestEq7DetectorIncentive:
+    def test_full_confirmation(self):
+        assert detector_incentive(PARAMS, n_i=4, rho_i=1.0) == 4 * PARAMS.bounty_wei
+
+    def test_partial_confirmation(self):
+        assert detector_incentive(PARAMS, n_i=4, rho_i=0.5) == 2 * PARAMS.bounty_wei
+
+    def test_zero_findings(self):
+        assert detector_incentive(PARAMS, n_i=0, rho_i=1.0) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            detector_incentive(PARAMS, n_i=-1, rho_i=0.5)
+        with pytest.raises(ValueError):
+            detector_incentive(PARAMS, n_i=1, rho_i=1.5)
+
+    @given(st.floats(0, 20), st.floats(0, 1))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_both_arguments(self, n, rho):
+        base = detector_incentive(PARAMS, n, rho)
+        assert detector_incentive(PARAMS, n + 1, rho) >= base
+        assert detector_incentive(PARAMS, n, min(1.0, rho + 0.1)) >= base
+
+
+class TestEq8ProviderIncentive:
+    def test_blocks_and_fees(self):
+        expected = 3 * PARAMS.block_reward_wei + 7 * PARAMS.report_fee_wei
+        assert provider_incentive(PARAMS, chi=3, omega=7) == expected
+
+    def test_zero(self):
+        assert provider_incentive(PARAMS, chi=0, omega=0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            provider_incentive(PARAMS, chi=-1, omega=0)
+
+    def test_block_reward_is_five_ether(self):
+        assert PARAMS.block_reward_wei == to_wei(5)
+
+
+class TestEq9ProviderPunishment:
+    def test_sums_over_detectors(self):
+        punishment = provider_punishment(
+            PARAMS, awarded_counts=[2, 1], rhos=[1.0, 1.0], contracts_deployed=1
+        )
+        assert punishment == 3 * PARAMS.bounty_wei + PARAMS.deployment_cost_wei
+
+    def test_deployment_cost_only_when_clean(self):
+        punishment = provider_punishment(PARAMS, [], [], contracts_deployed=2)
+        assert punishment == 2 * PARAMS.deployment_cost_wei
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            provider_punishment(PARAMS, [1], [])
+
+
+class TestEq10DetectorCost:
+    def test_cost_structure(self):
+        cost = detector_cost(PARAMS, n_i=3, rho_i=0.5)
+        expected = int(
+            3 * (PARAMS.submission_cost_wei + 0.5 * PARAMS.report_fee_wei)
+        )
+        assert cost == expected
+
+    def test_more_reports_more_cost(self):
+        assert detector_cost(PARAMS, 5, 0.5) > detector_cost(PARAMS, 2, 0.5)
+
+    def test_zero_reports_zero_cost(self):
+        assert detector_cost(PARAMS, 0, 1.0) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            detector_cost(PARAMS, -1, 0.5)
+        with pytest.raises(ValueError):
+            detector_cost(PARAMS, 1, -0.1)
+
+    def test_submission_cost_matches_paper(self):
+        # c ≈ 0.011 ether per report (Fig. 6(b)).
+        assert PARAMS.submission_cost_wei == to_wei(0.011)
+
+
+class TestProfitability:
+    def test_honest_detection_is_profitable(self):
+        # A confirmed finding nets μ - ψ - c >> 0 at paper parameters.
+        income = detector_incentive(PARAMS, 1, 1.0)
+        cost = detector_cost(PARAMS, 1, 1.0)
+        assert income > cost * 100
+
+    def test_spam_without_confirmation_is_pure_loss(self):
+        income = detector_incentive(PARAMS, 10, 0.0)
+        cost = detector_cost(PARAMS, 10, 0.0)
+        assert income == 0
+        assert cost > 0

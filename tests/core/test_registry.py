@@ -1,0 +1,47 @@
+"""Tests for the identity registry."""
+
+import pytest
+
+from repro.core.registry import IdentityRegistry
+from repro.crypto.keys import KeyPair
+
+
+class TestRegistry:
+    def test_register_and_resolve(self, detector_keys):
+        registry = IdentityRegistry()
+        registry.register("det-x", detector_keys.public)
+        assert "det-x" in registry
+        assert registry.public_key("det-x") == detector_keys.public
+        assert registry.wallet("det-x") == detector_keys.address
+
+    def test_unknown_entity(self):
+        registry = IdentityRegistry()
+        assert registry.public_key("ghost") is None
+        assert registry.wallet("ghost") is None
+        assert "ghost" not in registry
+
+    def test_explicit_wallet(self, detector_keys, other_keys):
+        registry = IdentityRegistry()
+        registry.register("det-x", detector_keys.public, wallet=other_keys.address)
+        assert registry.wallet("det-x") == other_keys.address
+
+    def test_rebinding_same_key_allowed(self, detector_keys):
+        registry = IdentityRegistry()
+        registry.register("det-x", detector_keys.public)
+        registry.register("det-x", detector_keys.public)  # idempotent
+        assert len(registry) == 1
+
+    def test_rebinding_different_key_rejected(self, detector_keys, other_keys):
+        registry = IdentityRegistry()
+        registry.register("det-x", detector_keys.public)
+        with pytest.raises(ValueError):
+            registry.register("det-x", other_keys.public)
+
+    def test_entities_iteration(self):
+        registry = IdentityRegistry()
+        pairs = {f"e{i}": KeyPair.from_seed(bytes([i])) for i in range(3)}
+        for entity_id, keys in pairs.items():
+            registry.register(entity_id, keys.public)
+        assert dict(registry.entities()) == {
+            entity_id: keys.public for entity_id, keys in pairs.items()
+        }

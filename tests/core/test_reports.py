@@ -1,0 +1,112 @@
+"""Tests for two-phase reports (Eq. 3-5)."""
+
+import random
+
+import pytest
+
+from repro.core.reports import (
+    DetailedReport,
+    InitialReport,
+    build_report_pair,
+    detailed_report_hash,
+)
+from repro.detection.descriptions import describe
+from repro.detection.iot_system import build_system
+
+
+@pytest.fixture
+def system():
+    return build_system("cam", vulnerability_count=3, rng=random.Random(1))
+
+
+@pytest.fixture
+def descriptions(system):
+    return tuple(describe(flaw, system.name, random.Random(2)) for flaw in system.ground_truth)
+
+
+@pytest.fixture
+def pair(detector_keys, descriptions):
+    return build_report_pair(
+        sra_id=b"\x05" * 32,
+        detector_id="det-x",
+        detector_keys=detector_keys,
+        wallet=detector_keys.address,
+        descriptions=descriptions,
+    )
+
+
+class TestPairConstruction:
+    def test_commitment_binds_detailed(self, pair):
+        initial, detailed = pair
+        assert initial.detailed_hash == detailed_report_hash(detailed)
+
+    def test_pair_shares_identity(self, pair):
+        initial, detailed = pair
+        assert initial.sra_id == detailed.sra_id
+        assert initial.detector_id == detailed.detector_id
+        assert initial.wallet == detailed.wallet
+
+    def test_ids_match_formulas(self, pair):
+        initial, detailed = pair
+        assert initial.report_id == InitialReport.compute_id(
+            initial.sra_id, initial.detector_id, initial.detailed_hash, initial.wallet
+        )
+        assert detailed.report_id == DetailedReport.compute_id(
+            detailed.sra_id, detailed.detector_id, detailed.wallet, detailed.descriptions
+        )
+
+    def test_signatures_valid(self, pair, detector_keys):
+        initial, detailed = pair
+        assert detector_keys.verify(initial.report_id, initial.signature)
+        assert detector_keys.verify(detailed.report_id, detailed.signature)
+
+    def test_empty_descriptions_rejected(self, detector_keys):
+        with pytest.raises(ValueError):
+            build_report_pair(
+                b"\x05" * 32, "det-x", detector_keys, detector_keys.address, ()
+            )
+
+    def test_vulnerability_keys_extracted(self, pair, descriptions):
+        _, detailed = pair
+        assert detailed.vulnerability_keys() == tuple(
+            description.canonical for description in descriptions
+        )
+
+
+class TestCommitmentSensitivity:
+    def test_different_findings_different_commitment(self, detector_keys, system):
+        first = build_report_pair(
+            b"\x05" * 32, "det-x", detector_keys, detector_keys.address,
+            (describe(system.ground_truth[0], system.name, random.Random(3)),),
+        )
+        second = build_report_pair(
+            b"\x05" * 32, "det-x", detector_keys, detector_keys.address,
+            (describe(system.ground_truth[1], system.name, random.Random(3)),),
+        )
+        assert first[0].detailed_hash != second[0].detailed_hash
+
+    def test_different_detector_different_commitment(
+        self, detector_keys, other_keys, descriptions
+    ):
+        mine = build_report_pair(
+            b"\x05" * 32, "det-x", detector_keys, detector_keys.address, descriptions
+        )
+        theirs = build_report_pair(
+            b"\x05" * 32, "det-y", other_keys, other_keys.address, descriptions
+        )
+        assert mine[0].detailed_hash != theirs[0].detailed_hash
+
+
+class TestPayloads:
+    def test_initial_round_trip(self, pair):
+        initial, _ = pair
+        assert InitialReport.from_payload(initial.to_payload()) == initial
+
+    def test_detailed_round_trip(self, pair):
+        _, detailed = pair
+        assert DetailedReport.from_payload(detailed.to_payload()) == detailed
+
+    def test_detailed_round_trip_preserves_descriptions(self, pair, descriptions):
+        _, detailed = pair
+        parsed = DetailedReport.from_payload(detailed.to_payload())
+        assert parsed.descriptions == descriptions

@@ -1,0 +1,181 @@
+"""Tests for retrospective detection and re-detection rounds."""
+
+import random
+
+import pytest
+
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core import (
+    ConsumerClient,
+    PlatformConfig,
+    RetrospectiveMonitor,
+    SmartCrowdPlatform,
+)
+from repro.detection import DetectionCapability, Detector, build_detector_fleet, build_system
+from repro.units import to_wei
+
+
+def _platform(detectors, seed=51):
+    return SmartCrowdPlatform(
+        PAPER_HASHPOWER_SHARES,
+        detectors,
+        PlatformConfig(seed=seed, detection_window=600.0),
+    )
+
+
+class TestMonitorBasics:
+    @pytest.fixture(scope="class")
+    def settled(self):
+        platform = _platform(build_detector_fleet(seed=51))
+        system = build_system("hub", "1.0.0", vulnerability_count=2, rng=random.Random(1))
+        platform.announce_release("provider-1", system)
+        platform.run_for(900.0)
+        platform.finish_pending()
+        return platform, system
+
+    def test_deployed_consumer_notified(self, settled):
+        platform, system = settled
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        monitor.register_deployment("alice", "hub", "1.0.0")
+        notifications = monitor.poll()
+        assert notifications
+        assert all(n.consumer_id == "alice" for n in notifications)
+        keys = {n.vulnerability_key for n in notifications}
+        assert keys <= {flaw.key for flaw in system.ground_truth}
+
+    def test_notifications_not_repeated(self, settled):
+        platform, _ = settled
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        monitor.register_deployment("alice", "hub", "1.0.0")
+        first = monitor.poll()
+        second = monitor.poll()
+        assert first
+        assert second == []
+
+    def test_unaffected_consumer_not_notified(self, settled):
+        platform, _ = settled
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        monitor.register_deployment("bob", "other-device", "9.9.9")
+        assert monitor.poll() == []
+
+    def test_unregister_stops_notifications(self, settled):
+        platform, _ = settled
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        deployment = monitor.register_deployment("carol", "hub", "1.0.0")
+        monitor.unregister_deployment(deployment)
+        assert monitor.poll() == []
+
+    def test_multiple_consumers_each_notified(self, settled):
+        platform, _ = settled
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        monitor.register_deployment("alice", "hub", "1.0.0")
+        monitor.register_deployment("bob", "hub", "1.0.0")
+        notifications = monitor.poll()
+        consumers = {n.consumer_id for n in notifications}
+        assert consumers == {"alice", "bob"}
+
+
+class TestReDetectionRound:
+    @pytest.fixture(scope="class")
+    def platform_and_sras(self):
+        # Round 1 uses a weak fleet that misses flaws; round 2 brings in
+        # the strong fleet which finds what was missed — the exact
+        # "deployed before the flaw was known" scenario.
+        weak = [
+            Detector(
+                "weak-detector",
+                DetectionCapability(threads=1, per_thread_hit=0.01),
+                rng=random.Random(52),
+            )
+        ]
+        strong = build_detector_fleet(seed=52)
+        platform = _platform(weak + strong, seed=52)
+        # The strong fleet joins only in round 2: emulate by a system
+        # whose flaws the weak scan misses; round 1 closes clean.
+        system = build_system("cam", "3.0.0", vulnerability_count=2, rng=random.Random(2))
+
+        # Round 1: only the weak detector participates (the strong ones
+        # are 'offline'): emulate by monkeypatching their scan window —
+        # simplest honest approach: announce with detection impossible
+        # for strong fleet by isolating them up front.
+        for detector in strong:
+            platform.isolated_detectors.add(detector.detector_id)
+        sra1 = platform.announce_release("provider-2", system, insurance_wei=to_wei(1000))
+        platform.run_for(900.0)
+        platform.finish_pending()
+
+        # Strong fleet comes online; provider reopens a detection round.
+        for detector in strong:
+            platform.isolated_detectors.discard(detector.detector_id)
+        sra2 = platform.reopen_release(sra1.sra_id, insurance_wei=to_wei(1000))
+        platform.run_for(900.0)
+        platform.finish_pending()
+        return platform, sra1, sra2, system
+
+    def test_round1_closed_clean(self, platform_and_sras):
+        platform, sra1, _, _ = platform_and_sras
+        case1 = platform.release_case(sra1.sra_id)
+        assert case1.closed
+        assert case1.refunded_wei == to_wei(1000)
+        assert case1.round == 1
+
+    def test_round2_finds_and_forfeits(self, platform_and_sras):
+        platform, _, sra2, _ = platform_and_sras
+        case2 = platform.release_case(sra2.sra_id)
+        assert case2.closed
+        assert case2.round == 2
+        assert case2.refunded_wei == 0  # flaws found this time
+        assert sum(case2.awarded_counts.values()) > 0
+
+    def test_retrospective_notification_after_round2(self, platform_and_sras):
+        platform, _, _, system = platform_and_sras
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        # Consumer deployed after the clean round 1.
+        monitor.register_deployment("dave", "cam", "3.0.0")
+        notifications = monitor.poll()
+        assert notifications
+        assert {n.vulnerability_key for n in notifications} <= {
+            flaw.key for flaw in system.ground_truth
+        }
+
+    def test_consumer_reference_aggregates_rounds(self, platform_and_sras):
+        platform, _, _, _ = platform_and_sras
+        client = ConsumerClient(platform.mining.chain)
+        reference = client.lookup("cam", "3.0.0")
+        assert reference is not None
+        assert reference.vulnerability_count > 0
+
+    def test_reopen_requires_closed_round(self):
+        platform = _platform(build_detector_fleet(seed=53), seed=53)
+        system = build_system("x", vulnerability_count=1, rng=random.Random(3))
+        sra = platform.announce_release("provider-1", system)
+        platform.run_for(60.0)  # window still open
+        with pytest.raises(ValueError):
+            platform.reopen_release(sra.sra_id)
+
+    def test_reopen_unknown_release_rejected(self):
+        platform = _platform(build_detector_fleet(seed=54), seed=54)
+        with pytest.raises(ValueError):
+            platform.reopen_release(b"\x00" * 32)
+
+
+class TestExcludedKeysNotRepaid:
+    def test_second_round_excludes_round1_awards(self):
+        fleet = build_detector_fleet(seed=55)
+        platform = _platform(fleet, seed=55)
+        system = build_system("lock", "1.0.0", vulnerability_count=2, rng=random.Random(4))
+        sra1 = platform.announce_release("provider-3", system, insurance_wei=to_wei(1000))
+        platform.run_for(900.0)
+        platform.finish_pending()
+        case1 = platform.release_case(sra1.sra_id)
+        round1_awards = sum(case1.awarded_counts.values())
+        assert round1_awards > 0
+
+        sra2 = platform.reopen_release(sra1.sra_id, insurance_wei=to_wei(1000))
+        platform.run_for(900.0)
+        platform.finish_pending()
+        case2 = platform.release_case(sra2.sra_id)
+        # Every flaw was already paid in round 1; round 2 pays nothing
+        # and the provider gets the new insurance back.
+        assert sum(case2.awarded_counts.values()) == 0
+        assert case2.refunded_wei == to_wei(1000)

@@ -1,0 +1,83 @@
+"""Tests for SRAs (Eq. 1-2) and their decentralized verification."""
+
+import random
+
+import pytest
+
+from repro.adversary.attacks import spoof_sra, tamper_sra_insurance
+from repro.core.sra import SRA, SignedSRA, make_sra
+from repro.detection.iot_system import build_system, repackage_with_malware
+from repro.units import to_wei
+
+
+@pytest.fixture
+def system():
+    return build_system("cam", "1.2.0", vulnerability_count=1, rng=random.Random(1))
+
+
+@pytest.fixture
+def sra(provider_keys, system):
+    return make_sra("provider-x", provider_keys, system, to_wei(1000), to_wei(250))
+
+
+class TestStructure:
+    def test_id_binds_all_fields(self, system):
+        base = SRA("p", system.name, "1.0", system.artifact_hash, "link", 1, 2)
+        for changed in (
+            SRA("q", system.name, "1.0", system.artifact_hash, "link", 1, 2),
+            SRA("p", "other", "1.0", system.artifact_hash, "link", 1, 2),
+            SRA("p", system.name, "2.0", system.artifact_hash, "link", 1, 2),
+            SRA("p", system.name, "1.0", b"\x00" * 32, "link", 1, 2),
+            SRA("p", system.name, "1.0", system.artifact_hash, "other", 1, 2),
+            SRA("p", system.name, "1.0", system.artifact_hash, "link", 9, 2),
+            SRA("p", system.name, "1.0", system.artifact_hash, "link", 1, 9),
+        ):
+            assert base.sra_id() != changed.sra_id()
+
+    def test_make_sra_copies_system_fields(self, sra, system):
+        assert sra.body.system_name == system.name
+        assert sra.body.artifact_hash == system.artifact_hash
+        assert sra.body.download_link == system.download_link
+
+
+class TestVerification:
+    def test_honest_sra_verifies(self, sra, provider_keys):
+        assert sra.verify(provider_keys.public)
+
+    def test_wrong_key_rejected(self, sra, other_keys):
+        assert not sra.verify(other_keys.public)
+
+    def test_spoofed_sra_rejected(self, provider_keys, other_keys, system):
+        spoofed = spoof_sra("provider-x", other_keys, system, to_wei(1000), to_wei(1))
+        # Verification against the *named* provider's key fails.
+        assert not spoofed.verify(provider_keys.public)
+
+    def test_tampered_insurance_rejected(self, sra, provider_keys):
+        tampered = tamper_sra_insurance(sra, to_wei(1))
+        assert not tampered.verify(provider_keys.public)
+
+    def test_tampered_claimed_id_rejected(self, sra, provider_keys):
+        forged = SignedSRA(
+            body=sra.body, claimed_id=b"\x00" * 32, signature=sra.signature
+        )
+        assert not forged.verify(provider_keys.public)
+
+    def test_artifact_hash_check(self, sra, system):
+        assert sra.verify_artifact(system.image)
+        assert not sra.verify_artifact(system.image + b"\x00")
+
+    def test_repackaged_artifact_detected(self, sra, system):
+        tampered = repackage_with_malware(system, "evil-market")
+        assert not sra.verify_artifact(tampered.image)
+
+
+class TestPayload:
+    def test_round_trip(self, sra, provider_keys):
+        parsed = SignedSRA.from_payload(sra.to_payload())
+        assert parsed == sra
+        assert parsed.verify(provider_keys.public)
+
+    def test_round_trip_preserves_amounts(self, sra):
+        parsed = SignedSRA.from_payload(sra.to_payload())
+        assert parsed.body.insurance_wei == to_wei(1000)
+        assert parsed.body.bounty_wei == to_wei(250)

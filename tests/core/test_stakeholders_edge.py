@@ -1,0 +1,99 @@
+"""Edge-path tests for stakeholder message handling."""
+
+import random
+
+import pytest
+
+from repro.chain.consensus import make_genesis
+from repro.core.registry import IdentityRegistry
+from repro.core.reports import build_report_pair
+from repro.core.sra import make_sra
+from repro.core.stakeholders import ProviderStakeholder, SystemDirectory
+from repro.crypto.keys import KeyPair
+from repro.detection import build_system, describe
+from repro.network.messages import Message, MessageKind
+from repro.units import to_wei
+
+
+@pytest.fixture
+def provider():
+    registry = IdentityRegistry()
+    directory = SystemDirectory()
+    keys = KeyPair.from_seed(b"edge-provider")
+    registry.register("edge-provider", keys.public)
+    node = ProviderStakeholder(
+        "edge-provider", make_genesis(difficulty=100), registry, directory, keys=keys
+    )
+    return node, registry, directory, keys
+
+
+def _announced_release(provider_tuple, flaws=2):
+    node, registry, directory, keys = provider_tuple
+    system = build_system("edge-sys", vulnerability_count=flaws, rng=random.Random(1))
+    directory.publish(system)
+    sra = make_sra("edge-provider", keys, system, to_wei(1000), to_wei(250))
+    node.deliver(Message.wrap(MessageKind.SRA_ANNOUNCE, sra, "x"))
+    return system, sra
+
+
+class TestProviderEdgePaths:
+    def test_duplicate_sra_idempotent(self, provider):
+        node, *_ = provider
+        _, sra = _announced_release(provider)
+        pool_before = len(node.mempool)
+        node.deliver(Message.wrap(MessageKind.SRA_ANNOUNCE, sra, "y"))
+        assert len(node.mempool) == pool_before
+
+    def test_report_for_unknown_sra_rejected(self, provider):
+        node, registry, _, _ = provider
+        detector_keys = KeyPair.from_seed(b"edge-det")
+        registry.register("edge-det", detector_keys.public)
+        system = build_system("ghost-sys", vulnerability_count=1, rng=random.Random(2))
+        description = describe(system.ground_truth[0], system.name, random.Random(3))
+        initial, _ = build_report_pair(
+            b"\x44" * 32, "edge-det", detector_keys,
+            detector_keys.address, (description,),
+        )
+        node.deliver(Message.wrap(MessageKind.INITIAL_REPORT, initial, "d"))
+        assert node.rejected_messages == 1
+        assert len(node.mempool) == 0
+
+    def test_detailed_without_prior_initial_rejected(self, provider):
+        node, registry, _, _ = provider
+        system, sra = _announced_release(provider)
+        detector_keys = KeyPair.from_seed(b"edge-det2")
+        registry.register("edge-det2", detector_keys.public)
+        description = describe(system.ground_truth[0], system.name, random.Random(4))
+        _, detailed = build_report_pair(
+            sra.sra_id, "edge-det2", detector_keys,
+            detector_keys.address, (description,),
+        )
+        node.deliver(Message.wrap(MessageKind.DETAILED_REPORT, detailed, "d"))
+        assert node.rejected_messages >= 1
+
+    def test_valid_report_flow_accepted(self, provider):
+        node, registry, _, _ = provider
+        system, sra = _announced_release(provider)
+        detector_keys = KeyPair.from_seed(b"edge-det3")
+        registry.register("edge-det3", detector_keys.public)
+        description = describe(system.ground_truth[0], system.name, random.Random(5))
+        initial, detailed = build_report_pair(
+            sra.sra_id, "edge-det3", detector_keys,
+            detector_keys.address, (description,),
+        )
+        node.deliver(Message.wrap(MessageKind.INITIAL_REPORT, initial, "d"))
+        node.deliver(Message.wrap(MessageKind.DETAILED_REPORT, detailed, "d"))
+        assert initial.report_id in node.mempool
+        assert detailed.report_id in node.mempool
+
+    def test_report_from_unregistered_detector_rejected(self, provider):
+        node, _, _, _ = provider
+        system, sra = _announced_release(provider)
+        rogue_keys = KeyPair.from_seed(b"rogue")
+        description = describe(system.ground_truth[0], system.name, random.Random(6))
+        initial, _ = build_report_pair(
+            sra.sra_id, "nobody-registered", rogue_keys,
+            rogue_keys.address, (description,),
+        )
+        node.deliver(Message.wrap(MessageKind.INITIAL_REPORT, initial, "d"))
+        assert node.rejected_messages >= 1

@@ -1,0 +1,91 @@
+"""Tests for SHA-3 helpers and injective field framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import hashing
+
+
+class TestSha3:
+    def test_digest_length(self):
+        assert len(hashing.sha3_256(b"x")) == 32
+
+    def test_known_vector_empty(self):
+        # SHA3-256("") from FIPS 202.
+        assert (
+            hashing.sha3_hex(b"")
+            == "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        )
+
+    def test_known_vector_abc(self):
+        assert (
+            hashing.sha3_hex(b"abc")
+            == "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        )
+
+    def test_deterministic(self):
+        assert hashing.sha3_256(b"data") == hashing.sha3_256(b"data")
+
+
+class TestHashFields:
+    def test_deterministic(self):
+        assert hashing.hash_fields("a", 1) == hashing.hash_fields("a", 1)
+
+    def test_field_boundary_matters(self):
+        # The classic concatenation ambiguity must not collide.
+        assert hashing.hash_fields("ab", "c") != hashing.hash_fields("a", "bc")
+
+    def test_bytes_vs_str_distinct(self):
+        assert hashing.hash_fields(b"abc") != hashing.hash_fields("abc")
+
+    def test_int_vs_str_distinct(self):
+        assert hashing.hash_fields(1) != hashing.hash_fields("1")
+
+    def test_bool_vs_int_distinct(self):
+        assert hashing.hash_fields(True) != hashing.hash_fields(1)
+
+    def test_negative_int_distinct_from_positive(self):
+        assert hashing.hash_fields(-5) != hashing.hash_fields(5)
+
+    def test_zero_int(self):
+        assert len(hashing.hash_fields(0)) == 32
+
+    def test_large_int(self):
+        assert len(hashing.hash_fields(2**521 + 1)) == 32
+
+    def test_empty_call(self):
+        assert len(hashing.hash_fields()) == 32
+
+    def test_arity_matters(self):
+        assert hashing.hash_fields("a", "") != hashing.hash_fields("a")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            hashing.hash_fields(3.14)
+
+    def test_hexdigest_matches(self):
+        assert hashing.hexdigest_fields("x") == hashing.hash_fields("x").hex()
+
+    @given(st.lists(st.one_of(st.text(), st.integers(), st.binary()), max_size=6))
+    def test_always_32_bytes(self, fields):
+        assert len(hashing.hash_fields(*fields)) == 32
+
+    @given(
+        st.lists(st.binary(max_size=16), max_size=4),
+        st.lists(st.binary(max_size=16), max_size=4),
+    )
+    def test_injective_on_byte_sequences(self, first, second):
+        if first != second:
+            assert hashing.hash_fields(*first) != hashing.hash_fields(*second)
+
+
+class TestDomainSeparation:
+    def test_leaf_vs_pair_prefixes_differ(self):
+        data = b"\x00" * 64
+        assert hashing.merkle_leaf_hash(data) != hashing.merkle_pair_hash(
+            data[:32], data[32:]
+        )
+
+    def test_iter_hash_matches_single_shot(self):
+        assert hashing.iter_hash([b"ab", b"cd"]) == hashing.iter_hash([b"abcd"])

@@ -1,0 +1,63 @@
+"""Tests for the canonical description language (N-version dedup)."""
+
+import random
+
+from repro.detection.descriptions import (
+    VulnerabilityDescription,
+    canonical_key,
+    deduplicate,
+    describe,
+)
+from repro.detection.vulnerability import Severity, Vulnerability
+
+
+FLAW = Vulnerability.create("cam", 0, Severity.HIGH, "auth-bypass")
+
+
+class TestDescribe:
+    def test_canonical_key_matches_flaw(self):
+        description = describe(FLAW, "cam", random.Random(0))
+        assert canonical_key(description) == FLAW.key
+
+    def test_wordings_vary_but_canonicalize_identically(self):
+        rng_a = random.Random(1)
+        rng_b = random.Random(2)
+        a = describe(FLAW, "cam", rng_a)
+        b = describe(FLAW, "cam", rng_b)
+        assert canonical_key(a) == canonical_key(b)
+
+    def test_wording_references_category(self):
+        description = describe(FLAW, "cam", random.Random(3))
+        assert "auth-bypass" in description.wording
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        description = describe(FLAW, "cam", random.Random(4))
+        assert VulnerabilityDescription.from_wire(description.to_wire()) == description
+
+    def test_wire_preserves_severity(self):
+        description = describe(FLAW, "cam", random.Random(5))
+        parsed = VulnerabilityDescription.from_wire(description.to_wire())
+        assert parsed.severity is Severity.HIGH
+
+
+class TestDeduplicate:
+    def test_collapses_same_canonical(self):
+        variants = [describe(FLAW, "cam", random.Random(seed)) for seed in range(5)]
+        assert len(deduplicate(variants)) == 1
+
+    def test_keeps_first_occurrence(self):
+        variants = [describe(FLAW, "cam", random.Random(seed)) for seed in range(3)]
+        assert deduplicate(variants)[0] == variants[0]
+
+    def test_distinct_flaws_preserved(self):
+        other = Vulnerability.create("cam", 1, Severity.LOW, "info-leak")
+        descriptions = [
+            describe(FLAW, "cam", random.Random(6)),
+            describe(other, "cam", random.Random(7)),
+        ]
+        assert len(deduplicate(descriptions)) == 2
+
+    def test_empty_input(self):
+        assert deduplicate([]) == []

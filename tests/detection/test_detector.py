@@ -1,0 +1,112 @@
+"""Tests for the detector capability model and engine."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.detection.detector import (
+    DetectionCapability,
+    Detector,
+    build_detector_fleet,
+    capability_proportions,
+)
+from repro.detection.iot_system import build_system
+
+
+class TestCapability:
+    def test_detection_probability_formula(self):
+        cap = DetectionCapability(threads=2, per_thread_hit=0.5)
+        assert cap.detection_probability == pytest.approx(0.75)
+
+    def test_more_threads_more_probability(self):
+        low = DetectionCapability(threads=1, per_thread_hit=0.3)
+        high = DetectionCapability(threads=8, per_thread_hit=0.3)
+        assert high.detection_probability > low.detection_probability
+
+    def test_rate_proportional_to_threads(self):
+        one = DetectionCapability(threads=1, per_thread_mean_time=100.0)
+        four = DetectionCapability(threads=4, per_thread_mean_time=100.0)
+        assert four.rate == pytest.approx(4 * one.rate)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DetectionCapability(threads=0)
+        with pytest.raises(ValueError):
+            DetectionCapability(threads=1, per_thread_hit=0.0)
+        with pytest.raises(ValueError):
+            DetectionCapability(threads=1, per_thread_hit=1.5)
+
+    def test_find_time_mean(self):
+        cap = DetectionCapability(threads=4, per_thread_mean_time=120.0)
+        rng = random.Random(0)
+        samples = [cap.sample_find_time(rng) for _ in range(4000)]
+        assert statistics.fmean(samples) == pytest.approx(30.0, rel=0.1)
+
+
+class TestDetectorScan:
+    def test_scan_finds_subset_of_ground_truth(self):
+        system = build_system("cam", vulnerability_count=6, rng=random.Random(1))
+        detector = Detector("d", DetectionCapability(threads=4), rng=random.Random(2))
+        findings = detector.scan(system)
+        truth_keys = {flaw.key for flaw in system.ground_truth}
+        assert all(f.vulnerability.key in truth_keys for f in findings)
+
+    def test_scan_clean_system_finds_nothing(self):
+        system = build_system("cam", vulnerability_count=0)
+        detector = Detector("d", DetectionCapability(threads=8))
+        assert detector.scan(system) == []
+
+    def test_findings_sorted_by_time(self):
+        system = build_system("cam", vulnerability_count=10, rng=random.Random(3))
+        detector = Detector(
+            "d", DetectionCapability(threads=8, per_thread_hit=0.99),
+            rng=random.Random(4),
+        )
+        findings = detector.scan(system)
+        times = [f.found_after for f in findings]
+        assert times == sorted(times)
+
+    def test_detection_rate_matches_capability(self):
+        capability = DetectionCapability(threads=1, per_thread_hit=0.4)
+        detector = Detector("d", capability, rng=random.Random(5))
+        system = build_system("cam", vulnerability_count=8, rng=random.Random(6))
+        found = sum(len(detector.scan(system)) for _ in range(500))
+        rate = found / (500 * 8)
+        assert rate == pytest.approx(capability.detection_probability, abs=0.05)
+
+    def test_scan_counter(self):
+        detector = Detector("d", DetectionCapability(threads=1))
+        system = build_system("cam")
+        detector.scan(system)
+        detector.scan(system)
+        assert detector.scans_performed == 2
+
+    def test_verify_claim(self):
+        system = build_system("cam", vulnerability_count=2, rng=random.Random(7))
+        detector = Detector("d", DetectionCapability(threads=1))
+        real_key = system.ground_truth[0].key
+        assert detector.verify_claim(system, real_key)
+        assert not detector.verify_claim(system, "VULN-fake")
+
+
+class TestFleet:
+    def test_fleet_threads_1_to_8(self):
+        fleet = build_detector_fleet()
+        assert [d.capability.threads for d in fleet] == list(range(1, 9))
+
+    def test_fleet_ids(self):
+        fleet = build_detector_fleet()
+        assert fleet[0].detector_id == "detector-1"
+        assert fleet[7].detector_id == "detector-8"
+
+    def test_capability_proportions_sum_to_one(self):
+        fleet = build_detector_fleet()
+        proportions = capability_proportions(fleet)
+        assert sum(proportions.values()) == pytest.approx(1.0)
+
+    def test_proportions_thread_weighted(self):
+        fleet = build_detector_fleet()
+        proportions = capability_proportions(fleet)
+        assert proportions["detector-8"] == pytest.approx(8 / 36)
+        assert proportions["detector-1"] == pytest.approx(1 / 36)

@@ -1,0 +1,74 @@
+"""Tests for IoT system artifacts."""
+
+import random
+
+from repro.crypto.hashing import sha3_256
+from repro.detection.iot_system import (
+    build_system,
+    new_version,
+    repackage_with_malware,
+)
+
+
+class TestBuildSystem:
+    def test_image_deterministic(self):
+        assert build_system("cam", "1.0").image == build_system("cam", "1.0").image
+
+    def test_different_versions_different_images(self):
+        assert build_system("cam", "1.0").image != build_system("cam", "2.0").image
+
+    def test_artifact_hash_is_sha3_of_image(self):
+        system = build_system("cam")
+        assert system.artifact_hash == sha3_256(system.image)
+
+    def test_vulnerability_count(self):
+        system = build_system("cam", vulnerability_count=5, rng=random.Random(1))
+        assert len(system.ground_truth) == 5
+        assert system.is_vulnerable
+
+    def test_clean_system(self):
+        system = build_system("cam", vulnerability_count=0)
+        assert not system.is_vulnerable
+
+    def test_count_by_severity_sums(self):
+        system = build_system("cam", vulnerability_count=10, rng=random.Random(2))
+        assert sum(system.count_by_severity().values()) == 10
+
+    def test_download_link_format(self):
+        system = build_system("cam", "3.1.4")
+        assert system.download_link == "iot://releases/cam/3.1.4"
+
+
+class TestNewVersion:
+    def test_upgrade_changes_image_and_truth(self):
+        old = build_system("cam", "1.0", vulnerability_count=2, rng=random.Random(3))
+        new = new_version(old, "2.0", vulnerability_count=1, rng=random.Random(4))
+        assert new.version == "2.0"
+        assert new.image != old.image
+        assert new.ground_truth != old.ground_truth
+        assert new.name == old.name
+
+
+class TestRepackaging:
+    def test_repackage_changes_hash(self):
+        original = build_system("cam", vulnerability_count=0)
+        tampered = repackage_with_malware(original, "evil-market")
+        assert tampered.artifact_hash != original.artifact_hash
+
+    def test_repackage_adds_malware_flaw(self):
+        original = build_system("cam", vulnerability_count=1, rng=random.Random(5))
+        tampered = repackage_with_malware(original, "evil-market")
+        assert len(tampered.ground_truth) == 2
+        assert tampered.ground_truth[-1].category == "repackaged-malware"
+
+    def test_repackage_changes_download_link(self):
+        original = build_system("cam")
+        tampered = repackage_with_malware(original, "evil-market")
+        assert "evil-market" in tampered.download_link
+
+    def test_honest_sra_detects_tampered_artifact(self):
+        # The U_h committed by the provider no longer matches the
+        # repackaged image a consumer would download.
+        original = build_system("cam")
+        tampered = repackage_with_malware(original, "evil-market")
+        assert sha3_256(tampered.image) != original.artifact_hash

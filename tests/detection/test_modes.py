@@ -1,0 +1,142 @@
+"""Tests for detection modes (static/dynamic/fuzzing, §VIII)."""
+
+import random
+
+import pytest
+
+from repro.detection.detector import DetectionCapability
+from repro.detection.iot_system import IoTSystem, build_system
+from repro.detection.modes import (
+    MODE_DETECTABILITY,
+    DetectionMode,
+    ModalDetector,
+    build_mixed_fleet,
+    fleet_coverage,
+)
+from repro.detection.vulnerability import CATEGORIES, Severity, Vulnerability
+
+
+def _system_with_categories(categories) -> IoTSystem:
+    base = build_system("modal-sys", vulnerability_count=0)
+    flaws = tuple(
+        Vulnerability.create("modal-sys", index, Severity.MEDIUM, category)
+        for index, category in enumerate(categories)
+    )
+    return IoTSystem(
+        name=base.name,
+        version=base.version,
+        image=base.image,
+        download_link=base.download_link,
+        ground_truth=flaws,
+    )
+
+
+class TestDetectabilityTables:
+    def test_all_categories_covered_by_every_mode_table(self):
+        for mode, table in MODE_DETECTABILITY.items():
+            assert set(CATEGORIES) <= set(table), mode
+
+    def test_factors_are_probability_scales(self):
+        for table in MODE_DETECTABILITY.values():
+            assert all(0.0 <= factor <= 1.0 for factor in table.values())
+
+    def test_each_mode_has_a_speciality(self):
+        # Every mode is the best choice for at least one category.
+        for mode in DetectionMode:
+            best_somewhere = any(
+                MODE_DETECTABILITY[mode][category]
+                >= max(MODE_DETECTABILITY[other][category] for other in DetectionMode)
+                for category in CATEGORIES
+            )
+            assert best_somewhere, mode
+
+
+class TestModalDetector:
+    def test_hit_probability_scales_by_mode(self):
+        capability = DetectionCapability(threads=4, per_thread_hit=0.5)
+        static = ModalDetector("s", capability, DetectionMode.STATIC)
+        fuzz = ModalDetector("f", capability, DetectionMode.FUZZING)
+        assert static.hit_probability("hardcoded-credentials") > fuzz.hit_probability(
+            "hardcoded-credentials"
+        )
+        assert fuzz.hit_probability("buffer-overflow") > static.hit_probability(
+            "buffer-overflow"
+        )
+
+    def test_static_detector_misses_runtime_flaws(self):
+        system = _system_with_categories(["buffer-overflow"] * 20)
+        detector = ModalDetector(
+            "s",
+            DetectionCapability(threads=2, per_thread_hit=0.5),
+            DetectionMode.STATIC,
+            rng=random.Random(1),
+        )
+        findings = detector.scan(system)
+        # Static sees buffer overflows at 10% of base probability.
+        assert len(findings) < 6
+
+    def test_fuzzer_finds_memory_corruption(self):
+        system = _system_with_categories(["buffer-overflow"] * 20)
+        detector = ModalDetector(
+            "f",
+            DetectionCapability(threads=8, per_thread_hit=0.5),
+            DetectionMode.FUZZING,
+            rng=random.Random(2),
+        )
+        findings = detector.scan(system)
+        assert len(findings) > 14
+
+    def test_slower_modes_take_longer(self):
+        capability = DetectionCapability(threads=4, per_thread_hit=1.0)
+        system = _system_with_categories(["command-injection"] * 50)
+        rng_static = random.Random(3)
+        rng_fuzz = random.Random(3)  # same draws, different speed scaling
+        static = ModalDetector("s", capability, DetectionMode.STATIC, rng=rng_static)
+        fuzz = ModalDetector("f", capability, DetectionMode.FUZZING, rng=rng_fuzz)
+        static_times = [f.found_after for f in static.scan(system)]
+        fuzz_times = [f.found_after for f in fuzz.scan(system)]
+        assert sum(fuzz_times) / len(fuzz_times) > sum(static_times) / len(static_times)
+
+    def test_modal_detector_usable_in_platform_fleet(self):
+        # ModalDetector is a Detector: the platform accepts it as-is.
+        from repro.chain.pow import PAPER_HASHPOWER_SHARES
+        from repro.core import PlatformConfig, SmartCrowdPlatform
+
+        fleet = build_mixed_fleet(per_mode=1, seed=5)
+        platform = SmartCrowdPlatform(
+            PAPER_HASHPOWER_SHARES, fleet, PlatformConfig(seed=5)
+        )
+        system = build_system("modal-live", vulnerability_count=2, rng=random.Random(6))
+        platform.announce_release("provider-1", system)
+        platform.run_for(900.0)
+        platform.finish_pending()
+        assert platform.runtime.state.total_supply() == platform.runtime.state.total_minted
+
+
+class TestFleetComposition:
+    def test_mixed_fleet_has_one_of_each(self):
+        fleet = build_mixed_fleet(per_mode=2)
+        modes = [d.mode for d in fleet]
+        for mode in DetectionMode:
+            assert modes.count(mode) == 2
+
+    def test_mixed_beats_single_mode_on_mean_coverage(self):
+        rng = random.Random(7)
+        single = [
+            ModalDetector(
+                f"s{i}",
+                DetectionCapability(threads=4, per_thread_hit=0.6),
+                DetectionMode.STATIC,
+                rng=random.Random(rng.randrange(2**31)),
+            )
+            for i in range(6)
+        ]
+        mixed = build_mixed_fleet(per_mode=2, threads=4, per_thread_hit=0.6, seed=7)
+        single_cov = fleet_coverage(single, CATEGORIES)
+        mixed_cov = fleet_coverage(mixed, CATEGORIES)
+        assert sum(mixed_cov.values()) > sum(single_cov.values())
+
+    def test_coverage_bounds(self):
+        fleet = build_mixed_fleet(per_mode=1)
+        coverage = fleet_coverage(fleet, CATEGORIES)
+        assert all(0.0 <= value <= 1.0 for value in coverage.values())

@@ -1,0 +1,115 @@
+"""Tests for third-party scanner profiles (Table I substrate)."""
+
+import random
+
+import pytest
+
+from repro.detection.services import (
+    PAPER_SERVICE_PROFILES,
+    ScannerProfile,
+    build_table1_apps,
+    overlap_matrix,
+)
+from repro.detection.vulnerability import Severity
+
+
+class TestApps:
+    def test_two_apps_built(self):
+        connect, home = build_table1_apps()
+        assert connect.name == "samsung-connect"
+        assert home.name == "samsung-smart-home"
+
+    def test_ground_truth_counts(self):
+        connect, home = build_table1_apps()
+        connect_counts = connect.count_by_severity()
+        assert connect_counts[Severity.HIGH] == 3
+        assert connect_counts[Severity.MEDIUM] == 16
+        assert connect_counts[Severity.LOW] == 36
+        home_counts = home.count_by_severity()
+        assert home_counts[Severity.HIGH] == 24
+
+    def test_apps_deterministic_per_seed(self):
+        first, _ = build_table1_apps(seed=3)
+        second, _ = build_table1_apps(seed=3)
+        assert first.ground_truth == second.ground_truth
+
+
+class TestProfiles:
+    def test_six_services_modelled(self):
+        assert len(PAPER_SERVICE_PROFILES) == 6
+
+    def test_malware_only_services_find_nothing_here(self):
+        connect, home = build_table1_apps()
+        rng = random.Random(0)
+        for name in ("VirusTotal", "Andrototal"):
+            profile = PAPER_SERVICE_PROFILES[name]
+            assert profile.scan(connect, rng).found == ()
+            assert profile.scan(home, rng).found == ()
+
+    def test_jaq_finds_most(self):
+        connect, _ = build_table1_apps()
+        rng = random.Random(1)
+        totals = {
+            name: len(profile.scan(connect, rng).found)
+            for name, profile in PAPER_SERVICE_PROFILES.items()
+        }
+        assert max(totals, key=totals.get) == "jaq.alibaba"
+
+    def test_blind_categories_respected(self):
+        profile = ScannerProfile(
+            name="blind",
+            hit_rates={severity: 1.0 for severity in Severity},
+            blind_categories=frozenset({"weak-crypto"}),
+        )
+        connect, _ = build_table1_apps()
+        result = profile.scan(connect, random.Random(2))
+        assert all(flaw.category != "weak-crypto" for flaw in result.found)
+
+    def test_effectiveness_scales_detection(self):
+        connect, _ = build_table1_apps()
+        eager = ScannerProfile(
+            name="eager", hit_rates={severity: 0.8 for severity in Severity}
+        )
+        lazy = ScannerProfile(
+            name="lazy",
+            hit_rates={severity: 0.8 for severity in Severity},
+            effectiveness={"samsung-connect": 0.05},
+        )
+        rng = random.Random(3)
+        assert len(eager.scan(connect, rng).found) > len(lazy.scan(connect, rng).found)
+
+    def test_scan_result_counts(self):
+        connect, _ = build_table1_apps()
+        result = PAPER_SERVICE_PROFILES["jaq.alibaba"].scan(connect, random.Random(4))
+        counts = result.counts()
+        assert sum(counts.values()) == len(result.found)
+
+
+class TestOverlap:
+    def test_overlap_is_partial(self):
+        connect, _ = build_table1_apps()
+        rng = random.Random(5)
+        results = [p.scan(connect, rng) for p in PAPER_SERVICE_PROFILES.values()]
+        matrix = overlap_matrix(results)
+        assert matrix  # at least one comparable pair
+        assert all(0.0 <= value < 1.0 for value in matrix.values())
+
+    def test_identical_results_full_overlap(self):
+        connect, _ = build_table1_apps()
+        full = ScannerProfile(
+            name="full", hit_rates={severity: 1.0 for severity in Severity}
+        )
+        rng = random.Random(6)
+        results = [full.scan(connect, rng), full.scan(connect, rng)]
+        results[1] = type(results[1])(
+            service="full-2", system=results[1].system, found=results[1].found
+        )
+        matrix = overlap_matrix(results)
+        assert matrix[("full", "full-2")] == pytest.approx(1.0)
+
+    def test_empty_pairs_skipped(self):
+        connect, _ = build_table1_apps()
+        rng = random.Random(7)
+        nothing = PAPER_SERVICE_PROFILES["VirusTotal"].scan(connect, rng)
+        other = type(nothing)(service="also-nothing", system=connect.name, found=())
+        assert overlap_matrix([nothing, other]) == {}

@@ -1,0 +1,63 @@
+"""Unit tests for the ablation runners."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_escrow,
+    ablate_report_fee,
+    ablate_two_phase,
+)
+
+
+class TestTwoPhaseAblation:
+    def test_thief_never_wins_with_commitments(self):
+        result = ablate_two_phase(trials=100)
+        assert result.thief_wins_with_two_phase == 0
+
+    def test_fee_outbidding_thief_wins_without(self):
+        result = ablate_two_phase(trials=100)
+        assert result.rate_without > 0.9
+
+    def test_rates_derived_from_counts(self):
+        result = ablate_two_phase(trials=50)
+        assert result.rate_with == result.thief_wins_with_two_phase / 50
+        assert result.rate_without == result.thief_wins_without_two_phase / 50
+
+    def test_table_renders(self):
+        text = ablate_two_phase(trials=10).to_table().render()
+        assert "two-phase" in text
+
+
+class TestEscrowAblation:
+    def test_escrow_rate_always_one(self):
+        result = ablate_escrow()
+        assert all(
+            with_escrow == 1.0 for with_escrow, _ in result.payout_rates.values()
+        )
+
+    def test_goodwill_collapses_with_dishonesty(self):
+        result = ablate_escrow(dishonest_fractions=(0.0, 0.5, 0.9))
+        rates = [result.payout_rates[f][1] for f in (0.0, 0.5, 0.9)]
+        assert rates[0] == 1.0
+        assert rates == sorted(rates, reverse=True)
+
+    def test_monte_carlo_matches_expectation(self):
+        result = ablate_escrow(dishonest_fractions=(0.3,), awards_per_point=2000)
+        _, without = result.payout_rates[0.3]
+        assert without == pytest.approx(0.7, abs=0.04)
+
+
+class TestFeeAblation:
+    def test_junk_count_inverse_in_fee(self):
+        result = ablate_report_fee(budget_ether=10.0, fees_ether=(0.01, 0.001))
+        counts = dict(result.points)
+        assert counts[0.01] == pytest.approx(1000)
+        assert counts[0.001] == pytest.approx(10000)
+
+    def test_zero_fee_unbounded(self):
+        result = ablate_report_fee(fees_ether=(0.0,))
+        assert result.points[0][1] == float("inf")
+
+    def test_table_renders_unbounded(self):
+        text = ablate_report_fee(fees_ether=(0.011, 0.0)).to_table().render()
+        assert "unbounded" in text

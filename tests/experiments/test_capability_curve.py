@@ -1,0 +1,55 @@
+"""Shape tests for the Eq. 11 capability-curve experiments."""
+
+import pytest
+
+from repro.experiments.capability_curve import (
+    run_capability_curve,
+    run_fleet_composition,
+)
+
+
+class TestCapabilityCurve:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_capability_curve(scans=3000)
+
+    def test_theory_monotone_in_m(self, result):
+        theory = [result.points[m][0] for m in sorted(result.points)]
+        assert theory == sorted(theory)
+
+    def test_theory_approaches_one(self, result):
+        assert result.points[8][0] > 0.99
+
+    def test_theory_matches_simulation(self, result):
+        for m, (theory, simulated) in result.points.items():
+            assert simulated == pytest.approx(theory, abs=0.03), m
+
+    def test_single_detector_is_its_capability(self, result):
+        theory, _ = result.points[1]
+        assert theory == pytest.approx(0.45)
+
+
+class TestFleetComposition:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fleet_composition()
+
+    def test_mixed_fleet_has_best_mean_coverage(self, result):
+        best = max(result.mean_coverage, key=result.mean_coverage.get)
+        assert best == "mixed"
+
+    def test_single_mode_fleets_have_blind_spots(self, result):
+        # Each single-mode fleet leaves at least one category clearly
+        # worse-covered than the mixed fleet does.
+        mixed = result.per_category["mixed"]
+        for label, coverage in result.per_category.items():
+            if label == "mixed":
+                continue
+            assert any(
+                coverage[category] < mixed[category] - 0.01
+                for category in coverage
+            ), label
+
+    def test_table_renders(self, result):
+        text = result.to_table().render()
+        assert "mixed" in text and "MEAN" in text

@@ -1,0 +1,26 @@
+"""Shape tests for the fork-rate experiment."""
+
+import pytest
+
+from repro.experiments.forks import run_fork_rate
+
+
+class TestForkRate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fork_rate(ratios=(0.005, 0.3), blocks=150)
+
+    def test_negligible_forks_at_paper_operating_point(self, result):
+        # LAN delays (<<1% of block time) essentially never fork.
+        assert result.orphan_rate(0.005) < 0.02
+
+    def test_slow_network_forks_more(self, result):
+        assert result.orphan_rate(0.3) > result.orphan_rate(0.005)
+
+    def test_rates_are_valid_fractions(self, result):
+        for _, _, rate in result.points.values():
+            assert 0.0 <= rate < 1.0
+
+    def test_table_renders(self, result):
+        text = result.to_table().render()
+        assert "orphan rate" in text

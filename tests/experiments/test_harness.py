@@ -1,0 +1,59 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.experiments.harness import Comparison, ResultTable, summarize
+
+
+class TestResultTable:
+    def test_render_contains_rows(self):
+        table = ResultTable("T", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row("x", 3.14159)
+        text = table.render()
+        assert "T" in text
+        assert "3.142" in text  # floats compacted to 4 significant digits
+        assert "x" in text
+
+    def test_row_arity_checked(self):
+        table = ResultTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = ResultTable("T", ["a"])
+        table.add_row(1)
+        table.add_note("caveat emptor")
+        assert "* caveat emptor" in table.render()
+
+    def test_empty_table_renders(self):
+        table = ResultTable("Empty", ["only"])
+        assert "Empty" in table.render()
+
+    def test_print_smoke(self, capsys):
+        table = ResultTable("P", ["c"])
+        table.add_row(7)
+        table.print()
+        assert "P" in capsys.readouterr().out
+
+
+class TestComparison:
+    def test_ratio(self):
+        comparison = Comparison("metric", paper=2.0, measured=3.0)
+        assert comparison.ratio == pytest.approx(1.5)
+
+    def test_ratio_none_when_paper_unknown(self):
+        assert Comparison("m", paper=None, measured=1.0).ratio is None
+        assert Comparison("m", paper=0, measured=1.0).ratio is None
+
+
+class TestSummarize:
+    def test_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_single_sample_zero_stdev(self):
+        assert summarize([5.0])["stdev"] == 0.0

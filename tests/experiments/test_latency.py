@@ -1,0 +1,31 @@
+"""Shape tests for the payout-latency experiment."""
+
+import pytest
+
+from repro.experiments.latency import run_payout_latency
+
+
+class TestPayoutLatency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_payout_latency(releases=6)
+
+    def test_bounties_were_paid(self, result):
+        assert len(result.announce_to_pay) > 0
+        assert len(result.confirm_to_pay) > 0
+
+    def test_latency_positive_and_bounded_by_window(self, result):
+        assert all(0 < value < 900.0 for value in result.announce_to_pay)
+
+    def test_mean_above_single_confirmation(self, result):
+        # At minimum, one 6-block confirmation separates R† and payout.
+        mean = sum(result.announce_to_pay) / len(result.announce_to_pay)
+        assert mean > result.confirmation_depth * result.mean_block_time
+
+    def test_confirm_leg_shorter_than_total(self, result):
+        total_mean = sum(result.announce_to_pay) / len(result.announce_to_pay)
+        confirm_mean = sum(result.confirm_to_pay) / len(result.confirm_to_pay)
+        assert confirm_mean < total_mean
+
+    def test_floor_formula(self, result):
+        assert result.theoretical_floor == pytest.approx(2 * 6 * 15.35)

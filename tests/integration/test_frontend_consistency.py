@@ -1,0 +1,92 @@
+"""Consistency between the two front-ends.
+
+The scheduler-driven platform and the message-driven deployment run
+the same protocol over the same substrate.  Their stochastic paths
+differ (different RNG consumption), so outcomes are not bit-identical —
+but the protocol-level facts must agree: bounties come only from
+ground truth, each flaw pays once, money is conserved, and the
+consumer-visible reference converges to the same confirmed-flaw set
+semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core import ConsumerClient, PlatformConfig, SmartCrowdPlatform
+from repro.core.stakeholders import DecentralizedDeployment
+from repro.detection import build_detector_fleet, build_system
+from repro.units import to_wei
+
+
+@pytest.fixture(scope="module")
+def both_frontends():
+    system = build_system("front-sys", vulnerability_count=3, rng=random.Random(7))
+
+    platform = SmartCrowdPlatform(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(thread_counts=(2, 5, 8), seed=99),
+        PlatformConfig(seed=99, detection_window=600.0),
+    )
+    platform.announce_release("provider-1", system, insurance_wei=to_wei(1000))
+    platform.run_for(900.0)
+    platform.finish_pending()
+
+    deployment = DecentralizedDeployment(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(thread_counts=(2, 5, 8), seed=99),
+        seed=99,
+    )
+    sra = deployment.announce("provider-1", system, insurance_ether=1000)
+    deployment.run_for(900.0)
+    return platform, deployment, sra, system
+
+
+class TestProtocolLevelAgreement:
+    def test_both_pay_bounties(self, both_frontends):
+        platform, deployment, sra, _ = both_frontends
+        platform_paid = sum(
+            s.incentives_wei for s in platform.detector_stats.values()
+        )
+        deployment_paid = deployment.contracts[sra.sra_id].total_paid_wei()
+        assert platform_paid > 0
+        assert deployment_paid > 0
+
+    def test_awards_subset_of_ground_truth_in_both(self, both_frontends):
+        platform, deployment, sra, system = both_frontends
+        truth = {flaw.key for flaw in system.ground_truth}
+        platform_contract = platform.runtime.get_contract(
+            next(iter(platform.releases.values())).contract_address
+        )
+        assert platform_contract.awarded_vulnerabilities() <= truth
+        assert deployment.contracts[sra.sra_id].awarded_vulnerabilities() <= truth
+
+    def test_at_most_once_in_both(self, both_frontends):
+        platform, deployment, sra, system = both_frontends
+        for contract in (
+            platform.runtime.get_contract(
+                next(iter(platform.releases.values())).contract_address
+            ),
+            deployment.contracts[sra.sra_id],
+        ):
+            keys = [a.vulnerability_key for a in contract.awards()]
+            assert len(keys) == len(set(keys))
+            assert contract.total_paid_wei() <= to_wei(1000)
+
+    def test_conservation_in_both(self, both_frontends):
+        platform, deployment, _, _ = both_frontends
+        for state in (platform.runtime.state, deployment.runtime.state):
+            assert state.total_supply() == state.total_minted
+
+    def test_consumer_reference_available_in_both(self, both_frontends):
+        platform, deployment, _, system = both_frontends
+        platform_ref = ConsumerClient(platform.mining.chain).lookup(
+            system.name, system.version
+        )
+        observer = next(iter(deployment.providers.values()))
+        deployment_ref = ConsumerClient(observer.chain).lookup(
+            system.name, system.version
+        )
+        assert platform_ref is not None and platform_ref.vulnerability_count > 0
+        assert deployment_ref is not None and deployment_ref.vulnerability_count > 0

@@ -1,0 +1,83 @@
+"""Property tests over whole platform runs.
+
+Whatever the announcement schedule, fleet mix, or seed, two invariants
+must survive a full run: exact ether conservation, and payout
+soundness (every paid bounty names a real, distinct ground-truth flaw
+of a release whose window was open).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core import PlatformConfig, SmartCrowdPlatform
+from repro.detection import build_detector_fleet, build_system
+
+scenario = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "releases": st.lists(
+            st.tuples(
+                st.integers(0, 4),  # provider index
+                st.integers(0, 4),  # flaw count
+                st.floats(0.0, 1200.0),  # announce time
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        "threads": st.lists(st.integers(1, 8), min_size=1, max_size=3),
+    }
+)
+
+
+@given(scenario)
+@settings(max_examples=10, deadline=None)
+def test_conservation_and_payout_soundness(config):
+    providers = sorted(PAPER_HASHPOWER_SHARES)
+    fleet = build_detector_fleet(
+        thread_counts=tuple(config["threads"]), seed=config["seed"]
+    )
+    platform = SmartCrowdPlatform(
+        PAPER_HASHPOWER_SHARES,
+        fleet,
+        PlatformConfig(seed=config["seed"], detection_window=500.0),
+    )
+    rng = random.Random(config["seed"])
+    systems = []
+    for index, (provider_index, flaws, at_time) in enumerate(config["releases"]):
+        system = build_system(
+            f"prop-sys-{index}",
+            vulnerability_count=flaws,
+            rng=random.Random(rng.randrange(2**31)),
+        )
+        systems.append(system)
+        platform.announce_release(
+            providers[provider_index], system, at_time=at_time
+        )
+    platform.run_until(2000.0)
+    platform.finish_pending()
+
+    # Invariant 1: exact ether conservation.
+    state = platform.runtime.state
+    assert state.total_supply() == state.total_minted
+
+    # Invariant 2: payouts are sound and at-most-once per flaw.
+    for case in platform.releases.values():
+        contract = platform.runtime.get_contract(case.contract_address)
+        truth = {flaw.key for flaw in case.system.ground_truth}
+        awarded = contract.awarded_vulnerabilities()
+        assert awarded <= truth
+        assert contract.total_paid_wei() <= case.sra.body.insurance_wei
+
+    # Invariant 3: clean releases were refunded in full, vulnerable
+    # ones (with at least one award) forfeited.
+    for case in platform.releases.values():
+        if not case.closed:
+            continue
+        contract = platform.runtime.get_contract(case.contract_address)
+        if contract.awarded_vulnerabilities():
+            assert case.refunded_wei == 0
+        else:
+            assert case.refunded_wei == case.sra.body.insurance_wei

@@ -1,0 +1,104 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.network.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(2.0, lambda: fired.append("middle"))
+        sim.run()
+        assert fired == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_callback_args_kwargs(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.0, lambda a, b=0: seen.append((a, b)), 1, b=2)
+        sim.run()
+        assert seen == [(1, 2)]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestControl:
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 2
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        count = sim.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_then_run_continues(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run_until(2.0)
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        seen = []
+        sim.schedule_at(12.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.0]

@@ -1,0 +1,47 @@
+"""Tests for the length-prefixed payload codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codec import CodecError, pack, unpack
+
+
+class TestPackUnpack:
+    def test_round_trip(self):
+        fields = [b"", b"abc", b"\x00" * 5, b"\xff"]
+        assert unpack(pack(fields), 4) == fields
+
+    def test_empty(self):
+        assert unpack(pack([]), 0) == []
+
+    def test_delimiter_bytes_survive(self):
+        fields = [b"|", b"\x1f\x1e", b"a|b|c"]
+        assert unpack(pack(fields), 3) == fields
+
+    def test_wrong_arity_rejected(self):
+        payload = pack([b"a", b"b"])
+        with pytest.raises(CodecError):
+            unpack(payload, 3)
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(CodecError):
+            unpack(b"\x00\x00", 1)
+
+    def test_overrun_rejected(self):
+        with pytest.raises(CodecError):
+            unpack(b"\x00\x00\x00\x05abc", 1)
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            pack(["text"])
+
+    @given(st.lists(st.binary(max_size=64), max_size=10))
+    def test_property_round_trip(self, fields):
+        assert unpack(pack(fields), len(fields)) == fields
+
+    @given(st.lists(st.binary(max_size=16), min_size=1, max_size=6))
+    def test_property_injective(self, fields):
+        shifted = fields[1:] + fields[:1]
+        if shifted != fields:
+            assert pack(fields) != pack(shifted)

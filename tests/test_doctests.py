@@ -1,0 +1,33 @@
+"""Keep the executable documentation honest."""
+
+import doctest
+
+import repro
+import repro.crypto.hashing
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_readme_quickstart_executes():
+    # The README's quickstart block, verbatim.
+    from repro import SmartCrowdPlatform, PlatformConfig, ConsumerClient, to_wei
+    from repro.chain import PAPER_HASHPOWER_SHARES
+    from repro.detection import build_detector_fleet, build_system
+
+    platform = SmartCrowdPlatform(
+        provider_shares=PAPER_HASHPOWER_SHARES,
+        detectors=build_detector_fleet(),
+        config=PlatformConfig(seed=7),
+    )
+    firmware = build_system("smart-camera", "2.4.1", vulnerability_count=3)
+    platform.announce_release("provider-3", firmware, insurance_wei=to_wei(1000))
+    platform.run_for(1500.0)
+    platform.finish_pending()
+
+    consumer = ConsumerClient(platform.mining.chain)
+    assert consumer.lookup("smart-camera", "2.4.1").vulnerability_count == 3
+    assert consumer.should_deploy("smart-camera", "2.4.1") is False

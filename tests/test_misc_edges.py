@@ -1,0 +1,89 @@
+"""Edge cases across modules that the focused suites don't reach."""
+
+import random
+
+import pytest
+
+from repro.chain.retarget import RetargetingMiner
+from repro.contracts.explorer import Explorer
+from repro.contracts.vm import ContractRuntime
+from repro.crypto.keys import KeyPair
+from repro.experiments.fig3 import run_fig3b
+from repro.network.messages import Message, MessageKind
+from repro.network.node import Node
+
+
+class TestNodeEdges:
+    def test_send_without_network_raises(self):
+        node = Node("loner")
+        with pytest.raises(RuntimeError):
+            node.send("anyone", MessageKind.CONTROL, "x")
+
+    def test_delivered_count_increments(self):
+        node = Node("counter")
+        node.deliver(Message.wrap(MessageKind.CONTROL, "a", "x"))
+        node.deliver(Message.wrap(MessageKind.CONTROL, "b", "x"))
+        assert node.delivered_count == 2
+
+    def test_multiple_handlers_all_fire(self):
+        node = Node("multi")
+        calls = []
+        node.on(MessageKind.CONTROL, lambda n, m: calls.append(1))
+        node.on(MessageKind.CONTROL, lambda n, m: calls.append(2))
+        node.deliver(Message.wrap(MessageKind.CONTROL, "x", "y"))
+        assert calls == [1, 2]
+
+    def test_unhandled_kind_ignored(self):
+        node = Node("deaf")
+        node.deliver(Message.wrap(MessageKind.SRA_ANNOUNCE, "x", "y"))
+        assert node.delivered_count == 1  # delivered, no handler, no crash
+
+    def test_default_keys_derived_from_name(self):
+        assert Node("stable").keys.address == Node("stable").keys.address
+
+
+class TestRetargetEdges:
+    def test_recent_mean_before_mining_raises(self):
+        miner = RetargetingMiner({"solo": 10.0}, initial_difficulty=100)
+        with pytest.raises(ValueError):
+            miner.recent_mean_interval()
+
+    def test_epoch_buffer_flushes_on_boundary(self):
+        miner = RetargetingMiner(
+            {"solo": 10.0}, initial_difficulty=1000, scheme="epoch",
+            epoch_length=4, rng=random.Random(0),
+        )
+        miner.run_blocks(4)
+        # After exactly one epoch, the buffer is empty and difficulty
+        # has been retargeted at least once.
+        assert miner.history[-1].difficulty == 1000  # recorded pre-adjust
+        miner.run_blocks(1)
+        assert miner.history[-1].difficulty != 1000 or miner.difficulty != 1000
+
+
+class TestExplorerEdges:
+    def test_empty_runtime_views(self):
+        explorer = Explorer(ContractRuntime())
+        assert explorer.release_statements() == []
+        assert explorer.top_detectors() == []
+        assert explorer.vulnerable_release_fraction() == 0.0
+        assert explorer.isolation_events() == []
+
+    def test_statement_for_unknown_wallet_empty(self):
+        explorer = Explorer(ContractRuntime())
+        wallet = KeyPair.from_seed(b"nobody").address
+        statement = explorer.detector_statement(wallet)
+        assert statement.total_earned_wei == 0
+        assert statement.vulnerabilities_found == ()
+
+
+class TestFig3Edges:
+    def test_histogram_covers_all_samples(self):
+        result = run_fig3b(blocks=200)
+        counted = sum(count for _, count in result.histogram())
+        assert counted == 200
+
+    def test_histogram_overflow_bucket(self):
+        result = run_fig3b(blocks=400)
+        labels = [label for label, _ in result.histogram(bucket=1.0, buckets=3)]
+        assert labels[-1].startswith(">=")

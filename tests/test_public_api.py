@@ -1,0 +1,58 @@
+"""Public-API integrity: every ``__all__`` name resolves.
+
+Catches drift between package ``__init__`` re-export lists and the
+modules behind them — the failure mode of a large many-module library.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.adversary",
+    "repro.analysis",
+    "repro.chain",
+    "repro.contracts",
+    "repro.core",
+    "repro.crypto",
+    "repro.detection",
+    "repro.experiments",
+    "repro.network",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_sorted(package_name):
+    package = importlib.import_module(package_name)
+    exported = list(package.__all__)
+    assert exported == sorted(exported), f"{package_name}.__all__ not sorted"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_items_documented(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__, f"{package_name} lacks a module docstring"
+    for name in package.__all__:
+        item = getattr(package, name)
+        if callable(item) or isinstance(item, type):
+            assert getattr(item, "__doc__", None), (
+                f"{package_name}.{name} lacks a docstring"
+            )
+
+
+def test_experiments_main_runners_importable():
+    from repro.experiments.__main__ import RUNNERS
+
+    labels = [label for label, _ in RUNNERS]
+    assert "Table I" in labels
+    assert all(callable(runner) for _, runner in RUNNERS)

@@ -1,0 +1,127 @@
+"""Tests for the web3-style RPC facade."""
+
+import random
+
+import pytest
+
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core import PlatformConfig, SmartCrowdPlatform
+from repro.detection import build_detector_fleet, build_system
+from repro.rpc import RpcError, Web3Shim
+from repro.units import to_wei
+
+
+@pytest.fixture(scope="module")
+def connected():
+    platform = SmartCrowdPlatform(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(thread_counts=(4, 8), seed=95),
+        PlatformConfig(seed=95, detection_window=600.0),
+    )
+    system = build_system("rpc-sys", vulnerability_count=2, rng=random.Random(1))
+    sra = platform.announce_release("provider-1", system, insurance_wei=to_wei(1000))
+    platform.run_for(900.0)
+    platform.finish_pending()
+    return platform, Web3Shim.connect(platform), sra
+
+
+class TestChainReads:
+    def test_is_connected(self, connected):
+        _, w3, _ = connected
+        assert w3.is_connected()
+
+    def test_block_number_matches_chain(self, connected):
+        platform, w3, _ = connected
+        assert w3.eth.block_number == platform.mining.chain.height
+
+    def test_get_block_latest_and_earliest(self, connected):
+        _, w3, _ = connected
+        latest = w3.eth.get_block("latest")
+        earliest = w3.eth.get_block("earliest")
+        assert latest["number"] == w3.eth.block_number
+        assert earliest["number"] == 0
+
+    def test_get_block_by_height_and_hash(self, connected):
+        _, w3, _ = connected
+        by_height = w3.eth.get_block(3)
+        by_hash = w3.eth.get_block(by_height["hash"])
+        assert by_hash == by_height
+
+    def test_blocks_link_by_parent_hash(self, connected):
+        _, w3, _ = connected
+        child = w3.eth.get_block(5)
+        parent = w3.eth.get_block(4)
+        assert child["parentHash"] == parent["hash"]
+
+    def test_unknown_height_raises(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError):
+            w3.eth.get_block(10**9)
+
+    def test_bad_hash_raises(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError):
+            w3.eth.get_block("0xzznothex")
+
+
+class TestTransactionReads:
+    def test_sra_record_lookup(self, connected):
+        _, w3, sra = connected
+        tx = w3.eth.get_transaction(sra.sra_id)
+        assert tx["kind"] == "sra"
+        assert tx["confirmations"] > 0
+        assert tx["blockNumber"] >= 1
+
+    def test_hex_form_accepted(self, connected):
+        _, w3, sra = connected
+        tx = w3.eth.get_transaction("0x" + sra.sra_id.hex())
+        assert tx["hash"] == "0x" + sra.sra_id.hex()
+
+    def test_unknown_transaction_raises(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError):
+            w3.eth.get_transaction(b"\x00" * 32)
+
+
+class TestAccountsAndLogs:
+    def test_get_balance_matches_state(self, connected):
+        platform, w3, _ = connected
+        address = platform.provider_keys["provider-1"].address
+        assert w3.eth.get_balance(address) == platform.runtime.state.balance(address)
+
+    def test_get_balance_hex_form(self, connected):
+        platform, w3, _ = connected
+        address = platform.provider_keys["provider-2"].address
+        assert w3.eth.get_balance(address.hex()) == w3.eth.get_balance(address)
+
+    def test_logs_filterable(self, connected):
+        _, w3, _ = connected
+        paid = w3.eth.get_logs("BountyPaid")
+        assert paid
+        assert all(entry["event"] == "BountyPaid" for entry in paid)
+        assert len(w3.eth.get_logs()) >= len(paid)
+
+
+class TestContractInteraction:
+    def test_deploy_and_call_roundtrip(self, connected):
+        platform, w3, _ = connected
+        from repro.contracts.smartcrowd_contract import SmartCrowdContract
+
+        provider = platform.provider_keys["provider-3"]
+        contract = SmartCrowdContract(
+            sra_id=b"\x66" * 32,
+            provider=provider.address,
+            bounty_per_vulnerability_wei=to_wei(10),
+            detection_window=600.0,
+            trigger_authority=provider.address,
+        )
+        receipt = w3.eth.deploy_contract(
+            contract, provider.address, value_wei=to_wei(100)
+        )
+        assert receipt.success
+        assert w3.eth.get_balance(receipt.contract) == to_wei(100)
+        call = w3.eth.call_contract(
+            receipt.contract.hex(), "confirm_initial_report", provider.address,
+            "det-x", provider.address, b"\x01" * 32,
+        )
+        assert call.success and call.return_value is True

@@ -1,0 +1,31 @@
+"""Tests for currency unit conversions."""
+
+import pytest
+from fractions import Fraction
+
+from repro.units import ETHER, GWEI, format_ether, from_wei, to_wei
+
+
+class TestConversions:
+    def test_integer_ether(self):
+        assert to_wei(5) == 5 * 10**18
+
+    def test_float_ether_exact(self):
+        # The paper's 0.095-ether cost must convert exactly.
+        assert to_wei(0.095) == 95 * 10**15
+
+    def test_report_cost_exact(self):
+        assert to_wei(0.011) == 11 * 10**15
+
+    def test_fraction_input(self):
+        assert to_wei(Fraction(1, 4)) == 25 * 10**16
+
+    def test_gwei_unit(self):
+        assert to_wei(100, GWEI) == 100 * 10**9
+
+    def test_round_trip(self):
+        assert from_wei(to_wei(3.5)) == pytest.approx(3.5)
+
+    def test_format(self):
+        assert format_ether(to_wei(5)) == "5.0000 ETH"
+        assert format_ether(to_wei(0.095)) == "0.0950 ETH"

@@ -235,6 +235,25 @@ class Blockchain:
         """The set of record ids on the canonical chain (mempool dedup)."""
         return set(self._record_index)
 
+    def record_on_branch(self, record_id: bytes, tip_id: bytes) -> bool:
+        """True if the record appears in ``tip_id``'s ancestry (inclusive).
+
+        The duplicate-record rule must be judged against the branch a
+        block extends, not the validator's current canonical chain —
+        the same record legitimately exists on both sides of a fork
+        (mined independently during a partition, or resubmitted after a
+        reorg), and a validator wedged on the lighter side must still
+        be able to adopt the heavier branch.
+        """
+        cursor = self._blocks.get(tip_id)
+        while cursor is not None:
+            if any(record.record_id == record_id for record in cursor.records):
+                return True
+            if cursor.height == 0:
+                return False
+            cursor = self._blocks.get(cursor.header.prev_block_id)
+        return False
+
     def blocks_mined_by(self, miner: Address) -> List[Block]:
         """Canonical blocks credited to ``miner`` (χ in Eq. 8)."""
         return [
@@ -242,6 +261,44 @@ class Blockchain:
             for block in self.iter_canonical()
             if block.header.miner == miner and block.height > 0
         ]
+
+    def fork_point(self, block_id: bytes) -> Optional[bytes]:
+        """Nearest ancestor of ``block_id`` on the canonical chain.
+
+        For a canonical block this is the block itself; for an unknown
+        block it is None.  Used after reorgs and restarts to find where
+        an abandoned branch diverged from the adopted one.
+        """
+        block = self._blocks.get(block_id)
+        while block is not None:
+            if self.is_canonical(block.block_id):
+                return block.block_id
+            block = self._blocks.get(block.header.prev_block_id)
+        return None
+
+    def orphaned_records(self, old_head_id: bytes) -> List[ChainRecord]:
+        """Records stranded on the branch ending at ``old_head_id``.
+
+        Walks from the abandoned tip down to its fork point with the
+        current canonical chain and returns, oldest first, every record
+        that is *not* also present on the canonical chain — these are
+        the transactions a node must resubmit to its mempool after a
+        reorg (or after adopting a heavier chain during resync), so no
+        confirmed-then-reorged report silently disappears.
+        """
+        fork = self.fork_point(old_head_id)
+        if fork is None or fork == old_head_id:
+            return []
+        canonical_ids = self.record_ids_on_canonical()
+        stranded: List[ChainRecord] = []
+        block = self._blocks[old_head_id]
+        while block.block_id != fork:
+            for record in reversed(block.records):
+                if record.record_id not in canonical_ids:
+                    stranded.append(record)
+            block = self._blocks[block.header.prev_block_id]
+        stranded.reverse()
+        return stranded
 
     def fork_ids(self) -> Tuple[bytes, ...]:
         """Ids of stored blocks that are NOT canonical (side branches)."""

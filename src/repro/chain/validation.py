@@ -110,10 +110,15 @@ class BlockValidator:
             seen_ids.add(record.record_id)
 
         if not errors:
+            # Judged against the branch this block extends (not the
+            # validator's canonical chain): the same record may exist on
+            # both sides of a fork, and adopting the heavier side must
+            # stay possible.
             for record in block.records:
-                existing = chain.locate_record(record.record_id)
-                if existing is not None:
-                    errors.append("record already on canonical chain")
+                if chain.record_on_branch(
+                    record.record_id, block.header.prev_block_id
+                ):
+                    errors.append("record already on this branch")
                     break
 
         if self._record_validator is not None and not errors:

@@ -44,6 +44,12 @@ class ReplicaNode(Node):
     buffers orphans whose parent has not arrived yet, and serves as the
     mining context (new blocks extend *this* replica's head — two
     replicas with divergent views naturally produce forks).
+
+    The replica also supports the crash/restart lifecycle: the chain is
+    durable (it survives a crash, like a database on disk), and on
+    restart the node performs a headers-first resync from its best
+    reachable peer — the chain-is-the-reference recovery the paper's
+    fault-tolerance claim rests on (§V-C).
     """
 
     def __init__(
@@ -63,6 +69,9 @@ class ReplicaNode(Node):
         self._orphans: Dict[bytes, List[Block]] = {}
         self.blocks_accepted = 0
         self.blocks_rejected = 0
+        self.resyncs_performed = 0
+        self.blocks_resynced = 0
+        self._resyncing = False
         self.on(MessageKind.BLOCK_ANNOUNCE, self._on_block_message)
 
     # -- receive path -----------------------------------------------------
@@ -76,17 +85,41 @@ class ReplicaNode(Node):
             return
         if block.header.prev_block_id not in self.chain:
             self._orphans.setdefault(block.header.prev_block_id, []).append(block)
+            # A block more than one ahead of our head means we missed
+            # at least one announcement for good (burst loss, crash of
+            # every relayer).  Waiting would strand us forever, so pull
+            # the gap from the heaviest reachable peer instead — the
+            # same headers-first walk used after a restart.
+            if block.height > self.chain.height + 1 and not self._resyncing:
+                peer = self._best_peer()
+                if (
+                    peer is not None
+                    and peer.chain.total_difficulty() > self.chain.total_difficulty()
+                ):
+                    self._resyncing = True
+                    try:
+                        self.resync_from(peer)
+                    finally:
+                        self._resyncing = False
             return
         result = self.validator.validate(block, self.chain)
         if not result.ok:
             self.blocks_rejected += 1
             return
+        old_head_id = self.chain.head.block_id
         try:
-            self.chain.add_block(block)
+            head_moved = self.chain.add_block(block)
         except ChainError:
             self.blocks_rejected += 1
             return
         self.blocks_accepted += 1
+        if head_moved and block.header.prev_block_id != old_head_id:
+            # Reorg: the old branch was abandoned.  Records that only
+            # existed there must go back to the mempool (subclasses that
+            # mine hook this to resubmit).
+            stranded = self.chain.orphaned_records(old_head_id)
+            if stranded:
+                self._on_records_orphaned(stranded)
         self._adopt_orphans(block.block_id)
 
     def _adopt_orphans(self, parent_id: bytes) -> None:
@@ -94,6 +127,64 @@ class ReplicaNode(Node):
         children = self._orphans.pop(parent_id, [])
         for child in children:
             self.receive_block(child)
+
+    def _on_records_orphaned(self, records: List[ChainRecord]) -> None:
+        """Hook: records fell off the canonical chain in a reorg."""
+
+    # -- crash recovery ----------------------------------------------------
+
+    def on_restarted(self) -> None:
+        """Headers-first chain resync from the best reachable peer."""
+        peer = self._best_peer()
+        if peer is not None:
+            self.resync_from(peer)
+
+    def _best_peer(self) -> Optional["ReplicaNode"]:
+        """The reachable, alive neighbor with the heaviest chain."""
+        network = self.network
+        if network is None or not hasattr(network, "neighbors"):
+            return None
+        best: Optional[ReplicaNode] = None
+        for peer_name in network.neighbors(self.name):
+            try:
+                peer = network.node(peer_name)
+            except KeyError:
+                continue
+            if getattr(peer, "crashed", False):
+                continue
+            peer_chain = getattr(peer, "chain", None)
+            if peer_chain is None:
+                continue
+            if best is None or peer_chain.total_difficulty() > best.chain.total_difficulty():
+                best = peer
+        return best
+
+    def resync_from(self, peer: "ReplicaNode") -> int:
+        """Adopt the peer's canonical chain, headers first.
+
+        Walks the peer's headers back from its tip until hitting a
+        block this replica already stores (the sync locator), then
+        fetches and validates the missing bodies oldest-first.  A
+        heavier adopted branch triggers the normal reorg path, so
+        stranded records are resubmitted via
+        :meth:`_on_records_orphaned`.  Returns the number of blocks
+        fetched.
+        """
+        peer_chain = peer.chain
+        if peer_chain.head.block_id in self.chain:
+            return 0  # already have the peer's tip: nothing to fetch
+        missing: List[Block] = []
+        cursor: Optional[Block] = peer_chain.head
+        while cursor is not None and cursor.block_id not in self.chain:
+            missing.append(cursor)
+            cursor = peer_chain.get_block(cursor.header.prev_block_id)
+        fetched = 0
+        for block in reversed(missing):
+            self.receive_block(block)
+            fetched += 1
+        self.resyncs_performed += 1
+        self.blocks_resynced += fetched
+        return fetched
 
     # -- mine path ---------------------------------------------------------
 
@@ -196,11 +287,26 @@ class DistributedChain:
 
     # -- drive ---------------------------------------------------------------
 
-    def step(self) -> Block:
-        """One mining round: advance time, mine on the winner's head."""
+    def crash(self, name: str) -> None:
+        """Crash a replica: it stops receiving blocks and cannot mine."""
+        self.replicas[name].crash()
+
+    def restart(self, name: str) -> None:
+        """Restart a replica; it resyncs its chain from reachable peers."""
+        self.replicas[name].restart()
+
+    def step(self) -> Optional[Block]:
+        """One mining round: advance time, mine on the winner's head.
+
+        Returns None when the sampled winner is crashed — its hashpower
+        is offline, so that round produces no block (time still
+        advances and in-flight gossip still settles).
+        """
         outcome = self.model.next_block()
         self.simulator.run_until(self.simulator.now + outcome.interval)
         winner = self.replicas[outcome.winner]
+        if winner.crashed:
+            return None
         if outcome.winner in self.byzantine:
             queued = self._byzantine_queue[outcome.winner]
             records = tuple(queued.records)
@@ -217,8 +323,8 @@ class DistributedChain:
         self.blocks_mined += 1
         return block
 
-    def run_blocks(self, count: int) -> List[Block]:
-        """Mine ``count`` rounds."""
+    def run_blocks(self, count: int) -> List[Optional[Block]]:
+        """Mine ``count`` rounds (entries are None for crashed winners)."""
         return [self.step() for _ in range(count)]
 
     def settle(self) -> None:

@@ -105,6 +105,8 @@ class ProviderStakeholder(ReplicaNode):
         #: report id -> accepted initial report (needed to check R*).
         self.known_initials: Dict[bytes, InitialReport] = {}
         self.rejected_messages = 0
+        self.records_resubmitted = 0
+        self.mempool_records_revalidated = 0
         self.on(MessageKind.SRA_ANNOUNCE, self._on_sra)
         self.on(MessageKind.INITIAL_REPORT, self._on_initial)
         self.on(MessageKind.DETAILED_REPORT, self._on_detailed)
@@ -196,10 +198,61 @@ class ProviderStakeholder(ReplicaNode):
         self.broadcast(MessageKind.BLOCK_ANNOUNCE, block)
         return block
 
+    # -- fault recovery ---------------------------------------------------------
+
+    def _on_records_orphaned(self, records) -> None:
+        """Reorg stranded mined records: resubmit them to the mempool.
+
+        Without this, a report mined on the losing side of a fork (e.g.
+        during a partition) would vanish when the heavier branch wins —
+        the detector would be charged its submission without the chain
+        ever carrying the result.
+        """
+        self.records_resubmitted += self.mempool.add_all(records)
+
+    def on_restarted(self) -> None:
+        """Recover after a crash: chain resync, then rebuild from it.
+
+        The chain is the authoritative reference (§V-C): after the
+        headers-first resync, the provider reconstructs its SRA and
+        initial-report views from canonical records it may have missed
+        while down, and re-validates the mempool against the adopted
+        chain (anything already canonical is dropped).
+        """
+        super().on_restarted()  # headers-first resync from best peer
+        for block in self.chain.iter_canonical():
+            for record in block.records:
+                if record.kind == RecordKind.SRA and record.record_id not in self.known_sras:
+                    sra = SignedSRA.from_payload(record.payload)
+                    self.known_sras[sra.sra_id] = sra
+                elif (
+                    record.kind == RecordKind.INITIAL_REPORT
+                    and record.record_id not in self.known_initials
+                ):
+                    initial = InitialReport.from_payload(record.payload)
+                    self.known_initials[initial.report_id] = initial
+        mined = [
+            record_id
+            for record_id in self.mempool.pending_ids()
+            if self.chain.locate_record(record_id) is not None
+        ]
+        self.mempool_records_revalidated += self.mempool.prune(mined)
+
 
 class DetectorStakeholder(Node):
     """A detector: scan on SRA arrival, two-phase submission by watching
-    block announcements for its own R† burial depth."""
+    block announcements for its own R† burial depth.
+
+    With a retry policy attached (see :mod:`repro.faults.retry`), the
+    two-phase submission becomes fault tolerant: if a gossiped R† or R*
+    does not show up on-chain within the policy deadline, the detector
+    re-gossips a salted retransmission with exponential backoff and
+    jitter, and polls a reachable replica's canonical chain (SPV-style
+    catch-up) so that block announcements lost to crashes or drops
+    cannot stall phase II.  Retries are idempotent — report ids are
+    content-derived and every downstream layer deduplicates — so a
+    retransmission can never double-pay a fee or a bounty.
+    """
 
     def __init__(
         self,
@@ -208,19 +261,33 @@ class DetectorStakeholder(Node):
         directory: SystemDirectory,
         confirmation_depth: int = 6,
         keys: Optional[KeyPair] = None,
+        retry_policy=None,
     ) -> None:
         super().__init__(engine.detector_id, keys)
         self.engine = engine
         self.simulator = simulator
         self.directory = directory
         self.confirmation_depth = confirmation_depth
+        #: None disables retries (the pre-chaos fire-and-forget mode).
+        self.retry_policy = retry_policy
+        self._retry_rng = random.Random(f"retry:{engine.detector_id}")
         #: initial report id -> pending detailed report
         self._pending_detailed: Dict[bytes, DetailedReport] = {}
+        #: initial report id -> the initial report (kept for re-gossip)
+        self._pending_initial: Dict[bytes, InitialReport] = {}
+        #: published detailed reports awaiting on-chain confirmation
+        self._awaiting_detailed: Dict[bytes, DetailedReport] = {}
         #: record id -> height at which it was seen in a block
         self._record_heights: Dict[bytes, int] = {}
         self._max_height_seen = 0
         self._published: Set[bytes] = set()
+        #: ids of every detailed report this detector has published
+        self.detailed_ids: Set[bytes] = set()
         self.scans = 0
+        self.initial_retries = 0
+        self.detailed_retries = 0
+        self.submissions_deferred = 0
+        self.reports_abandoned = 0
         self.on(MessageKind.SRA_ANNOUNCE, self._on_sra)
         self.on(MessageKind.BLOCK_ANNOUNCE, self._on_block)
 
@@ -237,7 +304,18 @@ class DetectorStakeholder(Node):
                 finding.found_after, self._submit_initial, sra, finding
             )
 
-    def _submit_initial(self, sra: SignedSRA, finding) -> None:
+    def _submit_initial(self, sra: SignedSRA, finding, attempt: int = 0) -> None:
+        if self.crashed:
+            # The submission timer fired on a dead process.  With a
+            # retry policy the submission itself is deferred until the
+            # node is (hopefully) back; without one it is simply lost.
+            if self.retry_policy is not None and not self.retry_policy.exhausted(attempt):
+                self.submissions_deferred += 1
+                self.simulator.schedule(
+                    self.retry_policy.deadline,
+                    self._submit_initial, sra, finding, attempt + 1,
+                )
+            return
         initial, detailed = build_report_pair(
             sra_id=sra.sra_id,
             detector_id=self.engine.detector_id,
@@ -246,21 +324,131 @@ class DetectorStakeholder(Node):
             descriptions=(finding.description,),
         )
         self._pending_detailed[initial.report_id] = detailed
+        self._pending_initial[initial.report_id] = initial
         self.broadcast(MessageKind.INITIAL_REPORT, initial)
+        if self.retry_policy is not None:
+            self.simulator.schedule(
+                self.retry_policy.deadline, self._check_initial,
+                initial.report_id, 0,
+            )
 
     def _on_block(self, _node: Node, message: Message) -> None:
         block: Block = message.payload
         self._max_height_seen = max(self._max_height_seen, block.height)
         for record in block.records:
             self._record_heights.setdefault(record.record_id, block.height)
-        # Publish R* for every committed R† now buried deep enough.
+        self._maybe_publish()
+
+    def _maybe_publish(self) -> None:
+        """Publish R* for every committed R† now buried deep enough."""
         for initial_id, detailed in list(self._pending_detailed.items()):
             seen_at = self._record_heights.get(initial_id)
             if seen_at is None or initial_id in self._published:
                 continue
             if self._max_height_seen - seen_at >= self.confirmation_depth:
                 self._published.add(initial_id)
+                self.detailed_ids.add(detailed.report_id)
+                self._awaiting_detailed[detailed.report_id] = detailed
                 self.broadcast(MessageKind.DETAILED_REPORT, detailed)
+                if self.retry_policy is not None:
+                    self.simulator.schedule(
+                        self.retry_policy.deadline, self._check_detailed,
+                        detailed.report_id, 0,
+                    )
+
+    # -- retrying two-phase submission (§V-B under faults) --------------------
+
+    def _check_initial(self, initial_id: bytes, attempt: int) -> None:
+        """Deadline check: is our R† on-chain yet?  Re-gossip if not."""
+        policy = self.retry_policy
+        if policy is None or initial_id in self._published:
+            return
+        if self.crashed:
+            if not policy.exhausted(attempt):
+                self.simulator.schedule(
+                    policy.deadline, self._check_initial, initial_id, attempt + 1
+                )
+            return
+        self._catch_up()
+        if initial_id in self._record_heights:
+            return  # mined; phase II proceeds from _maybe_publish
+        if policy.exhausted(attempt):
+            self.reports_abandoned += 1
+            return
+        initial = self._pending_initial.get(initial_id)
+        if initial is None:
+            return
+        self.initial_retries += 1
+        self.broadcast(MessageKind.INITIAL_REPORT, initial, salt=attempt + 1)
+        self.simulator.schedule(
+            policy.backoff(attempt, self._retry_rng),
+            self._check_initial, initial_id, attempt + 1,
+        )
+
+    def _check_detailed(self, detailed_id: bytes, attempt: int) -> None:
+        """Deadline check: is our published R* on-chain yet?"""
+        policy = self.retry_policy
+        if policy is None:
+            return
+        if self.crashed:
+            if not policy.exhausted(attempt):
+                self.simulator.schedule(
+                    policy.deadline, self._check_detailed, detailed_id, attempt + 1
+                )
+            return
+        self._catch_up()
+        if detailed_id in self._record_heights:
+            self._awaiting_detailed.pop(detailed_id, None)
+            return  # confirmed: done with this report
+        if policy.exhausted(attempt):
+            self.reports_abandoned += 1
+            return
+        detailed = self._awaiting_detailed.get(detailed_id)
+        if detailed is None:
+            return
+        self.detailed_retries += 1
+        self.broadcast(MessageKind.DETAILED_REPORT, detailed, salt=attempt + 1)
+        self.simulator.schedule(
+            policy.backoff(attempt, self._retry_rng),
+            self._check_detailed, detailed_id, attempt + 1,
+        )
+
+    def _catch_up(self) -> bool:
+        """SPV-style poll: refresh record heights from the heaviest
+        reachable replica's canonical chain.
+
+        Block announcements the detector missed (crashed, partitioned,
+        or dropped) would otherwise leave ``_record_heights`` stale and
+        stall phase II forever.
+        """
+        network = self.network
+        if network is None or not hasattr(network, "neighbors"):
+            return False
+        best = None
+        for peer_name in network.neighbors(self.name):
+            try:
+                peer = network.node(peer_name)
+            except KeyError:
+                continue
+            if getattr(peer, "crashed", False):
+                continue
+            chain = getattr(peer, "chain", None)
+            if chain is None:
+                continue
+            if best is None or chain.total_difficulty() > best.total_difficulty():
+                best = chain
+        if best is None:
+            return False
+        for block in best.iter_canonical():
+            self._max_height_seen = max(self._max_height_seen, block.height)
+            for record in block.records:
+                self._record_heights.setdefault(record.record_id, block.height)
+        self._maybe_publish()
+        return True
+
+    def on_restarted(self) -> None:
+        """Catch up with the chain the moment the process is back."""
+        self._catch_up()
 
 
 class ConsumerStakeholder(Node):
@@ -302,6 +490,7 @@ class DecentralizedDeployment:
         detection_window: float = 600.0,
         latency: LatencyModel = DEFAULT_LATENCY,
         seed: int = 0,
+        retry_policy=None,
     ) -> None:
         rng = random.Random(seed)
         self.simulator = Simulator()
@@ -349,6 +538,7 @@ class DecentralizedDeployment:
             stakeholder = DetectorStakeholder(
                 engine, self.simulator, self.directory,
                 confirmation_depth=confirmation_depth, keys=keys,
+                retry_policy=retry_policy,
             )
             self.detectors[engine.detector_id] = stakeholder
             self.network.attach(stakeholder)
@@ -420,13 +610,18 @@ class DecentralizedDeployment:
                 return mined
             self.simulator.run_until(when)
             winner = self.providers[outcome.winner]
+            if winner.crashed:
+                # The sampled winner's hashpower is offline: its block is
+                # simply never found.  Time still advances.
+                continue
             winner.mine(when, self._difficulty)
             mined += 1
             self._fire_confirmations()
 
     def _fire_confirmations(self) -> None:
         """Trigger contracts for records the observer sees as confirmed."""
-        chain = self._observer.chain
+        observer = self._alive_observer()
+        chain = observer.chain
         self.runtime.advance_time(
             max(self.runtime.block_time, self.simulator.now)
         )
@@ -460,6 +655,30 @@ class DecentralizedDeployment:
                     report.vulnerability_keys(), True,
                 )
 
+    def _alive_observer(self) -> ProviderStakeholder:
+        """The designated observer, or any alive replica if it crashed.
+
+        Confirmation triggers only need *some* honest replica's view;
+        the ``_triggered`` set keeps them once-only regardless of which
+        replica's chain fires them.
+        """
+        if not self._observer.crashed:
+            return self._observer
+        for provider in self.providers.values():
+            if not provider.crashed:
+                return provider
+        return self._observer  # everyone down: fall back to the default
+
+    # -- fault control --------------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        """Crash a stakeholder process (provider or detector) by name."""
+        self.network.crash_node(name)
+
+    def restart(self, name: str) -> None:
+        """Restart a crashed stakeholder; its recovery hooks run."""
+        self.network.restart_node(name)
+
     # -- views ---------------------------------------------------------------
 
     def detector_balance(self, detector_id: str) -> int:
@@ -467,6 +686,32 @@ class DecentralizedDeployment:
         return self.runtime.state.balance(self.detectors[detector_id].keys.address)
 
     def converged(self) -> bool:
-        """True if all provider replicas share one head."""
-        heads = {p.head_id() for p in self.providers.values()}
-        return len(heads) == 1
+        """True if all alive provider replicas share one head."""
+        heads = {p.head_id() for p in self.providers.values() if not p.crashed}
+        return len(heads) <= 1
+
+    def summary(self) -> Dict[str, object]:
+        """Network transport stats merged with deployment counters."""
+        stats = self.network.summary()
+        stats.update(
+            chain_heights={
+                name: provider.chain.height
+                for name, provider in self.providers.items()
+            },
+            records_resubmitted=sum(
+                p.records_resubmitted for p in self.providers.values()
+            ),
+            resyncs_performed=sum(
+                p.resyncs_performed for p in self.providers.values()
+            ),
+            initial_retries=sum(
+                d.initial_retries for d in self.detectors.values()
+            ),
+            detailed_retries=sum(
+                d.detailed_retries for d in self.detectors.values()
+            ),
+            reports_abandoned=sum(
+                d.reports_abandoned for d in self.detectors.values()
+            ),
+        )
+        return stats

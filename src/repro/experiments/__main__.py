@@ -29,6 +29,7 @@ from repro.experiments.capability_curve import (
     run_capability_curve,
     run_fleet_composition,
 )
+from repro.experiments.chaos import run_chaos_gauntlet
 from repro.experiments.forks import run_fork_rate
 from repro.experiments.latency import run_payout_latency
 
@@ -49,6 +50,7 @@ RUNNERS = [
     ("§VIII fleet composition", run_fleet_composition),
     ("Payout latency", run_payout_latency),
     ("Fork rate", run_fork_rate),
+    ("Chaos gauntlet", run_chaos_gauntlet),
 ]
 
 

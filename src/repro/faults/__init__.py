@@ -1,0 +1,40 @@
+"""Fault injection, recovery, and post-chaos invariants (§V-C).
+
+The chaos harness for the SmartCrowd reproduction: declarative fault
+schedules (:mod:`~repro.faults.plan`), a deterministic injector
+(:mod:`~repro.faults.injector`), the detector-side retry policy for
+the two-phase report submission (:mod:`~repro.faults.retry`), the
+post-heal invariant sweep (:mod:`~repro.faults.invariants`), and the
+end-to-end chaos gauntlet (:mod:`~repro.faults.gauntlet`).
+"""
+
+from repro.faults.gauntlet import (
+    GauntletConfig,
+    GauntletResult,
+    run_gauntlet,
+    run_many,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+)
+from repro.faults.plan import ChaosPlan, FaultEvent, FaultKind
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "ChaosPlan",
+    "DEFAULT_RETRY_POLICY",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "GauntletConfig",
+    "GauntletResult",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "RetryPolicy",
+    "run_gauntlet",
+    "run_many",
+]

@@ -1,0 +1,287 @@
+"""The chaos gauntlet: the full SmartCrowd workflow under injected faults.
+
+One gauntlet run builds a :class:`~repro.core.stakeholders.DecentralizedDeployment`
+(real two-phase report traffic, per-replica chains, on-chain contracts),
+arms a seeded :class:`~repro.faults.plan.ChaosPlan` over it — node
+crashes and restarts, message loss, duplication, delay spikes, and a
+timed two-way partition — lets the system run through the chaos, then
+gives it a quiet settling window and checks:
+
+* every :class:`~repro.faults.invariants.InvariantChecker` invariant
+  (ledger conservation, unique confirmed reports, single-tip
+  convergence, insurance accounting);
+* the retry acceptance criterion — every detailed report a detector
+  published lands on the canonical chain **exactly once**, despite
+  crashes, drops, and retransmissions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core.stakeholders import DecentralizedDeployment
+from repro.detection import build_detector_fleet, build_system
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantReport
+from repro.faults.plan import ChaosPlan
+from repro.faults.retry import RetryPolicy
+
+__all__ = ["GauntletConfig", "GauntletResult", "run_gauntlet", "run_many"]
+
+
+@dataclass(frozen=True)
+class GauntletConfig:
+    """Everything one gauntlet run depends on, for reproducibility."""
+
+    seed: int = 0
+    detector_threads: Tuple[int, ...] = (2, 5, 8)
+    vulnerability_count: int = 3
+    #: chaos window: faults are injected in [0, chaos_duration)
+    chaos_duration: float = 1800.0
+    epoch: float = 120.0
+    crash_probability: float = 0.2
+    loss_rate: float = 0.10
+    duplication_rate: float = 0.05
+    delay_spike: float = 2.0
+    partition: bool = True
+    crash_detectors: bool = True
+    #: a near-total outage window [burst_start, burst_end) that forces
+    #: the detector retry path: reports gossiped into it reach nobody
+    burst_loss_rate: float = 0.9
+    burst_start: float = 90.0
+    burst_end: float = 300.0
+    #: announce a second release mid-chaos (just before the partition)
+    #: so fresh reports ride through the split and the heal reorg
+    second_announce: bool = True
+    #: quiet time after the chaos window before invariants are checked
+    settle_time: float = 900.0
+    #: extra bounded convergence rounds (60 s each) if still unsettled
+    max_settle_rounds: int = 40
+    retry_policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            deadline=180.0, base_backoff=45.0, max_attempts=6
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.chaos_duration <= 0 or self.settle_time < 0:
+            raise ValueError("need positive chaos window and non-negative settle")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        if not 0.0 <= self.duplication_rate < 1.0:
+            raise ValueError("duplication rate must be in [0, 1)")
+        if not 0.0 <= self.burst_loss_rate < 1.0:
+            raise ValueError("burst loss rate must be in [0, 1)")
+        if self.burst_loss_rate > 0 and not (
+            0 <= self.burst_start < self.burst_end <= self.chaos_duration
+        ):
+            raise ValueError("burst window must sit inside the chaos window")
+
+
+@dataclass
+class GauntletResult:
+    """Outcome of one gauntlet run."""
+
+    seed: int
+    blocks_mined: int
+    faults_applied: int
+    fault_log: List[Tuple[float, str]]
+    invariants: InvariantReport
+    confirmed_reports: int
+    missing_reports: List[str]
+    duplicate_reports: List[str]
+    converged: bool
+    network: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        """All invariants hold, each report on-chain exactly once."""
+        return (
+            self.invariants.ok
+            and self.converged
+            and not self.missing_reports
+            and not self.duplicate_reports
+        )
+
+    def assert_ok(self) -> None:
+        """Raise AssertionError with every problem if the run failed."""
+        problems: List[str] = [str(v) for v in self.invariants.violations]
+        if not self.converged:
+            problems.append("replicas did not converge to a single tip")
+        problems.extend(f"missing on-chain: {m}" for m in self.missing_reports)
+        problems.extend(f"duplicated on-chain: {d}" for d in self.duplicate_reports)
+        if problems:
+            lines = "\n".join(f"  - {problem}" for problem in problems)
+            raise AssertionError(f"gauntlet seed {self.seed} failed:\n{lines}")
+
+    def render(self) -> str:
+        """Human-readable run report."""
+        lines = [
+            f"gauntlet seed={self.seed}: "
+            f"{'PASS' if self.ok else 'FAIL'} "
+            f"({self.blocks_mined} blocks, {self.faults_applied} faults, "
+            f"{self.confirmed_reports} reports confirmed exactly once)",
+            f"  retries: {self.network.get('initial_retries', 0)} initial, "
+            f"{self.network.get('detailed_retries', 0)} detailed; "
+            f"resyncs: {self.network.get('resyncs_performed', 0)}; "
+            f"records resubmitted after reorgs: "
+            f"{self.network.get('records_resubmitted', 0)}",
+            f"  transport: {self.network.get('messages_dropped', 0)} dropped, "
+            f"{self.network.get('messages_duplicated', 0)} duplicated, "
+            f"{self.network.get('messages_lost_to_crashes', 0)} lost to crashes",
+        ]
+        lines.append("  " + self.invariants.render().replace("\n", "\n  "))
+        for missing in self.missing_reports:
+            lines.append(f"  MISSING {missing}")
+        for duplicate in self.duplicate_reports:
+            lines.append(f"  DUPLICATE {duplicate}")
+        return "\n".join(lines)
+
+
+def _build_plan(config: GauntletConfig, deployment: DecentralizedDeployment,
+                rng: random.Random) -> ChaosPlan:
+    """The seeded chaos schedule for one run."""
+    providers = list(deployment.providers)
+    detectors = list(deployment.detectors)
+    plan = ChaosPlan()
+    end = config.chaos_duration
+    if config.loss_rate > 0:
+        plan.set_loss(config.loss_rate, at=0.0).set_loss(0.0, at=end)
+    if config.burst_loss_rate > 0:
+        plan.set_loss(config.burst_loss_rate, at=config.burst_start)
+        plan.set_loss(config.loss_rate, at=config.burst_end)
+    if config.duplication_rate > 0:
+        plan.set_duplication(config.duplication_rate, at=0.0)
+        plan.set_duplication(0.0, at=end)
+    if config.delay_spike > 0:
+        plan.delay_spike(config.delay_spike, at=0.0, until=end)
+    if config.partition:
+        # One timed two-way split with hashpower on both sides.
+        side_a = tuple(providers[::2]) + tuple(detectors[::2])
+        side_b = tuple(providers[1::2]) + tuple(detectors[1::2])
+        plan.partition(side_a, side_b, at=end * 0.35, heal_at=end * 0.55)
+    crashable = providers + (detectors if config.crash_detectors else [])
+    random_part = ChaosPlan.random(
+        crashable,
+        duration=config.chaos_duration,
+        epoch=config.epoch,
+        crash_probability=config.crash_probability,
+        rng=rng,
+    )
+    plan.events.extend(random_part.events)
+    return plan.sort()
+
+
+def _unsettled_reports(deployment: DecentralizedDeployment) -> bool:
+    """True while some published R* has not been confirmed on-chain."""
+    for detector in deployment.detectors.values():
+        for initial_id in detector._pending_detailed:
+            if initial_id not in detector._published:
+                if initial_id in detector._record_heights:
+                    return True  # R† mined, burial depth still pending
+        if detector._awaiting_detailed:
+            return True
+    return False
+
+
+def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
+    """One full chaos gauntlet run; deterministic in ``config.seed``."""
+    config = config if config is not None else GauntletConfig()
+    rng = random.Random(config.seed)
+
+    deployment = DecentralizedDeployment(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(
+            thread_counts=config.detector_threads, seed=config.seed
+        ),
+        seed=config.seed,
+        # Keep the bounty window open through chaos + settling so late
+        # (retried) reports are still judged on their merits.
+        detection_window=config.chaos_duration + config.settle_time + 3600.0,
+        retry_policy=config.retry_policy,
+    )
+    system = build_system(
+        f"gauntlet-{config.seed}",
+        vulnerability_count=config.vulnerability_count,
+        rng=random.Random(config.seed + 1),
+    )
+    deployment.announce("provider-1", system)
+
+    plan = _build_plan(config, deployment, rng)
+    injector = FaultInjector(
+        deployment.simulator, deployment.network, plan,
+        rng=random.Random(config.seed + 2),
+    )
+    injector.arm()
+
+    horizon = config.chaos_duration + config.settle_time
+    mined = 0
+    if config.second_announce:
+        # Second release just ahead of the partition: its reports are
+        # submitted into the split and must survive the heal reorg.
+        second_at = config.chaos_duration * 0.33
+        mined += deployment.run_for(second_at)
+        announcer = next(
+            (p for p in deployment.providers.values() if not p.crashed), None
+        )
+        if announcer is not None:
+            deployment.announce(
+                announcer.name,
+                build_system(
+                    f"gauntlet-{config.seed}-b",
+                    vulnerability_count=config.vulnerability_count,
+                    rng=random.Random(config.seed + 3),
+                ),
+            )
+        mined += deployment.run_for(horizon - second_at)
+    else:
+        mined += deployment.run_for(horizon)
+    # Bounded extra rounds: keep mining quietly until every replica
+    # agrees on one tip and every published report is confirmed.
+    for _ in range(config.max_settle_rounds):
+        deployment.simulator.run()
+        if deployment.converged() and not _unsettled_reports(deployment):
+            break
+        mined += deployment.run_for(60.0)
+    deployment.simulator.run()
+
+    checker = InvariantChecker.for_deployment(deployment)
+    invariants = checker.run_all()
+
+    confirmed = 0
+    missing: List[str] = []
+    duplicates: List[str] = []
+    for name, detector in sorted(deployment.detectors.items()):
+        for detailed_id in sorted(detector.detailed_ids):
+            counts = checker.record_occurrences(detailed_id)
+            label = f"{name} R* {detailed_id.hex()[:12]}"
+            if any(count > 1 for count in counts.values()):
+                duplicates.append(f"{label} counts={counts}")
+            elif any(count == 0 for count in counts.values()):
+                missing.append(f"{label} counts={counts}")
+            else:
+                confirmed += 1
+
+    return GauntletResult(
+        seed=config.seed,
+        blocks_mined=mined,
+        faults_applied=injector.faults_applied,
+        fault_log=list(injector.log),
+        invariants=invariants,
+        confirmed_reports=confirmed,
+        missing_reports=missing,
+        duplicate_reports=duplicates,
+        converged=deployment.converged(),
+        network=deployment.summary(),
+    )
+
+
+def run_many(seeds: Tuple[int, ...] = (0, 1, 2), **overrides) -> List[GauntletResult]:
+    """Run the gauntlet across seeds (the ≥3-seed acceptance sweep)."""
+    results = []
+    for seed in seeds:
+        results.append(run_gauntlet(GauntletConfig(seed=seed, **overrides)))
+    return results

@@ -1,0 +1,256 @@
+"""Convergence and conservation invariants checked after faults heal.
+
+The paper's fault-tolerance claim (§V-C) is only meaningful if, once
+the chaos stops, the system settles back into a consistent state.
+:class:`InvariantChecker` asserts exactly that over a healed
+deployment:
+
+* **ledger conservation** — the sum of all balances equals everything
+  ever minted: no fault sequence can create or destroy tokens;
+* **unique confirmed reports** — no record id appears twice on a
+  canonical chain, and no two distinct detailed-report records share
+  one commitment ``H(R*)`` (retries must be idempotent: no double
+  fee, no double reward);
+* **single-tip convergence** — every honest, alive replica agrees on
+  one canonical head;
+* **insurance accounting** (Eq. 9) — for every release contract,
+  escrowed insurance = bounties paid + refund + burned remainder, and
+  a closed contract holds nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.chain.block import RecordKind
+from repro.chain.chain import Blockchain
+from repro.contracts.state import BURN_ADDRESS
+from repro.core.reports import DetailedReport
+
+__all__ = ["InvariantViolation", "InvariantReport", "InvariantChecker"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant."""
+
+    name: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.detail}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of a full invariant sweep."""
+
+    checked: List[str] = field(default_factory=list)
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked invariant held."""
+        return not self.violations
+
+    def assert_ok(self) -> None:
+        """Raise AssertionError listing every violation (if any)."""
+        if self.violations:
+            lines = "\n".join(f"  - {violation}" for violation in self.violations)
+            raise AssertionError(f"invariant violations:\n{lines}")
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        lines = [f"invariants checked: {', '.join(self.checked) or '(none)'}"]
+        if self.ok:
+            lines.append("all invariants hold")
+        else:
+            lines.extend(f"VIOLATION {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Checks a (possibly faulted, now healed) deployment.
+
+    Built either directly from the pieces —
+    ``InvariantChecker(chains=..., runtime=..., contracts=...)`` — or
+    from a :class:`~repro.core.stakeholders.DecentralizedDeployment`
+    via :meth:`for_deployment`.  Checks whose inputs are absent are
+    skipped, so the checker also works for chain-only simulations.
+    """
+
+    def __init__(
+        self,
+        chains: Optional[Mapping[str, Blockchain]] = None,
+        runtime=None,
+        contracts: Optional[Mapping[bytes, object]] = None,
+    ) -> None:
+        self.chains: Dict[str, Blockchain] = dict(chains or {})
+        self.runtime = runtime
+        self.contracts = dict(contracts or {})
+
+    @classmethod
+    def for_deployment(cls, deployment) -> "InvariantChecker":
+        """Bind to a DecentralizedDeployment's live alive replicas."""
+        chains = {
+            name: provider.chain
+            for name, provider in deployment.providers.items()
+            if not provider.crashed
+        }
+        return cls(
+            chains=chains,
+            runtime=deployment.runtime,
+            contracts=deployment.contracts,
+        )
+
+    # -- individual invariants ----------------------------------------------
+
+    def check_ledger_conservation(self, report: InvariantReport) -> None:
+        """Total supply equals total minted — wei are conserved."""
+        if self.runtime is None:
+            return
+        report.checked.append("ledger-conservation")
+        state = self.runtime.state
+        supply = state.total_supply()
+        minted = state.total_minted
+        if supply != minted:
+            report.violations.append(
+                InvariantViolation(
+                    "ledger-conservation",
+                    f"total supply {supply} != total minted {minted}",
+                )
+            )
+
+    def check_single_tip(self, report: InvariantReport) -> None:
+        """All (alive, honest) replicas converged to one canonical head."""
+        if not self.chains:
+            return
+        report.checked.append("single-tip-convergence")
+        heads = {name: chain.head.block_id for name, chain in self.chains.items()}
+        if len(set(heads.values())) > 1:
+            detail = ", ".join(
+                f"{name}@h{self.chains[name].height}={head.hex()[:12]}"
+                for name, head in sorted(heads.items())
+            )
+            report.violations.append(
+                InvariantViolation("single-tip-convergence", detail)
+            )
+
+    def check_unique_reports(self, report: InvariantReport) -> None:
+        """No duplicated record ids / commitments on any canonical chain."""
+        if not self.chains:
+            return
+        report.checked.append("unique-confirmed-reports")
+        for name, chain in self.chains.items():
+            seen_ids: Dict[bytes, int] = {}
+            commitment_owners: Dict[bytes, Set[bytes]] = {}
+            for block in chain.iter_canonical():
+                for record in block.records:
+                    seen_ids[record.record_id] = (
+                        seen_ids.get(record.record_id, 0) + 1
+                    )
+                    if record.kind == RecordKind.DETAILED_REPORT:
+                        detailed = DetailedReport.from_payload(record.payload)
+                        commitment_owners.setdefault(
+                            detailed.body_hash(), set()
+                        ).add(record.record_id)
+            for record_id, count in seen_ids.items():
+                if count > 1:
+                    report.violations.append(
+                        InvariantViolation(
+                            "unique-confirmed-reports",
+                            f"{name}: record {record_id.hex()[:12]} appears "
+                            f"{count} times on the canonical chain",
+                        )
+                    )
+            for commitment, owners in commitment_owners.items():
+                if len(owners) > 1:
+                    report.violations.append(
+                        InvariantViolation(
+                            "unique-confirmed-reports",
+                            f"{name}: commitment {commitment.hex()[:12]} is "
+                            f"claimed by {len(owners)} distinct detailed reports",
+                        )
+                    )
+
+    def check_insurance_accounting(self, report: InvariantReport) -> None:
+        """Eq. 9 balance: insurance = paid + refund + burned (+held)."""
+        if self.runtime is None or not self.contracts:
+            return
+        report.checked.append("insurance-accounting")
+        refunded: Dict[str, int] = {}
+        forfeited: Dict[str, int] = {}
+        for event in self.runtime.events_named("InsuranceRefunded"):
+            sra_hex = event.payload["sra_id"]
+            refunded[sra_hex] = refunded.get(sra_hex, 0) + event.payload["refunded_wei"]
+        for event in self.runtime.events_named("InsuranceForfeited"):
+            sra_hex = event.payload["sra_id"]
+            forfeited[sra_hex] = forfeited.get(sra_hex, 0) + event.payload["burned_wei"]
+        for sra_id, contract in self.contracts.items():
+            if contract.address is None:
+                continue
+            sra_hex = sra_id.hex()
+            paid = contract.total_paid_wei()
+            held = self.runtime.state.balance(contract.address)
+            refund = refunded.get(sra_hex, 0)
+            burned = forfeited.get(sra_hex, 0)
+            total = paid + held + refund + burned
+            if total != contract.insurance_wei:
+                report.violations.append(
+                    InvariantViolation(
+                        "insurance-accounting",
+                        f"contract {sra_hex[:12]}: paid {paid} + held {held} "
+                        f"+ refunded {refund} + burned {burned} = {total} "
+                        f"!= insurance {contract.insurance_wei}",
+                    )
+                )
+            if contract.phase != "open" and held != 0:
+                report.violations.append(
+                    InvariantViolation(
+                        "insurance-accounting",
+                        f"closed contract {sra_hex[:12]} still holds {held} wei",
+                    )
+                )
+
+    def check_burn_sink(self, report: InvariantReport) -> None:
+        """The burn sink holds at least every forfeited insurance."""
+        if self.runtime is None or not self.contracts:
+            return
+        report.checked.append("burn-sink")
+        total_forfeited = sum(
+            event.payload["burned_wei"]
+            for event in self.runtime.events_named("InsuranceForfeited")
+        )
+        burned_balance = self.runtime.state.balance(BURN_ADDRESS)
+        if burned_balance < total_forfeited:
+            report.violations.append(
+                InvariantViolation(
+                    "burn-sink",
+                    f"burn sink holds {burned_balance} < forfeited {total_forfeited}",
+                )
+            )
+
+    # -- orchestration --------------------------------------------------------
+
+    def record_occurrences(self, record_id: bytes) -> Dict[str, int]:
+        """How many times a record appears on each canonical chain."""
+        counts: Dict[str, int] = {}
+        for name, chain in self.chains.items():
+            counts[name] = sum(
+                1
+                for block in chain.iter_canonical()
+                for record in block.records
+                if record.record_id == record_id
+            )
+        return counts
+
+    def run_all(self) -> InvariantReport:
+        """Run every applicable invariant; returns the report."""
+        report = InvariantReport()
+        self.check_ledger_conservation(report)
+        self.check_single_tip(report)
+        self.check_unique_reports(report)
+        self.check_insurance_accounting(report)
+        self.check_burn_sink(report)
+        return report

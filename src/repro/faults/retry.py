@@ -1,0 +1,70 @@
+"""Retry policy for the two-phase report submission (§V-B under faults).
+
+A detector that gossips ``R†`` (and later ``R*``) has no delivery
+guarantee: the message may be dropped, the mining providers may be
+partitioned away, or the detector itself may crash before the report
+is mined.  The policy below governs the recovery loop: wait for the
+report to appear on-chain within ``deadline`` seconds, otherwise
+re-gossip with exponential backoff and jitter, up to ``max_attempts``
+times.  Retries are *idempotent end to end* — report ids are
+content-derived, mempools deduplicate by id, miners exclude ids
+already canonical, and the contract pays each vulnerability at most
+once — so re-gossiping can never double-charge a fee or double-pay a
+reward.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the retrying two-phase submitter.
+
+    ``deadline`` — seconds to wait for on-chain inclusion before the
+    first retry check; ``base_backoff`` — delay before retry *n* is
+    ``base_backoff * multiplier**n``; ``jitter`` — each delay is
+    scaled by a uniform factor in ``[1-jitter, 1+jitter]`` so
+    synchronized detectors do not re-flood in lockstep;
+    ``max_attempts`` — retransmissions before giving up.
+    """
+
+    deadline: float = 120.0
+    base_backoff: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if self.base_backoff <= 0:
+            raise ValueError("base backoff must be positive")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_attempts < 0:
+            raise ValueError("max_attempts cannot be negative")
+
+    def backoff(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Delay before retransmission number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt cannot be negative")
+        delay = self.base_backoff * (self.multiplier ** attempt)
+        if rng is not None and self.jitter > 0:
+            delay *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+        return delay
+
+    def exhausted(self, attempt: int) -> bool:
+        """True once ``attempt`` retransmissions have been spent."""
+        return attempt >= self.max_attempts
+
+
+#: A sane default for simulations with ~15 s block times.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -63,7 +63,8 @@ class GossipNetwork(GossipNetworkApi):
     Messages travel edges with sampled latency; each node forwards a
     message to its neighbors the first time it sees it (by dedup key),
     unless a relay filter vetoes forwarding.  Supports probabilistic
-    message loss and explicit partitions for fault-injection tests.
+    message loss, duplication, delay spikes, node crashes, and explicit
+    partitions for fault-injection tests (:mod:`repro.faults`).
     """
 
     def __init__(
@@ -80,6 +81,13 @@ class GossipNetwork(GossipNetworkApi):
         self.topology = topology
         self.latency = latency
         self.loss_rate = loss_rate
+        #: Probability a transmitted copy is delivered twice (link-level
+        #: duplication fault; the second copy is suppressed by dedup).
+        self.duplication_rate = 0.0
+        #: Optional delay-spike hook: (src, dst, rng) -> extra seconds
+        #: added to the sampled link latency (injected congestion; also
+        #: the source of message *reordering* under chaos).
+        self.extra_delay: Optional[Callable[[str, str, random.Random], float]] = None
         self._rng = rng if rng is not None else random.Random(0)
         self._nodes: Dict[str, Node] = {}
         self._seen: Dict[str, Set[bytes]] = {}
@@ -87,6 +95,11 @@ class GossipNetwork(GossipNetworkApi):
         self._cut_links: Set[Tuple[str, str]] = set()
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Deliveries suppressed because the receiver had already seen
+        #: the dedup key (flood redundancy + injected duplicates).
+        self.messages_duplicated = 0
+        #: Deliveries lost because the receiving node was crashed.
+        self.messages_lost_to_crashes = 0
 
     # -- membership --------------------------------------------------------
 
@@ -141,6 +154,18 @@ class GossipNetwork(GossipNetworkApi):
         """Restore every severed link."""
         self._cut_links.clear()
 
+    def crash_node(self, name: str) -> None:
+        """Crash an attached node (it stops receiving and sending)."""
+        self._nodes[name].crash()
+
+    def restart_node(self, name: str) -> None:
+        """Restart a crashed node; its recovery hooks run (resync)."""
+        self._nodes[name].restart()
+
+    def alive_nodes(self) -> List[str]:
+        """Names of attached nodes that are not crashed."""
+        return [name for name, node in self._nodes.items() if not node.crashed]
+
     def _is_cut(self, a: str, b: str) -> bool:
         return (min(a, b), max(a, b)) in self._cut_links
 
@@ -173,13 +198,25 @@ class GossipNetwork(GossipNetworkApi):
             self.messages_dropped += 1
             return
         delay = self.latency.sample(src, dst, self._rng)
+        if self.extra_delay is not None:
+            delay += max(0.0, self.extra_delay(src, dst, self._rng))
         self.simulator.schedule(delay, self._receive, dst, message, relay)
+        if self.duplication_rate > 0 and self._rng.random() < self.duplication_rate:
+            # A duplicated copy arrives on its own (later) schedule.
+            echo = self.latency.sample(src, dst, self._rng)
+            self.simulator.schedule(delay + echo, self._receive, dst, message, relay)
 
     def _receive(self, name: str, message: Message, relay: bool = True) -> None:
         node = self._nodes.get(name)
         if node is None:
             return
+        if node.crashed:
+            # Lost on a dead process; NOT marked seen, so a later
+            # retransmission can still reach the node after restart.
+            self.messages_lost_to_crashes += 1
+            return
         if message.dedup_key in self._seen[name]:
+            self.messages_duplicated += 1
             return
         self._seen[name].add(message.dedup_key)
         node.deliver(message)
@@ -192,3 +229,23 @@ class GossipNetwork(GossipNetworkApi):
     def reach(self, dedup_key: bytes) -> int:
         """How many nodes have seen a message with this key."""
         return sum(1 for seen in self._seen.values() if dedup_key in seen)
+
+    def summary(self) -> Dict[str, float]:
+        """Simulator + transport counters in one dict.
+
+        The chaos harness and experiment reports read this; it is the
+        single place where drop/duplication suppression statistics are
+        exposed alongside the simulator clock.
+        """
+        crashed = sum(1 for node in self._nodes.values() if node.crashed)
+        return {
+            "time": self.simulator.now,
+            "events_processed": self.simulator.events_processed,
+            "events_pending": self.simulator.pending,
+            "nodes": len(self._nodes),
+            "nodes_crashed": crashed,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_lost_to_crashes": self.messages_lost_to_crashes,
+        }

@@ -48,16 +48,25 @@ class Message:
     uid: int = field(default_factory=lambda: next(_uid))
 
     @classmethod
-    def wrap(cls, kind: MessageKind, payload: Any, origin: str) -> "Message":
+    def wrap(
+        cls, kind: MessageKind, payload: Any, origin: str, salt: "int | None" = None
+    ) -> "Message":
         """Wrap a payload, deriving a dedup key from its identity.
 
         Payloads exposing ``record_id``/``report_id``/``sra_id`` use
         that as content identity; everything else hashes origin+uid
         (i.e. never deduplicated against other messages).
+
+        ``salt`` marks a *retransmission*: the dedup key is re-derived
+        from (content id, salt) so the retry floods past nodes that
+        already relayed the original, while receivers recognize the
+        payload itself by its content id and stay idempotent.
         """
         for attribute in ("record_id", "report_id", "sra_id", "block_id"):
             key = getattr(payload, attribute, None)
             if isinstance(key, bytes):
+                if salt is not None:
+                    key = hash_fields(b"retransmit", key, salt)
                 return cls(kind=kind, payload=payload, origin=origin, dedup_key=key)
         unique = next(_uid)
         return cls(

@@ -118,7 +118,7 @@ class TestStructuralRules:
         result = validator.validate(block, chain)
         assert any("duplicate record" in error for error in result.errors)
 
-    def test_record_already_on_chain_fails(self, chain):
+    def test_record_already_on_branch_fails(self, chain):
         record = _record("existing")
         first = _mined_child(chain, [record])
         chain.add_block(first)
@@ -127,7 +127,20 @@ class TestStructuralRules:
             chain.head.block_id, 2, (record,), 30.0, DIFFICULTY, MINER
         )
         result = validator.validate(second, chain)
-        assert any("already on canonical" in error for error in result.errors)
+        assert any("already on this branch" in error for error in result.errors)
+
+    def test_same_record_allowed_on_competing_fork(self, chain):
+        # The duplicate rule is per-branch: a fork block carrying a
+        # record that is already canonical (mined on both sides of a
+        # partition) must still validate, or replicas on the lighter
+        # side could never adopt the heavier branch.
+        record = _record("forked")
+        genesis_id = chain.head.block_id
+        first = _mined_child(chain, [record])
+        chain.add_block(first)
+        validator = BlockValidator(require_pow=False)
+        fork = Block.assemble(genesis_id, 1, (record,), 20.0, DIFFICULTY, MINER)
+        assert validator.validate(fork, chain).ok
 
     def test_record_limit_enforced(self, chain):
         validator = BlockValidator(require_pow=False, max_records_per_block=1)

@@ -1,0 +1,13 @@
+"""Chaos gauntlet experiment wrapper."""
+
+from repro.experiments.chaos import run_chaos_gauntlet
+
+
+def test_chaos_sweep_tabulates():
+    result = run_chaos_gauntlet(
+        seeds=(0,), chaos_duration=600.0, settle_time=450.0
+    )
+    assert result.all_ok
+    table = result.to_table()
+    rendered = "\n".join(str(row) for row in table.rows)
+    assert "all hold" in rendered

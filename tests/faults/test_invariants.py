@@ -1,0 +1,125 @@
+"""Invariant checker: passes on healthy systems, catches broken ones."""
+
+import random
+
+import pytest
+
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import make_genesis
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.contracts.vm import ContractRuntime
+from repro.core.stakeholders import DecentralizedDeployment
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import KeyPair
+from repro.detection import build_detector_fleet, build_system
+from repro.faults.invariants import InvariantChecker
+from repro.network.latency import ConstantLatency
+
+MINER = KeyPair.from_seed(b"invariant-miner").address
+
+
+def _chain_with_blocks(tags, confirmation_depth=2):
+    genesis = make_genesis(difficulty=1)
+    chain = Blockchain(genesis, confirmation_depth=confirmation_depth)
+    parent = genesis
+    for i, tag_group in enumerate(tags):
+        records = tuple(
+            ChainRecord(
+                kind=RecordKind.TRANSACTION,
+                record_id=hash_fields("inv", tag),
+                payload=tag.encode(),
+            )
+            for tag in tag_group
+        )
+        block = Block.assemble(
+            prev_block_id=parent.block_id,
+            height=parent.height + 1,
+            records=records,
+            timestamp=float(i + 1),
+            difficulty=1,
+            miner=MINER,
+        )
+        chain.add_block(block)
+        parent = block
+    return chain
+
+
+@pytest.fixture(scope="module")
+def healthy():
+    deployment = DecentralizedDeployment(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(thread_counts=(4, 8), seed=33),
+        latency=ConstantLatency(0.05),
+        seed=33,
+    )
+    system = build_system("inv-sys", vulnerability_count=2, rng=random.Random(6))
+    deployment.announce("provider-1", system)
+    deployment.run_for(900.0)
+    deployment.simulator.run()
+    for _ in range(20):
+        if deployment.converged():
+            break
+        deployment.run_for(30.0)
+        deployment.simulator.run()
+    return deployment
+
+
+class TestHealthySystem:
+    def test_all_invariants_hold(self, healthy):
+        report = InvariantChecker.for_deployment(healthy).run_all()
+        assert report.ok, report.render()
+        assert "ledger-conservation" in report.checked
+        assert "single-tip-convergence" in report.checked
+        assert "unique-confirmed-reports" in report.checked
+        assert "insurance-accounting" in report.checked
+
+    def test_assert_ok_passes(self, healthy):
+        InvariantChecker.for_deployment(healthy).run_all().assert_ok()
+
+    def test_render_mentions_outcome(self, healthy):
+        text = InvariantChecker.for_deployment(healthy).run_all().render()
+        assert "all invariants hold" in text
+
+    def test_record_occurrences_counts_canonical_copies(self, healthy):
+        checker = InvariantChecker.for_deployment(healthy)
+        detector = next(iter(healthy.detectors.values()))
+        for detailed_id in detector.detailed_ids:
+            counts = checker.record_occurrences(detailed_id)
+            assert all(count == 1 for count in counts.values())
+
+
+class TestViolationsDetected:
+    def test_divergent_tips_flagged(self):
+        chain_a = _chain_with_blocks([["a1"], ["a2"]])
+        chain_b = _chain_with_blocks([["b1"]])
+        report = InvariantChecker(chains={"a": chain_a, "b": chain_b}).run_all()
+        assert not report.ok
+        assert any(
+            v.name == "single-tip-convergence" for v in report.violations
+        )
+        with pytest.raises(AssertionError):
+            report.assert_ok()
+
+    def test_duplicate_record_id_flagged(self):
+        chain = _chain_with_blocks([["dup"], ["dup"]])
+        report = InvariantChecker(chains={"x": chain}).run_all()
+        assert any(
+            v.name == "unique-confirmed-reports" for v in report.violations
+        )
+
+    def test_ledger_imbalance_flagged(self):
+        runtime = ContractRuntime()
+        account = KeyPair.from_seed(b"inv-account").address
+        runtime.state.mint(account, 1000)
+        # Corrupt the ledger behind the mint accounting.
+        runtime.state._balances[account] += 1
+        report = InvariantChecker(runtime=runtime).run_all()
+        assert any(
+            v.name == "ledger-conservation" for v in report.violations
+        )
+
+    def test_empty_checker_checks_nothing(self):
+        report = InvariantChecker().run_all()
+        assert report.ok
+        assert report.checked == []

@@ -1,0 +1,109 @@
+"""Chaos plan DSL: builders, validation, and random generation."""
+
+import random
+
+import pytest
+
+from repro.faults.plan import ChaosPlan, FaultKind
+
+
+class TestBuilders:
+    def test_crash_for_emits_paired_events(self):
+        plan = ChaosPlan().crash_for("n1", at=10.0, downtime=30.0)
+        assert [e.kind for e in plan.events] == [FaultKind.CRASH, FaultKind.RESTART]
+        assert plan.events[0].at == 10.0
+        assert plan.events[1].at == 40.0
+        assert plan.heals_completely()
+
+    def test_partition_with_heal(self):
+        plan = ChaosPlan().partition(("a", "b"), ("c",), at=5.0, heal_at=25.0)
+        kinds = [e.kind for e in plan.sort().events]
+        assert kinds == [FaultKind.PARTITION, FaultKind.HEAL_PARTITION]
+        assert plan.heals_completely()
+
+    def test_partition_without_heal_does_not_heal(self):
+        plan = ChaosPlan().partition(("a",), ("b",), at=5.0)
+        assert not plan.heals_completely()
+
+    def test_unrestarted_crash_does_not_heal(self):
+        plan = ChaosPlan().crash("n1", at=1.0)
+        assert not plan.heals_completely()
+
+    def test_describe_lists_events_in_time_order(self):
+        plan = (
+            ChaosPlan()
+            .set_loss(0.1, at=0.0)
+            .crash("n1", at=30.0)
+            .restart("n1", at=60.0)
+        )
+        text = plan.describe()
+        assert text.index("set_loss") < text.index("crash")
+        assert text.index("crash") < text.index("restart")
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda p: p.crash("x", at=-1.0),
+            lambda p: p.crash_for("x", at=0.0, downtime=0.0),
+            lambda p: p.partition(("a",), ("b",), at=5.0, heal_at=5.0),
+            lambda p: p.set_loss(1.0, at=0.0),
+            lambda p: p.set_duplication(-0.1, at=0.0),
+            lambda p: p.delay_spike(0.0, at=0.0),
+            lambda p: p.delay_spike(1.0, at=10.0, until=10.0),
+        ],
+    )
+    def test_invalid_builder_arguments_raise(self, build):
+        with pytest.raises(ValueError):
+            build(ChaosPlan())
+
+
+class TestRandomPlans:
+    NAMES = ["n1", "n2", "n3", "n4", "n5"]
+
+    def _plan(self, seed=0, **kwargs):
+        defaults = dict(
+            names=self.NAMES,
+            duration=600.0,
+            epoch=60.0,
+            crash_probability=0.5,
+            rng=random.Random(seed),
+        )
+        defaults.update(kwargs)
+        return ChaosPlan.random(**defaults)
+
+    def test_deterministic_in_seed(self):
+        assert self._plan(seed=7).describe() == self._plan(seed=7).describe()
+        assert self._plan(seed=7).describe() != self._plan(seed=8).describe()
+
+    def test_always_heals(self):
+        for seed in range(10):
+            assert self._plan(seed=seed).heals_completely()
+
+    def test_horizon_within_duration(self):
+        plan = self._plan(seed=3)
+        assert plan.horizon() <= 600.0
+
+    def test_concurrency_cap_respected(self):
+        plan = self._plan(seed=5, max_concurrent_down=2)
+        # Replay the schedule: at no instant are >2 nodes down.
+        down = set()
+        for event in sorted(plan.events, key=lambda e: e.at):
+            if event.kind is FaultKind.CRASH:
+                down.add(event.targets[0][0])
+                assert len(down) <= 2
+            elif event.kind is FaultKind.RESTART:
+                down.discard(event.targets[0][0])
+
+    def test_crash_probability_zero_is_quiet(self):
+        plan = self._plan(seed=1, crash_probability=0.0)
+        assert len(plan) == 0
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ChaosPlan.random(self.NAMES, duration=0.0, epoch=10.0)
+        with pytest.raises(ValueError):
+            ChaosPlan.random(self.NAMES, duration=10.0, epoch=10.0,
+                             crash_probability=2.0)
+        with pytest.raises(ValueError):
+            ChaosPlan.random(self.NAMES, duration=10.0, epoch=10.0,
+                             min_downtime=5.0, max_downtime=1.0)

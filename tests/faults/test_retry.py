@@ -1,0 +1,128 @@
+"""Retry policy math and the detector's retrying two-phase submission."""
+
+import random
+
+import pytest
+
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core.stakeholders import DecentralizedDeployment
+from repro.detection import build_detector_fleet, build_system
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.network.latency import ConstantLatency
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff=10.0, multiplier=2.0, jitter=0.0)
+        assert policy.backoff(0) == 10.0
+        assert policy.backoff(1) == 20.0
+        assert policy.backoff(3) == 80.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_backoff=100.0, multiplier=1.0, jitter=0.25)
+        rng = random.Random(0)
+        for attempt in range(50):
+            delay = policy.backoff(0, rng)
+            assert 75.0 <= delay <= 125.0
+
+    def test_exhaustion(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_default_policy_is_valid(self):
+        assert DEFAULT_RETRY_POLICY.deadline > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline": 0.0},
+            {"base_backoff": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"max_attempts": -1},
+        ],
+    )
+    def test_invalid_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(-1)
+
+
+class TestDetectorRetries:
+    def test_reports_lost_to_partition_are_retried_and_paid_once(self):
+        """Cut detectors off from every provider during submission: the
+        gossiped reports reach nobody.  After the heal, the deadline
+        checks re-gossip them; they land on-chain exactly once and the
+        contract pays each vulnerability at most once."""
+        policy = RetryPolicy(
+            deadline=60.0, base_backoff=30.0, jitter=0.0, max_attempts=8
+        )
+        deployment = DecentralizedDeployment(
+            PAPER_HASHPOWER_SHARES,
+            build_detector_fleet(thread_counts=(8,), seed=17),
+            latency=ConstantLatency(0.05),
+            seed=17,
+            retry_policy=policy,
+        )
+        system = build_system("retry-sys", vulnerability_count=2,
+                              rng=random.Random(4))
+        sra = deployment.announce("provider-1", system)
+        deployment.run_for(2.0)  # let the SRA flood while links are up
+
+        # Consumers relay gossip too — they must sit on the detector
+        # side or reports sneak through them to the providers.
+        detectors = list(deployment.detectors) + list(deployment.consumers)
+        providers = list(deployment.providers)
+        deployment.network.partition(detectors, providers)
+        deployment.run_for(400.0)  # find times elapse; submissions lost
+
+        deployment.network.heal_all()
+        deployment.run_for(900.0)
+        deployment.simulator.run()
+        for _ in range(20):
+            if deployment.converged():
+                break
+            deployment.run_for(30.0)
+            deployment.simulator.run()
+
+        detector = next(iter(deployment.detectors.values()))
+        assert detector.scans == 1
+        assert detector.initial_retries > 0  # the retry path actually ran
+
+        chain = deployment.providers["provider-1"].chain
+        for detailed_id in detector.detailed_ids:
+            occurrences = sum(
+                1
+                for block in chain.iter_canonical()
+                for record in block.records
+                if record.record_id == detailed_id
+            )
+            assert occurrences == 1  # exactly once despite retransmissions
+
+        contract = deployment.contracts[sra.sra_id]
+        truth = {flaw.key for flaw in system.ground_truth}
+        assert contract.awarded_vulnerabilities() <= truth
+        assert contract.total_paid_wei() == sum(
+            deployment.detector_balance(d) for d in deployment.detectors
+        )
+
+    def test_no_retry_machinery_without_policy(self):
+        deployment = DecentralizedDeployment(
+            PAPER_HASHPOWER_SHARES,
+            build_detector_fleet(thread_counts=(8,), seed=18),
+            latency=ConstantLatency(0.05),
+            seed=18,
+        )
+        system = build_system("no-retry", vulnerability_count=1,
+                              rng=random.Random(5))
+        deployment.announce("provider-1", system)
+        deployment.run_for(600.0)
+        detector = next(iter(deployment.detectors.values()))
+        assert detector.retry_policy is None
+        assert detector.initial_retries == 0
+        assert detector.detailed_retries == 0

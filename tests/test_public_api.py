@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.crypto",
     "repro.detection",
     "repro.experiments",
+    "repro.faults",
     "repro.network",
     "repro.workloads",
 ]

@@ -1,0 +1,54 @@
+"""The perf-trajectory lane: the acceptance gates of the substrate suite.
+
+Marked ``bench`` and living outside tier-1 (``testpaths`` only collects
+``tests/``): run via ``pytest benchmarks -q -m bench`` or, with the
+JSON baseline written, ``scripts/run_bench.sh``.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_substrate import run_suite, to_table
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(quick=True, repeats=3)
+
+
+def test_nonce_search_speedup_floor(suite):
+    """Midstate mining must hold a >=3x speedup over the naive loop."""
+    nonce = suite["benchmarks"]["nonce_search"]
+    assert nonce["same_nonce_as_naive"]
+    assert nonce["speedup"] >= 3.0
+
+
+def test_parallel_runner_identical(suite):
+    """The jobs>1 fig5b probe must be bit-identical to serial."""
+    assert suite["benchmarks"]["parallel_fig5b"]["identical_to_serial"]
+
+
+def test_suite_is_json_serializable_and_renders(suite, tmp_path):
+    path = tmp_path / "BENCH_substrate.json"
+    path.write_text(json.dumps(suite, indent=2, sort_keys=True))
+    reloaded = json.loads(path.read_text())
+    assert reloaded["suite"] == "substrate"
+    expected = {
+        "header_hash_cold",
+        "header_hash_cached",
+        "nonce_search",
+        "merkle_build_256",
+        "gossip_round",
+        "mini_experiment",
+    }
+    assert expected <= set(reloaded["benchmarks"])
+    rendered = to_table(suite).render()
+    assert "nonce search" in rendered
+
+
+def test_cached_header_hash_is_faster(suite):
+    cached = suite["benchmarks"]["header_hash_cached"]
+    assert cached["speedup_vs_cold"] > 5.0

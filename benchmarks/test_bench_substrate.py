@@ -14,7 +14,7 @@ from repro.chain.block import Block, ChainRecord, GENESIS_PARENT, RecordKind
 from repro.chain.chain import Blockchain
 from repro.chain.consensus import MiningSimulation, make_genesis
 from repro.chain.merkle import MerkleTree
-from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.chain.pow import PAPER_HASHPOWER_SHARES, mine_block
 from repro.chain.validation import BlockValidator
 from repro.core import PlatformConfig, SmartCrowdPlatform
 from repro.crypto.hashing import hash_fields
@@ -58,6 +58,16 @@ def test_bench_block_validation(benchmark):
     validator = BlockValidator(require_pow=False)
     result = benchmark(validator.validate, block, chain)
     assert result.ok
+
+
+def test_bench_midstate_nonce_search(benchmark):
+    """Pure nonce-search throughput of the midstate miner."""
+    block = Block.assemble(
+        GENESIS_PARENT, 1, (), 0.0, 1 << 255, KEYS.address
+    )
+    benchmark(mine_block, block, 2000)
+    mined = mine_block(Block.assemble(GENESIS_PARENT, 1, (), 0.0, 64, KEYS.address))
+    assert mined is not None
 
 
 def test_bench_mining_simulation_1000_blocks(benchmark):

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Substrate perf-trajectory lane: time the hot paths (header hashing,
+# PoW nonce search, Merkle build, gossip round, one mini end-to-end
+# experiment, serial-vs-parallel runner) and record the baseline to
+# BENCH_substrate.json so future PRs measure regressions against it.
+#
+# Exits non-zero if the midstate nonce search falls below its 3x floor
+# over the naive loop.
+#
+# Usage:  scripts/run_bench.sh [--quick] [--jobs N] [--output FILE]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHONPATH=src python -m repro.experiments.bench_substrate "$@"

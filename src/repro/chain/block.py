@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.codec import pack
 from repro.crypto.hashing import hash_fields
 from repro.crypto.keys import Address
 from repro.chain.merkle import MerkleTree, compute_merkle_root
@@ -49,6 +50,9 @@ class ChainRecord:
     payload: bytes
     fee: int = 0
     sender: Optional[Address] = None
+    _encoded: Optional[bytes] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.record_id) != 32:
@@ -57,17 +61,28 @@ class ChainRecord:
             raise ValueError("fee cannot be negative")
 
     def to_bytes(self) -> bytes:
-        """Canonical byte encoding used as the Merkle leaf payload."""
-        sender_bytes = self.sender.value if self.sender is not None else b""
-        return b"|".join(
-            [
-                self.kind.value.encode(),
-                self.record_id,
-                self.fee.to_bytes(16, "big"),
-                sender_bytes,
-                self.payload,
-            ]
-        )
+        """Canonical byte encoding used as the Merkle leaf payload.
+
+        Fields are length-prefixed (the repo's framed codec) rather than
+        delimiter-joined: payloads and the optional sender are arbitrary
+        bytes, so only explicit framing keeps the encoding injective —
+        two distinct records can never share a Merkle leaf.  The result
+        is memoized on the frozen record; it also serves as the wire
+        encoding (:mod:`repro.chain.serialization`).
+        """
+        encoded = object.__getattribute__(self, "_encoded")
+        if encoded is None:
+            encoded = pack(
+                [
+                    self.kind.value.encode(),
+                    self.record_id,
+                    self.payload,
+                    self.fee.to_bytes(16, "big"),
+                    self.sender.value if self.sender is not None else b"",
+                ]
+            )
+            object.__setattr__(self, "_encoded", encoded)
+        return encoded
 
 
 @dataclass(frozen=True)
@@ -85,12 +100,23 @@ class BlockHeader:
     height: int
     difficulty: int
     miner: Address
+    _hash: Optional[bytes] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
 
     def header_hash(self) -> bytes:
-        """Compute CurBlockID — the hash the PoW target constrains."""
+        """Compute CurBlockID — the hash the PoW target constrains.
+
+        Memoized on the frozen header: ``block_id``, validation,
+        light-client proof checks, and chain indexing all re-read the
+        identity, so it is hashed once per header, not per call.
+        """
+        cached = object.__getattribute__(self, "_hash")
+        if cached is not None:
+            return cached
         # Timestamps are simulated-clock floats; encode via repr to keep
         # the encoding stable and injective for finite floats.
-        return hash_fields(
+        digest = hash_fields(
             self.prev_block_id,
             self.merkle_root,
             repr(float(self.timestamp)),
@@ -99,6 +125,8 @@ class BlockHeader:
             self.difficulty,
             self.miner.value,
         )
+        object.__setattr__(self, "_hash", digest)
+        return digest
 
     def with_nonce(self, nonce: int) -> "BlockHeader":
         """Return a copy with a different nonce (used while mining)."""
@@ -124,6 +152,9 @@ class Block:
     header: BlockHeader
     records: Tuple[ChainRecord, ...]
     _merkle: Optional[MerkleTree] = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+    _by_id: Optional[Dict[bytes, ChainRecord]] = field(
         default=None, compare=False, repr=False, hash=False
     )
 
@@ -155,11 +186,14 @@ class Block:
         return sum(record.fee for record in self.records)
 
     def find_record(self, record_id: bytes) -> Optional[ChainRecord]:
-        """Locate a record by id, or None."""
-        for record in self.records:
-            if record.record_id == record_id:
-                return record
-        return None
+        """Locate a record by id, or None (indexed; first occurrence wins)."""
+        index = object.__getattribute__(self, "_by_id")
+        if index is None:
+            index = {}
+            for record in self.records:
+                index.setdefault(record.record_id, record)
+            object.__setattr__(self, "_by_id", index)
+        return index.get(record_id)
 
     @classmethod
     def assemble(

@@ -22,10 +22,12 @@ Two layers are provided:
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.chain.block import Block, BlockHeader
+from repro.crypto.hashing import field_frame, fields_midstate
 
 __all__ = [
     "MAX_TARGET",
@@ -71,12 +73,35 @@ def mine_block(
     Returns the mined block, or None if ``max_attempts`` nonces were
     exhausted.  Only sensible at low difficulty (tests, demos); the
     experiments use :class:`MiningModel` instead.
+
+    The header fields before the nonce are hashed once into a SHA3-256
+    midstate; each attempt copies the midstate and feeds only the nonce
+    frame plus the (constant) post-nonce suffix — no per-nonce header
+    allocation or field re-encoding.  The digest is byte-for-byte what
+    :meth:`BlockHeader.header_hash` computes, so :func:`check_pow`
+    accepts exactly the same nonces as the naive loop.
     """
     header = block.header
+    target = difficulty_to_target(header.difficulty)
+    midstate = fields_midstate(
+        header.prev_block_id,
+        header.merkle_root,
+        repr(float(header.timestamp)),
+    )
+    suffix = (
+        field_frame(header.height)
+        + field_frame(header.difficulty)
+        + field_frame(header.miner.value)
+    )
     for nonce in range(start_nonce, start_nonce + max_attempts):
-        candidate = header.with_nonce(nonce)
-        if check_pow(candidate):
-            return Block(header=candidate, records=block.records)
+        hasher = midstate.copy()
+        hasher.update(field_frame(nonce))
+        hasher.update(suffix)
+        digest = hasher.digest()
+        if int.from_bytes(digest, "big") < target:
+            winner = header.with_nonce(nonce)
+            object.__setattr__(winner, "_hash", digest)  # pre-warm the id cache
+            return Block(header=winner, records=block.records)
     return None
 
 
@@ -127,6 +152,10 @@ class MiningModel:
         self._hashrates: Dict[str, float] = dict(hashrates)
         self._difficulty = difficulty
         self._rng = rng if rng is not None else random.Random()
+        # Winner-selection index: miner names + cumulative hashrates,
+        # rebuilt lazily after membership/hashrate changes.
+        self._names: Optional[List[str]] = None
+        self._cumulative: Optional[List[float]] = None
 
     @property
     def difficulty(self) -> int:
@@ -157,24 +186,52 @@ class MiningModel:
                 raise ValueError("cannot remove the last miner")
         else:
             self._hashrates[miner] = hashrate
+        self._names = None
+        self._cumulative = None
+
+    def _winner_index(self) -> Tuple[List[str], List[float]]:
+        """The (names, cumulative hashrate) table for winner sampling."""
+        if self._cumulative is None or self._names is None:
+            self._names = list(self._hashrates)
+            cumulative: List[float] = []
+            running = 0.0
+            for rate in self._hashrates.values():
+                running += rate
+                cumulative.append(running)
+            self._cumulative = cumulative
+        return self._names, self._cumulative
 
     def next_block(self) -> MiningOutcome:
-        """Sample the next mining round: (winner, interval)."""
-        total = self.total_hashrate
+        """Sample the next mining round: (winner, interval).
+
+        Winner selection is a binary search over cumulative hashrates —
+        O(log m) per block instead of a linear scan — and draws the same
+        RNG stream (and thus the same winners) as the scan it replaced.
+        """
+        names, cumulative = self._winner_index()
+        total = cumulative[-1]
         interval = self._rng.expovariate(total / self._difficulty)
         pick = self._rng.random() * total
-        cumulative = 0.0
-        winner = next(iter(self._hashrates))
-        for miner, rate in self._hashrates.items():
-            cumulative += rate
-            if pick <= cumulative:
-                winner = miner
-                break
-        return MiningOutcome(winner=winner, interval=interval)
+        index = bisect_left(cumulative, pick)
+        if index >= len(names):  # float edge: pick rounded up to total
+            index = len(names) - 1
+        return MiningOutcome(winner=names[index], interval=interval)
 
     def sample_intervals(self, count: int) -> Tuple[float, ...]:
         """Sample ``count`` consecutive block intervals (Fig. 3(b))."""
         return tuple(self.next_block().interval for _ in range(count))
+
+    def sample_interval_batch(self, count: int) -> Tuple[float, ...]:
+        """Sample ``count`` block intervals without sampling winners.
+
+        One RNG draw per block instead of two, and no winner lookup —
+        for interval-only analyses (block-time distributions at scale).
+        NOT stream-compatible with :meth:`sample_intervals`: it draws
+        half as many variates from the shared RNG.
+        """
+        rate = self.total_hashrate / self._difficulty
+        expovariate = self._rng.expovariate
+        return tuple(expovariate(rate) for _ in range(count))
 
     @classmethod
     def from_shares(

@@ -28,16 +28,14 @@ __all__ = [
 
 
 def encode_record(record: ChainRecord) -> bytes:
-    """Serialize one chain record."""
-    return pack(
-        [
-            record.kind.value.encode(),
-            record.record_id,
-            record.payload,
-            record.fee.to_bytes(16, "big"),
-            record.sender.value if record.sender is not None else b"",
-        ]
-    )
+    """Serialize one chain record.
+
+    The wire encoding *is* the record's canonical byte form — the same
+    length-prefixed frame :meth:`ChainRecord.to_bytes` commits to the
+    Merkle root — so dumps and proofs can never disagree about a
+    record's identity bytes.
+    """
+    return record.to_bytes()
 
 
 def decode_record(data: bytes) -> ChainRecord:

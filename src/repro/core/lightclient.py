@@ -80,7 +80,12 @@ class HeaderChain:
         return self._headers[-1] if self._headers else None
 
     def accept(self, header: BlockHeader) -> bool:
-        """Append a header if it extends the tip; returns success."""
+        """Append a header if it extends the tip; returns success.
+
+        Header identities are memoized on the headers themselves
+        (:meth:`BlockHeader.header_hash`), so link checks, the PoW
+        check, and the id index all reuse one SHA-3 computation.
+        """
         if not self._headers:
             if header.prev_block_id != GENESIS_PARENT:
                 return False
@@ -92,10 +97,11 @@ class HeaderChain:
                 return False
             if header.timestamp < previous.timestamp:
                 return False
+        header_id = header.header_hash()
         if self._require_pow and header.height > 0 and not check_pow(header):
             return False
         self._headers.append(header)
-        self._by_id[header.header_hash()] = len(self._headers) - 1
+        self._by_id[header_id] = len(self._headers) - 1
         return True
 
     def sync_from(self, chain: Blockchain) -> int:

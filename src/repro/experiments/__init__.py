@@ -32,6 +32,7 @@ from repro.experiments.fig4 import Fig4aResult, Fig4bResult, run_fig4a, run_fig4
 from repro.experiments.fig5 import Fig5aResult, Fig5bResult, run_fig5a, run_fig5b
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.experiments.harness import Comparison, ResultTable, summarize
+from repro.experiments.runner import default_jobs, derive_seeds, run_trials
 from repro.experiments.table1 import PAPER_TABLE1, Table1Result, run_table1
 
 __all__ = [
@@ -52,6 +53,8 @@ __all__ = [
     "ablate_escrow",
     "ablate_report_fee",
     "ablate_two_phase",
+    "default_jobs",
+    "derive_seeds",
     "run_capability_curve",
     "run_costs",
     "run_fig3a",
@@ -65,5 +68,6 @@ __all__ = [
     "run_fork_rate",
     "run_payout_latency",
     "run_table1",
+    "run_trials",
     "summarize",
 ]

@@ -1,13 +1,18 @@
-"""Run every experiment: ``python -m repro.experiments``.
+"""Run every experiment: ``python -m repro.experiments [--jobs N]``.
 
 Regenerates all paper tables/figures plus the reproduction's own
 analyses (ablations, capability curves), printing each in order.
+``--jobs`` fans the trial-sweep experiments (Fig. 5(b), the two-phase
+ablation, the chaos gauntlet) out over worker processes; results are
+bit-identical to the serial run — only wall-clock time changes.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
+from typing import Optional
 
 from repro.experiments import (
     run_costs,
@@ -33,33 +38,54 @@ from repro.experiments.chaos import run_chaos_gauntlet
 from repro.experiments.forks import run_fork_rate
 from repro.experiments.latency import run_payout_latency
 
+#: (label, runner, accepts a ``jobs`` keyword).  Runners whose sweeps
+#: are embarrassingly parallel take ``jobs`` and fan out via
+#: :mod:`repro.experiments.runner`.
 RUNNERS = [
-    ("Table I", run_table1),
-    ("Fig. 3(a)", run_fig3a),
-    ("Fig. 3(b)", run_fig3b),
-    ("Fig. 4(a)", run_fig4a),
-    ("Fig. 4(b)", run_fig4b),
-    ("Fig. 5(a)", run_fig5a),
-    ("Fig. 5(b)", run_fig5b),
-    ("Fig. 6", run_fig6),
-    ("§VII costs", run_costs),
-    ("Ablation: two-phase", ablate_two_phase),
-    ("Ablation: escrow", ablate_escrow),
-    ("Ablation: report fee", ablate_report_fee),
-    ("Eq. 11 capability curve", run_capability_curve),
-    ("§VIII fleet composition", run_fleet_composition),
-    ("Payout latency", run_payout_latency),
-    ("Fork rate", run_fork_rate),
-    ("Chaos gauntlet", run_chaos_gauntlet),
+    ("Table I", run_table1, False),
+    ("Fig. 3(a)", run_fig3a, False),
+    ("Fig. 3(b)", run_fig3b, False),
+    ("Fig. 4(a)", run_fig4a, False),
+    ("Fig. 4(b)", run_fig4b, False),
+    ("Fig. 5(a)", run_fig5a, False),
+    ("Fig. 5(b)", run_fig5b, True),
+    ("Fig. 6", run_fig6, False),
+    ("§VII costs", run_costs, False),
+    ("Ablation: two-phase", ablate_two_phase, True),
+    ("Ablation: escrow", ablate_escrow, False),
+    ("Ablation: report fee", ablate_report_fee, False),
+    ("Eq. 11 capability curve", run_capability_curve, False),
+    ("§VIII fleet composition", run_fleet_composition, False),
+    ("Payout latency", run_payout_latency, False),
+    ("Fork rate", run_fork_rate, False),
+    ("Chaos gauntlet", run_chaos_gauntlet, True),
 ]
 
 
-def main() -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The experiment-suite CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="regenerate every paper table/figure and reproduction analysis",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan trial sweeps out over N worker processes "
+        "(0 = one per core; default: serial; results are identical either way)",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
     """Run all experiments; returns a process exit code."""
+    args = build_parser().parse_args(argv)
     started = time.time()
-    for label, runner in RUNNERS:
+    for label, runner, parallel in RUNNERS:
         print(f"--- {label} " + "-" * max(0, 60 - len(label)))
-        result = runner()
+        result = runner(jobs=args.jobs) if parallel else runner()
         result.to_table().print()
     print(f"all experiments completed in {time.time() - started:.1f}s")
     return 0

@@ -19,13 +19,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.chain.block import ChainRecord, RecordKind
 from repro.chain.mempool import Mempool
 from repro.contracts.gas import DEFAULT_GAS_SCHEDULE
 from repro.crypto.hashing import hash_fields
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import derive_seeds, run_trials
 
 __all__ = [
     "TwoPhaseAblation",
@@ -67,11 +68,50 @@ class TwoPhaseAblation:
         return table
 
 
+def _two_phase_trial(args: Tuple[int, int, int, float]) -> Tuple[int, int]:
+    """One plagiarism race; returns (thief wins with R†, wins without).
+
+    Module-level and seeded per trial so the sweep can fan out across
+    processes with results bit-identical to the serial loop.
+    """
+    trial_seed, trial, victim_fee_wei, thief_fee_multiplier = args
+    rng = random.Random(trial_seed)
+    victim_record = ChainRecord(
+        kind=RecordKind.DETAILED_REPORT,
+        record_id=hash_fields("victim", trial),
+        payload=b"victim-report",
+        fee=victim_fee_wei,
+    )
+    thief_record = ChainRecord(
+        kind=RecordKind.DETAILED_REPORT,
+        record_id=hash_fields("thief", trial),
+        payload=b"copied-report",
+        fee=int(victim_fee_wei * thief_fee_multiplier),
+    )
+
+    # With two-phase: commitment order decides; the victim's R† is
+    # confirmed before the thief ever sees the findings.
+    victim_commit_time = rng.uniform(0.0, 100.0)
+    thief_commit_time = victim_commit_time + rng.uniform(90.0, 200.0)
+    win_with = 1 if thief_commit_time < victim_commit_time else 0  # pragma: no branch
+
+    # Without two-phase: fee-priority mempool ordering decides.
+    pool = Mempool()
+    # The victim's R* arrives first, the copy lands before the next
+    # block is assembled.
+    pool.add(victim_record)
+    pool.add(thief_record)
+    ordered = pool.select()
+    win_without = 1 if ordered[0].payload == b"copied-report" else 0
+    return win_with, win_without
+
+
 def ablate_two_phase(
     trials: int = 200,
     victim_fee_wei: int = DEFAULT_GAS_SCHEDULE.fee_wei("submit_detailed_report"),
     thief_fee_multiplier: float = 4.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> TwoPhaseAblation:
     """Race a plagiarist against a victim on the real mempool.
 
@@ -84,44 +124,24 @@ def ablate_two_phase(
     and the bounty goes to whichever is ordered first.  The thief
     outbids the victim's fee, and fee-priority selection puts the copy
     first whenever both fit in the next block.
+
+    Each trial runs under its own seed derived from ``seed``, so
+    ``jobs`` parallelism cannot change the outcome.
     """
-    rng = random.Random(seed)
-    wins_with = 0
-    wins_without = 0
-    for trial in range(trials):
-        victim_record = ChainRecord(
-            kind=RecordKind.DETAILED_REPORT,
-            record_id=hash_fields("victim", trial),
-            payload=b"victim-report",
-            fee=victim_fee_wei,
-        )
-        thief_record = ChainRecord(
-            kind=RecordKind.DETAILED_REPORT,
-            record_id=hash_fields("thief", trial),
-            payload=b"copied-report",
-            fee=int(victim_fee_wei * thief_fee_multiplier),
-        )
-
-        # With two-phase: commitment order decides; the victim's R† is
-        # confirmed before the thief ever sees the findings.
-        victim_commit_time = rng.uniform(0.0, 100.0)
-        thief_commit_time = victim_commit_time + rng.uniform(90.0, 200.0)
-        if thief_commit_time < victim_commit_time:  # pragma: no cover
-            wins_with += 1
-
-        # Without two-phase: fee-priority mempool ordering decides.
-        pool = Mempool()
-        # The victim's R* arrives first, the copy lands before the next
-        # block is assembled.
-        pool.add(victim_record)
-        pool.add(thief_record)
-        ordered = pool.select()
-        if ordered[0].payload == b"copied-report":
-            wins_without += 1
+    trial_seeds = derive_seeds(seed, trials)
+    outcomes = run_trials(
+        _two_phase_trial,
+        [
+            (trial_seed, trial, victim_fee_wei, thief_fee_multiplier)
+            for trial, trial_seed in enumerate(trial_seeds)
+        ],
+        jobs=jobs,
+        chunksize=16,
+    )
     return TwoPhaseAblation(
         trials=trials,
-        thief_wins_with_two_phase=wins_with,
-        thief_wins_without_two_phase=wins_without,
+        thief_wins_with_two_phase=sum(with_ for with_, _ in outcomes),
+        thief_wins_without_two_phase=sum(without for _, without in outcomes),
     )
 
 

@@ -1,0 +1,383 @@
+"""Substrate microbenchmark suite — the repo's perf trajectory, recorded.
+
+``scripts/run_bench.sh`` (or ``python -m repro.experiments.bench_substrate``)
+times the hot paths every experiment leans on — header hashing, PoW
+nonce search, Merkle construction, a gossip round, and one mini
+end-to-end mining experiment — and writes ``BENCH_substrate.json`` so
+future PRs measure against a recorded baseline instead of folklore.
+
+Two comparisons are structural, not just timings:
+
+* **nonce search** — the midstate miner (:func:`repro.chain.pow.mine_block`)
+  against a pinned copy of the pre-midstate naive loop (re-encode all
+  seven header fields per nonce); the suite asserts both accept the
+  same nonce and reports the speedup.
+* **parallel runner** — :func:`repro.experiments.fig5.run_fig5b` serial
+  vs ``jobs>1``; the suite asserts the balances are bit-identical and
+  reports the wall-clock ratio.
+
+Timings take the best of ``repeats`` runs (min is the standard noise
+filter for microbenchmarks); workloads are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.chain.block import Block, BlockHeader, ChainRecord, GENESIS_PARENT, RecordKind
+from repro.chain.consensus import MiningSimulation
+from repro.chain.merkle import MerkleTree
+from repro.chain.pow import PAPER_HASHPOWER_SHARES, difficulty_to_target, mine_block
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import KeyPair
+from repro.experiments.harness import ResultTable
+from repro.experiments.fig5 import run_fig5b
+from repro.network.gossip import GossipNetwork, build_topology
+from repro.network.messages import Message, MessageKind
+from repro.network.node import Node
+from repro.network.simulator import Simulator
+
+__all__ = ["run_suite", "main", "naive_mine_block"]
+
+_MINER = KeyPair.from_seed(b"bench-substrate").address
+
+
+def naive_mine_block(
+    block: Block, max_attempts: int = 1_000_000, start_nonce: int = 0
+) -> Optional[Block]:
+    """The pre-midstate reference miner, pinned for speedup comparisons.
+
+    Byte-for-byte the algorithm `mine_block` used before the midstate
+    rewrite: allocate a header per nonce and re-hash all seven fields
+    through :meth:`BlockHeader.header_hash`.
+    """
+    header = block.header
+    target = difficulty_to_target(header.difficulty)
+    for nonce in range(start_nonce, start_nonce + max_attempts):
+        candidate = header.with_nonce(nonce)
+        if int.from_bytes(candidate.header_hash(), "big") < target:
+            return Block(header=candidate, records=block.records)
+    return None
+
+
+def _best_of(repeats: int, fn: Callable[[], Any]) -> float:
+    """Minimum wall-clock seconds of ``repeats`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_block(difficulty: int = 1 << 255) -> Block:
+    """An unmined single-record block at (by default) unwinnable difficulty."""
+    records = (
+        ChainRecord(
+            kind=RecordKind.TRANSACTION,
+            record_id=hash_fields("bench-substrate-record"),
+            payload=b"x" * 64,
+        ),
+    )
+    return Block.assemble(GENESIS_PARENT, 1, records, 1.0, difficulty, _MINER)
+
+
+def _fresh_headers(count: int) -> List[BlockHeader]:
+    """Distinct headers with cold identity caches."""
+    return [
+        BlockHeader(
+            prev_block_id=GENESIS_PARENT,
+            merkle_root=hash_fields("root", i),
+            timestamp=float(i),
+            nonce=i,
+            height=1,
+            difficulty=100,
+            miner=_MINER,
+        )
+        for i in range(count)
+    ]
+
+
+def _gossip_round(node_count: int) -> int:
+    """One flood over a complete overlay; returns messages sent."""
+    simulator = Simulator()
+    topology = build_topology([f"n{i}" for i in range(node_count)])
+    network = GossipNetwork(simulator, topology, rng=random.Random(7))
+    network.attach_all(Node(f"n{i}") for i in range(node_count))
+    message = Message.wrap(MessageKind.CONTROL, b"bench", origin="n0")
+    network.broadcast("n0", message)
+    simulator.run()
+    return network.messages_sent
+
+
+def _mini_experiment(blocks: int) -> MiningSimulation:
+    """A small end-to-end mining run over the paper's hashpower split."""
+    addresses = {
+        name: KeyPair.from_seed(name.encode()).address
+        for name in PAPER_HASHPOWER_SHARES
+    }
+    simulation = MiningSimulation.from_shares(
+        PAPER_HASHPOWER_SHARES, addresses, rng=random.Random(11)
+    )
+    simulation.run_blocks(blocks)
+    return simulation
+
+
+def run_suite(
+    quick: bool = False,
+    repeats: int = 3,
+    jobs: Optional[int] = None,
+    parallel_probe: bool = True,
+) -> Dict[str, Any]:
+    """Run every microbenchmark; returns the JSON-ready result dict.
+
+    ``quick`` shrinks workloads (CI smoke); ``jobs`` sets the worker
+    count for the parallel-runner probe (default: 2, or serial-only
+    when ``parallel_probe`` is False).
+    """
+    scale = 0.2 if quick else 1.0
+    results: Dict[str, Any] = {}
+
+    # -- header hashing ---------------------------------------------------
+    cold_count = max(50, int(2000 * scale))
+    headers = _fresh_headers(cold_count)
+
+    def _hash_cold() -> None:
+        for header in _fresh_headers(cold_count):
+            header.header_hash()
+
+    cold = _best_of(repeats, _hash_cold)
+    results["header_hash_cold"] = {
+        "iterations": cold_count,
+        "seconds": cold,
+        "per_op_us": cold / cold_count * 1e6,
+    }
+
+    cached_iterations = max(1000, int(200_000 * scale))
+    warm_header = headers[0]
+    warm_header.header_hash()
+
+    def _hash_cached() -> None:
+        header_hash = warm_header.header_hash
+        for _ in range(cached_iterations):
+            header_hash()
+
+    cached = _best_of(repeats, _hash_cached)
+    results["header_hash_cached"] = {
+        "iterations": cached_iterations,
+        "seconds": cached,
+        "per_op_us": cached / cached_iterations * 1e6,
+        "speedup_vs_cold": (cold / cold_count) / max(cached / cached_iterations, 1e-12),
+    }
+
+    # -- nonce search: naive loop vs midstate miner -----------------------
+    attempts = max(500, int(20_000 * scale))
+    unwinnable = _bench_block()
+    naive_seconds = _best_of(
+        repeats, lambda: naive_mine_block(unwinnable, max_attempts=attempts)
+    )
+    midstate_seconds = _best_of(
+        repeats, lambda: mine_block(unwinnable, max_attempts=attempts)
+    )
+    easy = _bench_block(difficulty=64)
+    naive_found = naive_mine_block(easy, max_attempts=100_000)
+    midstate_found = mine_block(easy, max_attempts=100_000)
+    assert naive_found is not None and midstate_found is not None
+    if naive_found.header.nonce != midstate_found.header.nonce:
+        raise AssertionError(
+            "midstate miner disagrees with the naive loop: "
+            f"{midstate_found.header.nonce} != {naive_found.header.nonce}"
+        )
+    results["nonce_search"] = {
+        "attempts": attempts,
+        "naive_seconds": naive_seconds,
+        "midstate_seconds": midstate_seconds,
+        "naive_hashes_per_sec": attempts / naive_seconds,
+        "midstate_hashes_per_sec": attempts / midstate_seconds,
+        "speedup": naive_seconds / midstate_seconds,
+        "same_nonce_as_naive": True,
+    }
+
+    # -- merkle build ------------------------------------------------------
+    leaf_count = 256
+    payloads = [hash_fields("bench-leaf", i) for i in range(leaf_count)]
+    merkle_builds = max(5, int(50 * scale))
+
+    def _merkle() -> None:
+        for _ in range(merkle_builds):
+            MerkleTree(payloads)
+
+    merkle_seconds = _best_of(repeats, _merkle)
+    results["merkle_build_256"] = {
+        "iterations": merkle_builds,
+        "seconds": merkle_seconds,
+        "per_build_ms": merkle_seconds / merkle_builds * 1e3,
+    }
+
+    # -- gossip round ------------------------------------------------------
+    node_count = 8 if quick else 16
+    gossip_seconds = _best_of(repeats, lambda: _gossip_round(node_count))
+    results["gossip_round"] = {
+        "nodes": node_count,
+        "seconds": gossip_seconds,
+        "messages_sent": _gossip_round(node_count),
+    }
+
+    # -- mini end-to-end experiment ---------------------------------------
+    blocks = 100 if quick else 500
+    e2e_seconds = _best_of(repeats, lambda: _mini_experiment(blocks))
+    results["mini_experiment"] = {
+        "blocks": blocks,
+        "seconds": e2e_seconds,
+        "blocks_per_sec": blocks / e2e_seconds,
+    }
+
+    # -- parallel experiment runner ---------------------------------------
+    if parallel_probe:
+        trials = 8 if quick else 24
+        workers = jobs if jobs and jobs > 1 else 2
+        serial_started = time.perf_counter()
+        serial = run_fig5b(trials=trials, jobs=None)
+        serial_seconds = time.perf_counter() - serial_started
+        parallel_started = time.perf_counter()
+        parallel = run_fig5b(trials=trials, jobs=workers)
+        parallel_seconds = time.perf_counter() - parallel_started
+        identical = serial.balances == parallel.balances and serial.vpb == parallel.vpb
+        if not identical:
+            raise AssertionError("parallel fig5b diverged from the serial run")
+        results["parallel_fig5b"] = {
+            "trials": trials,
+            "jobs": workers,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": serial_seconds / parallel_seconds,
+            "identical_to_serial": True,
+        }
+
+    return {
+        "suite": "substrate",
+        "quick": quick,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": results,
+    }
+
+
+def to_table(payload: Dict[str, Any]) -> ResultTable:
+    """Render a suite result as a printable table."""
+    table = ResultTable(
+        title="Substrate microbenchmarks (best of %d)" % payload["repeats"],
+        columns=["Benchmark", "Workload", "Seconds", "Headline"],
+    )
+    rows = payload["benchmarks"]
+    if "header_hash_cold" in rows:
+        entry = rows["header_hash_cold"]
+        table.add_row(
+            "header hash (cold)",
+            f"{entry['iterations']} headers",
+            entry["seconds"],
+            f"{entry['per_op_us']:.2f} us/hash",
+        )
+    if "header_hash_cached" in rows:
+        entry = rows["header_hash_cached"]
+        table.add_row(
+            "header hash (cached)",
+            f"{entry['iterations']} reads",
+            entry["seconds"],
+            f"{entry['speedup_vs_cold']:.0f}x vs cold",
+        )
+    if "nonce_search" in rows:
+        entry = rows["nonce_search"]
+        table.add_row(
+            "nonce search (midstate)",
+            f"{entry['attempts']} attempts",
+            entry["midstate_seconds"],
+            f"{entry['speedup']:.2f}x vs naive loop",
+        )
+    if "merkle_build_256" in rows:
+        entry = rows["merkle_build_256"]
+        table.add_row(
+            "merkle build",
+            f"{entry['iterations']}x256 leaves",
+            entry["seconds"],
+            f"{entry['per_build_ms']:.2f} ms/build",
+        )
+    if "gossip_round" in rows:
+        entry = rows["gossip_round"]
+        table.add_row(
+            "gossip round",
+            f"{entry['nodes']} nodes",
+            entry["seconds"],
+            f"{entry['messages_sent']} msgs",
+        )
+    if "mini_experiment" in rows:
+        entry = rows["mini_experiment"]
+        table.add_row(
+            "mini experiment",
+            f"{entry['blocks']} blocks",
+            entry["seconds"],
+            f"{entry['blocks_per_sec']:.0f} blocks/s",
+        )
+    if "parallel_fig5b" in rows:
+        entry = rows["parallel_fig5b"]
+        table.add_row(
+            "parallel fig5b",
+            f"{entry['trials']} trials, jobs={entry['jobs']}",
+            entry["parallel_seconds"],
+            f"{entry['speedup']:.2f}x vs serial (bit-identical)",
+        )
+    table.add_note("regenerate with scripts/run_bench.sh; see docs/PERFORMANCE.md")
+    return table
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run the suite and write the JSON baseline."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.bench_substrate",
+        description="time the substrate hot paths and record BENCH_substrate.json",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_substrate.json", help="where to write the JSON"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads (CI smoke)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="runs per benchmark; best is kept"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="workers for the parallel probe"
+    )
+    parser.add_argument(
+        "--no-parallel", action="store_true", help="skip the parallel-runner probe"
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(
+        quick=args.quick,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        parallel_probe=not args.no_parallel,
+    )
+    to_table(payload).print()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    speedup = payload["benchmarks"]["nonce_search"]["speedup"]
+    if speedup < 3.0:
+        print(f"WARNING: nonce-search speedup {speedup:.2f}x below the 3x floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,9 +11,10 @@ published report landed on the canonical chain exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import run_trials
 from repro.faults.gauntlet import GauntletConfig, GauntletResult, run_gauntlet
 
 __all__ = ["ChaosGauntletResult", "run_chaos_gauntlet"]
@@ -68,22 +69,35 @@ class ChaosGauntletResult:
         return table
 
 
+def _gauntlet_trial(args: Tuple[int, float, float]) -> GauntletResult:
+    """One seeded gauntlet run (module-level so it can cross processes)."""
+    seed, chaos_duration, settle_time = args
+    return run_gauntlet(
+        GauntletConfig(
+            seed=seed,
+            chaos_duration=chaos_duration,
+            settle_time=settle_time,
+        )
+    )
+
+
 def run_chaos_gauntlet(
     seeds: Tuple[int, ...] = (0, 1, 2),
     chaos_duration: float = 1800.0,
     settle_time: float = 900.0,
+    jobs: Optional[int] = None,
 ) -> ChaosGauntletResult:
-    """The ≥3-seed acceptance sweep at the paper-scale configuration."""
-    runs = [
-        run_gauntlet(
-            GauntletConfig(
-                seed=seed,
-                chaos_duration=chaos_duration,
-                settle_time=settle_time,
-            )
-        )
-        for seed in seeds
-    ]
+    """The ≥3-seed acceptance sweep at the paper-scale configuration.
+
+    Each seed is an independent deterministic run, so ``jobs`` fans the
+    sweep out one-gauntlet-per-process; results are merged in seed
+    order and are identical to the serial sweep.
+    """
+    runs = run_trials(
+        _gauntlet_trial,
+        [(seed, chaos_duration, settle_time) for seed in seeds],
+        jobs=jobs,
+    )
     return ChaosGauntletResult(runs=runs)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.vpb import vpb_closed_form
 from repro.chain.consensus import MiningSimulation
@@ -26,6 +26,7 @@ from repro.chain.pow import PAPER_HASHPOWER_SHARES
 from repro.core.incentives import IncentiveParameters
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import run_trials
 from repro.units import from_wei
 from repro.workloads.scenarios import provider_zeta
 
@@ -125,6 +126,26 @@ class Fig5bResult:
         return table
 
 
+def _fig5b_trial(args: Tuple[int, str, float]) -> int:
+    """One mining-income trial: blocks ``provider`` wins in ``window``.
+
+    Module-level and seed-driven so :func:`repro.experiments.runner.run_trials`
+    can fan trials out across processes with bit-identical results.
+    """
+    trial_seed, provider, window = args
+    addresses = {
+        name: KeyPair.from_seed(f"fig5:{name}".encode()).address
+        for name in PAPER_HASHPOWER_SHARES
+    }
+    simulation = MiningSimulation.from_shares(
+        PAPER_HASHPOWER_SHARES,
+        addresses,
+        rng=random.Random(trial_seed),
+    )
+    events = simulation.run_for(window)
+    return sum(1 for event in events if event.miner_name == provider)
+
+
 def run_fig5b(
     provider: str = "provider-3",
     window: float = 600.0,
@@ -132,8 +153,14 @@ def run_fig5b(
     trials: int = 80,
     seed: int = 5,
     omega_per_block: float = 2.0,
+    jobs: Optional[int] = None,
 ) -> Fig5bResult:
-    """Measure mining income per window; subtract the expected punishment."""
+    """Measure mining income per window; subtract the expected punishment.
+
+    ``jobs`` fans the mining trials out over worker processes; per-trial
+    seeds are pre-derived from ``seed`` exactly as the serial loop drew
+    them, so any ``jobs`` value produces the same balances.
+    """
     params = IncentiveParameters()
     zeta = provider_zeta(provider)
     vpb = round(
@@ -148,20 +175,15 @@ def run_fig5b(
     )
     vps = (round(vpb - 0.01, 6), vpb, round(vpb + 0.01, 6))
     rng = random.Random(seed)
-    addresses = {
-        name: KeyPair.from_seed(f"fig5:{name}".encode()).address
-        for name in PAPER_HASHPOWER_SHARES
-    }
+    trial_seeds = [rng.randrange(2**31) for _ in range(trials)]
     balances: Dict[float, List[float]] = {vp: [] for vp in vps}
     fee_income_per_block = from_wei(params.report_fee_wei) * omega_per_block
-    for _ in range(trials):
-        simulation = MiningSimulation.from_shares(
-            PAPER_HASHPOWER_SHARES,
-            addresses,
-            rng=random.Random(rng.randrange(2**31)),
-        )
-        events = simulation.run_for(window)
-        won = sum(1 for event in events if event.miner_name == provider)
+    wins = run_trials(
+        _fig5b_trial,
+        [(trial_seed, provider, window) for trial_seed in trial_seeds],
+        jobs=jobs,
+    )
+    for won in wins:
         income = won * (from_wei(params.block_reward_wei) + fee_income_per_block)
         for vp in vps:
             punishment = vp * insurance_ether + from_wei(params.deployment_cost_wei)

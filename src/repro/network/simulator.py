@@ -26,10 +26,19 @@ class ScheduledEvent:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owner hook so the simulator can count cancelled shells in O(1)
+    #: and compact its heap; cleared once the event leaves the queue.
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
-        """Mark the event so the simulator skips it."""
+        """Mark the event so the simulator skips it (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class Simulator:
@@ -43,6 +52,10 @@ class Simulator:
         self._queue: List[ScheduledEvent] = []
         self._seq = itertools.count()
         self._processed = 0
+        #: Cancelled shells still sitting in the heap.  Tracked so
+        #: ``pending`` is O(1) and so long chaos runs (which cancel
+        #: retry timers constantly) don't leak dead heap entries.
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -56,8 +69,20 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled shells)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued — O(1)."""
+        return len(self._queue) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """Event-cancel hook: count the shell; compact if they dominate."""
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled shells and re-heapify the survivors."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any, **kwargs: Any
@@ -70,7 +95,12 @@ class Simulator:
             bound = lambda: callback(*args, **kwargs)  # noqa: E731
         else:
             bound = callback
-        event = ScheduledEvent(time=self._now + delay, seq=next(self._seq), callback=bound)
+        event = ScheduledEvent(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=bound,
+            _on_cancel=self._note_cancelled,
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -84,7 +114,9 @@ class Simulator:
         """Fire the next event; returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._on_cancel = None  # left the queue: late cancels are no-ops
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.callback()
@@ -108,6 +140,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head._on_cancel = None
+                self._cancelled -= 1
                 continue
             if head.time > deadline:
                 break

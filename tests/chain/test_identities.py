@@ -1,0 +1,188 @@
+"""Memoized block identities: cache == fresh recomputation, injectivity.
+
+The perf layer caches ``BlockHeader.header_hash()`` and
+``ChainRecord.to_bytes()`` on their frozen dataclasses and indexes
+``Block.find_record``.  These tests pin the caching invariant (a cached
+identity is byte-for-byte what a cold recomputation yields) and the
+length-prefixed framing fix that makes record encodings injective.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import Block, BlockHeader, ChainRecord, GENESIS_PARENT, RecordKind
+from repro.codec import pack, unpack
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import Address, KeyPair
+
+MINER = KeyPair.from_seed(b"identity-tests").address
+
+record_kinds = st.sampled_from(list(RecordKind))
+payloads = st.binary(min_size=0, max_size=64)
+senders = st.one_of(st.none(), st.binary(min_size=20, max_size=20).map(Address))
+
+
+def _fresh_record(record: ChainRecord) -> ChainRecord:
+    """An equal record with a cold encoding cache."""
+    return ChainRecord(
+        kind=record.kind,
+        record_id=record.record_id,
+        payload=record.payload,
+        fee=record.fee,
+        sender=record.sender,
+    )
+
+
+class TestRecordEncodingCache:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        kind=record_kinds,
+        payload=payloads,
+        fee=st.integers(min_value=0, max_value=10**20),
+        sender=senders,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_cached_encoding_equals_fresh(self, kind, payload, fee, sender, seed):
+        record = ChainRecord(
+            kind=kind,
+            record_id=hash_fields("rec", seed),
+            payload=payload,
+            fee=fee,
+            sender=sender,
+        )
+        first = record.to_bytes()
+        assert record.to_bytes() is first  # memoized
+        assert _fresh_record(record).to_bytes() == first
+
+    def test_encoding_is_framed_and_parseable(self):
+        record = ChainRecord(
+            kind=RecordKind.SRA,
+            record_id=hash_fields("framed"),
+            payload=b"p|a|y",
+            fee=7,
+            sender=Address(b"\x01" * 20),
+        )
+        kind, record_id, payload, fee, sender = unpack(record.to_bytes(), 5)
+        assert kind == b"sra"
+        assert record_id == record.record_id
+        assert payload == b"p|a|y"
+        assert int.from_bytes(fee, "big") == 7
+        assert sender == b"\x01" * 20
+
+    def test_sender_payload_boundary_is_injective(self):
+        """The historical ``b"|"``-join collision pair now encodes apart.
+
+        Under the delimiter join, ``(sender=None, payload=X+"|"+P)`` and
+        ``(sender="|"+X, payload=P)`` produced identical bytes — two
+        distinct records sharing one Merkle leaf.
+        """
+        x = b"a" * 19
+        rid = hash_fields("collision")
+        with_none = ChainRecord(
+            kind=RecordKind.TRANSACTION,
+            record_id=rid,
+            payload=x + b"|" + b"tail",
+        )
+        with_sender = ChainRecord(
+            kind=RecordKind.TRANSACTION,
+            record_id=rid,
+            payload=b"tail",
+            sender=Address(b"|" + x),
+        )
+        # Regression check: the old encoding really did collide.
+        old = lambda r: b"|".join(  # noqa: E731
+            [
+                r.kind.value.encode(),
+                r.record_id,
+                r.fee.to_bytes(16, "big"),
+                r.sender.value if r.sender is not None else b"",
+                r.payload,
+            ]
+        )
+        assert old(with_none) == old(with_sender)
+        assert with_none.to_bytes() != with_sender.to_bytes()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        payload_a=payloads, payload_b=payloads, sender_a=senders, sender_b=senders
+    )
+    def test_distinct_records_encode_distinct(
+        self, payload_a, payload_b, sender_a, sender_b
+    ):
+        rid = hash_fields("inj")
+        a = ChainRecord(RecordKind.SRA, rid, payload_a, sender=sender_a)
+        b = ChainRecord(RecordKind.SRA, rid, payload_b, sender=sender_b)
+        assert (a.to_bytes() == b.to_bytes()) == (a == b)
+
+
+class TestHeaderHashCache:
+    def _header(self, nonce: int = 5) -> BlockHeader:
+        return BlockHeader(
+            prev_block_id=GENESIS_PARENT,
+            merkle_root=hash_fields("root"),
+            timestamp=3.25,
+            nonce=nonce,
+            height=9,
+            difficulty=1000,
+            miner=MINER,
+        )
+
+    def test_cached_hash_equals_fresh_recomputation(self):
+        header = self._header()
+        first = header.header_hash()
+        assert header.header_hash() is first  # memoized
+        assert self._header().header_hash() == first
+        assert first == hash_fields(
+            header.prev_block_id,
+            header.merkle_root,
+            repr(float(header.timestamp)),
+            header.nonce,
+            header.height,
+            header.difficulty,
+            header.miner.value,
+        )
+
+    def test_with_nonce_gets_its_own_identity(self):
+        header = self._header()
+        header.header_hash()
+        other = header.with_nonce(header.nonce + 1)
+        assert other.header_hash() != header.header_hash()
+        assert other.with_nonce(header.nonce).header_hash() == header.header_hash()
+
+    def test_cache_invisible_to_equality(self):
+        warm = self._header()
+        warm.header_hash()
+        assert warm == self._header()
+        assert hash(warm) == hash(self._header())
+
+
+class TestBlockRecordIndex:
+    def _block(self, records) -> Block:
+        return Block.assemble(GENESIS_PARENT, 1, tuple(records), 1.0, 100, MINER)
+
+    def test_find_record_matches_linear_scan(self):
+        rng = random.Random(0)
+        records = [
+            ChainRecord(
+                kind=RecordKind.TRANSACTION,
+                record_id=hash_fields("idx", i),
+                payload=bytes([rng.randrange(256)]),
+            )
+            for i in range(20)
+        ]
+        block = self._block(records)
+        for record in records:
+            assert block.find_record(record.record_id) is record
+        assert block.find_record(hash_fields("absent")) is None
+
+    def test_duplicate_record_ids_first_occurrence_wins(self):
+        rid = hash_fields("dup")
+        first = ChainRecord(RecordKind.SRA, rid, b"first")
+        second = ChainRecord(RecordKind.SRA, rid, b"second")
+        block = Block(header=self._block([first]).header, records=(first, second))
+        assert block.find_record(rid) is first
+
+    def test_empty_block(self):
+        assert self._block([]).find_record(hash_fields("x")) is None

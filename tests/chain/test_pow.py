@@ -5,7 +5,7 @@ import statistics
 
 import pytest
 
-from repro.chain.block import Block, GENESIS_PARENT
+from repro.chain.block import Block, BlockHeader, GENESIS_PARENT
 from repro.chain.pow import (
     MAX_TARGET,
     PAPER_DIFFICULTY,
@@ -60,6 +60,94 @@ class TestLiteralMining:
     def test_check_pow_rejects_unmined(self):
         block = self._block(difficulty=1 << 200)
         assert not check_pow(block.header)
+
+
+class TestMidstateCompatibility:
+    """The midstate miner must accept exactly the nonces the naive loop did."""
+
+    def _block(self, difficulty: int, records=()) -> Block:
+        return Block.assemble(GENESIS_PARENT, 1, tuple(records), 2.5, difficulty, MINER)
+
+    @staticmethod
+    def _naive_mine(block: Block, max_attempts: int, start_nonce: int = 0):
+        """The pre-midstate reference loop: full re-hash per nonce."""
+        header = block.header
+        for nonce in range(start_nonce, start_nonce + max_attempts):
+            candidate = header.with_nonce(nonce)
+            if check_pow(candidate):
+                return Block(header=candidate, records=block.records)
+        return None
+
+    @pytest.mark.parametrize("difficulty", [2, 8, 64, 300])
+    def test_same_nonce_as_naive_loop(self, difficulty):
+        block = self._block(difficulty)
+        naive = self._naive_mine(block, 100_000)
+        midstate = mine_block(block, 100_000)
+        assert naive is not None and midstate is not None
+        assert midstate.header.nonce == naive.header.nonce
+        assert midstate.header == naive.header
+
+    def test_mined_hash_matches_header_hash_byte_for_byte(self):
+        mined = mine_block(self._block(16), 100_000)
+        assert mined is not None
+        rebuilt = BlockHeader(
+            prev_block_id=mined.header.prev_block_id,
+            merkle_root=mined.header.merkle_root,
+            timestamp=mined.header.timestamp,
+            nonce=mined.header.nonce,
+            height=mined.header.height,
+            difficulty=mined.header.difficulty,
+            miner=mined.header.miner,
+        )
+        assert mined.block_id == rebuilt.header_hash()
+        assert check_pow(rebuilt)
+
+    def test_start_nonce_respected(self):
+        block = self._block(2)
+        mined = mine_block(block, 100_000, start_nonce=17)
+        assert mined is not None
+        assert mined.header.nonce >= 17
+        assert mined.header.nonce == self._naive_mine(block, 100_000, 17).header.nonce
+
+    def test_midstate_helpers_match_hash_fields(self):
+        from repro.crypto.hashing import field_frame, fields_midstate, hash_fields
+
+        hasher = fields_midstate(b"prefix", 42)
+        for suffix in ("a", "b"):
+            trial = hasher.copy()
+            trial.update(field_frame(suffix))
+            assert trial.digest() == hash_fields(b"prefix", 42, suffix)
+
+
+class TestBatchedIntervals:
+    def test_batch_matches_exponential_mean(self):
+        model = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(8))
+        intervals = model.sample_interval_batch(4000)
+        assert len(intervals) == 4000
+        assert statistics.fmean(intervals) == pytest.approx(
+            PAPER_MEAN_BLOCK_TIME, rel=0.1
+        )
+
+    def test_batch_reproducible_with_seed(self):
+        a = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(10))
+        b = MiningModel.from_shares(PAPER_HASHPOWER_SHARES, rng=random.Random(10))
+        assert a.sample_interval_batch(64) == b.sample_interval_batch(64)
+
+
+class TestWinnerIndex:
+    def test_set_hashrate_invalidates_winner_table(self):
+        model = MiningModel({"a": 1.0, "b": 1.0}, difficulty=100, rng=random.Random(2))
+        model.next_block()  # builds the cumulative table
+        model.set_hashrate("b", 0.0)
+        wins = {model.next_block().winner for _ in range(50)}
+        assert wins == {"a"}
+
+    def test_new_miner_can_win_after_join(self):
+        model = MiningModel({"a": 1.0}, difficulty=100, rng=random.Random(3))
+        model.next_block()
+        model.set_hashrate("z", 1e9)
+        wins = [model.next_block().winner for _ in range(20)]
+        assert wins.count("z") >= 19
 
 
 class TestHashrateCalibration:

@@ -1,0 +1,68 @@
+"""The parallel experiment runner: bit-identical to serial, order-stable.
+
+``run_trials`` fans trials out over a process pool; these tests pin the
+determinism contract — results merge in input order and every parallel
+run reproduces the serial run byte for byte for the same seeds.
+"""
+
+import pytest
+
+from repro.experiments.ablations import ablate_two_phase
+from repro.experiments.fig5 import run_fig5b
+from repro.experiments.runner import default_jobs, derive_seeds, run_trials
+
+
+def _square(value):
+    return value * value
+
+
+class TestRunTrials:
+    def test_serial_preserves_order(self):
+        assert run_trials(_square, [3, 1, 2], jobs=None) == [9, 1, 4]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20, 0, -1))
+        assert run_trials(_square, items, jobs=2) == [v * v for v in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(40))
+        assert run_trials(_square, items, jobs=2) == run_trials(
+            _square, items, jobs=None
+        )
+
+    def test_jobs_zero_means_per_core(self):
+        assert run_trials(_square, [1, 2, 3], jobs=0) == [1, 4, 9]
+
+    def test_empty_inputs(self):
+        assert run_trials(_square, [], jobs=2) == []
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestDeriveSeeds:
+    def test_deterministic_for_master_seed(self):
+        assert derive_seeds(42, 10) == derive_seeds(42, 10)
+
+    def test_prefix_stable_as_count_grows(self):
+        assert derive_seeds(42, 20)[:10] == derive_seeds(42, 10)
+
+    def test_distinct_masters_diverge(self):
+        assert derive_seeds(1, 8) != derive_seeds(2, 8)
+
+    def test_seeds_are_distinct(self):
+        seeds = derive_seeds(7, 64)
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestBitIdenticalExperiments:
+    def test_fig5b_parallel_matches_serial(self):
+        serial = run_fig5b(trials=6, window=120.0, seed=11, jobs=None)
+        parallel = run_fig5b(trials=6, window=120.0, seed=11, jobs=2)
+        assert parallel.vpb == serial.vpb
+        assert parallel.balances == serial.balances
+
+    def test_two_phase_parallel_matches_serial(self):
+        serial = ablate_two_phase(trials=40, seed=5, jobs=None)
+        parallel = ablate_two_phase(trials=40, seed=5, jobs=2)
+        assert parallel == serial

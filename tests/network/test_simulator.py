@@ -102,3 +102,69 @@ class TestControl:
         sim.schedule_at(12.0, lambda: seen.append(sim.now))
         sim.run()
         assert seen == [12.0]
+
+
+class TestCancellationAccounting:
+    """The cancelled-event leak fix: live pending count + heap compaction."""
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending == 6
+
+    def test_heap_compacts_when_mostly_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for handle in handles[:80]:
+            handle.cancel()
+        # The internal queue must have shed the cancelled shells, not
+        # merely hidden them from `pending`.
+        assert len(sim._queue) < 100
+        assert sim.pending == 20
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+        assert sim.run() == 1
+
+    def test_cancel_after_firing_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.step()
+        handle.cancel()  # late cancel of an already-fired event
+        assert sim.pending == 1
+        assert sim.run() == 1
+
+    def test_ordering_preserved_after_compaction(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(50):
+            handle = sim.schedule(float(50 - i), fired.append, 50 - i)
+            if (50 - i) % 10 != 0:
+                keep.append(handle)
+            else:
+                keep.append(None)
+        for i, handle in enumerate(keep):
+            if handle is not None:
+                handle.cancel()
+        sim.run()
+        assert fired == [10, 20, 30, 40, 50]
+
+    def test_mass_cancel_then_run_until(self):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(float(i + 1), fired.append, i + 1) for i in range(20)]
+        for handle in handles[:19]:
+            handle.cancel()
+        assert sim.run_until(25.0) == 1
+        assert fired == [20]
+        assert sim.pending == 0

@@ -54,6 +54,9 @@ def test_public_items_documented(package_name):
 def test_experiments_main_runners_importable():
     from repro.experiments.__main__ import RUNNERS
 
-    labels = [label for label, _ in RUNNERS]
+    labels = [label for label, _, _ in RUNNERS]
     assert "Table I" in labels
-    assert all(callable(runner) for _, runner in RUNNERS)
+    assert all(callable(runner) for _, runner, _ in RUNNERS)
+    # The trial-sweep experiments advertise --jobs fan-out.
+    parallel = {label for label, _, supports_jobs in RUNNERS if supports_jobs}
+    assert {"Fig. 5(b)", "Ablation: two-phase", "Chaos gauntlet"} <= parallel

@@ -1,0 +1,58 @@
+"""Telemetry cost gates: the observability layer must be free when off.
+
+The disabled path is one ``telemetry.enabled`` truthiness check per
+instrumented operation, measured here against a pinned copy of the
+pre-telemetry mining loop (``pretelemetry_mine_block``) and gated at
+≤5%.  The ledger head-state cache introduced alongside telemetry is
+gated too: validating against a stable head must beat full-chain
+replay by a wide margin.
+
+Marked ``bench``, outside tier-1: ``pytest benchmarks -q -m bench``.
+"""
+
+import pytest
+
+from repro.experiments.bench_substrate import (
+    TELEMETRY_OVERHEAD_CEILING,
+    run_suite,
+)
+from repro.chain.pow import mine_block
+from repro.experiments.bench_substrate import _bench_block
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(quick=True, repeats=3, parallel_probe=False)
+
+
+def test_disabled_telemetry_overhead_ceiling(suite):
+    """Mining with telemetry off must stay within 5% of the pinned loop."""
+    probe = suite["benchmarks"]["telemetry_overhead"]
+    assert probe["disabled_ratio"] <= TELEMETRY_OVERHEAD_CEILING, (
+        f"disabled-path overhead {probe['disabled_ratio']:.3f}x exceeds "
+        f"the {TELEMETRY_OVERHEAD_CEILING:.2f}x ceiling"
+    )
+
+
+def test_ledger_cached_validation_beats_replay(suite):
+    """Head-state caching must clearly beat per-validation replay."""
+    probe = suite["benchmarks"]["ledger_validate"]
+    assert probe["speedup"] >= 3.0, (
+        f"cached validation only {probe['speedup']:.2f}x over replay"
+    )
+
+
+def test_enabled_telemetry_records_the_search():
+    """With telemetry on, the search leaves attempts + outcome behind."""
+    telemetry = Telemetry()
+    block = _bench_block(difficulty=64)
+    mined = mine_block(block, max_attempts=100_000, telemetry=telemetry)
+    assert mined is not None
+    attempts = telemetry.counter("pow.nonce_attempts").value
+    assert attempts == mined.header.nonce + 1
+    assert telemetry.counter("pow.searches", outcome="found").value == 1
+    histogram = telemetry.histogram("pow.attempts_per_search")
+    assert histogram.count == 1 and histogram.max == attempts

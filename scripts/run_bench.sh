@@ -5,7 +5,8 @@
 # BENCH_substrate.json so future PRs measure regressions against it.
 #
 # Exits non-zero if the midstate nonce search falls below its 3x floor
-# over the naive loop.
+# over the naive loop, or if mining with telemetry disabled runs more
+# than 5% slower than the pinned pre-telemetry loop.
 #
 # Usage:  scripts/run_bench.sh [--quick] [--jobs N] [--output FILE]
 

@@ -24,8 +24,9 @@ from typing import Dict, Optional, Tuple
 from repro.chain.block import Block, RecordKind
 from repro.chain.chain import Blockchain
 from repro.chain.transactions import SignedTransaction
-from repro.contracts.state import WorldState
+from repro.contracts.state import WorldState, WorldStateSnapshot
 from repro.crypto.keys import Address
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.units import to_wei
 
 __all__ = ["LedgerError", "apply_block", "LedgerStateMachine"]
@@ -74,16 +75,66 @@ def apply_block(
         nonces[transaction.sender] = expected_nonce + 1
 
 
+#: Distinct canonical heads whose derived state is retained; replicas
+#: flip between at most a couple of competing tips, so a small cache
+#: covers fork churn without growing with chain length.
+_MAX_CACHED_HEADS = 8
+
+
 @dataclass
 class LedgerStateMachine:
     """Derives (and re-derives) account state from a chain.
 
     ``genesis_allocations`` seeds pre-mined balances (the accounts the
     bootstrap providers fund, §IV-A).
+
+    Head-state caching: :meth:`head_state` memoizes the derived
+    (state, nonces) per canonical head id, so validating a stream of
+    candidates on a stable head costs one block execution instead of a
+    full-chain replay each time.  Block ids are content-addressed, so a
+    head id uniquely determines the canonical history behind it — a
+    reorg changes the head id and thereby invalidates the entry
+    naturally.  Mutating :attr:`genesis_allocations` after use requires
+    an explicit :meth:`invalidate`.
     """
 
     block_reward_wei: int = DEFAULT_BLOCK_REWARD_WEI
     genesis_allocations: Dict[Address, int] = field(default_factory=dict)
+    telemetry: Telemetry = field(
+        default_factory=lambda: NULL_TELEMETRY, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        #: head block id -> (state snapshot, nonces) at that head.
+        self._head_cache: Dict[
+            bytes, Tuple[WorldStateSnapshot, Dict[Address, int]]
+        ] = {}
+
+    def invalidate(self) -> None:
+        """Drop all cached head states (after reward/allocation edits)."""
+        self._head_cache.clear()
+
+    def head_state(self, chain: Blockchain) -> Tuple[WorldState, Dict[Address, int]]:
+        """Derived (state, nonces) at the canonical head, cached by head id.
+
+        The returned objects are private copies — callers may execute
+        candidate blocks against them without poisoning the cache.
+        """
+        head_id = chain.head.block_id
+        cached = self._head_cache.get(head_id)
+        if cached is not None:
+            if self.telemetry.enabled:
+                self.telemetry.counter("ledger.head_state", outcome="hit").inc()
+            state = WorldState()
+            state.restore(cached[0])
+            return state, dict(cached[1])
+        if self.telemetry.enabled:
+            self.telemetry.counter("ledger.head_state", outcome="miss").inc()
+        state, nonces = self.replay(chain)
+        while len(self._head_cache) >= _MAX_CACHED_HEADS:
+            self._head_cache.pop(next(iter(self._head_cache)))
+        self._head_cache[head_id] = (state.snapshot(), dict(nonces))
+        return state, nonces
 
     def replay(self, chain: Blockchain) -> Tuple[WorldState, Dict[Address, int]]:
         """Replay the canonical chain from genesis; atomic on failure.
@@ -113,7 +164,7 @@ class LedgerStateMachine:
         if block.header.prev_block_id != chain.head.block_id:
             return "block does not extend the canonical head"
         try:
-            state, nonces = self.replay(chain)
+            state, nonces = self.head_state(chain)
             apply_block(state, nonces, block, self.block_reward_wei)
         except LedgerError as error:
             return str(error)
@@ -121,5 +172,5 @@ class LedgerStateMachine:
 
     def balance_at_head(self, chain: Blockchain, account: Address) -> int:
         """The account's balance implied by the current canonical chain."""
-        state, _ = self.replay(chain)
+        state, _ = self.head_state(chain)
         return state.balance(account)

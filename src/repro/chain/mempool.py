@@ -13,6 +13,7 @@ import itertools
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.chain.block import ChainRecord, RecordKind
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Mempool"]
 
@@ -25,11 +26,17 @@ class Mempool:
     the chain-level half of SmartCrowd's plagiarism defence.
     """
 
-    def __init__(self, max_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_size: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self._records: Dict[bytes, ChainRecord] = {}
         self._arrival: Dict[bytes, int] = {}
         self._counter = itertools.count()
         self._max_size = max_size
+        #: Mutable so a deployment can arm telemetry after construction.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def __len__(self) -> int:
         return len(self._records)
@@ -39,19 +46,35 @@ class Mempool:
 
     def add(self, record: ChainRecord) -> bool:
         """Queue a record; returns False on duplicate or overflow."""
+        telemetry = self.telemetry
         if record.record_id in self._records:
+            if telemetry.enabled:
+                telemetry.counter("mempool.adds", outcome="duplicate").inc()
             return False
         if self._max_size is not None and len(self._records) >= self._max_size:
+            # A zero-capacity pool (or one drained concurrently) has no
+            # victim to scan for — reject instead of min() on nothing.
+            if not self._records:
+                if telemetry.enabled:
+                    telemetry.counter("mempool.adds", outcome="overflow").inc()
+                return False
             # Evict the lowest-fee record if the newcomer pays more.
             victim_id = min(
                 self._records,
                 key=lambda rid: (self._records[rid].fee, -self._arrival[rid]),
             )
             if self._records[victim_id].fee >= record.fee:
+                if telemetry.enabled:
+                    telemetry.counter("mempool.adds", outcome="overflow").inc()
                 return False
             self.remove(victim_id)
+            if telemetry.enabled:
+                telemetry.counter("mempool.evictions").inc()
         self._records[record.record_id] = record
         self._arrival[record.record_id] = next(self._counter)
+        if telemetry.enabled:
+            telemetry.counter("mempool.adds", outcome="accepted").inc()
+            telemetry.gauge("mempool.size").set(len(self._records))
         return True
 
     def add_all(self, records: Iterable[ChainRecord]) -> int:
@@ -93,6 +116,10 @@ class Mempool:
         )
         if limit is not None:
             candidates = candidates[:limit]
+        if self.telemetry.enabled:
+            self.telemetry.histogram("mempool.selection_size").observe(
+                len(candidates)
+            )
         return tuple(candidates)
 
     def pending_ids(self) -> Set[bytes]:

@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.chain.block import Block, BlockHeader
 from repro.crypto.hashing import field_frame, fields_midstate
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "MAX_TARGET",
@@ -67,6 +68,7 @@ def mine_block(
     block: Block,
     max_attempts: int = 1_000_000,
     start_nonce: int = 0,
+    telemetry: Optional[Telemetry] = None,
 ) -> Optional[Block]:
     """Literally search nonces until the block meets its PoW target.
 
@@ -80,6 +82,10 @@ def mine_block(
     allocation or field re-encoding.  The digest is byte-for-byte what
     :meth:`BlockHeader.header_hash` computes, so :func:`check_pow`
     accepts exactly the same nonces as the naive loop.
+
+    Telemetry (attempt counts, per-search histogram) is recorded after
+    the search loop, never inside it, so the disabled path is the bare
+    hot loop (gated ≤5% overhead in ``benchmarks/``).
     """
     header = block.header
     target = difficulty_to_target(header.difficulty)
@@ -93,6 +99,8 @@ def mine_block(
         + field_frame(header.difficulty)
         + field_frame(header.miner.value)
     )
+    found: Optional[Block] = None
+    attempts = max_attempts
     for nonce in range(start_nonce, start_nonce + max_attempts):
         hasher = midstate.copy()
         hasher.update(field_frame(nonce))
@@ -101,8 +109,16 @@ def mine_block(
         if int.from_bytes(digest, "big") < target:
             winner = header.with_nonce(nonce)
             object.__setattr__(winner, "_hash", digest)  # pre-warm the id cache
-            return Block(header=winner, records=block.records)
-    return None
+            found = Block(header=winner, records=block.records)
+            attempts = nonce - start_nonce + 1
+            break
+    if telemetry is not None and telemetry.enabled:
+        telemetry.counter("pow.nonce_attempts").inc(attempts)
+        telemetry.counter(
+            "pow.searches", outcome="found" if found is not None else "exhausted"
+        ).inc()
+        telemetry.histogram("pow.attempts_per_search").observe(attempts)
+    return found
 
 
 def network_hashrate_for_block_time(
@@ -144,6 +160,7 @@ class MiningModel:
         hashrates: Mapping[str, float],
         difficulty: int = PAPER_DIFFICULTY,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not hashrates:
             raise ValueError("at least one miner is required")
@@ -152,6 +169,7 @@ class MiningModel:
         self._hashrates: Dict[str, float] = dict(hashrates)
         self._difficulty = difficulty
         self._rng = rng if rng is not None else random.Random()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # Winner-selection index: miner names + cumulative hashrates,
         # rebuilt lazily after membership/hashrate changes.
         self._names: Optional[List[str]] = None
@@ -215,6 +233,10 @@ class MiningModel:
         index = bisect_left(cumulative, pick)
         if index >= len(names):  # float edge: pick rounded up to total
             index = len(names) - 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.histogram("mining.interval_seconds").observe(interval)
+            telemetry.counter("mining.blocks", winner=names[index]).inc()
         return MiningOutcome(winner=names[index], interval=interval)
 
     def sample_intervals(self, count: int) -> Tuple[float, ...]:
@@ -240,6 +262,7 @@ class MiningModel:
         difficulty: int = PAPER_DIFFICULTY,
         mean_block_time: float = PAPER_MEAN_BLOCK_TIME,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "MiningModel":
         """Build a model from hashpower *shares* and a target block time.
 
@@ -254,7 +277,7 @@ class MiningModel:
         hashrates = {
             name: network_rate * share / total_share for name, share in shares.items()
         }
-        return cls(hashrates, difficulty=difficulty, rng=rng)
+        return cls(hashrates, difficulty=difficulty, rng=rng, telemetry=telemetry)
 
 
 #: The top-5 Ethereum miner computation proportions the paper simulates

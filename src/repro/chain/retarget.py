@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.chain.pow import MiningModel
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
     "homestead_adjust",
@@ -91,6 +92,7 @@ class RetargetingMiner:
         scheme: str = "homestead",
         epoch_length: int = 32,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if scheme not in ("homestead", "epoch"):
             raise ValueError(f"unknown retargeting scheme {scheme!r}")
@@ -102,6 +104,7 @@ class RetargetingMiner:
         self._rng = rng if rng is not None else random.Random()
         self._epoch_buffer: List[float] = []
         self.history: List[RetargetStep] = []
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def set_hashrate(self, miner: str, hashrate: float) -> None:
         """Model a provider joining, leaving, or rescaling."""
@@ -122,6 +125,13 @@ class RetargetingMiner:
             winner=outcome.winner,
         )
         self.history.append(step)
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.histogram("retarget.interval_seconds").observe(
+                outcome.interval
+            )
+            telemetry.histogram("retarget.difficulty").observe(self.difficulty)
+            telemetry.counter("retarget.blocks", winner=outcome.winner).inc()
         if self.scheme == "homestead":
             self.difficulty = homestead_adjust(
                 self.difficulty, outcome.interval, self.target_time

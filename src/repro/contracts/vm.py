@@ -29,6 +29,7 @@ from repro.contracts.gas import DEFAULT_GAS_SCHEDULE, GasSchedule
 from repro.contracts.state import BURN_ADDRESS, InsufficientFunds, WorldState
 from repro.crypto.hashing import hash_fields
 from repro.crypto.keys import Address
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["ContractRuntime", "Receipt"]
 
@@ -41,9 +42,11 @@ class ContractRuntime(ContractRuntimeApi):
         state: Optional[WorldState] = None,
         gas_schedule: GasSchedule = DEFAULT_GAS_SCHEDULE,
         fee_collector: Address = BURN_ADDRESS,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.state = state if state is not None else WorldState()
         self.gas = gas_schedule
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Where gas fees go; the consensus layer points this at the
         #: current block's miner so fees become ψ·ω income (Eq. 8).
         self.fee_collector = fee_collector
@@ -52,6 +55,9 @@ class ContractRuntime(ContractRuntimeApi):
         self._events: List[ContractEvent] = []
         self._pending_events: List[ContractEvent] = []
         self._deploy_counter = itertools.count()
+        #: Escrow outflows of the call in flight (committed on success).
+        self._pending_payout_wei = 0
+        self._pending_payouts = 0
 
     # -- ContractRuntimeApi -------------------------------------------------
 
@@ -62,6 +68,10 @@ class ContractRuntime(ContractRuntimeApi):
         self, contract: Address, recipient: Address, amount_wei: int
     ) -> None:
         self.state.transfer(contract, recipient, amount_wei)
+        # Buffered, then committed by _execute only if the call sticks —
+        # a reverted call's payouts never happened.
+        self._pending_payout_wei += amount_wei
+        self._pending_payouts += 1
 
     def emit(self, event: ContractEvent) -> None:
         self._pending_events.append(event)
@@ -171,6 +181,10 @@ class ContractRuntime(ContractRuntimeApi):
         try:
             self.state.transfer(sender, self.fee_collector, fee)
         except InsufficientFunds as exc:
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "contract.calls", operation=operation, outcome="no_gas"
+                ).inc()
             return Receipt(
                 success=False,
                 contract=address,
@@ -182,6 +196,8 @@ class ContractRuntime(ContractRuntimeApi):
 
         snapshot = self.state.snapshot()
         self._pending_events = []
+        self._pending_payout_wei = 0
+        self._pending_payouts = 0
         try:
             self.state.transfer(sender, address, value_wei)
             ctx = CallContext(
@@ -207,6 +223,19 @@ class ContractRuntime(ContractRuntimeApi):
                 contract.address = None
                 contract.owner = None
             self._pending_events = []
+            if self.telemetry.enabled:
+                telemetry = self.telemetry
+                telemetry.counter(
+                    "contract.calls", operation=operation, outcome="reverted"
+                ).inc()
+                # Gas is burned even on revert, as on Ethereum.
+                telemetry.counter("contract.gas_wei").inc(fee)
+                telemetry.histogram(
+                    "contract.gas_used", operation=operation
+                ).observe(gas_used)
+                telemetry.event(
+                    "contract.revert", operation=operation, error=str(exc)
+                )
             return Receipt(
                 success=False,
                 contract=address,
@@ -218,6 +247,30 @@ class ContractRuntime(ContractRuntimeApi):
         committed_events = tuple(self._pending_events)
         self._events.extend(committed_events)
         self._pending_events = []
+        if self.telemetry.enabled:
+            telemetry = self.telemetry
+            telemetry.counter(
+                "contract.calls", operation=operation, outcome="ok"
+            ).inc()
+            telemetry.counter("contract.gas_wei").inc(fee)
+            telemetry.histogram(
+                "contract.gas_used", operation=operation
+            ).observe(gas_used)
+            if value_wei:
+                # Escrow inflows: insurance/bounty deposits sent with calls.
+                telemetry.counter("contract.deposit_wei").inc(value_wei)
+            if self._pending_payout_wei:
+                telemetry.counter("contract.payout_wei").inc(
+                    self._pending_payout_wei
+                )
+                telemetry.counter("contract.payouts").inc(self._pending_payouts)
+            if is_deploy:
+                telemetry.event(
+                    "contract.deploy",
+                    operation=operation,
+                    address=address.value.hex()[:16],
+                    value_wei=value_wei,
+                )
         return Receipt(
             success=True,
             contract=address,

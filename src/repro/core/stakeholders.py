@@ -53,6 +53,7 @@ from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
 from repro.network.simulator import Simulator
 from repro.chain.consensus import make_genesis
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.units import to_wei
 
 __all__ = [
@@ -491,9 +492,15 @@ class DecentralizedDeployment:
         latency: LatencyModel = DEFAULT_LATENCY,
         seed: int = 0,
         retry_policy=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         rng = random.Random(seed)
-        self.simulator = Simulator()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.simulator = Simulator(telemetry=self.telemetry)
+        if self.telemetry.enabled:
+            # Trace events are stamped on the simulation clock, not
+            # wall time, so traces line up with the chaos plan.
+            self.telemetry.bind_clock(self.simulator)
         self.directory = SystemDirectory()
         self.registry = IdentityRegistry()
         self.confirmation_depth = confirmation_depth
@@ -510,10 +517,11 @@ class DecentralizedDeployment:
             build_topology(names, "complete"),
             latency=latency,
             rng=random.Random(rng.randrange(2**31)),
+            telemetry=self.telemetry,
         )
 
         # On-chain world state (contracts + balances), shared by design.
-        self.runtime = ContractRuntime()
+        self.runtime = ContractRuntime(telemetry=self.telemetry)
         self._authority = KeyPair.from_seed(f"dd-authority:{seed}".encode())
         self.runtime.state.mint(self._authority.address, to_wei(1_000_000))
 
@@ -525,6 +533,7 @@ class DecentralizedDeployment:
                 name, genesis, self.registry, self.directory, keys=keys
             )
             provider.chain.confirmation_depth = confirmation_depth
+            provider.mempool.telemetry = self.telemetry
             self.providers[name] = provider
             self.network.attach(provider)
             self.runtime.state.mint(keys.address, to_wei(100_000))
@@ -553,6 +562,7 @@ class DecentralizedDeployment:
             provider_shares, difficulty=difficulty,
             mean_block_time=mean_block_time,
             rng=random.Random(rng.randrange(2**31)),
+            telemetry=self.telemetry,
         )
         self._difficulty = difficulty
         #: Δ_id -> deployed contract address.
@@ -593,6 +603,13 @@ class DecentralizedDeployment:
             Message.wrap(MessageKind.SRA_ANNOUNCE, sra, provider_name)
         )
         provider.broadcast(MessageKind.SRA_ANNOUNCE, sra)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "sra.announce",
+                provider=provider_name,
+                system=f"{system.name}/{system.version}",
+                sra_id=sra.sra_id.hex()[:16],
+            )
         return sra
 
     # -- consensus drive ---------------------------------------------------------
@@ -614,8 +631,15 @@ class DecentralizedDeployment:
                 # The sampled winner's hashpower is offline: its block is
                 # simply never found.  Time still advances.
                 continue
-            winner.mine(when, self._difficulty)
+            block = winner.mine(when, self._difficulty)
             mined += 1
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "block.mined",
+                    miner=outcome.winner,
+                    height=block.height,
+                    records=len(block.records),
+                )
             self._fire_confirmations()
 
     def _fire_confirmations(self) -> None:

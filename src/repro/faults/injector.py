@@ -20,6 +20,7 @@ from typing import List, Optional, Tuple
 from repro.faults.plan import ChaosPlan, FaultEvent, FaultKind
 from repro.network.gossip import GossipNetwork
 from repro.network.simulator import Simulator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["FaultInjector"]
 
@@ -37,11 +38,13 @@ class FaultInjector:
         network: GossipNetwork,
         plan: ChaosPlan,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.simulator = simulator
         self.network = network
         self.plan = plan
         self._rng = rng if rng is not None else random.Random(0)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.log: List[Tuple[float, str]] = []
         self.faults_applied = 0
         self._armed = False
@@ -94,6 +97,9 @@ class FaultInjector:
             raise ValueError(f"unknown fault kind {kind!r}")
         self.faults_applied += 1
         self.log.append((self.simulator.now, event.describe()))
+        if self.telemetry.enabled:
+            self.telemetry.counter("faults.injected", kind=kind.name.lower()).inc()
+            self.telemetry.event("fault.injected", fault=event.describe())
 
     # -- views ---------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from repro.network.latency import DEFAULT_LATENCY, LatencyModel
 from repro.network.messages import Message
 from repro.network.node import GossipNetworkApi, Node
 from repro.network.simulator import Simulator
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY, Telemetry
 
 __all__ = ["GossipNetwork", "build_topology"]
 
@@ -74,6 +75,7 @@ class GossipNetwork(GossipNetworkApi):
         latency: LatencyModel = DEFAULT_LATENCY,
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
@@ -93,13 +95,45 @@ class GossipNetwork(GossipNetworkApi):
         self._seen: Dict[str, Set[bytes]] = {}
         self._relay_filters: List[RelayFilter] = []
         self._cut_links: Set[Tuple[str, str]] = set()
-        self.messages_sent = 0
-        self.messages_dropped = 0
-        #: Deliveries suppressed because the receiver had already seen
-        #: the dedup key (flood redundancy + injected duplicates).
-        self.messages_duplicated = 0
-        #: Deliveries lost because the receiving node was crashed.
-        self.messages_lost_to_crashes = 0
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Transport counters live in a metrics registry (the shared one
+        # when telemetry is armed, a private one otherwise, so the
+        # legacy attribute views below always read real counts).
+        metrics = (
+            self.telemetry.metrics if self.telemetry.enabled else MetricsRegistry()
+        )
+        self._sent = metrics.counter("gossip.messages", status="sent")
+        self._dropped = metrics.counter("gossip.messages", status="dropped")
+        self._duplicated = metrics.counter(
+            "gossip.messages", status="duplicate_suppressed"
+        )
+        self._lost_to_crashes = metrics.counter(
+            "gossip.messages", status="lost_to_crash"
+        )
+        self._broadcasts = metrics.counter("gossip.broadcasts")
+
+    # -- transport counters (compatibility views) --------------------------
+
+    @property
+    def messages_sent(self) -> int:
+        """Physical copies put on a link (echoes from duplication included)."""
+        return self._sent.value
+
+    @property
+    def messages_dropped(self) -> int:
+        """Copies lost to the ``loss_rate`` roll."""
+        return self._dropped.value
+
+    @property
+    def messages_duplicated(self) -> int:
+        """Deliveries suppressed because the receiver had already seen
+        the dedup key (flood redundancy + injected duplicates)."""
+        return self._duplicated.value
+
+    @property
+    def messages_lost_to_crashes(self) -> int:
+        """Deliveries lost because the receiving node was crashed."""
+        return self._lost_to_crashes.value
 
     # -- membership --------------------------------------------------------
 
@@ -173,7 +207,17 @@ class GossipNetwork(GossipNetworkApi):
 
     def broadcast(self, origin: str, message: Message) -> None:
         """Flood a message from ``origin`` to the whole overlay."""
+        if origin not in self._nodes:
+            raise ValueError(f"unknown origin {origin}")
         self._seen[origin].add(message.dedup_key)
+        if self.telemetry.enabled:
+            self._broadcasts.inc()
+            self.telemetry.event(
+                "gossip.broadcast",
+                origin=origin,
+                kind=message.kind.name,
+                dedup_key=message.dedup_key.hex()[:16],
+            )
         self._forward(origin, message)
 
     def unicast(self, origin: str, destination: str, message: Message) -> None:
@@ -193,18 +237,27 @@ class GossipNetwork(GossipNetworkApi):
     ) -> None:
         if self._is_cut(src, dst):
             return
-        self.messages_sent += 1
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
-            self.messages_dropped += 1
-            return
-        delay = self.latency.sample(src, dst, self._rng)
-        if self.extra_delay is not None:
-            delay += max(0.0, self.extra_delay(src, dst, self._rng))
-        self.simulator.schedule(delay, self._receive, dst, message, relay)
+        # Link-level duplication is decided up front: the echo is a real
+        # second transmission, so it is counted in ``messages_sent`` and
+        # rolls the same loss dice as the original copy (previously it
+        # bypassed both, under-counting chaos-lane traffic and
+        # over-delivering under loss).
+        copies = 1
         if self.duplication_rate > 0 and self._rng.random() < self.duplication_rate:
-            # A duplicated copy arrives on its own (later) schedule.
-            echo = self.latency.sample(src, dst, self._rng)
-            self.simulator.schedule(delay + echo, self._receive, dst, message, relay)
+            copies = 2
+        arrival = 0.0
+        for _ in range(copies):
+            self._sent.inc()
+            if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+                self._dropped.inc()
+                continue
+            delay = self.latency.sample(src, dst, self._rng)
+            if self.extra_delay is not None:
+                delay += max(0.0, self.extra_delay(src, dst, self._rng))
+            # Each surviving copy arrives after the previous one — the
+            # echo trails the original on its own sampled latency.
+            arrival += delay
+            self.simulator.schedule(arrival, self._receive, dst, message, relay)
 
     def _receive(self, name: str, message: Message, relay: bool = True) -> None:
         node = self._nodes.get(name)
@@ -213,10 +266,10 @@ class GossipNetwork(GossipNetworkApi):
         if node.crashed:
             # Lost on a dead process; NOT marked seen, so a later
             # retransmission can still reach the node after restart.
-            self.messages_lost_to_crashes += 1
+            self._lost_to_crashes.inc()
             return
         if message.dedup_key in self._seen[name]:
-            self.messages_duplicated += 1
+            self._duplicated.inc()
             return
         self._seen[name].add(message.dedup_key)
         node.deliver(message)

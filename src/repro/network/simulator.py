@@ -13,7 +13,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, List, Optional
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Simulator", "ScheduledEvent"]
 
@@ -47,7 +50,9 @@ class Simulator:
     Not a wall-clock system: ``now`` only advances when events fire.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self, start_time: float = 0.0, telemetry: Optional[Telemetry] = None
+    ) -> None:
         self._now = start_time
         self._queue: List[ScheduledEvent] = []
         self._seq = itertools.count()
@@ -56,6 +61,9 @@ class Simulator:
         #: ``pending`` is O(1) and so long chaos runs (which cancel
         #: retry timers constantly) don't leak dead heap entries.
         self._cancelled = 0
+        #: Observability hook; mutable so a deployment can arm it after
+        #: construction.  Disabled dispatch pays one truthiness check.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     @property
     def now(self) -> float:
@@ -119,7 +127,17 @@ class Simulator:
                 self._cancelled -= 1
                 continue
             self._now = event.time
-            event.callback()
+            telemetry = self.telemetry
+            if telemetry.enabled:
+                started = perf_counter()
+                event.callback()
+                telemetry.histogram("sim.dispatch_seconds").observe(
+                    perf_counter() - started
+                )
+                telemetry.counter("sim.events_processed").inc()
+                telemetry.gauge("sim.queue_depth").set(self.pending)
+            else:
+                event.callback()
             self._processed += 1
             return True
         return False

@@ -168,3 +168,81 @@ class TestReorgRederivation:
         # History rewrote: Bob's balance re-derives to 5, not 40.
         assert machine.balance_at_head(chain, BOB.address) == to_wei(5)
         assert machine.balance_at_head(chain, ALICE.address) == to_wei(95)
+
+
+class TestHeadStateCache:
+    """Regression: validate_block replayed the whole chain per candidate.
+
+    ``head_state`` memoizes the derived (state, nonces) per head id;
+    content-addressed block ids make the head id a sound cache key.
+    """
+
+    def _telemetry_machine(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        machine = LedgerStateMachine(
+            genesis_allocations={ALICE.address: to_wei(100)},
+            telemetry=telemetry,
+        )
+        return machine, telemetry
+
+    def test_second_validation_hits_the_cache(self):
+        machine, telemetry = self._telemetry_machine()
+        chain = _chain()
+        tx = make_transaction(ALICE, BOB.address, to_wei(10), nonce=0)
+        candidate = Block.assemble(
+            chain.head.block_id, 1, (_tx_record(tx),), 10.0, DIFFICULTY, MINER
+        )
+        assert machine.validate_block(chain, candidate) is None
+        assert machine.validate_block(chain, candidate) is None
+        hits = telemetry.counter("ledger.head_state", outcome="hit").value
+        misses = telemetry.counter("ledger.head_state", outcome="miss").value
+        assert misses == 1 and hits == 1
+
+    def test_cached_state_copies_are_private(self, machine):
+        chain = _chain()
+        state, nonces = machine.head_state(chain)
+        state.mint(BOB.address, to_wei(999))
+        nonces[BOB.address] = 42
+        fresh_state, fresh_nonces = machine.head_state(chain)
+        assert fresh_state.balance(BOB.address) == 0
+        assert BOB.address not in fresh_nonces
+
+    def test_reorg_switches_to_the_new_head(self):
+        machine, telemetry = self._telemetry_machine()
+        chain = _chain()
+        tx_main = make_transaction(ALICE, BOB.address, to_wei(40), nonce=0)
+        _extend(chain, [_tx_record(tx_main)])
+        assert machine.balance_at_head(chain, BOB.address) == to_wei(40)
+        # Reorg to a heavier branch where Alice paid only 5.
+        tx_side = make_transaction(ALICE, BOB.address, to_wei(5), nonce=0)
+        side1 = Block.assemble(
+            chain.genesis.block_id, 1, (_tx_record(tx_side),), 5.0,
+            DIFFICULTY, MINER,
+        )
+        chain.add_block(side1)
+        chain.add_block(Block.assemble(side1.block_id, 2, (), 15.0,
+                                       DIFFICULTY, MINER))
+        # New head id -> cache miss -> re-derived balances.
+        assert machine.balance_at_head(chain, BOB.address) == to_wei(5)
+        assert telemetry.counter(
+            "ledger.head_state", outcome="miss"
+        ).value == 2
+
+    def test_invalidate_picks_up_allocation_changes(self, machine):
+        chain = _chain()
+        assert machine.balance_at_head(chain, BOB.address) == 0
+        machine.genesis_allocations[BOB.address] = to_wei(7)
+        # Without invalidation the stale cached head would answer.
+        machine.invalidate()
+        assert machine.balance_at_head(chain, BOB.address) == to_wei(7)
+
+    def test_cache_is_bounded(self, machine):
+        from repro.chain.ledger import _MAX_CACHED_HEADS
+
+        chain = _chain()
+        for _ in range(_MAX_CACHED_HEADS + 4):
+            machine.head_state(chain)
+            _extend(chain)
+        assert len(machine._head_cache) <= _MAX_CACHED_HEADS

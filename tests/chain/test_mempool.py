@@ -120,3 +120,43 @@ class TestPrune:
         pool.clear()
         assert len(pool) == 0
         assert pool.pending_ids() == set()
+
+
+class TestZeroCapacity:
+    """Regression: ``max_size=0`` used to crash the eviction scan.
+
+    The overflow path ran ``min()`` over an empty record dict and raised
+    ValueError instead of rejecting the newcomer.
+    """
+
+    def test_zero_capacity_rejects_instead_of_crashing(self):
+        pool = Mempool(max_size=0)
+        assert not pool.add(_record("a", fee=100))
+        assert len(pool) == 0
+
+    def test_zero_capacity_add_all(self):
+        pool = Mempool(max_size=0)
+        assert pool.add_all([_record("a"), _record("b")]) == 0
+
+
+class TestTelemetryCounters:
+    def test_outcomes_and_evictions_counted(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        pool = Mempool(max_size=1, telemetry=telemetry)
+        record = _record("a", fee=1)
+        pool.add(record)
+        pool.add(record)                     # duplicate
+        pool.add(_record("b", fee=0))        # overflow, rejected
+        pool.add(_record("c", fee=5))        # evicts a
+        pool.select()
+        counter = lambda outcome: telemetry.counter(
+            "mempool.adds", outcome=outcome
+        ).value
+        assert counter("accepted") == 2
+        assert counter("duplicate") == 1
+        assert counter("overflow") == 1
+        assert telemetry.counter("mempool.evictions").value == 1
+        assert telemetry.gauge("mempool.size").value == 1
+        assert telemetry.histogram("mempool.selection_size").count == 1

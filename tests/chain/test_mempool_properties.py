@@ -1,0 +1,79 @@
+"""Property tests for the mempool's capacity and ordering contracts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.block import ChainRecord, RecordKind
+from repro.chain.mempool import Mempool
+from repro.crypto.hashing import hash_fields
+
+
+def _record(index: int, fee: int) -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.TRANSACTION,
+        record_id=hash_fields("mempool-prop", index),
+        payload=str(index).encode(),
+        fee=fee,
+    )
+
+
+@given(
+    fees=st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=40),
+    capacity=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=120, deadline=None)
+def test_eviction_at_capacity_preserves_fee_priority_and_fifo(fees, capacity):
+    """At capacity the pool keeps a best-by-(fee, age) subset, and
+    ``select`` always yields highest-fee-first with FIFO ties.
+
+    Checked invariants after adding a stream of unique records:
+
+    * size never exceeds the capacity;
+    * an eviction only ever trades a strictly lower-fee record for a
+      higher-fee newcomer, so the pool's minimum fee never decreases;
+    * no surviving record is outranked by one that was evicted — fee
+      priority is preserved, and among equal fees the earlier arrival
+      survives (FIFO);
+    * ``select`` returns fee-descending order, FIFO within a fee.
+    """
+    pool = Mempool(max_size=capacity)
+    min_fee_floor = None  # tightest minimum fee the pool has held at capacity
+    evicted = []
+    kept = {}
+    arrival = {}
+    for index, fee in enumerate(fees):
+        record = _record(index, fee)
+        before = set(pool.pending_ids())
+        accepted = pool.add(record)
+        after = set(pool.pending_ids())
+
+        assert len(pool) <= capacity
+        if accepted:
+            assert record.record_id in after
+            kept[record.record_id] = record
+            arrival[record.record_id] = index
+            gone = before - after
+            assert len(gone) <= 1
+            for victim_id in gone:
+                victim = kept.pop(victim_id)
+                evicted.append(victim)
+                # Eviction is strictly profitable for the block builder.
+                assert victim.fee < record.fee
+        else:
+            assert after == before
+
+        if capacity and len(pool) == capacity:
+            current_min = min(kept[rid].fee for rid in after)
+            if min_fee_floor is not None:
+                assert current_min >= min_fee_floor
+            min_fee_floor = current_min
+
+    # Nothing evicted outranks a survivor: fee priority, FIFO on ties.
+    for victim in evicted:
+        for survivor in kept.values():
+            assert victim.fee <= survivor.fee
+
+    selected = pool.select()
+    keys = [(-record.fee, arrival[record.record_id]) for record in selected]
+    assert keys == sorted(keys)
+    assert len(selected) == len(pool)

@@ -1,0 +1,40 @@
+"""Tests for the ``--report`` / ``--telemetry`` experiment CLI flags."""
+
+from repro.experiments.__main__ import RUNNERS, TELEMETRY_AWARE, build_parser, main
+from repro.telemetry import Telemetry
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.report is None
+        assert args.telemetry is None
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--telemetry", "run.jsonl", "--report", "old.jsonl"]
+        )
+        assert args.telemetry == "run.jsonl"
+        assert args.report == "old.jsonl"
+
+    def test_telemetry_aware_labels_exist(self):
+        labels = {label for label, _, _ in RUNNERS}
+        assert TELEMETRY_AWARE <= labels
+
+
+class TestReport:
+    def test_report_summarizes_and_exits(self, tmp_path, capsys):
+        telemetry = Telemetry()
+        telemetry.counter("gossip.messages", status="sent").inc(3)
+        telemetry.event("block.mined", miner="provider-1")
+        path = str(tmp_path / "run.jsonl")
+        telemetry.export_jsonl(path, meta={"seed": 0})
+
+        exit_code = main(["--report", path])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "telemetry run report" in out
+        assert "gossip.messages{status=sent} = 3" in out
+        assert "block.mined" in out
+        # --report must not run the experiment suite.
+        assert "Table I" not in out

@@ -9,6 +9,7 @@ seeds) is marked ``chaos`` and runs via ``pytest -q -m chaos`` or
 import pytest
 
 from repro.faults.gauntlet import GauntletConfig, GauntletResult, run_gauntlet, run_many
+from repro.telemetry import Telemetry
 
 
 class TestGauntletQuick:
@@ -39,6 +40,34 @@ class TestGauntletQuick:
         assert first.blocks_mined == second.blocks_mined
         assert first.faults_applied == second.faults_applied
         assert first.confirmed_reports == second.confirmed_reports
+
+    def test_telemetry_instrumented_run(self):
+        config = GauntletConfig(seed=0, chaos_duration=600.0, settle_time=450.0,
+                                burst_start=60.0, burst_end=200.0)
+        telemetry = Telemetry()
+        result = run_gauntlet(config, telemetry=telemetry)
+        result.assert_ok()
+        injected = sum(
+            row["value"]
+            for row in telemetry.metrics.snapshot()
+            if row["name"] == "faults.injected"
+        )
+        assert injected == result.faults_applied
+        assert len(telemetry.trace.by_kind("fault.injected")) == result.faults_applied
+        assert len(telemetry.trace.by_kind("gauntlet.summary")) == 1
+        assert len(telemetry.trace.by_kind("block.mined")) == result.blocks_mined
+        assert telemetry.gauge("gauntlet.faults_applied").value == result.faults_applied
+        assert telemetry.gauge("gauntlet.post_heal_convergence_seconds").value >= 0.0
+
+    def test_telemetry_does_not_perturb_trajectory(self):
+        config = GauntletConfig(seed=3, chaos_duration=450.0, settle_time=300.0,
+                                burst_start=60.0, burst_end=200.0)
+        plain = run_gauntlet(config)
+        instrumented = run_gauntlet(config, telemetry=Telemetry())
+        assert plain.blocks_mined == instrumented.blocks_mined
+        assert plain.faults_applied == instrumented.faults_applied
+        assert plain.confirmed_reports == instrumented.confirmed_reports
+        assert plain.network == instrumented.network
 
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):

@@ -162,3 +162,72 @@ class TestMessageWrap:
         a = Message.wrap(MessageKind.CONTROL, "x", "me")
         b = Message.wrap(MessageKind.CONTROL, "x", "me")
         assert a.dedup_key != b.dedup_key
+
+
+class TestDuplicationAccounting:
+    """Regression: the injected duplicate used to bypass the transport
+    accounting — it was scheduled directly, so ``messages_sent`` missed
+    it and it could never be dropped by the loss roll."""
+
+    def _pair(self, seed=1, **rates):
+        sim = Simulator()
+        topo = build_topology(["a", "b"], "complete")
+        net = GossipNetwork(
+            sim, topo, latency=ConstantLatency(0.01),
+            rng=random.Random(seed),
+        )
+        nodes = [Node("a"), Node("b")]
+        net.attach_all(nodes)
+        for attr, value in rates.items():
+            setattr(net, attr, value)
+        return sim, net, nodes
+
+    def test_duplicate_echo_counted_as_sent(self):
+        sim, net, nodes = self._pair(duplication_rate=0.99)
+        received = []
+        nodes[1].on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
+        net.unicast("a", "b", Message.wrap(MessageKind.CONTROL, b"e", origin="a"))
+        sim.run()
+        # The echo is a physical copy on the link: both counted sent,
+        # one suppressed by receiver dedup, delivered exactly once.
+        assert net.messages_sent == 2
+        assert net.messages_duplicated == 1
+        assert received == ["b"]
+
+    def test_duplicate_echo_subject_to_loss(self):
+        sim, net, nodes = self._pair(
+            seed=1, duplication_rate=0.99, loss_rate=0.99,
+        )
+        received = []
+        nodes[1].on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
+        net.unicast("a", "b", Message.wrap(MessageKind.CONTROL, b"e", origin="a"))
+        sim.run()
+        # Both copies roll the loss dice; at 99% loss (seed 1) both drop.
+        assert net.messages_sent == 2
+        assert net.messages_dropped == 2
+        assert received == []
+
+    def test_broadcast_unknown_origin_rejected(self):
+        sim, net, nodes = self._pair()
+        message = Message.wrap(MessageKind.CONTROL, b"x", origin="ghost")
+        # Regression: this used to surface as a bare KeyError from the
+        # adjacency lookup; unicast already validated with ValueError.
+        with pytest.raises(ValueError, match="unknown origin"):
+            net.broadcast("ghost", message)
+
+    def test_transport_counters_back_legacy_views(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        sim = Simulator()
+        topo = build_topology(["a", "b"], "complete")
+        net = GossipNetwork(
+            sim, topo, latency=ConstantLatency(0.01),
+            rng=random.Random(2), telemetry=telemetry,
+        )
+        net.attach_all([Node("a"), Node("b")])
+        net.broadcast("a", Message.wrap(MessageKind.CONTROL, b"x", origin="a"))
+        sim.run()
+        sent = telemetry.counter("gossip.messages", status="sent").value
+        assert sent == net.messages_sent > 0
+        assert telemetry.counter("gossip.broadcasts").value == 1

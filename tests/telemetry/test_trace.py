@@ -1,0 +1,67 @@
+"""Tests for the structured trace log."""
+
+from repro.telemetry.trace import NullTraceLog, TraceLog
+from repro.network.simulator import Simulator
+
+
+class TestEmit:
+    def test_events_keep_order_and_fields(self):
+        log = TraceLog()
+        log.emit("a", x=1)
+        log.emit("b", y="z")
+        events = list(log)
+        assert [event.kind for event in events] == ["a", "b"]
+        assert events[0].fields == {"x": 1}
+        assert events[1].fields == {"y": "z"}
+
+    def test_kind_may_also_be_a_field_name(self):
+        # ``kind`` is positional-only, so a trace field named "kind"
+        # cannot collide with the parameter.
+        log = TraceLog()
+        log.emit("fault", kind="crash", target="provider-1")
+        event = list(log)[0]
+        assert event.kind == "fault"
+        assert event.fields == {"kind": "crash", "target": "provider-1"}
+
+    def test_by_kind(self):
+        log = TraceLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert len(log.by_kind("a")) == 2
+
+
+class TestClock:
+    def test_unbound_clock_stamps_zero(self):
+        log = TraceLog()
+        log.emit("e")
+        assert list(log)[0].time == 0.0
+
+    def test_bound_to_simulator_now(self):
+        simulator = Simulator()
+        log = TraceLog()
+        log.bind_clock(simulator)
+        simulator.schedule(5.0, lambda: log.emit("tick"))
+        simulator.run()
+        assert list(log)[0].time == 5.0
+
+    def test_bound_to_callable(self):
+        log = TraceLog()
+        log.bind_clock(lambda: 42.0)
+        log.emit("e")
+        assert list(log)[0].time == 42.0
+
+
+class TestCap:
+    def test_overflow_drops_and_counts(self):
+        log = TraceLog(max_events=3)
+        for index in range(5):
+            log.emit("e", index=index)
+        assert len(log) == 3
+        assert log.dropped == 2
+
+    def test_null_log_ignores_everything(self):
+        log = NullTraceLog()
+        log.emit("e", kind="whatever")
+        assert len(log) == 0
+        assert log.dropped == 0

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.network",
+    "repro.telemetry",
     "repro.workloads",
 ]
 

@@ -3,6 +3,9 @@
 # PoW nonce search, Merkle build, gossip round, one mini end-to-end
 # experiment, serial-vs-parallel runner) and record the baseline to
 # BENCH_substrate.json so future PRs measure regressions against it.
+# Includes the runner-scaling probe: the pinned fork-rate sweep run
+# serially and at jobs=2, asserted bit-identical, with the wall-clock
+# ratio recorded under "runner_scaling".
 #
 # Exits non-zero if the midstate nonce search falls below its 3x floor
 # over the naive loop, or if mining with telemetry disabled runs more

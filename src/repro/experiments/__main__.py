@@ -2,9 +2,16 @@
 
 Regenerates all paper tables/figures plus the reproduction's own
 analyses (ablations, capability curves), printing each in order.
-``--jobs`` fans the trial-sweep experiments (Fig. 5(b), the two-phase
-ablation, the chaos gauntlet) out over worker processes; results are
+``--jobs`` fans every trial-shaped experiment out over worker
+processes via :mod:`repro.experiments.runner`; results are
 bit-identical to the serial run — only wall-clock time changes.
+
+``--checkpoint PATH`` journals every completed trial to a JSONL file
+keyed by ``(experiment, master_seed, trial_index, input_digest)``;
+rerunning with ``--checkpoint PATH --resume`` skips trials already in
+the journal, so an interrupted suite picks up where it stopped and
+finishes with results identical to an uninterrupted run.  Without
+``--resume`` the journal is truncated first (a fresh sweep).
 
 ``--telemetry PATH`` arms a :class:`~repro.telemetry.Telemetry` for the
 telemetry-aware experiments and exports the combined metrics + trace
@@ -45,32 +52,29 @@ from repro.experiments.chaos import run_chaos_gauntlet
 from repro.experiments.forks import run_fork_rate
 from repro.experiments.latency import run_payout_latency
 
-#: (label, runner, accepts a ``jobs`` keyword).  Runners whose sweeps
-#: are embarrassingly parallel take ``jobs`` and fan out via
-#: :mod:`repro.experiments.runner`.
+#: (label, runner, supported keywords).  Every trial-shaped experiment
+#: goes through :func:`repro.experiments.runner.run_trials`, so it takes
+#: ``jobs`` (uniform fan-out) and ``checkpoint`` (sweep journaling);
+#: the closed-form analyses take neither.
 RUNNERS = [
-    ("Table I", run_table1, False),
-    ("Fig. 3(a)", run_fig3a, False),
-    ("Fig. 3(b)", run_fig3b, False),
-    ("Fig. 4(a)", run_fig4a, False),
-    ("Fig. 4(b)", run_fig4b, False),
-    ("Fig. 5(a)", run_fig5a, False),
-    ("Fig. 5(b)", run_fig5b, True),
-    ("Fig. 6", run_fig6, False),
-    ("§VII costs", run_costs, False),
-    ("Ablation: two-phase", ablate_two_phase, True),
-    ("Ablation: escrow", ablate_escrow, False),
-    ("Ablation: report fee", ablate_report_fee, False),
-    ("Eq. 11 capability curve", run_capability_curve, False),
-    ("§VIII fleet composition", run_fleet_composition, False),
-    ("Payout latency", run_payout_latency, False),
-    ("Fork rate", run_fork_rate, False),
-    ("Chaos gauntlet", run_chaos_gauntlet, True),
+    ("Table I", run_table1, {"jobs", "checkpoint"}),
+    ("Fig. 3(a)", run_fig3a, {"jobs", "checkpoint"}),
+    ("Fig. 3(b)", run_fig3b, {"jobs", "checkpoint"}),
+    ("Fig. 4(a)", run_fig4a, {"jobs", "checkpoint"}),
+    ("Fig. 4(b)", run_fig4b, {"jobs", "checkpoint"}),
+    ("Fig. 5(a)", run_fig5a, set()),
+    ("Fig. 5(b)", run_fig5b, {"jobs", "checkpoint", "telemetry"}),
+    ("Fig. 6", run_fig6, {"jobs", "checkpoint"}),
+    ("§VII costs", run_costs, {"jobs", "checkpoint"}),
+    ("Ablation: two-phase", ablate_two_phase, {"jobs", "checkpoint"}),
+    ("Ablation: escrow", ablate_escrow, set()),
+    ("Ablation: report fee", ablate_report_fee, set()),
+    ("Eq. 11 capability curve", run_capability_curve, {"jobs", "checkpoint"}),
+    ("§VIII fleet composition", run_fleet_composition, set()),
+    ("Payout latency", run_payout_latency, {"jobs", "checkpoint"}),
+    ("Fork rate", run_fork_rate, {"jobs", "checkpoint"}),
+    ("Chaos gauntlet", run_chaos_gauntlet, {"jobs", "telemetry"}),
 ]
-
-#: Runners that accept a ``telemetry`` keyword (instrumented end to
-#: end); the rest run uninstrumented even under ``--telemetry``.
-TELEMETRY_AWARE = {"Fig. 5(b)", "Chaos gauntlet"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fan trial sweeps out over N worker processes "
         "(0 = one per core; default: serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal completed trials to PATH (JSONL); combine with "
+        "--resume to skip trials already journaled there",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="keep the existing --checkpoint journal and skip completed "
+        "trials (default: truncate it and start fresh)",
     )
     parser.add_argument(
         "--telemetry",
@@ -109,14 +126,23 @@ def main(argv: Optional[list] = None) -> int:
     if args.report is not None:
         print(summarize_run(args.report))
         return 0
+    if args.resume and args.checkpoint is None:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    if args.checkpoint is not None and not args.resume:
+        # A fresh sweep: drop any stale journal so old trials can't be
+        # replayed into a run they no longer belong to.
+        open(args.checkpoint, "w").close()
     telemetry = Telemetry() if args.telemetry is not None else None
     started = time.time()
-    for label, runner, parallel in RUNNERS:
+    for label, runner, supported in RUNNERS:
         print(f"--- {label} " + "-" * max(0, 60 - len(label)))
         kwargs = {}
-        if parallel:
+        if "jobs" in supported:
             kwargs["jobs"] = args.jobs
-        if telemetry is not None and label in TELEMETRY_AWARE:
+        if "checkpoint" in supported and args.checkpoint is not None:
+            kwargs["checkpoint"] = args.checkpoint
+        if telemetry is not None and "telemetry" in supported:
             kwargs["telemetry"] = telemetry
         result = runner(**kwargs)
         result.to_table().print()

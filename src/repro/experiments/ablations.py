@@ -19,14 +19,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.chain.block import ChainRecord, RecordKind
 from repro.chain.mempool import Mempool
 from repro.contracts.gas import DEFAULT_GAS_SCHEDULE
 from repro.crypto.hashing import hash_fields
 from repro.experiments.harness import ResultTable
-from repro.experiments.runner import derive_seeds, run_trials
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 
 __all__ = [
     "TwoPhaseAblation",
@@ -112,6 +117,7 @@ def ablate_two_phase(
     thief_fee_multiplier: float = 4.0,
     seed: int = 0,
     jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
 ) -> TwoPhaseAblation:
     """Race a plagiarist against a victim on the real mempool.
 
@@ -137,6 +143,7 @@ def ablate_two_phase(
         ],
         jobs=jobs,
         chunksize=16,
+        checkpoint=sweep_checkpoint(checkpoint, "two_phase", seed),
     )
     return TwoPhaseAblation(
         trials=trials,

@@ -42,6 +42,7 @@ from repro.crypto.hashing import field_frame, fields_midstate, hash_fields
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable
 from repro.experiments.fig5 import run_fig5b
+from repro.experiments.forks import run_fork_rate
 from repro.network.gossip import GossipNetwork, build_topology
 from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
@@ -421,6 +422,32 @@ def run_suite(
             "identical_to_serial": True,
         }
 
+        # -- runner scaling on a pinned heavyweight sweep -----------------
+        # fig5b trials are milliseconds each, so its probe mostly times
+        # pool spawn overhead; the fork-rate sweep runs whole replicated
+        # mining networks per trial — the regime --jobs exists for.
+        fork_blocks = 60 if quick else 150
+        scaling_started = time.perf_counter()
+        serial_forks = run_fork_rate(blocks=fork_blocks, jobs=None)
+        scaling_serial_seconds = time.perf_counter() - scaling_started
+        scaling_started = time.perf_counter()
+        parallel_forks = run_fork_rate(blocks=fork_blocks, jobs=workers)
+        scaling_parallel_seconds = time.perf_counter() - scaling_started
+        if serial_forks.points != parallel_forks.points:
+            raise AssertionError(
+                "parallel fork-rate sweep diverged from the serial run"
+            )
+        results["runner_scaling"] = {
+            "sweep": "fork_rate",
+            "blocks": fork_blocks,
+            "trials": len(serial_forks.points),
+            "jobs": workers,
+            "serial_seconds": scaling_serial_seconds,
+            "parallel_seconds": scaling_parallel_seconds,
+            "speedup": scaling_serial_seconds / scaling_parallel_seconds,
+            "identical_to_serial": True,
+        }
+
     return {
         "suite": "substrate",
         "quick": quick,
@@ -509,6 +536,15 @@ def to_table(payload: Dict[str, Any]) -> ResultTable:
         table.add_row(
             "parallel fig5b",
             f"{entry['trials']} trials, jobs={entry['jobs']}",
+            entry["parallel_seconds"],
+            f"{entry['speedup']:.2f}x vs serial (bit-identical)",
+        )
+    if "runner_scaling" in rows:
+        entry = rows["runner_scaling"]
+        table.add_row(
+            "runner scaling (fork rate)",
+            f"{entry['trials']} ratios x {entry['blocks']} blocks, "
+            f"jobs={entry['jobs']}",
             entry["parallel_seconds"],
             f"{entry['speedup']:.2f}x vs serial (bit-identical)",
         )

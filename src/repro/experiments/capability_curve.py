@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.capability import race_rhos, total_detection_capability
 from repro.detection.detector import DetectionCapability
@@ -28,6 +28,12 @@ from repro.detection.modes import (
 )
 from repro.detection.vulnerability import CATEGORIES
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 
 __all__ = ["CapabilityCurveResult", "CompositionResult", "run_capability_curve", "run_fleet_composition"]
 
@@ -52,33 +58,59 @@ class CapabilityCurveResult:
         return table
 
 
+def _capability_point_trial(args: Tuple[int, int, float, int]) -> List[float]:
+    """One fleet size: closed-form DC_T plus a seed-pure Monte-Carlo check."""
+    trial_seed, m, per_thread_hit, scans = args
+    rng = random.Random(trial_seed)
+    fleet = [
+        DetectionCapability(threads=t, per_thread_hit=per_thread_hit)
+        for t in range(1, m + 1)
+    ]
+    rhos = race_rhos(fleet)
+    theory = total_detection_capability(
+        [c.detection_probability for c in fleet], rhos
+    )
+    # Monte-Carlo: fraction of flaws found by at least one detector.
+    found = 0
+    for _ in range(scans):
+        if any(
+            rng.random() < capability.detection_probability
+            for capability in fleet
+        ):
+            found += 1
+    return [theory, found / scans]
+
+
 def run_capability_curve(
     max_detectors: int = 8,
     per_thread_hit: float = 0.45,
     scans: int = 2000,
     seed: int = 0,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
 ) -> CapabilityCurveResult:
-    """DC_T for fleets of 1..max detectors (threads 1..m)."""
-    rng = random.Random(seed)
-    points: Dict[int, Tuple[float, float]] = {}
-    for m in range(1, max_detectors + 1):
-        fleet = [
-            DetectionCapability(threads=t, per_thread_hit=per_thread_hit)
-            for t in range(1, m + 1)
-        ]
-        rhos = race_rhos(fleet)
-        theory = total_detection_capability(
-            [c.detection_probability for c in fleet], rhos
-        )
-        # Monte-Carlo: fraction of flaws found by at least one detector.
-        found = 0
-        for _ in range(scans):
-            if any(
-                rng.random() < capability.detection_probability
-                for capability in fleet
-            ):
-                found += 1
-        points[m] = (theory, found / scans)
+    """DC_T for fleets of 1..max detectors (threads 1..m).
+
+    Each fleet size is an independent seed-pure trial
+    (:func:`derive_seeds`) fanned out via ``jobs`` worker processes;
+    ``checkpoint`` journals completed sizes for resume, and any ``jobs``
+    value produces identical points.
+    """
+    sizes = list(range(1, max_detectors + 1))
+    trial_seeds = derive_seeds(seed, len(sizes))
+    outcomes = run_trials(
+        _capability_point_trial,
+        [
+            (trial_seed, m, per_thread_hit, scans)
+            for trial_seed, m in zip(trial_seeds, sizes)
+        ],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "capability_curve", seed),
+    )
+    points: Dict[int, Tuple[float, float]] = {
+        m: (float(theory), float(simulated))
+        for m, (theory, simulated) in zip(sizes, outcomes)
+    }
     return CapabilityCurveResult(points=points)
 
 

@@ -70,16 +70,25 @@ class ChaosGauntletResult:
         return table
 
 
-def _gauntlet_trial(args: Tuple[int, float, float]) -> GauntletResult:
-    """One seeded gauntlet run (module-level so it can cross processes)."""
-    seed, chaos_duration, settle_time = args
-    return run_gauntlet(
-        GauntletConfig(
-            seed=seed,
-            chaos_duration=chaos_duration,
-            settle_time=settle_time,
-        )
+def _gauntlet_trial(args: Tuple[int, float, float, bool]):
+    """One seeded gauntlet run (module-level so it can cross processes).
+
+    With ``instrumented`` set, the trial records into its own local
+    :class:`~repro.telemetry.Telemetry` and returns ``(result,
+    snapshot_payload)`` so the parent can merge the worker's metrics
+    and trace back into the run report.
+    """
+    seed, chaos_duration, settle_time, instrumented = args
+    config = GauntletConfig(
+        seed=seed,
+        chaos_duration=chaos_duration,
+        settle_time=settle_time,
     )
+    if not instrumented:
+        return run_gauntlet(config)
+    telemetry = Telemetry()
+    result = run_gauntlet(config, telemetry=telemetry)
+    return result, telemetry.snapshot_payload()
 
 
 def run_chaos_gauntlet(
@@ -95,28 +104,23 @@ def run_chaos_gauntlet(
     sweep out one-gauntlet-per-process; results are merged in seed
     order and are identical to the serial sweep.
 
-    An enabled ``telemetry`` accumulates in this process, so the
-    instrumented sweep runs serially (``jobs`` is ignored); each run's
-    trajectory is identical either way.
+    An enabled ``telemetry`` composes with ``jobs``: each trial records
+    into a worker-local telemetry whose snapshot is merged back in seed
+    order, so the combined metrics and trace are identical to a serial
+    instrumented sweep.
     """
-    if telemetry is not None and telemetry.enabled:
-        runs = [
-            run_gauntlet(
-                GauntletConfig(
-                    seed=seed,
-                    chaos_duration=chaos_duration,
-                    settle_time=settle_time,
-                ),
-                telemetry=telemetry,
-            )
-            for seed in seeds
-        ]
-        return ChaosGauntletResult(runs=runs)
-    runs = run_trials(
+    instrumented = telemetry is not None and telemetry.enabled
+    outcomes = run_trials(
         _gauntlet_trial,
-        [(seed, chaos_duration, settle_time) for seed in seeds],
+        [(seed, chaos_duration, settle_time, instrumented) for seed in seeds],
         jobs=jobs,
     )
+    if not instrumented:
+        return ChaosGauntletResult(runs=outcomes)
+    runs = []
+    for result, payload in outcomes:
+        telemetry.merge_payload(payload)
+        runs.append(result)
     return ChaosGauntletResult(runs=runs)
 
 

@@ -9,11 +9,17 @@ reads the costs off the receipts and fee transfers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple, Union
 
 from repro.contracts.gas import PAPER_REPORT_COST_WEI, PAPER_SRA_COST_WEI
 from repro.detection.corpus import ReleaseCorpus, ReleaseCorpusConfig
 from repro.experiments.harness import Comparison, ResultTable
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 from repro.units import from_wei
 from repro.workloads.scenarios import paper_setup
 
@@ -53,9 +59,13 @@ class CostResult:
         return table
 
 
-def run_costs(releases: int = 3, seed: int = 9) -> CostResult:
-    """Deploy real SRAs with vulnerable releases, read costs off receipts."""
-    setup = paper_setup(seed=seed)
+def _costs_release_trial(args: Tuple[int, int]) -> Dict[str, int]:
+    """One vulnerable release on a fresh seed-pure platform.
+
+    Returns JSON-native wei/report tallies that sum across releases.
+    """
+    trial_seed, index = args
+    setup = paper_setup(seed=trial_seed)
     platform = setup.build_platform()
     corpus = ReleaseCorpus(
         ReleaseCorpusConfig(
@@ -63,32 +73,63 @@ def run_costs(releases: int = 3, seed: int = 9) -> CostResult:
             mean_vulnerabilities=3.0,
             release_period=setup.config.detection_window,
         ),
-        seed=seed,
+        seed=trial_seed,
     )
     provider = "provider-1"
-    start_balance = platform.provider_balance(provider)
     window = setup.config.detection_window
-    for index in range(releases):
-        platform.announce_release(provider, corpus.next_release(), at_time=index * window)
-    platform.run_until(releases * window + 300.0)
+    platform.announce_release(provider, corpus.next_release(), at_time=0.0)
+    platform.run_until(window + 300.0)
     platform.finish_pending()
-
-    # SRA cost: the deployment-gas share of the provider's punishment tally.
-    insurance = from_wei(setup.config.params.insurance_wei)
     vulnerable = sum(
         1 for case in platform.releases.values() if case.refunded_wei == 0 and case.closed
     )
-    total_punishment = from_wei(platform.punishments_wei[provider])
+    return {
+        "punishment_wei": int(platform.punishments_wei[provider]),
+        "vulnerable": int(vulnerable),
+        "fees_wei": int(
+            sum(stats.fees_paid_wei for stats in platform.detector_stats.values())
+        ),
+        "reports": int(
+            sum(
+                stats.initial_reports_submitted
+                for stats in platform.detector_stats.values()
+            )
+        ),
+    }
+
+
+def run_costs(
+    releases: int = 3,
+    seed: int = 9,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> CostResult:
+    """Deploy real SRAs with vulnerable releases, read costs off receipts.
+
+    Each release deploys on its own seed-pure platform
+    (:func:`derive_seeds`); wei tallies sum in release order, so any
+    ``jobs`` fan-out matches the serial loop and ``checkpoint`` journals
+    finished releases for resume.
+    """
+    trial_seeds = derive_seeds(seed, releases)
+    outcomes = run_trials(
+        _costs_release_trial,
+        [(trial_seed, index) for index, trial_seed in enumerate(trial_seeds)],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "costs", seed),
+    )
+    punishment_wei = sum(outcome["punishment_wei"] for outcome in outcomes)
+    vulnerable = sum(outcome["vulnerable"] for outcome in outcomes)
+    fees_wei = sum(outcome["fees_wei"] for outcome in outcomes)
+    reports = sum(outcome["reports"] for outcome in outcomes)
+
+    # SRA cost: the deployment-gas share of the provider's punishment tally.
+    insurance = from_wei(paper_setup(seed=seed).config.params.insurance_wei)
+    total_punishment = from_wei(punishment_wei)
     sra_cost = (total_punishment - vulnerable * insurance) / releases
 
     # Report cost: total fees paid by detectors / reports submitted.
-    total_fees = sum(
-        from_wei(stats.fees_paid_wei) for stats in platform.detector_stats.values()
-    )
-    total_reports = sum(
-        stats.initial_reports_submitted for stats in platform.detector_stats.values()
-    )
-    report_cost = total_fees / total_reports if total_reports else 0.0
+    report_cost = from_wei(fees_wei) / reports if reports else 0.0
     return CostResult(sra_cost_ether=sra_cost, report_cost_ether=report_cost)
 
 

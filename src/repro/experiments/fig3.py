@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.chain.consensus import MiningSimulation
 from repro.chain.pow import (
@@ -25,8 +25,21 @@ from repro.chain.pow import (
 )
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable, summarize
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 
 __all__ = ["Fig3aResult", "Fig3bResult", "run_fig3a", "run_fig3b"]
+
+
+def _chunk_sizes(total: int, trials: int) -> List[int]:
+    """Split ``total`` blocks into ``trials`` near-equal chunks."""
+    trials = max(1, min(trials, total)) if total else 1
+    base, remainder = divmod(total, trials)
+    return [base + (1 if index < remainder else 0) for index in range(trials)]
 
 
 @dataclass
@@ -57,22 +70,55 @@ class Fig3aResult:
         return table
 
 
-def run_fig3a(
-    blocks: int = 2000, block_reward_ether: float = 5.0, seed: int = 0
-) -> Fig3aResult:
-    """Mine ``blocks`` blocks; rewards per block are constant ν."""
+def _fig3a_trial(args: Tuple[int, int]) -> Dict[str, int]:
+    """One mining trial: win counts over a seed-pure chunk of blocks.
+
+    Module-level and seed-driven so :func:`repro.experiments.runner.run_trials`
+    can fan chunks out across processes with bit-identical results.
+    """
+    trial_seed, blocks = args
     addresses = {
         name: KeyPair.from_seed(f"fig3:{name}".encode()).address
         for name in PAPER_HASHPOWER_SHARES
     }
     simulation = MiningSimulation.from_shares(
-        PAPER_HASHPOWER_SHARES, addresses, rng=random.Random(seed)
+        PAPER_HASHPOWER_SHARES, addresses, rng=random.Random(trial_seed)
     )
     simulation.run_blocks(blocks)
+    return dict(simulation.blocks_won())
+
+
+def run_fig3a(
+    blocks: int = 2000,
+    block_reward_ether: float = 5.0,
+    seed: int = 0,
+    trials: int = 8,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> Fig3aResult:
+    """Mine ``blocks`` blocks; rewards per block are constant ν.
+
+    The mining is split into ``trials`` independently seeded chunks
+    (:func:`derive_seeds`) fanned out via ``jobs`` worker processes;
+    win counts sum across chunks, and any ``jobs`` value produces the
+    same totals.  ``checkpoint`` journals completed chunks for resume.
+    """
+    chunks = _chunk_sizes(blocks, trials)
+    trial_seeds = derive_seeds(seed, len(chunks))
+    outcomes = run_trials(
+        _fig3a_trial,
+        list(zip(trial_seeds, chunks)),
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig3a", seed),
+    )
+    blocks_won = {name: 0 for name in PAPER_HASHPOWER_SHARES}
+    for won in outcomes:
+        for name, count in won.items():
+            blocks_won[name] += count
     return Fig3aResult(
         block_reward_ether=block_reward_ether,
         blocks_total=blocks,
-        blocks_won=simulation.blocks_won(),
+        blocks_won=blocks_won,
         shares=dict(PAPER_HASHPOWER_SHARES),
     )
 
@@ -114,12 +160,39 @@ class Fig3bResult:
         return table
 
 
-def run_fig3b(blocks: int = 2000, seed: int = 1) -> Fig3bResult:
-    """Sample 2000 block intervals at the paper's difficulty."""
+def _fig3b_trial(args: Tuple[int, int]) -> List[float]:
+    """One interval-sampling trial: ``count`` seed-pure block times."""
+    trial_seed, count = args
     model = MiningModel.from_shares(
-        PAPER_HASHPOWER_SHARES, rng=random.Random(seed)
+        PAPER_HASHPOWER_SHARES, rng=random.Random(trial_seed)
     )
-    return Fig3bResult(intervals=model.sample_intervals(blocks))
+    return list(model.sample_intervals(count))
+
+
+def run_fig3b(
+    blocks: int = 2000,
+    seed: int = 1,
+    trials: int = 8,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> Fig3bResult:
+    """Sample 2000 block intervals at the paper's difficulty.
+
+    Sampling is chunked into ``trials`` seed-pure workers and fanned out
+    via ``jobs`` processes; intervals concatenate in chunk order, so any
+    ``jobs`` value yields the identical distribution.
+    """
+    chunks = _chunk_sizes(blocks, trials)
+    trial_seeds = derive_seeds(seed, len(chunks))
+    outcomes = run_trials(
+        _fig3b_trial,
+        list(zip(trial_seeds, chunks)),
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig3b", seed),
+    )
+    return Fig3bResult(
+        intervals=tuple(interval for chunk in outcomes for interval in chunk)
+    )
 
 
 def main() -> None:

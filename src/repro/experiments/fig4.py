@@ -16,13 +16,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.balance import provider_punishment_ether
 from repro.core.incentives import IncentiveParameters
 from repro.detection.corpus import ReleaseCorpus, ReleaseCorpusConfig
 from repro.detection.iot_system import build_system
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import SweepCheckpoint, run_trials, sweep_checkpoint
 from repro.units import from_wei
 from repro.workloads.scenarios import paper_setup
 
@@ -65,12 +66,14 @@ class Fig4aResult:
         return table
 
 
-def run_fig4a(
-    duration: float = 1800.0,
-    release_period: float = 600.0,
-    seed: int = 3,
-) -> Fig4aResult:
-    """Run the full platform for ``duration`` with periodic releases."""
+def _fig4a_trial(args: Tuple[int, float, float]) -> Dict[str, Any]:
+    """One full-platform incentive run (seed-pure, module-level).
+
+    Returns JSON-native ``{"series": {name: [[t, ether], ...]},
+    "shares": {name: share}}`` so the trial can be journaled to a sweep
+    checkpoint byte-for-byte.
+    """
+    seed, duration, release_period = args
     setup = paper_setup(seed=seed)
     platform = setup.build_platform()
     corpus = ReleaseCorpus(
@@ -89,17 +92,43 @@ def run_fig4a(
             provider, scheduled.system, at_time=max(scheduled.time - release_period, 0.0)
         )
 
-    series: Dict[str, List[Tuple[float, float]]] = {name: [] for name in setup.shares}
+    series: Dict[str, List[List[float]]] = {name: [] for name in setup.shares}
 
     def _sample(event) -> None:
         for name in setup.shares:
             series[name].append(
-                (event.time, from_wei(platform.provider_incentives_wei(name)))
+                [event.time, from_wei(platform.provider_incentives_wei(name))]
             )
 
     platform.mining.add_listener(_sample)
     platform.run_until(duration)
-    return Fig4aResult(series=series, shares=setup.shares)
+    return {"series": series, "shares": dict(setup.shares)}
+
+
+def run_fig4a(
+    duration: float = 1800.0,
+    release_period: float = 600.0,
+    seed: int = 3,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> Fig4aResult:
+    """Run the full platform for ``duration`` with periodic releases.
+
+    A single-trial sweep: the whole run is one seed-pure worker fanned
+    through :func:`run_trials`, so it shares the uniform ``--jobs`` and
+    checkpoint/resume plumbing (one long platform run resumes for free).
+    """
+    (outcome,) = run_trials(
+        _fig4a_trial,
+        [(seed, duration, release_period)],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig4a", seed),
+    )
+    series = {
+        name: [(float(t), float(value)) for t, value in points]
+        for name, points in outcome["series"].items()
+    }
+    return Fig4aResult(series=series, shares=dict(outcome["shares"]))
 
 
 @dataclass
@@ -132,26 +161,24 @@ class Fig4bResult:
         return table
 
 
-def run_fig4b(
-    insurances: Tuple[int, ...] = (500, 1000, 1500),
-    vp_grid: Tuple[float, ...] = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10),
-    spot_releases: int = 8,
-    seed: int = 4,
-) -> Fig4bResult:
-    """Closed-form sweep plus one simulated spot check."""
+def _fig4b_curve_trial(args: Tuple[int, Tuple[float, ...]]) -> List[List[float]]:
+    """Closed-form punishment curve for one insurance level."""
+    insurance, vp_grid = args
     params = IncentiveParameters()
-    curves: Dict[int, List[Tuple[float, float]]] = {}
-    for insurance in insurances:
-        curves[insurance] = [
-            (vp, provider_punishment_ether(params, vp, float(insurance), releases=1.0))
-            for vp in vp_grid
-        ]
+    return [
+        [vp, provider_punishment_ether(params, vp, float(insurance), releases=1.0)]
+        for vp in vp_grid
+    ]
 
-    # Simulated spot check with the vulnerable fraction fixed exactly at
-    # VP (alternating vulnerable/clean releases), so the measured
-    # punishment matches the closed form without Bernoulli noise.
-    spot_vp = 0.5
-    spot_insurance = 1000
+
+def _fig4b_spot_trial(args: Tuple[int, int, float, int]) -> float:
+    """Simulated spot check: mean punishment per release at a fixed VP.
+
+    The vulnerable fraction is fixed exactly at VP (alternating
+    vulnerable/clean releases), so the measured punishment matches the
+    closed form without Bernoulli noise.
+    """
+    seed, spot_insurance, spot_vp, spot_releases = args
     setup = paper_setup(seed=seed, insurance_ether=spot_insurance)
     platform = setup.build_platform()
     rng = random.Random(seed)
@@ -169,7 +196,41 @@ def run_fig4b(
         )
     platform.run_until(spot_releases * setup.config.detection_window + 600.0)
     platform.finish_pending()
-    measured = from_wei(platform.punishments_wei[provider]) / spot_releases
+    return from_wei(platform.punishments_wei[provider]) / spot_releases
+
+
+def run_fig4b(
+    insurances: Tuple[int, ...] = (500, 1000, 1500),
+    vp_grid: Tuple[float, ...] = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10),
+    spot_releases: int = 8,
+    seed: int = 4,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> Fig4bResult:
+    """Closed-form sweep plus one simulated spot check.
+
+    Each insurance curve and the spot check are independent seed-pure
+    workers fanned out via ``jobs``; passing a checkpoint *path* (not an
+    instance) journals both sub-sweeps under distinct experiment tags.
+    """
+    spot_vp = 0.5
+    spot_insurance = 1000
+    curve_outcomes = run_trials(
+        _fig4b_curve_trial,
+        [(insurance, tuple(vp_grid)) for insurance in insurances],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig4b.curves", seed),
+    )
+    curves: Dict[int, List[Tuple[float, float]]] = {
+        insurance: [(float(vp), float(punishment)) for vp, punishment in outcome]
+        for insurance, outcome in zip(insurances, curve_outcomes)
+    }
+    (measured,) = run_trials(
+        _fig4b_spot_trial,
+        [(seed, spot_insurance, spot_vp, spot_releases)],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig4b.spot", seed),
+    )
     return Fig4bResult(
         curves=curves, spot_check=(spot_insurance, spot_vp, measured)
     )

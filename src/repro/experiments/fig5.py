@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.vpb import vpb_closed_form
 from repro.chain.consensus import MiningSimulation
@@ -26,7 +26,7 @@ from repro.chain.pow import PAPER_HASHPOWER_SHARES
 from repro.core.incentives import IncentiveParameters
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable
-from repro.experiments.runner import run_trials
+from repro.experiments.runner import SweepCheckpoint, run_trials, sweep_checkpoint
 from repro.telemetry import Telemetry
 from repro.units import from_wei
 from repro.workloads.scenarios import provider_zeta
@@ -156,12 +156,14 @@ def run_fig5b(
     omega_per_block: float = 2.0,
     jobs: Optional[int] = None,
     telemetry: Optional[Telemetry] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
 ) -> Fig5bResult:
     """Measure mining income per window; subtract the expected punishment.
 
     ``jobs`` fans the mining trials out over worker processes; per-trial
     seeds are pre-derived from ``seed`` exactly as the serial loop drew
     them, so any ``jobs`` value produces the same balances.
+    ``checkpoint`` journals completed trials for resume.
 
     ``telemetry`` records per-trial win counts and a run summary event.
     Instrumentation happens after the trials return, so it composes
@@ -188,6 +190,7 @@ def run_fig5b(
         _fig5b_trial,
         [(trial_seed, provider, window) for trial_seed in trial_seeds],
         jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig5b", seed),
     )
     for won in wins:
         income = won * (from_wei(params.block_reward_wei) + fee_income_per_block)

@@ -24,12 +24,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple, Union
 
 from repro.analysis.vpb import vpb_closed_form
 from repro.core.incentives import IncentiveParameters
 from repro.detection.iot_system import build_system
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 from repro.units import from_wei
 from repro.workloads.scenarios import paper_setup, provider_zeta
 
@@ -51,10 +57,33 @@ class Fig6Result:
     releases_per_window: int
 
     def thread_of(self, detector_id: str) -> int:
-        return int(detector_id.rsplit("-", 1)[1])
+        """Thread count encoded in an id like ``"detector-4"``.
+
+        Raises a descriptive :class:`ValueError` for ids that do not end
+        in ``-<number>`` rather than leaking a bare parse error.
+        """
+        _, sep, suffix = detector_id.rpartition("-")
+        if not sep or not suffix.isdigit():
+            raise ValueError(
+                f"detector id {detector_id!r} does not encode a thread"
+                " count; expected an id ending in '-<threads>', e.g."
+                " 'detector-4'"
+            )
+        return int(suffix)
 
     def capability_ratio(self) -> float:
         """8-thread vs 1-thread mean payout (paper: ≈7.8×)."""
+        missing = [
+            endpoint
+            for endpoint in ("detector-1", "detector-8")
+            if endpoint not in self.payout_per_vulnerable_release
+        ]
+        if missing:
+            raise KeyError(
+                "capability_ratio needs the 1- and 8-thread endpoint"
+                f" detectors; missing {missing} from measured detectors"
+                f" {sorted(self.payout_per_vulnerable_release)}"
+            )
         low = self.payout_per_vulnerable_release["detector-1"]
         high = self.payout_per_vulnerable_release["detector-8"]
         return high / low if low > 0 else float("inf")
@@ -101,18 +130,55 @@ class Fig6Result:
         return f"VPB{sign}0.01"
 
 
+def _fig6_release_trial(args: Tuple[int, int, str, int]) -> Dict[str, Dict[str, int]]:
+    """One vulnerable release on a fresh seed-pure platform.
+
+    Returns per-detector wei/report tallies as JSON-native ints so the
+    trial can be journaled to a sweep checkpoint and summed in any
+    order-preserving fan-out.
+    """
+    trial_seed, index, provider, mean_vulnerabilities = args
+    setup = paper_setup(seed=trial_seed)
+    platform = setup.build_platform()
+    window = setup.config.detection_window
+    system = build_system(
+        f"fig6-sys-{index}",
+        vulnerability_count=mean_vulnerabilities,
+        rng=random.Random(trial_seed),
+    )
+    platform.announce_release(provider, system, at_time=0.0)
+    platform.run_until(window + 300.0)
+    platform.finish_pending()
+    incentives_wei: Dict[str, int] = {}
+    fees_wei: Dict[str, int] = {}
+    reports: Dict[str, int] = {}
+    for detector_id, stats in platform.detector_stats.items():
+        incentives_wei[detector_id] = int(stats.incentives_wei)
+        fees_wei[detector_id] = int(stats.fees_paid_wei)
+        reports[detector_id] = int(stats.initial_reports_submitted)
+    return {"incentives_wei": incentives_wei, "fees_wei": fees_wei, "reports": reports}
+
+
 def run_fig6(
     provider: str = "provider-3",
     samples: int = 30,
     releases_per_window: int = 11,
     mean_vulnerabilities: int = 4,
     seed: int = 6,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
 ) -> Fig6Result:
     """Full-platform measurement of detector incentives and costs.
 
     ``releases_per_window`` defaults to 11 ten-minute release windows so
     the per-window incentive deltas land in the paper's 3-23.5 ether
     band (ΔVP·I·releases·ξ_i with I = 1000).
+
+    Each of the ``samples`` vulnerable releases runs on its own
+    seed-pure platform (:func:`derive_seeds`), so the sweep fans out
+    over ``jobs`` processes, journals per-release tallies to
+    ``checkpoint``, and sums them in release order — identical for any
+    ``jobs`` value.
     """
     params = IncentiveParameters()
     vpb = round(
@@ -126,29 +192,36 @@ def run_fig6(
         3,
     )
     vps = (round(vpb - 0.01, 6), vpb, round(vpb + 0.01, 6))
-    rng = random.Random(seed)
 
-    # One long platform run over `samples` vulnerable releases.
-    setup = paper_setup(seed=seed)
-    platform = setup.build_platform()
-    window = setup.config.detection_window
-    for index in range(samples):
-        system = build_system(
-            f"fig6-sys-{index}",
-            vulnerability_count=mean_vulnerabilities,
-            rng=random.Random(rng.randrange(2**31)),
-        )
-        platform.announce_release(provider, system, at_time=index * window)
-    platform.run_until(samples * window + 300.0)
-    platform.finish_pending()
+    trial_seeds = derive_seeds(seed, samples)
+    outcomes = run_trials(
+        _fig6_release_trial,
+        [
+            (trial_seed, index, provider, mean_vulnerabilities)
+            for index, trial_seed in enumerate(trial_seeds)
+        ],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "fig6", seed),
+    )
+
+    incentives_wei: Dict[str, int] = {}
+    fees_wei: Dict[str, int] = {}
+    report_counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        for detector_id, amount in outcome["incentives_wei"].items():
+            incentives_wei[detector_id] = incentives_wei.get(detector_id, 0) + amount
+        for detector_id, amount in outcome["fees_wei"].items():
+            fees_wei[detector_id] = fees_wei.get(detector_id, 0) + amount
+        for detector_id, count in outcome["reports"].items():
+            report_counts[detector_id] = report_counts.get(detector_id, 0) + count
 
     payout_per_release: Dict[str, float] = {}
     cost_per_report: Dict[str, float] = {}
-    for detector_id, stats in platform.detector_stats.items():
-        payout_per_release[detector_id] = from_wei(stats.incentives_wei) / samples
-        reports = stats.initial_reports_submitted
+    for detector_id, total_wei in incentives_wei.items():
+        payout_per_release[detector_id] = from_wei(total_wei) / samples
+        reports = report_counts.get(detector_id, 0)
         cost_per_report[detector_id] = (
-            from_wei(stats.fees_paid_wei) / reports if reports else 0.0
+            from_wei(fees_wei.get(detector_id, 0)) / reports if reports else 0.0
         )
 
     incentives = {

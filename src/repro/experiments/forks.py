@@ -13,11 +13,17 @@ sweep shows how the margin erodes as the network slows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.chain.pow import PAPER_HASHPOWER_SHARES
 from repro.core.distributed import DistributedChain
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 from repro.network.latency import ConstantLatency
 
 __all__ = ["ForkRateResult", "run_fork_rate"]
@@ -54,33 +60,72 @@ class ForkRateResult:
         return table
 
 
+def _fork_rate_trial(args: Tuple[int, float, int, float]) -> List[float]:
+    """One delay ratio: run replicated mining, count orphaned blocks.
+
+    Orphan accounting uses the network's authoritative mined-block
+    counter against the height of the canonical chain (the agreed head
+    after convergence, else the heaviest replica by total difficulty —
+    not the tallest, which can sit on a losing fork).  Height counts
+    non-genesis blocks (genesis is height 0), so ``mined - height`` is
+    exactly the mined blocks that fell off the canonical chain; the
+    rate is clamped to [0, 1].
+    """
+    trial_seed, ratio, blocks, block_time = args
+    net = DistributedChain(
+        PAPER_HASHPOWER_SHARES,
+        mean_block_time=block_time,
+        latency=ConstantLatency(ratio * block_time),
+        seed=trial_seed,
+    )
+    net.run_blocks(blocks)
+    net.settle()
+    # Break any end-of-run total-difficulty tie.
+    extra = 0
+    while not net.converged() and extra < 20:
+        net.run_blocks(1)
+        net.settle()
+        extra += 1
+    mined = net.blocks_mined
+    canonical = max(
+        (replica.chain for replica in net.replicas.values()),
+        key=lambda chain: chain.total_difficulty(),
+    )
+    height = canonical.height
+    orphaned = max(0, mined - height)
+    orphan_rate = min(1.0, orphaned / mined) if mined else 0.0
+    return [mined, height, orphan_rate]
+
+
 def run_fork_rate(
     ratios: Tuple[float, ...] = (0.005, 0.05, 0.2, 0.5),
     blocks: int = 300,
     block_time: float = 15.35,
     seed: int = 10,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
 ) -> ForkRateResult:
-    """Measure orphan rates over a delay sweep."""
-    points: Dict[float, Tuple[int, int, float]] = {}
-    for index, ratio in enumerate(ratios):
-        net = DistributedChain(
-            PAPER_HASHPOWER_SHARES,
-            mean_block_time=block_time,
-            latency=ConstantLatency(ratio * block_time),
-            seed=seed + index,
-        )
-        net.run_blocks(blocks)
-        net.settle()
-        # Break any end-of-run total-difficulty tie.
-        extra = 0
-        while not net.converged() and extra < 20:
-            net.run_blocks(1)
-            net.settle()
-            extra += 1
-        height = max(replica.chain.height for replica in net.replicas.values())
-        mined = blocks + extra
-        orphan_rate = 1.0 - height / mined
-        points[ratio] = (mined, height, orphan_rate)
+    """Measure orphan rates over a delay sweep.
+
+    Each ratio is an independent seed-pure trial (:func:`derive_seeds`)
+    fanned out via ``jobs`` worker processes; any ``jobs`` value
+    produces identical points, and ``checkpoint`` journals completed
+    ratios for resume.
+    """
+    trial_seeds = derive_seeds(seed, len(ratios))
+    outcomes = run_trials(
+        _fork_rate_trial,
+        [
+            (trial_seed, ratio, blocks, block_time)
+            for trial_seed, ratio in zip(trial_seeds, ratios)
+        ],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "forks", seed),
+    )
+    points: Dict[float, Tuple[int, int, float]] = {
+        ratio: (int(mined), int(height), float(rate))
+        for ratio, (mined, height, rate) in zip(ratios, outcomes)
+    }
     return ForkRateResult(points=points, block_time=block_time)
 
 

@@ -13,11 +13,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.contracts.vm import ContractRuntime
 from repro.detection.iot_system import build_system
 from repro.experiments.harness import ResultTable, summarize
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 from repro.workloads.scenarios import paper_setup
 
 __all__ = ["LatencyResult", "run_payout_latency"]
@@ -56,27 +62,23 @@ class LatencyResult:
         return table
 
 
-def run_payout_latency(
-    releases: int = 10,
-    flaws_per_release: int = 3,
-    seed: int = 8,
-) -> LatencyResult:
-    """Measure payout latency over a campaign of vulnerable releases."""
-    setup = paper_setup(seed=seed)
+def _latency_release_trial(args: Tuple[int, int, int]) -> Dict[str, List[float]]:
+    """One vulnerable release on a fresh seed-pure platform.
+
+    Announces at t=0, so award block times *are* the announce→pay
+    latencies; returns JSON-native latency lists for checkpointing.
+    """
+    trial_seed, index, flaws_per_release = args
+    setup = paper_setup(seed=trial_seed)
     platform = setup.build_platform()
-    rng = random.Random(seed)
     window = setup.config.detection_window
-    announce_times: Dict[bytes, float] = {}
-    for index in range(releases):
-        system = build_system(
-            f"latency-sys-{index}",
-            vulnerability_count=flaws_per_release,
-            rng=random.Random(rng.randrange(2**31)),
-        )
-        sra = platform.announce_release(provider_name="provider-1", system=system,
-                                        at_time=index * window)
-        announce_times[sra.sra_id] = index * window
-    platform.run_until(releases * window + 600.0)
+    system = build_system(
+        f"latency-sys-{index}",
+        vulnerability_count=flaws_per_release,
+        rng=random.Random(trial_seed),
+    )
+    platform.announce_release(provider_name="provider-1", system=system, at_time=0.0)
+    platform.run_until(window + 600.0)
     platform.finish_pending()
 
     announce_to_pay: List[float] = []
@@ -84,9 +86,8 @@ def run_payout_latency(
     runtime: ContractRuntime = platform.runtime
     for case in platform.releases.values():
         contract = runtime.get_contract(case.contract_address)
-        announced = announce_times[case.sra_id]
         for award in contract.awards():
-            announce_to_pay.append(award.block_time - announced)
+            announce_to_pay.append(award.block_time)
     # Pipeline tail: for every bounty, time from the detector's R†
     # confirmation event to the payment event on the same contract.
     for event in runtime.events_named("BountyPaid"):
@@ -102,11 +103,45 @@ def run_payout_latency(
         )
         if commit is not None:
             confirm_to_pay.append(paid_at - commit.block_time)
+    return {"announce_to_pay": announce_to_pay, "confirm_to_pay": confirm_to_pay}
+
+
+def run_payout_latency(
+    releases: int = 10,
+    flaws_per_release: int = 3,
+    seed: int = 8,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> LatencyResult:
+    """Measure payout latency over a campaign of vulnerable releases.
+
+    Each release runs on its own seed-pure platform
+    (:func:`derive_seeds`) and the latency samples concatenate in
+    release order, so fanning out over ``jobs`` processes is
+    bit-identical to the serial loop; ``checkpoint`` journals finished
+    releases for resume.
+    """
+    trial_seeds = derive_seeds(seed, releases)
+    outcomes = run_trials(
+        _latency_release_trial,
+        [
+            (trial_seed, index, flaws_per_release)
+            for index, trial_seed in enumerate(trial_seeds)
+        ],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "latency", seed),
+    )
+    announce_to_pay: List[float] = []
+    confirm_to_pay: List[float] = []
+    for outcome in outcomes:
+        announce_to_pay.extend(float(value) for value in outcome["announce_to_pay"])
+        confirm_to_pay.extend(float(value) for value in outcome["confirm_to_pay"])
+    config = paper_setup(seed=seed).config
     return LatencyResult(
         announce_to_pay=announce_to_pay,
         confirm_to_pay=confirm_to_pay,
-        confirmation_depth=setup.config.confirmation_depth,
-        mean_block_time=setup.config.mean_block_time,
+        confirmation_depth=config.confirmation_depth,
+        mean_block_time=config.mean_block_time,
     )
 
 

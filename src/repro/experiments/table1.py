@@ -9,16 +9,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.detection.services import (
     PAPER_SERVICE_PROFILES,
-    ScanResult,
     build_table1_apps,
-    overlap_matrix,
 )
 from repro.detection.vulnerability import Severity
 from repro.experiments.harness import ResultTable
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 
 __all__ = ["Table1Result", "run_table1", "PAPER_TABLE1"]
 
@@ -77,24 +81,83 @@ class Table1Result:
         return table
 
 
-def run_table1(seed: int = 7) -> Table1Result:
-    """Scan both apps with every service profile."""
-    rng = random.Random(seed)
-    connect, smart_home = build_table1_apps(seed=seed)
+def _table1_scan_trial(args: Tuple[int, int, int, str]) -> Dict[str, object]:
+    """One (app, service) scan with its own derived rng.
+
+    Returns JSON-native severity counts plus the found-vulnerability
+    keys so the parent can reassemble Table I cells and the pairwise
+    Jaccard overlaps in any fan-out order.
+    """
+    trial_seed, app_seed, app_index, service_name = args
+    apps = build_table1_apps(seed=app_seed)
+    app = apps[app_index]
+    result = PAPER_SERVICE_PROFILES[service_name].scan(app, random.Random(trial_seed))
+    by_severity = result.counts()
+    return {
+        "service": service_name,
+        "app": app.name,
+        "counts": [
+            by_severity[Severity.HIGH],
+            by_severity[Severity.MEDIUM],
+            by_severity[Severity.LOW],
+        ],
+        "keys": sorted(result.keys()),
+    }
+
+
+def run_table1(
+    seed: int = 7,
+    jobs: Optional[int] = None,
+    checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
+) -> Table1Result:
+    """Scan both apps with every service profile.
+
+    Each (app, service) scan is an independent seed-pure trial
+    (:func:`derive_seeds`) fanned out via ``jobs``; counts and the
+    pairwise Jaccard overlaps are assembled in scan order, so any
+    ``jobs`` value produces identical results.
+    """
+    services = list(PAPER_SERVICE_PROFILES)
+    items = [
+        (app_index, service_name)
+        for app_index in (0, 1)
+        for service_name in services
+    ]
+    trial_seeds = derive_seeds(seed, len(items))
+    outcomes = run_trials(
+        _table1_scan_trial,
+        [
+            (trial_seed, seed, app_index, service_name)
+            for trial_seed, (app_index, service_name) in zip(trial_seeds, items)
+        ],
+        jobs=jobs,
+        checkpoint=sweep_checkpoint(checkpoint, "table1", seed),
+    )
+
     counts: Dict[str, Dict[str, Tuple[int, int, int]]] = {}
     overlaps: Dict[str, Dict[Tuple[str, str], float]] = {}
-    for app in (connect, smart_home):
-        results: List[ScanResult] = []
-        for profile in PAPER_SERVICE_PROFILES.values():
-            result = profile.scan(app, rng)
-            results.append(result)
-            by_severity = result.counts()
-            counts.setdefault(profile.name, {})[app.name] = (
-                by_severity[Severity.HIGH],
-                by_severity[Severity.MEDIUM],
-                by_severity[Severity.LOW],
-            )
-        overlaps[app.name] = overlap_matrix(results)
+    per_app: Dict[str, List[Dict[str, object]]] = {}
+    for outcome in outcomes:
+        high, medium, low = outcome["counts"]
+        counts.setdefault(outcome["service"], {})[outcome["app"]] = (
+            int(high), int(medium), int(low)
+        )
+        per_app.setdefault(outcome["app"], []).append(outcome)
+    # Pairwise Jaccard per app, matching repro.detection.services.overlap_matrix
+    # (pairs where both services found nothing are skipped).
+    for app_name, scans in per_app.items():
+        matrix: Dict[Tuple[str, str], float] = {}
+        for i, first in enumerate(scans):
+            first_keys = set(first["keys"])
+            for second in scans[i + 1 :]:
+                union = first_keys | set(second["keys"])
+                if not union:
+                    continue
+                intersection = first_keys & set(second["keys"])
+                matrix[(first["service"], second["service"])] = (
+                    len(intersection) / len(union)
+                )
+        overlaps[app_name] = matrix
     return Table1Result(counts=counts, overlaps=overlaps)
 
 

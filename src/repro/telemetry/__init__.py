@@ -112,6 +112,38 @@ class Telemetry:
         """Write this run's trace + metric snapshot; returns line count."""
         return write_jsonl(self, destination, meta=meta)
 
+    # -- worker-process merge ----------------------------------------------
+
+    def snapshot_payload(self) -> Dict[str, Any]:
+        """A picklable snapshot of this telemetry for cross-process merge.
+
+        Trial workers running under :func:`repro.experiments.runner.run_trials`
+        cannot write into the parent's registry, so they record into a
+        local :class:`Telemetry` and ship this payload back with their
+        result; the parent folds it in with :meth:`merge_payload`.
+        """
+        return {
+            "metrics": self.metrics.snapshot(),
+            "trace": [event.to_dict() for event in self.trace],
+            "trace_dropped": self.trace.dropped,
+        }
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold a worker's :meth:`snapshot_payload` into this telemetry.
+
+        Counters add, gauges take the merged-in value, histograms merge
+        their summaries, and trace events append with their original
+        (worker-side simulation) timestamps.  Merging per-trial payloads
+        in input order therefore reproduces exactly the registry and
+        trace a serial instrumented sweep would have produced — the
+        determinism contract extended to telemetry.
+        """
+        if not self.enabled:
+            return
+        self.trace.absorb(payload.get("trace", ()))
+        self.trace.dropped += int(payload.get("trace_dropped", 0))
+        self.metrics.merge_rows(payload.get("metrics", ()))
+
 
 class _NullTelemetry(Telemetry):
     """The disabled default: falsy, and every write is a no-op."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -59,6 +59,10 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
+    def merge_row(self, row: Dict[str, Any]) -> None:
+        """Fold a worker-process snapshot row into this counter."""
+        self.inc(int(row["value"]))
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot row."""
         return {
@@ -84,6 +88,15 @@ class Gauge:
     def add(self, delta: float) -> None:
         """Move the gauge by ``delta`` (gauges go both ways)."""
         self.value += delta
+
+    def merge_row(self, row: Dict[str, Any]) -> None:
+        """Fold a worker-process snapshot row into this gauge.
+
+        Gauges are point-in-time, so the merged-in value wins — merging
+        worker snapshots in trial order therefore matches the serial
+        loop, where later trials overwrite earlier ones.
+        """
+        self.set(float(row["value"]))
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot row."""
@@ -135,6 +148,25 @@ class Histogram:
     def mean(self) -> float:
         """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge_row(self, row: Dict[str, Any]) -> None:
+        """Fold a worker-process snapshot row into this histogram.
+
+        Count/sum add, min/max widen, and the log-2 bucket counts add —
+        so merging per-trial histograms reproduces the distribution the
+        serial loop would have accumulated in one instrument.
+        """
+        count = int(row["count"])
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(row["sum"])
+        if row["min"] is not None and (self.min is None or row["min"] < self.min):
+            self.min = row["min"]
+        if row["max"] is not None and (self.max is None or row["max"] > self.max):
+            self.max = row["max"]
+        for bucket, bucket_count in row.get("buckets", {}).items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + int(bucket_count)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot row."""
@@ -190,6 +222,22 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels: Any) -> Histogram:
         """The histogram series ``name`` at ``labels``."""
         return self._get(Histogram, name, labels)
+
+    def merge_rows(self, rows: Iterable[Dict[str, Any]]) -> None:
+        """Fold snapshot rows (a worker process's metrics) into this registry.
+
+        Rows are the :meth:`snapshot` format; each is routed to the
+        instrument with the same name and labels (created if new, so
+        the parent's insertion order follows first-merge order — the
+        same order the serial loop would have created them in).
+        """
+        merge = {"counter": self.counter, "gauge": self.gauge, "histogram": self.histogram}
+        for row in rows:
+            getter = merge.get(row.get("type"))
+            if getter is None:
+                raise ValueError(f"unknown metric row type {row.get('type')!r}")
+            instrument = getter(row["name"], **row.get("labels", {}))
+            instrument.merge_row(row)
 
     def __iter__(self) -> Iterator[Any]:
         """Iterate instruments in insertion order."""
@@ -257,6 +305,9 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def histogram(self, name: str, **labels: Any) -> Histogram:  # noqa: D102
         return _NULL_HISTOGRAM
+
+    def merge_rows(self, rows: Iterable[Dict[str, Any]]) -> None:  # noqa: D102
+        pass
 
     def snapshot(self) -> List[Dict[str, Any]]:  # noqa: D102
         return []

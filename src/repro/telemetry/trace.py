@@ -15,7 +15,7 @@ analytical experiments with no event loop).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "TraceLog", "NullTraceLog"]
 
@@ -88,6 +88,27 @@ class TraceLog:
         self._events.append(event)
         return event
 
+    def absorb(self, events: Iterable[Any]) -> None:
+        """Append pre-stamped events (a worker process's trace) in order.
+
+        Accepts :class:`TraceEvent` objects or their ``to_dict`` rows.
+        Absorbed events keep their original timestamps — they were
+        stamped by the worker's own simulation clock — so a sweep's
+        merged trace matches what the serial loop would have logged.
+        The retention cap applies as usual.
+        """
+        for event in events:
+            if isinstance(event, dict):
+                event = TraceEvent(
+                    time=event["time"],
+                    kind=event["kind"],
+                    fields=dict(event.get("fields", {})),
+                )
+            if len(self._events) >= self._max_events:
+                self.dropped += 1
+                continue
+            self._events.append(event)
+
     @property
     def events(self) -> List[TraceEvent]:
         """The retained events, oldest first."""
@@ -114,3 +135,6 @@ class NullTraceLog(TraceLog):
 
     def emit(self, kind: str, /, **fields: Any) -> Optional[TraceEvent]:  # noqa: D102
         return None
+
+    def absorb(self, events: Iterable[Any]) -> None:  # noqa: D102 - no-op override
+        pass

@@ -1,6 +1,7 @@
 """Chaos gauntlet experiment wrapper."""
 
 from repro.experiments.chaos import run_chaos_gauntlet
+from repro.telemetry import Telemetry
 
 
 def test_chaos_sweep_tabulates():
@@ -11,3 +12,46 @@ def test_chaos_sweep_tabulates():
     table = result.to_table()
     rendered = "\n".join(str(row) for row in table.rows)
     assert "all hold" in rendered
+
+
+def _comparable_rows(telemetry):
+    # sim.dispatch_seconds times handler dispatch on the host clock, so
+    # its durations vary run to run; the *number* of dispatches is
+    # deterministic. Everything else must match bit for bit.
+    rows, dispatch_counts = [], []
+    for row in telemetry.metrics.snapshot():
+        if row["name"] == "sim.dispatch_seconds":
+            dispatch_counts.append(row["count"])
+        else:
+            rows.append(row)
+    return rows, dispatch_counts
+
+
+def test_instrumented_parallel_matches_serial():
+    # Worker-local telemetry merged in seed order must reproduce the
+    # serial instrumented sweep exactly — metrics and trace alike.
+    serial_telemetry = Telemetry()
+    serial = run_chaos_gauntlet(
+        seeds=(0, 1),
+        chaos_duration=600.0,
+        settle_time=450.0,
+        jobs=1,
+        telemetry=serial_telemetry,
+    )
+    parallel_telemetry = Telemetry()
+    parallel = run_chaos_gauntlet(
+        seeds=(0, 1),
+        chaos_duration=600.0,
+        settle_time=450.0,
+        jobs=2,
+        telemetry=parallel_telemetry,
+    )
+    assert [run.seed for run in parallel.runs] == [run.seed for run in serial.runs]
+    assert [run.ok for run in parallel.runs] == [run.ok for run in serial.runs]
+    serial_rows, serial_dispatch = _comparable_rows(serial_telemetry)
+    parallel_rows, parallel_dispatch = _comparable_rows(parallel_telemetry)
+    assert parallel_rows == serial_rows
+    assert parallel_dispatch == serial_dispatch
+    assert [event.to_dict() for event in parallel_telemetry.trace] == [
+        event.to_dict() for event in serial_telemetry.trace
+    ]

@@ -125,6 +125,47 @@ class TestFig5:
         assert mid - high == pytest.approx(10.0, abs=0.01)
 
 
+class TestFig6Errors:
+    """Malformed detector ids and missing endpoints fail with clear messages."""
+
+    def _result(self, payouts):
+        from repro.experiments.fig6 import Fig6Result
+
+        return Fig6Result(
+            incentives={},
+            payout_per_vulnerable_release=payouts,
+            cost_per_report={},
+            vpb=0.038,
+            samples=1,
+            releases_per_window=11,
+        )
+
+    def test_thread_of_rejects_unsuffixed_id(self):
+        result = self._result({})
+        with pytest.raises(ValueError, match="does not encode a thread"):
+            result.thread_of("detector")
+
+    def test_thread_of_rejects_non_numeric_suffix(self):
+        result = self._result({})
+        with pytest.raises(ValueError, match="detector-fast"):
+            result.thread_of("detector-fast")
+
+    def test_thread_of_parses_well_formed_ids(self):
+        result = self._result({})
+        assert result.thread_of("detector-4") == 4
+        assert result.thread_of("my-custom-detector-12") == 12
+
+    def test_capability_ratio_names_missing_endpoints(self):
+        result = self._result({"detector-1": 1.0})
+        with pytest.raises(KeyError, match="detector-8"):
+            result.capability_ratio()
+
+    def test_capability_ratio_lists_measured_detectors(self):
+        result = self._result({"detector-3": 2.0})
+        with pytest.raises(KeyError, match="detector-3"):
+            result.capability_ratio()
+
+
 class TestFig6:
     @pytest.fixture(scope="class")
     def result(self):

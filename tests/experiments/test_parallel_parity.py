@@ -1,0 +1,120 @@
+"""Parallel parity: every experiment is bit-identical at any ``jobs``.
+
+Every trial-shaped experiment now runs through
+:func:`repro.experiments.runner.run_trials`; this suite pins the
+determinism contract for each of them — ``jobs=2`` reproduces the
+serial run byte for byte — plus the checkpoint round-trip (an
+interrupted sweep resumed from its journal equals an uninterrupted
+one).  Parameters are shrunk to keep the suite fast; parity is
+parameter-independent.
+"""
+
+import pytest
+
+from repro.experiments.capability_curve import run_capability_curve
+from repro.experiments.costs import run_costs
+from repro.experiments.fig3 import run_fig3a, run_fig3b
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.forks import run_fork_rate
+from repro.experiments.latency import run_payout_latency
+from repro.experiments.table1 import run_table1
+
+
+class TestJobsParity:
+    def test_fig3a(self):
+        serial = run_fig3a(blocks=160, trials=4)
+        parallel = run_fig3a(blocks=160, trials=4, jobs=2)
+        assert parallel == serial
+
+    def test_fig3b(self):
+        serial = run_fig3b(blocks=160, trials=4)
+        parallel = run_fig3b(blocks=160, trials=4, jobs=2)
+        assert parallel.intervals == serial.intervals
+
+    def test_fig4a(self):
+        serial = run_fig4a(duration=300.0)
+        parallel = run_fig4a(duration=300.0, jobs=2)
+        assert parallel.series == serial.series
+        assert parallel.shares == serial.shares
+
+    def test_fig4b(self):
+        serial = run_fig4b(spot_releases=2)
+        parallel = run_fig4b(spot_releases=2, jobs=2)
+        assert parallel.curves == serial.curves
+        assert parallel.spot_check == serial.spot_check
+
+    def test_fig6(self):
+        serial = run_fig6(samples=3)
+        parallel = run_fig6(samples=3, jobs=2)
+        assert parallel.incentives == serial.incentives
+        assert (
+            parallel.payout_per_vulnerable_release
+            == serial.payout_per_vulnerable_release
+        )
+        assert parallel.cost_per_report == serial.cost_per_report
+
+    def test_forks(self):
+        serial = run_fork_rate(ratios=(0.005, 0.5), blocks=40)
+        parallel = run_fork_rate(ratios=(0.005, 0.5), blocks=40, jobs=2)
+        assert parallel.points == serial.points
+
+    def test_latency(self):
+        serial = run_payout_latency(releases=2)
+        parallel = run_payout_latency(releases=2, jobs=2)
+        assert parallel.announce_to_pay == serial.announce_to_pay
+        assert parallel.confirm_to_pay == serial.confirm_to_pay
+
+    def test_costs(self):
+        serial = run_costs(releases=2)
+        parallel = run_costs(releases=2, jobs=2)
+        assert parallel == serial
+
+    def test_table1(self):
+        serial = run_table1()
+        parallel = run_table1(jobs=2)
+        assert parallel.counts == serial.counts
+        assert parallel.overlaps == serial.overlaps
+
+    def test_capability_curve(self):
+        serial = run_capability_curve(scans=200)
+        parallel = run_capability_curve(scans=200, jobs=2)
+        assert parallel.points == serial.points
+
+
+class TestCheckpointRoundTrip:
+    def test_fig3a_resumes_from_journal(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        uninterrupted = run_fig3a(blocks=160, trials=4)
+        first = run_fig3a(blocks=160, trials=4, checkpoint=path)
+        resumed = run_fig3a(blocks=160, trials=4, checkpoint=path)
+        assert first == uninterrupted
+        assert resumed == uninterrupted
+
+    def test_fork_sweep_killed_after_k_trials_resumes(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        uninterrupted = run_fork_rate(ratios=(0.005, 0.2, 0.5), blocks=40)
+        # "Killed" sweep: only the first ratio completed before the
+        # interruption (its trial key matches the full sweep's prefix).
+        run_fork_rate(ratios=(0.005,), blocks=40, checkpoint=path)
+        resumed = run_fork_rate(ratios=(0.005, 0.2, 0.5), blocks=40, checkpoint=path)
+        assert resumed.points == uninterrupted.points
+
+    def test_parallel_resume_matches(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        uninterrupted = run_fig3b(blocks=160, trials=4)
+        # Half the sweep journaled (derive_seeds is prefix-stable, so the
+        # 2-chunk run journals exactly the full sweep's first two trials),
+        # then a parallel run resumes the rest.
+        run_fig3b(blocks=80, trials=2, checkpoint=path)
+        resumed = run_fig3b(blocks=160, trials=4, jobs=2, checkpoint=path)
+        assert resumed.intervals == uninterrupted.intervals
+
+    def test_changed_params_do_not_resume_stale_trials(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_capability_curve(scans=100, checkpoint=path)
+        fresh = run_capability_curve(scans=200)
+        # Same indices, different scan count: the journaled entries'
+        # input digests no longer match, so everything recomputes.
+        resumed = run_capability_curve(scans=200, checkpoint=path)
+        assert resumed.points == fresh.points

@@ -2,18 +2,57 @@
 
 ``run_trials`` fans trials out over a process pool; these tests pin the
 determinism contract — results merge in input order and every parallel
-run reproduces the serial run byte for byte for the same seeds.
+run reproduces the serial run byte for byte for the same seeds — plus
+the error contract (worker exceptions propagate; only pool/spawn
+failures fall back to serial) and the sweep checkpoint journal.
 """
+
+import json
 
 import pytest
 
+import repro.experiments.runner as runner_module
 from repro.experiments.ablations import ablate_two_phase
 from repro.experiments.fig5 import run_fig5b
-from repro.experiments.runner import default_jobs, derive_seeds, run_trials
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    default_jobs,
+    derive_seeds,
+    input_digest,
+    run_trials,
+    sweep_checkpoint,
+)
 
 
 def _square(value):
     return value * value
+
+
+def _logged_square(args):
+    """Append the input to a log file, then square it (picklable)."""
+    log_path, value = args
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    return value * value
+
+
+def _oserror_worker(args):
+    """Log the attempt, then raise OSError for the poisoned value."""
+    log_path, value = args
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value}\n")
+    if value == 2:
+        raise OSError("worker-side disk failure")
+    return value * value
+
+
+def _attempt_counts(log_path):
+    with open(log_path, "r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    counts = {}
+    for line in lines:
+        counts[line] = counts.get(line, 0) + 1
+    return counts
 
 
 class TestRunTrials:
@@ -53,6 +92,226 @@ class TestDeriveSeeds:
     def test_seeds_are_distinct(self):
         seeds = derive_seeds(7, 64)
         assert len(set(seeds)) == len(seeds)
+
+
+class TestWorkerExceptions:
+    """A worker exception is not a spawn failure — it must propagate.
+
+    Regression suite for the bug where ``(OSError, BrokenProcessPool)``
+    was caught around the whole ``pool.map`` consumption, so a worker's
+    own ``OSError`` triggered the serial fallback: every trial re-ran a
+    second time and the real error vanished.
+    """
+
+    def test_worker_oserror_propagates_parallel(self, tmp_path):
+        log = tmp_path / "attempts.log"
+        items = [(str(log), value) for value in range(4)]
+        with pytest.raises(OSError, match="worker-side disk failure"):
+            run_trials(_oserror_worker, items, jobs=2)
+        # The poisoned sweep must never silently re-run: each input is
+        # attempted at most once.
+        assert all(count == 1 for count in _attempt_counts(log).values())
+
+    def test_worker_oserror_propagates_serial(self, tmp_path):
+        log = tmp_path / "attempts.log"
+        items = [(str(log), value) for value in range(4)]
+        with pytest.raises(OSError, match="worker-side disk failure"):
+            run_trials(_oserror_worker, items, jobs=None)
+        counts = _attempt_counts(log)
+        # Serial stops at the failing trial; nothing runs twice.
+        assert counts == {"0": 1, "1": 1, "2": 1}
+
+    def test_worker_valueerror_keeps_type_parallel(self):
+        with pytest.raises(ValueError, match="bad trial input"):
+            run_trials(_value_error_worker, [1, 2, 3], jobs=2)
+
+
+def _value_error_worker(value):
+    if value == 2:
+        raise ValueError("bad trial input")
+    return value
+
+
+class _UnspawnablePool:
+    """Stand-in executor whose construction fails like a locked sandbox."""
+
+    def __init__(self, *args, **kwargs):
+        raise OSError("no processes for you")
+
+
+class _MapFailsPool:
+    """Executor that builds but cannot submit; records its shutdown."""
+
+    shutdowns = 0
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def map(self, *args, **kwargs):
+        raise OSError("spawn failed at submit time")
+
+    def shutdown(self, wait=True):
+        type(self).shutdowns += 1
+
+
+class TestSpawnFallback:
+    def test_pool_construction_failure_falls_back_serial(self, monkeypatch):
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _UnspawnablePool)
+        assert run_trials(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_map_submit_failure_falls_back_serial(self, monkeypatch):
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _MapFailsPool)
+        before = _MapFailsPool.shutdowns
+        assert run_trials(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+        assert _MapFailsPool.shutdowns == before + 1
+
+    def test_fallback_runs_each_item_once(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _UnspawnablePool)
+        log = tmp_path / "attempts.log"
+        items = [(str(log), value) for value in range(5)]
+        assert run_trials(_logged_square, items, jobs=4) == [
+            value * value for value in range(5)
+        ]
+        assert all(count == 1 for count in _attempt_counts(log).values())
+
+
+class TestInputDigest:
+    def test_stable_across_calls(self):
+        assert input_digest((1, "x", 2.5)) == input_digest((1, "x", 2.5))
+
+    def test_distinct_inputs_diverge(self):
+        assert input_digest((1, 2)) != input_digest((2, 1))
+
+    def test_non_json_values_fall_back_to_repr(self):
+        assert input_digest((1, b"bytes")) == input_digest((1, b"bytes"))
+
+
+class TestSweepCheckpoint:
+    def _checkpoint(self, tmp_path, experiment="exp", master_seed=3):
+        return SweepCheckpoint(
+            str(tmp_path / "sweep.jsonl"),
+            experiment=experiment,
+            master_seed=master_seed,
+        )
+
+    def test_round_trip_matches_uncheckpointed(self, tmp_path):
+        items = list(range(6))
+        plain = run_trials(_square, items)
+        checkpointed = run_trials(
+            _square, items, checkpoint=self._checkpoint(tmp_path)
+        )
+        assert checkpointed == plain
+        # A second run resumes entirely from the journal.
+        resumed = run_trials(_square, items, checkpoint=self._checkpoint(tmp_path))
+        assert resumed == plain
+
+    def test_interrupted_sweep_resumes_without_rerunning(self, tmp_path):
+        log = tmp_path / "attempts.log"
+        items = [(str(log), value) for value in range(6)]
+        checkpoint = self._checkpoint(tmp_path)
+        # "Interrupted" run: only the first 3 trials completed.
+        partial = run_trials(_logged_square, items[:3], checkpoint=checkpoint)
+        # Resume over the full sweep: the journaled prefix is not re-run.
+        full = run_trials(_logged_square, items, checkpoint=checkpoint)
+        assert full[:3] == partial
+        assert full == [value * value for value in range(6)]
+        assert all(count == 1 for count in _attempt_counts(log).values())
+
+    def test_resumed_equals_uninterrupted(self, tmp_path):
+        items = list(range(8))
+        uninterrupted = run_trials(
+            _square, items, checkpoint=self._checkpoint(tmp_path, "uninterrupted")
+        )
+        checkpoint = self._checkpoint(tmp_path, "interrupted")
+        run_trials(_square, items[:5], checkpoint=checkpoint)
+        resumed = run_trials(_square, items, checkpoint=checkpoint)
+        assert resumed == uninterrupted
+
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        log = tmp_path / "attempts.log"
+        items = [(str(log), value) for value in range(8)]
+        checkpoint = self._checkpoint(tmp_path)
+        run_trials(_logged_square, items[:4], checkpoint=checkpoint)
+        parallel = run_trials(_logged_square, items, jobs=2, checkpoint=checkpoint)
+        assert parallel == [value * value for value in range(8)]
+        assert all(count == 1 for count in _attempt_counts(log).values())
+
+    def test_changed_input_invalidates_stale_entry(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        run_trials(_square, [2, 3], checkpoint=checkpoint)
+        # Same indices, different inputs: journaled results must not leak.
+        assert run_trials(_square, [4, 5], checkpoint=checkpoint) == [16, 25]
+
+    def test_truncated_journal_line_is_skipped(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        run_trials(_square, [1, 2, 3], checkpoint=checkpoint)
+        with open(checkpoint.path, "a", encoding="utf-8") as handle:
+            handle.write('{"experiment": "exp", "master_se')  # died mid-write
+        assert run_trials(_square, [1, 2, 3], checkpoint=checkpoint) == [1, 4, 9]
+
+    def test_sweeps_share_one_file_by_experiment_tag(self, tmp_path):
+        first = self._checkpoint(tmp_path, experiment="a")
+        second = self._checkpoint(tmp_path, experiment="b")
+        assert run_trials(_square, [2], checkpoint=first) == [4]
+        assert run_trials(_cube, [2], checkpoint=second) == [8]
+        # Both journals live in the same file, keyed apart by tag.
+        assert run_trials(_square, [2], checkpoint=first) == [4]
+        assert run_trials(_cube, [2], checkpoint=second) == [8]
+
+    def test_master_seed_keys_entries_apart(self, tmp_path):
+        first = self._checkpoint(tmp_path, master_seed=1)
+        second = self._checkpoint(tmp_path, master_seed=2)
+        run_trials(_square, [3], checkpoint=first)
+        # Same experiment, same trial index, different master seed: the
+        # second sweep must compute its own result, not reuse the first.
+        assert run_trials(_cube, [3], checkpoint=second) == [27]
+
+    def test_record_normalizes_tuples_to_lists(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        results = run_trials(_pair, [1, 2], checkpoint=checkpoint)
+        assert results == [[1, 2], [2, 4]]
+        assert results == run_trials(_pair, [1, 2], checkpoint=checkpoint)
+
+    def test_journal_rows_have_the_documented_keys(self, tmp_path):
+        checkpoint = self._checkpoint(tmp_path)
+        run_trials(_square, [7], checkpoint=checkpoint)
+        with open(checkpoint.path, "r", encoding="utf-8") as handle:
+            row = json.loads(handle.readline())
+        assert set(row) == {
+            "experiment",
+            "master_seed",
+            "trial_index",
+            "input_digest",
+            "result",
+        }
+        assert row["experiment"] == "exp"
+        assert row["master_seed"] == 3
+        assert row["trial_index"] == 0
+        assert row["input_digest"] == input_digest(7)
+        assert row["result"] == 49
+
+
+def _cube(value):
+    return value ** 3
+
+
+def _pair(value):
+    return (value, value * 2)
+
+
+class TestSweepCheckpointFactory:
+    def test_none_passes_through(self):
+        assert sweep_checkpoint(None, "exp", 1) is None
+
+    def test_path_builds_checkpoint(self, tmp_path):
+        built = sweep_checkpoint(str(tmp_path / "c.jsonl"), "exp", 5)
+        assert isinstance(built, SweepCheckpoint)
+        assert built.experiment == "exp"
+        assert built.master_seed == 5
+
+    def test_instance_passes_through(self, tmp_path):
+        instance = SweepCheckpoint(str(tmp_path / "c.jsonl"), "exp", 5)
+        assert sweep_checkpoint(instance, "other", 9) is instance
 
 
 class TestBitIdenticalExperiments:

@@ -1,25 +1,86 @@
-"""Tests for the ``--report`` / ``--telemetry`` experiment CLI flags."""
+"""Tests for the experiment CLI flags (``--jobs``/``--checkpoint``/
+``--resume``/``--telemetry``/``--report``)."""
 
-from repro.experiments.__main__ import RUNNERS, TELEMETRY_AWARE, build_parser, main
+from repro.experiments.__main__ import RUNNERS, build_parser, main
 from repro.telemetry import Telemetry
 
 
 class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args([])
+        assert args.jobs is None
+        assert args.checkpoint is None
+        assert args.resume is False
         assert args.report is None
         assert args.telemetry is None
 
     def test_flags_parse(self):
         args = build_parser().parse_args(
-            ["--telemetry", "run.jsonl", "--report", "old.jsonl"]
+            [
+                "--jobs", "4",
+                "--checkpoint", "sweep.jsonl",
+                "--resume",
+                "--telemetry", "run.jsonl",
+                "--report", "old.jsonl",
+            ]
         )
+        assert args.jobs == 4
+        assert args.checkpoint == "sweep.jsonl"
+        assert args.resume is True
         assert args.telemetry == "run.jsonl"
         assert args.report == "old.jsonl"
 
-    def test_telemetry_aware_labels_exist(self):
-        labels = {label for label, _, _ in RUNNERS}
-        assert TELEMETRY_AWARE <= labels
+    def test_supported_kwargs_are_known(self):
+        for _, _, supported in RUNNERS:
+            assert supported <= {"jobs", "checkpoint", "telemetry"}
+
+    def test_trial_shaped_runners_take_jobs_and_checkpoint(self):
+        # Every runner that fans out must expose the uniform pair; the
+        # chaos gauntlet journals nothing (its trials are its output).
+        by_label = {label: supported for label, _, supported in RUNNERS}
+        assert by_label["Fork rate"] == {"jobs", "checkpoint"}
+        assert by_label["Fig. 6"] == {"jobs", "checkpoint"}
+        assert "telemetry" in by_label["Fig. 5(b)"]
+        assert by_label["Chaos gauntlet"] == {"jobs", "telemetry"}
+        # Closed-form analyses take neither.
+        assert by_label["Fig. 5(a)"] == set()
+
+    def test_every_supported_kwarg_is_accepted_by_its_runner(self):
+        import inspect
+
+        for label, runner, supported in RUNNERS:
+            parameters = inspect.signature(runner).parameters
+            for keyword in supported:
+                assert keyword in parameters, (label, keyword)
+
+
+class TestResumeFlag:
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        exit_code = main(["--resume"])
+        assert exit_code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_fresh_run_truncates_stale_journal(self, tmp_path, monkeypatch):
+        # Stub the runner table so main() exercises only the journal
+        # handling, not the full experiment suite.
+        import repro.experiments.__main__ as cli
+
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('{"experiment": "stale"}\n')
+        monkeypatch.setattr(cli, "RUNNERS", [])
+        exit_code = main(["--checkpoint", str(path)])
+        assert exit_code == 0
+        assert path.read_text() == ""
+
+    def test_resume_keeps_existing_journal(self, tmp_path, monkeypatch):
+        import repro.experiments.__main__ as cli
+
+        path = tmp_path / "sweep.jsonl"
+        path.write_text('{"experiment": "fig3a"}\n')
+        monkeypatch.setattr(cli, "RUNNERS", [])
+        exit_code = main(["--checkpoint", str(path), "--resume"])
+        assert exit_code == 0
+        assert path.read_text() == '{"experiment": "fig3a"}\n'
 
 
 class TestReport:

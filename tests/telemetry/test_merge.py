@@ -1,0 +1,170 @@
+"""Cross-process telemetry merge: worker snapshots fold back losslessly.
+
+Trial workers under :func:`repro.experiments.runner.run_trials` record
+into worker-local telemetry and ship ``snapshot_payload()`` home with
+their results; the parent folds payloads in input order with
+``merge_payload()``.  These tests pin the contract: merging per-trial
+payloads in order reproduces exactly the registry and trace a serial
+instrumented sweep would have produced.
+"""
+
+import pytest
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import TraceEvent, TraceLog
+
+
+class TestCounterMerge:
+    def test_counts_add(self):
+        registry = MetricsRegistry()
+        registry.counter("events", status="sent").inc(3)
+        registry.merge_rows(
+            [{"type": "counter", "name": "events", "labels": {"status": "sent"}, "value": 4}]
+        )
+        assert registry.counter("events", status="sent").value == 7
+
+    def test_new_series_created_on_merge(self):
+        registry = MetricsRegistry()
+        registry.merge_rows(
+            [{"type": "counter", "name": "events", "labels": {}, "value": 2}]
+        )
+        assert registry.counter("events").value == 2
+
+
+class TestGaugeMerge:
+    def test_merged_in_value_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(10.0)
+        registry.merge_rows([{"type": "gauge", "name": "depth", "labels": {}, "value": 3.0}])
+        assert registry.gauge("depth").value == 3.0
+
+
+class TestHistogramMerge:
+    def test_summaries_combine(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("intervals")
+        histogram.observe(4.0)
+        histogram.observe(16.0)
+        other = MetricsRegistry()
+        other_histogram = other.histogram("intervals")
+        other_histogram.observe(1.0)
+        other_histogram.observe(64.0)
+        registry.merge_rows([other_histogram.to_dict()])
+        assert histogram.count == 4
+        assert histogram.total == 85.0
+        assert histogram.min == 1.0
+        assert histogram.max == 64.0
+        assert histogram.buckets["2^2"] == 1
+        assert histogram.buckets["2^0"] == 1
+
+    def test_empty_row_is_a_no_op(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("intervals")
+        histogram.observe(2.0)
+        empty = MetricsRegistry().histogram("intervals")
+        registry.merge_rows([empty.to_dict()])
+        assert histogram.count == 1
+        assert histogram.min == 2.0
+
+    def test_merge_matches_serial_observations(self):
+        serial = MetricsRegistry()
+        for value in (1.0, 5.0, 9.0, 0.5):
+            serial.histogram("x").observe(value)
+        merged = MetricsRegistry()
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.histogram("x").observe(1.0)
+        first.histogram("x").observe(5.0)
+        second.histogram("x").observe(9.0)
+        second.histogram("x").observe(0.5)
+        merged.merge_rows(first.snapshot())
+        merged.merge_rows(second.snapshot())
+        assert merged.snapshot() == serial.snapshot()
+
+
+class TestRegistryMergeRows:
+    def test_unknown_row_type_raises(self):
+        with pytest.raises(ValueError, match="unknown metric row type"):
+            MetricsRegistry().merge_rows([{"type": "summary", "name": "x"}])
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.merge_rows([{"type": "gauge", "name": "x", "labels": {}, "value": 1.0}])
+
+    def test_labels_route_to_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.merge_rows(
+            [
+                {"type": "counter", "name": "msgs", "labels": {"k": "a"}, "value": 1},
+                {"type": "counter", "name": "msgs", "labels": {"k": "b"}, "value": 2},
+            ]
+        )
+        assert registry.counter("msgs", k="a").value == 1
+        assert registry.counter("msgs", k="b").value == 2
+
+
+class TestTraceAbsorb:
+    def test_keeps_worker_timestamps(self):
+        log = TraceLog()
+        log.absorb(
+            [
+                {"time": 12.5, "kind": "fault", "fields": {"node": "n1"}},
+                TraceEvent(time=99.0, kind="resync", fields={"node": "n2"}),
+            ]
+        )
+        assert [event.time for event in log] == [12.5, 99.0]
+        assert [event.kind for event in log] == ["fault", "resync"]
+
+    def test_cap_counts_drops(self):
+        log = TraceLog(max_events=2)
+        log.absorb({"time": float(i), "kind": "e", "fields": {}} for i in range(5))
+        assert len(log) == 2
+        assert log.dropped == 3
+
+
+class TestTelemetryPayload:
+    def _worker(self, offset):
+        telemetry = Telemetry()
+        telemetry.counter("trials").inc()
+        telemetry.gauge("last_offset").set(float(offset))
+        telemetry.histogram("value").observe(float(offset * 2))
+        telemetry.event("trial", offset=offset)
+        return telemetry.snapshot_payload()
+
+    def test_merge_in_order_matches_serial(self):
+        serial = Telemetry()
+        for offset in (1, 2, 3):
+            serial.counter("trials").inc()
+            serial.gauge("last_offset").set(float(offset))
+            serial.histogram("value").observe(float(offset * 2))
+            serial.event("trial", offset=offset)
+
+        merged = Telemetry()
+        for offset in (1, 2, 3):
+            merged.merge_payload(self._worker(offset))
+
+        assert merged.metrics.snapshot() == serial.metrics.snapshot()
+        assert [event.to_dict() for event in merged.trace] == [
+            event.to_dict() for event in serial.trace
+        ]
+
+    def test_payload_is_json_native(self):
+        import json
+
+        payload = self._worker(7)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_trace_dropped_accumulates(self):
+        worker = Telemetry(trace=TraceLog(max_events=1))
+        worker.event("kept")
+        worker.event("dropped")
+        parent = Telemetry()
+        parent.merge_payload(worker.snapshot_payload())
+        assert parent.trace.dropped == 1
+
+    def test_null_telemetry_ignores_merge(self):
+        NULL_TELEMETRY.merge_payload(self._worker(1))
+        assert NULL_TELEMETRY.metrics.snapshot() == []
+        assert len(NULL_TELEMETRY.trace) == 0

@@ -34,7 +34,7 @@ def main() -> None:
             rng=random.Random(rng.randrange(2**31)),
         )
         platform.announce_release("provider-1", system, at_time=index * WINDOW)
-    platform.run_until(RELEASES * WINDOW + 600.0)
+    platform.advance_until(RELEASES * WINDOW + 600.0)
     platform.finish_pending()
 
     params = IncentiveParameters()

@@ -41,7 +41,7 @@ def main() -> None:
         print(f"t={index * window:>6.0f}s  {vendor} announces door-hub "
               f"v{release.version}")
 
-    platform.run_until(3 * window + 700.0)
+    platform.advance_until(3 * window + 700.0)
     platform.finish_pending()
 
     consumer = ConsumerClient(platform.mining.chain)

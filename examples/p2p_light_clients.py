@@ -56,7 +56,7 @@ def main() -> None:
 
     honest_sra = make_sra("p2p-provider", provider, system, to_wei(1000), to_wei(250))
     nodes[0].broadcast(MessageKind.SRA_ANNOUNCE, honest_sra)
-    simulator.run()
+    simulator.advance()
     times = sorted(arrivals.values())
     print(f"honest SRA reached {len(arrivals)}/39 peers; "
           f"median {times[len(times)//2]*1000:.0f} ms, "
@@ -67,7 +67,7 @@ def main() -> None:
     arrivals.clear()
     spoofed = spoof_sra("p2p-provider", attacker, system, to_wei(1000), to_wei(250))
     nodes[0].broadcast(MessageKind.SRA_ANNOUNCE, spoofed)
-    simulator.run()
+    simulator.advance()
     print(f"spoofed SRA reached {len(arrivals)} peers "
           f"(only the origin's direct neighbors ever saw it)")
 

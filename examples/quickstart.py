@@ -31,7 +31,7 @@ def main() -> None:
         "provider-3", firmware, insurance_wei=to_wei(1000)
     )
 
-    platform.run_for(1500.0)
+    platform.advance_for(1500.0)
     platform.finish_pending()
 
     case = platform.release_case(sra.sra_id)

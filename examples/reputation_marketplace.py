@@ -47,7 +47,7 @@ def main() -> None:
                 provider, system, insurance_wei=to_wei(1000), at_time=slot * WINDOW
             )
         slot += 1
-    platform.run_until(slot * WINDOW + 700.0)
+    platform.advance_until(slot * WINDOW + 700.0)
     platform.finish_pending()
 
     print(f"{'provider':<12}{'culture VP':>11}{'releases':>9}{'vulnerable':>11}"

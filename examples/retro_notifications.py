@@ -42,7 +42,7 @@ def main() -> None:
     firmware = build_system("thermostat", "4.2.0", vulnerability_count=3,
                             rng=random.Random(6))
     sra1 = platform.announce_release("provider-2", firmware, insurance_wei=to_wei(1000))
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
 
     consumer = ConsumerClient(platform.mining.chain)
@@ -63,7 +63,7 @@ def main() -> None:
         platform.isolated_detectors.discard(detector.detector_id)
     print("\n-- strong detector fleet joins; provider reopens detection --")
     sra2 = platform.reopen_release(sra1.sra_id, insurance_wei=to_wei(1000))
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
 
     case2 = platform.release_case(sra2.sra_id)

@@ -26,7 +26,7 @@ def main() -> None:
     system = build_system("router-fw", "7.1.0", vulnerability_count=3,
                           rng=random.Random(33))
     sra = platform.announce_release("provider-2", system, insurance_wei=to_wei(1000))
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
 
     # --- the operator's script starts here
@@ -43,6 +43,13 @@ def main() -> None:
     print(f"\nSRA {tx['hash'][:18]}… in block #{tx['blockNumber']} "
           f"({tx['confirmations']} confirmations)")
 
+    # Finality, receipt-style — and anything still waiting to be mined?
+    receipt = w3.eth.get_transaction_receipt(sra.sra_id)
+    print(f"receipt: status={receipt['status']} "
+          f"block #{receipt['blockNumber']} idx {receipt['transactionIndex']}")
+    pending = w3.eth.get_pending_transactions()
+    print(f"{len(pending)} records pending in the mempool")
+
     # Which bounties were paid, and to whom?
     print("\nBountyPaid log scan:")
     for entry in w3.eth.get_logs("BountyPaid"):
@@ -54,7 +61,8 @@ def main() -> None:
     # My wallet balance after the campaign:
     my_wallet = platform.detector_keys["detector-8"].address
     print(f"\ndetector-8 balance: "
-          f"{from_wei(w3.eth.get_balance(my_wallet)):.3f} ETH")
+          f"{from_wei(w3.eth.get_balance(my_wallet)):.3f} ETH "
+          f"({w3.eth.get_transaction_count(my_wallet)} records on chain)")
 
     # Walk a few blocks back, verifying parent links — a sanity check
     # any light monitoring script performs.

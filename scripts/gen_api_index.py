@@ -1,5 +1,10 @@
 #!/usr/bin/env python3
-"""Regenerate docs/API.md from package ``__all__`` lists and docstrings."""
+"""Regenerate docs/API.md from package ``__all__`` lists and docstrings.
+
+``render()`` returns the document as a string so the tier-1 drift test
+(``tests/test_api_docs.py``) can compare it against the checked-in
+file; ``main()`` writes it.
+"""
 
 from __future__ import annotations
 
@@ -19,6 +24,8 @@ PACKAGES = [
     ("repro.analysis", "Theoretical analysis (§VI-B)"),
     ("repro.workloads", "Experimental presets"),
     ("repro.experiments", "Table/figure runners"),
+    ("repro.faults", "Fault injection and chaos harness"),
+    ("repro.telemetry", "Metrics and trace events"),
 ]
 
 
@@ -32,12 +39,16 @@ def summarize(name: str, item) -> tuple:
         kind = "constant"
     if kind == "constant":
         text = "mapping" if isinstance(item, dict) else f"`{item!r}`"
+        if " at 0x" in text:  # default object repr — not reproducible
+            doc = (inspect.getdoc(type(item)) or "").strip().splitlines()
+            text = doc[0] if doc else f"`{type(item).__name__}` instance"
         return kind, text[:70]
     doc = (inspect.getdoc(item) or "").strip().splitlines()
     return kind, (doc[0] if doc else "").replace("|", "\\|")
 
 
-def main() -> None:
+def render() -> str:
+    """The full docs/API.md content as a string."""
     lines = [
         "# API reference",
         "",
@@ -56,8 +67,12 @@ def main() -> None:
             kind, summary = summarize(name, getattr(package, name))
             lines.append(f"| `{name}` | {kind} | {summary} |")
         lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
     output = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
-    output.write_text("\n".join(lines) + "\n")
+    output.write_text(render())
     print(f"wrote {output}")
 
 

@@ -31,7 +31,7 @@ Quickstart
 ... )
 >>> system = build_system("smart-camera", vulnerability_count=2)
 >>> sra = platform.announce_release("provider-1", system)
->>> _ = platform.run_for(1200.0)
+>>> _ = platform.advance_for(1200.0)
 """
 
 from repro.core import (
@@ -40,6 +40,7 @@ from repro.core import (
     PlatformConfig,
     SmartCrowdPlatform,
 )
+from repro.network.config import NetworkConfig
 from repro.units import ETHER, GWEI, WEI, format_ether, from_wei, to_wei
 
 __version__ = "1.0.0"
@@ -49,6 +50,7 @@ __all__ = [
     "ETHER",
     "GWEI",
     "IncentiveParameters",
+    "NetworkConfig",
     "PlatformConfig",
     "SmartCrowdPlatform",
     "WEI",

@@ -60,7 +60,7 @@ def main(argv=None) -> int:
             rng.choice(providers), system,
             insurance_wei=to_wei(args.insurance), at_time=index * args.window,
         )
-    platform.run_until(args.releases * args.window + args.window)
+    platform.advance_until(args.releases * args.window + args.window)
     platform.finish_pending()
 
     explorer = Explorer(platform.runtime)

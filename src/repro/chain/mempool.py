@@ -81,6 +81,10 @@ class Mempool:
         """Queue many records; returns how many were accepted."""
         return sum(1 for record in records if self.add(record))
 
+    def get(self, record_id: bytes) -> Optional[ChainRecord]:
+        """Look up a pending record without removing it."""
+        return self._records.get(record_id)
+
     def remove(self, record_id: bytes) -> Optional[ChainRecord]:
         """Remove and return a record, or None if absent."""
         self._arrival.pop(record_id, None)

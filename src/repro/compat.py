@@ -1,0 +1,39 @@
+"""Deprecation plumbing for public-API renames.
+
+The time-control unification (``schedule_at`` / ``advance_until`` /
+``advance_for`` across the simulator, the platform, and the chaos
+deployment) keeps every old spelling working through thin shims that
+warn **once per process per spelling** — loud enough to drive
+migration, quiet enough not to flood a long experiment log.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_deprecated"]
+
+#: Spellings that have already warned this process.
+_WARNED: Set[str] = set()
+
+
+def warn_deprecated(old: str, new: str, extra: str = "") -> None:
+    """Emit a one-time :class:`DeprecationWarning` for a renamed API.
+
+    ``old`` identifies the deprecated spelling (e.g.
+    ``"SmartCrowdPlatform.schedule"``); the first call warns, later
+    calls are silent.  ``extra`` is appended to the message verbatim.
+    """
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    message = f"{old} is deprecated; use {new} instead."
+    if extra:
+        message += f" {extra}"
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _reset_warned() -> None:
+    """Test hook: forget which spellings have warned."""
+    _WARNED.clear()

@@ -19,22 +19,47 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Set
 
-from repro.chain.block import Block, ChainRecord
+from repro.chain.block import Block, BlockHeader, ChainRecord
 from repro.chain.chain import Blockchain, ChainError
 from repro.chain.consensus import make_genesis
 from repro.chain.pow import MiningModel
 from repro.chain.validation import BlockValidator
+from repro.core.lightclient import HeaderChain
 from repro.crypto.keys import KeyPair
+from repro.network.config import NetworkConfig
 from repro.network.gossip import GossipNetwork, build_topology
 from repro.network.latency import DEFAULT_LATENCY, LatencyModel
 from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
 from repro.network.simulator import Simulator
 
-__all__ = ["ReplicaNode", "DistributedChain"]
+__all__ = ["DistributedChain", "LightReplicaNode", "ReplicaNode"]
 
 #: Semantic record check a replica applies before accepting a block.
 RecordCheck = Callable[[ChainRecord], bool]
+
+
+def _interleave(full_names: List[str], light_names: List[str]) -> List[str]:
+    """Ring order for the fleet: light nodes spread between full nodes.
+
+    Keeps ring-based topologies from forming long light-only arcs, and
+    is deterministic (no rng draw) so adding ``light_count=0`` changes
+    nothing for existing deployments.
+    """
+    if not light_names:
+        return list(full_names)
+    if not full_names:
+        return list(light_names)
+    per_full = max(1, len(light_names) // len(full_names))
+    merged: List[str] = []
+    cursor = 0
+    for name in full_names:
+        merged.append(name)
+        take = light_names[cursor : cursor + per_full]
+        merged.extend(take)
+        cursor += len(take)
+    merged.extend(light_names[cursor:])
+    return merged
 
 
 class ReplicaNode(Node):
@@ -77,7 +102,8 @@ class ReplicaNode(Node):
     # -- receive path -----------------------------------------------------
 
     def _on_block_message(self, _node: Node, message: Message) -> None:
-        self.receive_block(message.payload)
+        if isinstance(message.payload, Block):
+            self.receive_block(message.payload)
 
     def receive_block(self, block: Block) -> None:
         """Validate and adopt a block; buffer it if the parent is unknown."""
@@ -210,6 +236,88 @@ class ReplicaNode(Node):
         return self.chain.head.block_id
 
 
+
+class LightReplicaNode(Node):
+    """A headers-only fleet participant (§V-B's lightweight detector).
+
+    Stores a :class:`~repro.core.lightclient.HeaderChain` instead of a
+    full replica: block announcements arrive over gossip (inv-pull
+    serves it just the 120-byte header; flooding delivers the full
+    block, of which only the header is kept).  A header that does not
+    extend the tip — a gap from loss, a fork, or a full-node reorg —
+    triggers a headers-first resync from its configured full-node
+    servers, the SPV-wallet recovery path.
+    """
+
+    wants_headers_only = True
+
+    def __init__(
+        self, name: str, genesis: Block, keys: Optional[KeyPair] = None
+    ) -> None:
+        super().__init__(name, keys)
+        self.headers = HeaderChain()
+        self.headers.accept(genesis.header)
+        self.headers_accepted = 0
+        self.header_resyncs = 0
+        #: Full nodes this light client can pull headers from (SPV
+        #: servers); the heaviest alive one is used on each resync.
+        self._servers: List[ReplicaNode] = []
+        self.on(MessageKind.BLOCK_ANNOUNCE, self._on_block_message)
+
+    def set_servers(self, servers: List[ReplicaNode]) -> None:
+        """Configure the full nodes this client may resync from."""
+        self._servers = list(servers)
+
+    def _on_block_message(self, _node: Node, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, BlockHeader):
+            header = payload
+        else:
+            header = getattr(payload, "header", None)
+            if not isinstance(header, BlockHeader):
+                return
+        self.receive_header(header)
+
+    def receive_header(self, header: BlockHeader) -> None:
+        """Accept a gossiped header; resync on any gap or divergence."""
+        if self.headers.accept(header):
+            self.headers_accepted += 1
+            return
+        if self.headers.header(header.header_hash()) is not None:
+            return  # duplicate of something already stored
+        self.resync()
+
+    def resync(self) -> int:
+        """Headers-first pull from the heaviest alive server."""
+        server = self._best_server()
+        if server is None:
+            return 0
+        self.header_resyncs += 1
+        return self.headers.sync_from(server.chain)
+
+    def _best_server(self) -> Optional[ReplicaNode]:
+        best: Optional[ReplicaNode] = None
+        for server in self._servers:
+            if server.crashed:
+                continue
+            if (
+                best is None
+                or server.chain.total_difficulty() > best.chain.total_difficulty()
+            ):
+                best = server
+        return best
+
+    def on_restarted(self) -> None:
+        """Recover after a crash by resyncing headers from a server."""
+        self.resync()
+
+    def tip_id(self) -> bytes:
+        """The id of this client's best header (genesis-rooted)."""
+        tip = self.headers.tip
+        assert tip is not None  # genesis is accepted in __init__
+        return tip.header_hash()
+
+
 @dataclass
 class _PendingRecords:
     """Records a byzantine miner wants to sneak into its blocks."""
@@ -239,15 +347,25 @@ class DistributedChain:
         latency: LatencyModel = DEFAULT_LATENCY,
         confirmation_depth: int = 6,
         seed: int = 0,
+        network: Optional[NetworkConfig] = None,
+        light_count: int = 0,
     ) -> None:
         rng = random.Random(seed)
         self.simulator = Simulator()
         names = list(shares)
+        config = network if network is not None else NetworkConfig(topology=topology_kind)
+        light_names = [f"light-{i}" for i in range(light_count)]
         self.network = GossipNetwork(
             self.simulator,
-            build_topology(names, topology_kind, rng=random.Random(rng.randrange(2**31))),
+            build_topology(
+                _interleave(names, light_names),
+                config.topology,
+                degree=config.degree,
+                rng=random.Random(rng.randrange(2**31)),
+            ),
             latency=latency,
             rng=random.Random(rng.randrange(2**31)),
+            config=config,
         )
         genesis = make_genesis(difficulty=difficulty)
         self.byzantine = set(byzantine or ())
@@ -262,6 +380,12 @@ class DistributedChain:
             )
             self.replicas[name] = replica
             self.network.attach(replica)
+        self.light_replicas: Dict[str, LightReplicaNode] = {}
+        for name in light_names:
+            light = LightReplicaNode(name, genesis)
+            light.set_servers(list(self.replicas.values()))
+            self.light_replicas[name] = light
+            self.network.attach(light)
         self.model = MiningModel.from_shares(
             shares, difficulty=difficulty, mean_block_time=mean_block_time,
             rng=random.Random(rng.randrange(2**31)),
@@ -303,7 +427,7 @@ class DistributedChain:
         advances and in-flight gossip still settles).
         """
         outcome = self.model.next_block()
-        self.simulator.run_until(self.simulator.now + outcome.interval)
+        self.simulator.advance_until(self.simulator.now + outcome.interval)
         winner = self.replicas[outcome.winner]
         if winner.crashed:
             return None
@@ -329,7 +453,7 @@ class DistributedChain:
 
     def settle(self) -> None:
         """Deliver all in-flight gossip."""
-        self.simulator.run()
+        self.simulator.advance()
 
     # -- inspection ------------------------------------------------------------
 
@@ -342,6 +466,57 @@ class DistributedChain:
         names = among if among is not None else set(self.replicas)
         head_ids = {self.replicas[name].head_id() for name in names}
         return len(head_ids) == 1
+
+    def light_heads(self) -> Dict[str, bytes]:
+        """Each light client's best header id."""
+        return {name: light.tip_id() for name, light in self.light_replicas.items()}
+
+    def light_converged(self) -> bool:
+        """True if all light clients agree with the heaviest full head."""
+        if not self.light_replicas:
+            return True
+        tips = {light.tip_id() for light in self.light_replicas.values()}
+        if len(tips) != 1:
+            return False
+        heaviest = self._heaviest_replica()
+        return heaviest is None or tips == {heaviest.head_id()}
+
+    def _heaviest_replica(self) -> Optional[ReplicaNode]:
+        """The alive replica with the heaviest chain (name-ordered ties)."""
+        best: Optional[ReplicaNode] = None
+        for name in sorted(self.replicas):
+            replica = self.replicas[name]
+            if replica.crashed:
+                continue
+            if (
+                best is None
+                or replica.chain.total_difficulty() > best.chain.total_difficulty()
+            ):
+                best = replica
+        return best
+
+    def finalize(self) -> None:
+        """Settle gossip, then close residual gaps by direct resync.
+
+        Bounded-fanout relays do not guarantee every broadcast reaches
+        every node; convergence is restored the way real networks do it
+        — each straggler pulls the heaviest chain from a peer.  After
+        full nodes agree, light clients resync their header chains.
+        """
+        self.settle()
+        heaviest = self._heaviest_replica()
+        if heaviest is None:
+            return
+        for name in sorted(self.replicas):
+            replica = self.replicas[name]
+            if replica is heaviest or replica.crashed:
+                continue
+            if replica.head_id() != heaviest.head_id():
+                replica.resync_from(heaviest)
+        for name in sorted(self.light_replicas):
+            light = self.light_replicas[name]
+            if not light.crashed:
+                light.resync()
 
     def honest_names(self) -> Set[str]:
         """Replicas not marked byzantine."""

@@ -70,6 +70,9 @@ class HeaderChain:
         self._headers: List[BlockHeader] = []
         self._by_id: Dict[bytes, int] = {}
         self._require_pow = require_pow
+        #: Times a sync found the source chain diverging from our tail
+        #: (full-node reorg observed from the light side).
+        self.reorgs = 0
 
     def __len__(self) -> int:
         return len(self._headers)
@@ -105,14 +108,30 @@ class HeaderChain:
         return True
 
     def sync_from(self, chain: Blockchain) -> int:
-        """Pull any canonical headers we don't have yet; returns count added."""
+        """Pull any canonical headers we don't have yet; returns count added.
+
+        Header heights index the list directly (the chain is linear), so
+        divergence shows up as a different id at a height we already
+        store: the stale tail is truncated and the source's branch
+        accepted forward — the light-side view of a full-node reorg.
+        """
         added = 0
         for block in chain.iter_canonical():
-            if block.block_id in self._by_id:
-                continue
+            height = block.header.height
+            if height < len(self._headers):
+                if self._headers[height].header_hash() == block.block_id:
+                    continue
+                self._truncate(height)
+                self.reorgs += 1
             if self.accept(block.header):
                 added += 1
         return added
+
+    def _truncate(self, height: int) -> None:
+        """Drop every header at or above ``height`` (reorg tail)."""
+        for header in self._headers[height:]:
+            self._by_id.pop(header.header_hash(), None)
+        del self._headers[height:]
 
     def header(self, block_id: bytes) -> Optional[BlockHeader]:
         """Look up a synced header by block id."""

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.chain.block import ChainRecord, RecordKind
 from repro.chain.consensus import MinedEvent, MiningSimulation
 from repro.chain.pow import PAPER_DIFFICULTY, PAPER_MEAN_BLOCK_TIME
+from repro.compat import warn_deprecated
 from repro.contracts.gas import DEFAULT_GAS_SCHEDULE
 from repro.contracts.smartcrowd_contract import SmartCrowdContract
 from repro.contracts.state import InsufficientFunds
@@ -162,6 +163,8 @@ class SmartCrowdPlatform:
 
         # Scheduled actions between blocks.
         self._actions: List[Tuple[float, int, Callable[[], None]]] = []
+        #: Events mined by the most recent advance_until/advance_for call.
+        self.last_mined_events: List[MinedEvent] = []
         self._action_seq = itertools.count()
         self._action_time: float = 0.0
 
@@ -199,11 +202,25 @@ class SmartCrowdPlatform:
         """
         return max(self.mining.clock, self._action_time)
 
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Queue an action to fire at absolute ``time`` (between blocks).
+
+        Unified time-control surface: absolute scheduling is
+        ``schedule_at`` here exactly as on
+        :class:`~repro.network.simulator.Simulator`.
+        """
+        if time < self.now - 1e-9:
+            time = self.now
+        heapq.heappush(self._actions, (time, next(self._action_seq), action))
+
     def schedule(self, at_time: float, action: Callable[[], None]) -> None:
-        """Queue an action to fire at ``at_time`` (between blocks)."""
-        if at_time < self.now - 1e-9:
-            at_time = self.now
-        heapq.heappush(self._actions, (at_time, next(self._action_seq), action))
+        """Deprecated spelling of :meth:`schedule_at` (warns once)."""
+        warn_deprecated(
+            "SmartCrowdPlatform.schedule",
+            "SmartCrowdPlatform.schedule_at",
+            extra="(the argument is an absolute time, matching Simulator.schedule_at)",
+        )
+        self.schedule_at(at_time, action)
 
     def _process_actions(self, up_to: float) -> None:
         while self._actions and self._actions[0][0] <= up_to + 1e-12:
@@ -212,8 +229,22 @@ class SmartCrowdPlatform:
             self.runtime.advance_time(max(self.runtime.block_time, self._action_time))
             action()
 
-    def run_until(self, deadline: float) -> List[MinedEvent]:
-        """Advance simulated time to ``deadline``, mining as we go."""
+    def advance_until(self, deadline: float) -> int:
+        """Advance simulated time to ``deadline``, mining as we go.
+
+        Returns the number of blocks mined, matching
+        :meth:`Simulator.advance_until`'s count-of-work convention; the
+        mined events themselves are kept in :attr:`last_mined_events`
+        (or subscribe via ``platform.mining.add_listener``).
+        """
+        self.last_mined_events = self._advance(deadline)
+        return len(self.last_mined_events)
+
+    def advance_for(self, duration: float) -> int:
+        """Advance by ``duration`` seconds; returns blocks mined."""
+        return self.advance_until(self.now + duration)
+
+    def _advance(self, deadline: float) -> List[MinedEvent]:
         events: List[MinedEvent] = []
         while True:
             outcome = self.mining.model.next_block()
@@ -227,9 +258,29 @@ class SmartCrowdPlatform:
             self.runtime.advance_time(max(self.runtime.block_time, block_time))
             events.append(self.mining.apply_outcome(outcome))
 
+    def run_until(self, deadline: float) -> List[MinedEvent]:
+        """Deprecated spelling of :meth:`advance_until` (warns once).
+
+        Kept with its historical return type — the list of mined
+        events — so existing callers keep working.
+        """
+        warn_deprecated(
+            "SmartCrowdPlatform.run_until",
+            "SmartCrowdPlatform.advance_until",
+            extra="(advance_until returns the count; events are in last_mined_events)",
+        )
+        self.last_mined_events = self._advance(deadline)
+        return self.last_mined_events
+
     def run_for(self, duration: float) -> List[MinedEvent]:
-        """Advance by ``duration`` seconds."""
-        return self.run_until(self.now + duration)
+        """Deprecated spelling of :meth:`advance_for` (warns once)."""
+        warn_deprecated(
+            "SmartCrowdPlatform.run_for",
+            "SmartCrowdPlatform.advance_for",
+            extra="(advance_for returns the count; events are in last_mined_events)",
+        )
+        self.last_mined_events = self._advance(self.now + duration)
+        return self.last_mined_events
 
     # -- Phase #1: release announcement ---------------------------------------
 
@@ -255,7 +306,7 @@ class SmartCrowdPlatform:
         keys = self.provider_keys[provider_name]
         sra = make_sra(provider_name, keys, system, insurance, bounty)
         when = at_time if at_time is not None else self.now
-        self.schedule(when, lambda: self._do_announce(provider_name, sra, system))
+        self.schedule_at(when, lambda: self._do_announce(provider_name, sra, system))
         return sra
 
     def reopen_release(
@@ -301,7 +352,7 @@ class SmartCrowdPlatform:
             download_link=link,
         )
         when = at_time if at_time is not None else self.now
-        self.schedule(
+        self.schedule_at(
             when,
             lambda: self._do_announce(
                 case.provider_name, sra, case.system,
@@ -363,7 +414,7 @@ class SmartCrowdPlatform:
 
         self._start_detection(case)
         close_at = self.now + self.config.detection_window + 1e-6
-        self.schedule(close_at, lambda: self._close_release(case))
+        self.schedule_at(close_at, lambda: self._close_release(case))
 
     # -- Phase #2: distributed detection --------------------------------------
 
@@ -379,7 +430,7 @@ class SmartCrowdPlatform:
                 submit_at = case.announced_at + finding.found_after
                 if submit_at > case.announced_at + self.config.detection_window:
                     continue  # found too late to be payable
-                self.schedule(
+                self.schedule_at(
                     submit_at,
                     self._make_submitter(case, detector_id, finding),
                 )
@@ -537,7 +588,7 @@ class SmartCrowdPlatform:
         )
         if receipt.success and receipt.return_value:
             # Commitment registered: the detector publishes R* now.
-            self.schedule(self.now, lambda: self._submit_detailed(initial.report_id))
+            self.schedule_at(self.now, lambda: self._submit_detailed(initial.report_id))
 
     def _confirm_detailed(self, record: ChainRecord) -> None:
         detailed = DetailedReport.from_payload(record.payload)
@@ -585,7 +636,7 @@ class SmartCrowdPlatform:
         if not receipt.success:
             # Window may not have expired on the runtime clock yet
             # (block times are stochastic); retry shortly after.
-            self.schedule(self.now + self.config.mean_block_time, lambda: self._close_release(case))
+            self.schedule_at(self.now + self.config.mean_block_time, lambda: self._close_release(case))
             return
         case.closed = True
         case.refunded_wei = receipt.return_value or 0
@@ -619,4 +670,4 @@ class SmartCrowdPlatform:
         while self.now < deadline and any(
             not case.closed for case in self.releases.values()
         ):
-            self.run_for(self.config.mean_block_time * 8)
+            self.advance_for(self.config.mean_block_time * 8)

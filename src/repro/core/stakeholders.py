@@ -32,6 +32,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.compat import warn_deprecated
 from repro.chain.block import Block, ChainRecord, RecordKind
 from repro.chain.mempool import Mempool
 from repro.chain.pow import MiningModel
@@ -614,18 +615,23 @@ class DecentralizedDeployment:
 
     # -- consensus drive ---------------------------------------------------------
 
-    def run_for(self, duration: float) -> int:
-        """Advance simulated time, mining and delivering as we go."""
+    def advance_for(self, duration: float) -> int:
+        """Advance simulated time, mining and delivering as we go.
+
+        Returns blocks mined — the unified time-control convention
+        shared with :class:`~repro.core.platform.SmartCrowdPlatform`
+        and :class:`~repro.network.simulator.Simulator`.
+        """
         deadline = self.simulator.now + duration
         mined = 0
         while True:
             outcome = self.model.next_block()
             when = self.simulator.now + outcome.interval
             if when > deadline:
-                self.simulator.run_until(deadline)
+                self.simulator.advance_until(deadline)
                 self._fire_confirmations()
                 return mined
-            self.simulator.run_until(when)
+            self.simulator.advance_until(when)
             winner = self.providers[outcome.winner]
             if winner.crashed:
                 # The sampled winner's hashpower is offline: its block is
@@ -641,6 +647,13 @@ class DecentralizedDeployment:
                     records=len(block.records),
                 )
             self._fire_confirmations()
+
+    def run_for(self, duration: float) -> int:
+        """Deprecated spelling of :meth:`advance_for` (warns once)."""
+        warn_deprecated(
+            "DecentralizedDeployment.run_for", "DecentralizedDeployment.advance_for"
+        )
+        return self.advance_for(duration)
 
     def _fire_confirmations(self) -> None:
         """Trigger contracts for records the observer sees as confirmed."""

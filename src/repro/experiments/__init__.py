@@ -25,6 +25,7 @@ from repro.experiments.capability_curve import (
     run_fleet_composition,
 )
 from repro.experiments.costs import CostResult, run_costs
+from repro.experiments.fleet_scale import FleetScaleResult, run_fleet_scale
 from repro.experiments.forks import ForkRateResult, run_fork_rate
 from repro.experiments.latency import LatencyResult, run_payout_latency
 from repro.experiments.fig3 import Fig3aResult, Fig3bResult, run_fig3a, run_fig3b
@@ -45,6 +46,7 @@ __all__ = [
     "Fig5aResult",
     "Fig5bResult",
     "Fig6Result",
+    "FleetScaleResult",
     "ForkRateResult",
     "LatencyResult",
     "PAPER_TABLE1",
@@ -65,6 +67,7 @@ __all__ = [
     "run_fig5b",
     "run_fig6",
     "run_fleet_composition",
+    "run_fleet_scale",
     "run_fork_rate",
     "run_payout_latency",
     "run_table1",

@@ -49,8 +49,20 @@ from repro.experiments.capability_curve import (
     run_fleet_composition,
 )
 from repro.experiments.chaos import run_chaos_gauntlet
+from repro.experiments.fleet_scale import run_fleet_scale
 from repro.experiments.forks import run_fork_rate
 from repro.experiments.latency import run_payout_latency
+
+def _run_fleet_scale_suite(jobs=None, checkpoint=None, telemetry=None):
+    """Fleet sweep at suite-friendly sizes (the bench lane runs 1000)."""
+    return run_fleet_scale(
+        node_counts=(50, 200),
+        blocks=6,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        telemetry=telemetry,
+    )
+
 
 #: (label, runner, supported keywords).  Every trial-shaped experiment
 #: goes through :func:`repro.experiments.runner.run_trials`, so it takes
@@ -73,6 +85,8 @@ RUNNERS = [
     ("§VIII fleet composition", run_fleet_composition, set()),
     ("Payout latency", run_payout_latency, {"jobs", "checkpoint"}),
     ("Fork rate", run_fork_rate, {"jobs", "checkpoint"}),
+    # Modest sizes for the full-suite run; the bench lane covers 1000.
+    ("Fleet scale-out", _run_fleet_scale_suite, {"jobs", "checkpoint", "telemetry"}),
     ("Chaos gauntlet", run_chaos_gauntlet, {"jobs", "telemetry"}),
 ]
 

@@ -42,6 +42,7 @@ from repro.crypto.hashing import field_frame, fields_midstate, hash_fields
 from repro.crypto.keys import KeyPair
 from repro.experiments.harness import ResultTable
 from repro.experiments.fig5 import run_fig5b
+from repro.experiments.fleet_scale import _fleet_trial
 from repro.experiments.forks import run_fork_rate
 from repro.network.gossip import GossipNetwork, build_topology
 from repro.network.messages import Message, MessageKind
@@ -154,7 +155,7 @@ def _gossip_round(node_count: int) -> int:
     network.attach_all(Node(f"n{i}") for i in range(node_count))
     message = Message.wrap(MessageKind.CONTROL, b"bench", origin="n0")
     network.broadcast("n0", message)
-    simulator.run()
+    simulator.advance()
     return network.messages_sent
 
 
@@ -448,6 +449,39 @@ def run_suite(
             "identical_to_serial": True,
         }
 
+    # -- fleet-scale gossip: inv-pull vs complete-mesh flooding -----------
+    # The issue's headline number: at 1000 nodes, inventory announce +
+    # pull must move the fleet to the same converged state with >= 5x
+    # fewer messages than full flooding.  ``quick`` shrinks the fleet;
+    # the ratio holds (and grows) with size.
+    fleet_nodes = 200 if quick else 1000
+    fleet_blocks = 2
+    inv_started = time.perf_counter()
+    inv_point = _fleet_trial((93, fleet_nodes, "inv", fleet_blocks))
+    inv_seconds = time.perf_counter() - inv_started
+    flood_started = time.perf_counter()
+    flood_point = _fleet_trial((93, fleet_nodes, "flood", fleet_blocks))
+    flood_seconds = time.perf_counter() - flood_started
+    for label, point in (("inv", inv_point), ("flood", flood_point)):
+        if not (point["full_converged"] and point["light_converged"]):
+            raise AssertionError(f"{label}-mode fleet failed to converge")
+    results["fleet_scale"] = {
+        "nodes": fleet_nodes,
+        "full_nodes": inv_point["full_nodes"],
+        "light_nodes": inv_point["light_nodes"],
+        "blocks": fleet_blocks,
+        "inv_messages_sent": inv_point["messages_sent"],
+        "flood_messages_sent": flood_point["messages_sent"],
+        "inv_bytes_sent": inv_point["bytes_sent"],
+        "flood_bytes_sent": flood_point["bytes_sent"],
+        "inv_events_processed": inv_point["events_processed"],
+        "flood_events_processed": flood_point["events_processed"],
+        "inv_seconds": inv_seconds,
+        "flood_seconds": flood_seconds,
+        "messages_ratio": flood_point["messages_sent"] / inv_point["messages_sent"],
+        "converged": True,
+    }
+
     return {
         "suite": "substrate",
         "quick": quick,
@@ -523,6 +557,14 @@ def to_table(payload: Dict[str, Any]) -> ResultTable:
             entry["seconds"],
             f"{entry['messages_sent']} msgs",
         )
+    if "fleet_scale" in rows:
+        entry = rows["fleet_scale"]
+        table.add_row(
+            "fleet gossip (inv-pull)",
+            f"{entry['nodes']} nodes x {entry['blocks']} blocks",
+            entry["inv_seconds"],
+            f"{entry['messages_ratio']:.1f}x fewer msgs than flooding",
+        )
     if "mini_experiment" in rows:
         entry = rows["mini_experiment"]
         table.add_row(
@@ -588,6 +630,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     speedup = payload["benchmarks"]["nonce_search"]["speedup"]
     if speedup < 3.0:
         print(f"WARNING: nonce-search speedup {speedup:.2f}x below the 3x floor")
+        return 1
+    fleet_ratio = payload["benchmarks"]["fleet_scale"]["messages_ratio"]
+    if fleet_ratio < 5.0:
+        print(
+            f"WARNING: inv-pull saves only {fleet_ratio:.2f}x messages "
+            "vs flooding, below the 5x floor"
+        )
         return 1
     ratio = payload["benchmarks"]["telemetry_overhead"]["disabled_ratio"]
     if ratio > TELEMETRY_OVERHEAD_CEILING:

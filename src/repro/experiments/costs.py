@@ -78,7 +78,7 @@ def _costs_release_trial(args: Tuple[int, int]) -> Dict[str, int]:
     provider = "provider-1"
     window = setup.config.detection_window
     platform.announce_release(provider, corpus.next_release(), at_time=0.0)
-    platform.run_until(window + 300.0)
+    platform.advance_until(window + 300.0)
     platform.finish_pending()
     vulnerable = sum(
         1 for case in platform.releases.values() if case.refunded_wei == 0 and case.closed

@@ -101,7 +101,7 @@ def _fig4a_trial(args: Tuple[int, float, float]) -> Dict[str, Any]:
             )
 
     platform.mining.add_listener(_sample)
-    platform.run_until(duration)
+    platform.advance_until(duration)
     return {"series": series, "shares": dict(setup.shares)}
 
 
@@ -194,7 +194,7 @@ def _fig4b_spot_trial(args: Tuple[int, int, float, int]) -> float:
         platform.announce_release(
             provider, system, at_time=index * setup.config.detection_window
         )
-    platform.run_until(spot_releases * setup.config.detection_window + 600.0)
+    platform.advance_until(spot_releases * setup.config.detection_window + 600.0)
     platform.finish_pending()
     return from_wei(platform.punishments_wei[provider]) / spot_releases
 

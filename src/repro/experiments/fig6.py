@@ -147,7 +147,7 @@ def _fig6_release_trial(args: Tuple[int, int, str, int]) -> Dict[str, Dict[str, 
         rng=random.Random(trial_seed),
     )
     platform.announce_release(provider, system, at_time=0.0)
-    platform.run_until(window + 300.0)
+    platform.advance_until(window + 300.0)
     platform.finish_pending()
     incentives_wei: Dict[str, int] = {}
     fees_wei: Dict[str, int] = {}

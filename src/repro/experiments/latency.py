@@ -78,7 +78,7 @@ def _latency_release_trial(args: Tuple[int, int, int]) -> Dict[str, List[float]]
         rng=random.Random(trial_seed),
     )
     platform.announce_release(provider_name="provider-1", system=system, at_time=0.0)
-    platform.run_until(window + 600.0)
+    platform.advance_until(window + 600.0)
     platform.finish_pending()
 
     announce_to_pay: List[float] = []

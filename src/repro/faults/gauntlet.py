@@ -237,7 +237,7 @@ def run_gauntlet(
         # Second release just ahead of the partition: its reports are
         # submitted into the split and must survive the heal reorg.
         second_at = config.chaos_duration * 0.33
-        mined += deployment.run_for(second_at)
+        mined += deployment.advance_for(second_at)
         announcer = next(
             (p for p in deployment.providers.values() if not p.crashed), None
         )
@@ -250,19 +250,19 @@ def run_gauntlet(
                     rng=random.Random(config.seed + 3),
                 ),
             )
-        mined += deployment.run_for(horizon - second_at)
+        mined += deployment.advance_for(horizon - second_at)
     else:
-        mined += deployment.run_for(horizon)
+        mined += deployment.advance_for(horizon)
     # Bounded extra rounds: keep mining quietly until every replica
     # agrees on one tip and every published report is confirmed.
     converged_at: Optional[float] = None
     for _ in range(config.max_settle_rounds):
-        deployment.simulator.run()
+        deployment.simulator.advance()
         if deployment.converged() and not _unsettled_reports(deployment):
             converged_at = deployment.simulator.now
             break
-        mined += deployment.run_for(60.0)
-    deployment.simulator.run()
+        mined += deployment.advance_for(60.0)
+    deployment.simulator.advance()
     if converged_at is None and deployment.converged():
         converged_at = deployment.simulator.now
 

@@ -1,11 +1,13 @@
 """P2P network substrate: discrete-event simulation and gossip overlay.
 
 Replaces the prototype's physical LAN with a reproducible simulator:
-SRAs, reports, and blocks are flooded over a configurable topology with
-sampled link latency, optional loss, and partition injection.
+SRAs, reports, and blocks are relayed over a configurable topology
+(full flooding or inv-pull — see :class:`NetworkConfig`) with sampled
+link latency, optional loss, and partition injection.
 """
 
-from repro.network.gossip import GossipNetwork, build_topology
+from repro.network.config import NetworkConfig
+from repro.network.gossip import GossipNetwork, SeenLRU, build_topology
 from repro.network.latency import (
     ConstantLatency,
     DEFAULT_LATENCY,
@@ -25,8 +27,10 @@ __all__ = [
     "LogNormalLatency",
     "Message",
     "MessageKind",
+    "NetworkConfig",
     "Node",
     "ScheduledEvent",
+    "SeenLRU",
     "Simulator",
     "UniformLatency",
     "build_topology",

@@ -1,9 +1,35 @@
-"""Gossip overlay: flooding with dedup, loss, and partitions.
+"""Gossip overlay: flooding or inv-pull relay, with dedup, loss, partitions.
 
 SRAs propagate hop by hop — "Only no error occurs can P_i propagate Δ
 to its neighbors" (§V-A) — so the overlay supports *relay filters*: a
 node may validate a message before forwarding it, which is how spoofed
 SRAs die at the first honest hop.
+
+Two relay modes (:class:`~repro.network.config.NetworkConfig`):
+
+``flood``
+    The paper's 5-provider LAN: every node pushes the full payload to
+    its (non-partitioned) neighbors the first time it sees a message.
+    O(edges) payload copies per broadcast — fine at small scale,
+    quadratic on the default complete mesh.
+
+``inv``
+    Bitcoin-shaped announce + pull for large fleets: a relay sends a
+    tiny inventory frame (content digest) to its neighbors; a peer that
+    has not seen the digest pulls the payload from the first announcer
+    (``getdata``), then announces onward.  Each node transfers the full
+    payload at most once, so a broadcast costs O(edges) *control* frames
+    plus O(nodes) payload copies.  Inventory frames roll the loss dice
+    like any datagram; the pull exchange is modeled as
+    connection-oriented (reliable but latency-sampled), as in the
+    prototype's TCP peer links.  Light nodes
+    (:attr:`~repro.network.node.Node.wants_headers_only`) pull only the
+    block header — relayed inventory still carries the full content for
+    downstream full nodes.
+
+Per-node seen-digest state is O(1) amortized per lookup and can be
+memory-bounded to an LRU of recent digests (``seen_capacity``), so a
+long-lived 1000-node fleet does not grow dedup state without bound.
 """
 
 from __future__ import annotations
@@ -13,13 +39,14 @@ from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.network.config import NetworkConfig
 from repro.network.latency import DEFAULT_LATENCY, LatencyModel
-from repro.network.messages import Message
+from repro.network.messages import CONTROL_WIRE_BYTES, Message, wire_size
 from repro.network.node import GossipNetworkApi, Node
 from repro.network.simulator import Simulator
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY, Telemetry
 
-__all__ = ["GossipNetwork", "build_topology"]
+__all__ = ["GossipNetwork", "SeenLRU", "build_topology"]
 
 #: Relay predicate: (relaying node, message) -> forward it or not.
 RelayFilter = Callable[[Node, Message], bool]
@@ -35,7 +62,10 @@ def build_topology(
 
     ``complete`` — everyone peers with everyone (the paper's 5-provider
     LAN); ``ring`` — a cycle; ``random_regular`` — d-regular random
-    graph (Bitcoin-like); ``small_world`` — Watts–Strogatz.
+    graph (Bitcoin-like); ``small_world`` — Watts–Strogatz;
+    ``ring_random`` — a cycle plus random chords up to ``degree``
+    average degree (always connected, bounded degree — the large-fleet
+    default).
     """
     rng = rng if rng is not None else random.Random(0)
     count = len(names)
@@ -53,19 +83,72 @@ def build_topology(
         if k % 2 == 1:
             k = max(2, k - 1)
         graph = nx.watts_strogatz_graph(count, k, 0.1, seed=rng.randrange(2**31))
+    elif kind == "ring_random":
+        graph = nx.cycle_graph(count)
+        # The ring contributes degree 2; add random chords until the
+        # average degree reaches the target.  Connectivity is guaranteed
+        # by the ring regardless of which chords land.
+        chords_wanted = max(0, count * (degree - 2) // 2)
+        attempts = 0
+        while chords_wanted > 0 and attempts < 20 * chords_wanted + 100:
+            attempts += 1
+            a = rng.randrange(count)
+            b = rng.randrange(count)
+            if a == b or graph.has_edge(a, b):
+                continue
+            graph.add_edge(a, b)
+            chords_wanted -= 1
     else:
         raise ValueError(f"unknown topology kind {kind!r}")
     return nx.relabel_nodes(graph, dict(enumerate(names)))
 
 
+class SeenLRU:
+    """A bounded set of recently seen digests — O(1) amortized ops.
+
+    Backed by an insertion-ordered dict used as a ring of the most
+    recent ``capacity`` keys; at capacity, adding a new key evicts the
+    oldest.  ``capacity=None`` means unbounded (a plain set with dict
+    clothes), the small-fleet default.
+    """
+
+    __slots__ = ("_entries", "capacity")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self._entries: Dict[bytes, None] = {}
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, key: bytes) -> None:
+        """Insert a key, evicting the oldest once over capacity."""
+        entries = self._entries
+        if key in entries:
+            return
+        entries[key] = None
+        if self.capacity is not None and len(entries) > self.capacity:
+            del entries[next(iter(entries))]
+
+
 class GossipNetwork(GossipNetworkApi):
-    """A flooding gossip overlay on a simulator clock.
+    """A gossip overlay on a simulator clock (flood or inv-pull relay).
 
     Messages travel edges with sampled latency; each node forwards a
     message to its neighbors the first time it sees it (by dedup key),
     unless a relay filter vetoes forwarding.  Supports probabilistic
     message loss, duplication, delay spikes, node crashes, and explicit
     partitions for fault-injection tests (:mod:`repro.faults`).
+
+    Topology/relay knobs arrive through one
+    :class:`~repro.network.config.NetworkConfig` (``config``); the bare
+    ``loss_rate`` kwarg is kept for the small-fleet call sites that
+    predate it.
     """
 
     def __init__(
@@ -76,13 +159,17 @@ class GossipNetwork(GossipNetworkApi):
         loss_rate: float = 0.0,
         rng: Optional[random.Random] = None,
         telemetry: Optional[Telemetry] = None,
+        config: Optional[NetworkConfig] = None,
     ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss rate must be in [0, 1)")
+        self.config = config if config is not None else NetworkConfig()
         self.simulator = simulator
         self.topology = topology
         self.latency = latency
-        self.loss_rate = loss_rate
+        #: Per-transmission loss probability; an explicit kwarg wins
+        #: over the config's value so legacy call sites keep working.
+        self.loss_rate = loss_rate if loss_rate > 0.0 else self.config.loss_rate
         #: Probability a transmitted copy is delivered twice (link-level
         #: duplication fault; the second copy is suppressed by dedup).
         self.duplication_rate = 0.0
@@ -92,7 +179,10 @@ class GossipNetwork(GossipNetworkApi):
         self.extra_delay: Optional[Callable[[str, str, random.Random], float]] = None
         self._rng = rng if rng is not None else random.Random(0)
         self._nodes: Dict[str, Node] = {}
-        self._seen: Dict[str, Set[bytes]] = {}
+        self._seen: Dict[str, SeenLRU] = {}
+        #: inv mode: per node, digests announced to us that we have
+        #: requested but not yet received — key -> announcing peer.
+        self._pending: Dict[str, Dict[bytes, str]] = {}
         self._relay_filters: List[RelayFilter] = []
         self._cut_links: Set[Tuple[str, str]] = set()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -111,6 +201,10 @@ class GossipNetwork(GossipNetworkApi):
             "gossip.messages", status="lost_to_crash"
         )
         self._broadcasts = metrics.counter("gossip.broadcasts")
+        self._bytes_sent = metrics.counter("gossip.bytes", status="sent")
+        self._inv_frames = metrics.counter("gossip.frames", frame="inv")
+        self._getdata_frames = metrics.counter("gossip.frames", frame="getdata")
+        self._payload_frames = metrics.counter("gossip.frames", frame="payload")
 
     # -- transport counters (compatibility views) --------------------------
 
@@ -135,6 +229,11 @@ class GossipNetwork(GossipNetworkApi):
         """Deliveries lost because the receiving node was crashed."""
         return self._lost_to_crashes.value
 
+    @property
+    def bytes_sent(self) -> int:
+        """Estimated bytes put on the wire (payloads + control frames)."""
+        return self._bytes_sent.value
+
     # -- membership --------------------------------------------------------
 
     def attach(self, node: Node) -> None:
@@ -142,7 +241,8 @@ class GossipNetwork(GossipNetworkApi):
         if node.name not in self.topology:
             raise ValueError(f"{node.name} is not in the topology")
         self._nodes[node.name] = node
-        self._seen[node.name] = set()
+        self._seen[node.name] = SeenLRU(self.config.seen_capacity)
+        self._pending[node.name] = {}
         node.network = self
 
     def attach_all(self, nodes: Iterable[Node]) -> None:
@@ -206,7 +306,7 @@ class GossipNetwork(GossipNetworkApi):
     # -- transport -----------------------------------------------------------
 
     def broadcast(self, origin: str, message: Message) -> None:
-        """Flood a message from ``origin`` to the whole overlay."""
+        """Relay a message from ``origin`` across the whole overlay."""
         if origin not in self._nodes:
             raise ValueError(f"unknown origin {origin}")
         self._seen[origin].add(message.dedup_key)
@@ -226,11 +326,23 @@ class GossipNetwork(GossipNetworkApi):
             raise ValueError(f"unknown destination {destination}")
         self._transmit(origin, destination, message, relay=False)
 
+    def _relay_targets(self, relay: str) -> List[str]:
+        """Attached neighbors a relay pushes to — all, or a ``fanout`` sample."""
+        peers = [peer for peer in self.neighbors(relay) if peer in self._nodes]
+        fanout = self.config.fanout
+        if fanout is not None and len(peers) > fanout:
+            peers = self._rng.sample(peers, fanout)
+        return peers
+
     def _forward(self, relay: str, message: Message) -> None:
-        for peer in self.neighbors(relay):
-            if peer not in self._nodes:
-                continue
-            self._transmit(relay, peer, message)
+        if self.config.mode == "inv":
+            for peer in self._relay_targets(relay):
+                self._send_inv(relay, peer, message)
+        else:
+            for peer in self._relay_targets(relay):
+                self._transmit(relay, peer, message)
+
+    # -- flood path ----------------------------------------------------------
 
     def _transmit(
         self, src: str, dst: str, message: Message, relay: bool = True
@@ -248,6 +360,8 @@ class GossipNetwork(GossipNetworkApi):
         arrival = 0.0
         for _ in range(copies):
             self._sent.inc()
+            self._payload_frames.inc()
+            self._bytes_sent.inc(wire_size(message))
             if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
                 self._dropped.inc()
                 continue
@@ -259,7 +373,111 @@ class GossipNetwork(GossipNetworkApi):
             arrival += delay
             self.simulator.schedule(arrival, self._receive, dst, message, relay)
 
-    def _receive(self, name: str, message: Message, relay: bool = True) -> None:
+    # -- inv-pull path ---------------------------------------------------------
+
+    def _link_delay(self, src: str, dst: str) -> float:
+        delay = self.latency.sample(src, dst, self._rng)
+        if self.extra_delay is not None:
+            delay += max(0.0, self.extra_delay(src, dst, self._rng))
+        return delay
+
+    def _send_inv(self, src: str, dst: str, message: Message) -> None:
+        """Announce a content digest to one peer (best-effort datagram)."""
+        if self._is_cut(src, dst):
+            return
+        self._sent.inc()
+        self._inv_frames.inc()
+        self._bytes_sent.inc(CONTROL_WIRE_BYTES)
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self._dropped.inc()
+            return
+        self.simulator.schedule(
+            self._link_delay(src, dst), self._receive_inv, dst, src, message
+        )
+
+    def _receive_inv(self, name: str, announcer: str, message: Message) -> None:
+        node = self._nodes.get(name)
+        if node is None:
+            return
+        if node.crashed:
+            self._lost_to_crashes.inc()
+            return
+        key = message.dedup_key
+        if key in self._seen[name]:
+            self._duplicated.inc()
+            return
+        pending = self._pending[name]
+        prior = pending.get(key)
+        if prior is not None:
+            # Already pulling this digest; re-request from the new
+            # announcer only if the first request died with its peer
+            # (crash) or its link (partition) — otherwise the duplicate
+            # inventory is suppressed like any redundant copy.
+            prior_node = self._nodes.get(prior)
+            prior_dead = prior_node is None or prior_node.crashed
+            if not (prior_dead or self._is_cut(name, prior)):
+                self._duplicated.inc()
+                return
+        pending[key] = announcer
+        self._send_getdata(name, announcer, message)
+
+    def _send_getdata(self, src: str, dst: str, message: Message) -> None:
+        """Pull a payload from an announcer (connection-oriented)."""
+        if self._is_cut(src, dst):
+            return
+        self._sent.inc()
+        self._getdata_frames.inc()
+        self._bytes_sent.inc(CONTROL_WIRE_BYTES)
+        self.simulator.schedule(
+            self._link_delay(src, dst), self._receive_getdata, dst, src, message
+        )
+
+    def _receive_getdata(self, name: str, requester: str, message: Message) -> None:
+        node = self._nodes.get(name)
+        if node is None or node.crashed:
+            # The request dies with the responder; a later inventory
+            # from a live announcer re-triggers the pull.
+            self._lost_to_crashes.inc()
+            return
+        if self._is_cut(name, requester):
+            return
+        reduced = message
+        target = self._nodes.get(requester)
+        if (
+            target is not None
+            and getattr(target, "wants_headers_only", False)
+            and hasattr(message.payload, "header")
+        ):
+            # Light clients pull the 120-byte header, not the body.
+            reduced = message.with_payload(message.payload.header)
+        self._sent.inc()
+        self._payload_frames.inc()
+        self._bytes_sent.inc(wire_size(reduced))
+        self.simulator.schedule(
+            self._link_delay(name, requester),
+            self._receive,
+            requester,
+            reduced,
+            True,
+            message,
+        )
+
+    # -- delivery --------------------------------------------------------------
+
+    def _receive(
+        self,
+        name: str,
+        message: Message,
+        relay: bool = True,
+        relay_message: Optional[Message] = None,
+    ) -> None:
+        """Deliver a payload to a node, then relay onward.
+
+        ``relay_message`` is what gets announced downstream when it
+        differs from the delivered form — a light node receives the
+        header but keeps announcing the full content so full nodes
+        behind it can still pull the body.
+        """
         node = self._nodes.get(name)
         if node is None:
             return
@@ -272,12 +490,13 @@ class GossipNetwork(GossipNetworkApi):
             self._duplicated.inc()
             return
         self._seen[name].add(message.dedup_key)
+        self._pending[name].pop(message.dedup_key, None)
         node.deliver(message)
         # Relay unless unicast or a filter vetoes (failed SRA verification).
         if relay and all(
             predicate(node, message) for predicate in self._relay_filters
         ):
-            self._forward(name, message)
+            self._forward(name, relay_message if relay_message is not None else message)
 
     def reach(self, dedup_key: bytes) -> int:
         """How many nodes have seen a message with this key."""
@@ -301,4 +520,8 @@ class GossipNetwork(GossipNetworkApi):
             "messages_dropped": self.messages_dropped,
             "messages_duplicated": self.messages_duplicated,
             "messages_lost_to_crashes": self.messages_lost_to_crashes,
+            "bytes_sent": self.bytes_sent,
+            "inv_frames": self._inv_frames.value,
+            "getdata_frames": self._getdata_frames.value,
+            "payload_frames": self._payload_frames.value,
         }

@@ -15,9 +15,68 @@ from typing import Any
 
 from repro.crypto.hashing import hash_fields
 
-__all__ = ["MessageKind", "Message"]
+__all__ = [
+    "CONTROL_WIRE_BYTES",
+    "Message",
+    "MessageKind",
+    "wire_size",
+]
 
 _uid = itertools.count()
+
+#: Wire size of a control frame (``inv``/``getdata``): one kind byte, a
+#: 32-byte content digest, and a small framing overhead — the Bitcoin
+#: inv-vector ballpark.  Used by the gossip layer's bytes-on-wire
+#: accounting.
+CONTROL_WIRE_BYTES = 37
+
+#: Serialized size of a block header: the seven Fig. 2 fields
+#: (two 32-byte hashes, four 8-byte integers, a 20-byte miner address)
+#: plus framing — the "80-ish bytes" a light client stores, framed.
+HEADER_WIRE_BYTES = 120
+
+
+def wire_size(message: "Message") -> int:
+    """Estimated bytes this message occupies on a link.
+
+    Blocks count their header plus record encodings; bare headers count
+    :data:`HEADER_WIRE_BYTES`; payloads exposing a byte encoding
+    (``to_bytes``/``to_payload``) are measured exactly; raw ``bytes``
+    by length; anything else falls back to its ``repr`` length.  The
+    envelope adds the control-frame overhead (kind + dedup key +
+    framing).
+
+    The result is memoized on the envelope (one measurement per
+    message, however many links carry it).
+    """
+    cached = getattr(message, "_wire_size", None)
+    if cached is not None:
+        return cached
+    payload = message.payload
+    body: int
+    records = getattr(payload, "records", None)
+    if records is not None and hasattr(payload, "header"):
+        # A full block: header + record bodies (duck-typed so the
+        # network layer stays import-independent of repro.chain).
+        body = HEADER_WIRE_BYTES + sum(len(r.to_bytes()) for r in records)
+    elif hasattr(payload, "header_hash") and hasattr(payload, "merkle_root"):
+        body = HEADER_WIRE_BYTES
+    elif isinstance(payload, (bytes, bytearray)):
+        body = len(payload)
+    else:
+        encoder = getattr(payload, "to_bytes", None) or getattr(
+            payload, "to_payload", None
+        )
+        if encoder is not None:
+            try:
+                body = len(encoder())
+            except TypeError:
+                body = len(repr(payload))
+        else:
+            body = len(repr(payload))
+    total = CONTROL_WIRE_BYTES + body
+    object.__setattr__(message, "_wire_size", total)  # frozen-safe memo
+    return total
 
 
 class MessageKind(enum.Enum):
@@ -75,4 +134,19 @@ class Message:
             origin=origin,
             dedup_key=hash_fields(kind.value, origin, unique),
             uid=unique,
+        )
+
+    def with_payload(self, payload: Any) -> "Message":
+        """A copy of this envelope carrying a different payload.
+
+        Keeps the kind, origin, and — crucially — the dedup key, so a
+        reduced form (e.g. a header-only block announcement served to a
+        light node) deduplicates against the full form.
+        """
+        return Message(
+            kind=self.kind,
+            payload=payload,
+            origin=self.origin,
+            dedup_key=self.dedup_key,
+            uid=self.uid,
         )

@@ -28,6 +28,11 @@ MessageHandler = Callable[["Node", Message], None]
 class Node:
     """A named overlay participant with a keypair and message handlers."""
 
+    #: Light nodes set this: in inv-pull gossip their payload pulls are
+    #: served the block *header* instead of the full body (§V-B's
+    #: "lightweight detector" storing headers, not the chain).
+    wants_headers_only = False
+
     def __init__(self, name: str, keys: Optional[KeyPair] = None) -> None:
         self.name = name
         self.keys = keys if keys is not None else KeyPair.from_seed(name.encode())

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, List, Optional
 
+from repro.compat import warn_deprecated
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["Simulator", "ScheduledEvent"]
@@ -142,8 +143,15 @@ class Simulator:
             return True
         return False
 
-    def run(self, max_events: Optional[int] = None) -> int:
-        """Run to quiescence (or ``max_events``); returns events fired."""
+    def advance(self, max_events: Optional[int] = None) -> int:
+        """Run to quiescence (or ``max_events``); returns events fired.
+
+        Part of the unified time-control surface shared with
+        :class:`~repro.core.platform.SmartCrowdPlatform`:
+        ``schedule``/``schedule_at`` queue work,
+        ``advance``/``advance_until``/``advance_for`` move the clock and
+        return the count of work items processed.
+        """
         fired = 0
         while self.step():
             fired += 1
@@ -151,7 +159,7 @@ class Simulator:
                 break
         return fired
 
-    def run_until(self, deadline: float) -> int:
+    def advance_until(self, deadline: float) -> int:
         """Fire all events with time <= ``deadline``; advance ``now`` to it."""
         fired = 0
         while self._queue:
@@ -167,3 +175,19 @@ class Simulator:
             fired += 1
         self._now = max(self._now, deadline)
         return fired
+
+    def advance_for(self, duration: float) -> int:
+        """Fire all events within the next ``duration`` seconds."""
+        return self.advance_until(self._now + duration)
+
+    # -- deprecated spellings (pre-unification) -----------------------------
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Deprecated spelling of :meth:`advance` (warns once)."""
+        warn_deprecated("Simulator.run", "Simulator.advance")
+        return self.advance(max_events)
+
+    def run_until(self, deadline: float) -> int:
+        """Deprecated spelling of :meth:`advance_until` (warns once)."""
+        warn_deprecated("Simulator.run_until", "Simulator.advance_until")
+        return self.advance_until(deadline)

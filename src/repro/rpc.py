@@ -20,11 +20,12 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain
+from repro.chain.mempool import Mempool
 from repro.contracts.contract import Contract, Receipt
 from repro.contracts.vm import ContractRuntime
 from repro.crypto.keys import Address
 
-__all__ = ["Web3Shim", "Eth", "RpcError"]
+__all__ = ["Eth", "RpcError", "Web3Shim"]
 
 BlockIdentifier = Union[int, str, bytes]
 
@@ -43,6 +44,9 @@ class Eth:
 
     chain: Blockchain
     runtime: ContractRuntime
+    #: The node's pending-record pool, when the shim fronts a live node
+    #: (``Web3Shim.connect``); pending lookups need it.
+    mempool: Optional[Mempool] = None
 
     # -- chain reads --------------------------------------------------------
 
@@ -91,14 +95,28 @@ class Eth:
             raise RpcError("unknown block hash")
         return block
 
+    @staticmethod
+    def _record_id(identifier: Union[str, bytes]) -> bytes:
+        """Parse a record id, rejecting malformed input with an RpcError."""
+        if isinstance(identifier, (bytes, bytearray)):
+            return bytes(identifier)
+        if isinstance(identifier, str):
+            try:
+                return bytes.fromhex(identifier.removeprefix("0x"))
+            except ValueError as error:
+                raise RpcError(
+                    f"malformed transaction id {identifier!r}: not valid hex"
+                ) from error
+        raise RpcError(
+            f"transaction id must be bytes or 0x hex, got {type(identifier).__name__}"
+        )
+
     def get_transaction(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
         """Look up a canonical chain record by id (web3's tx lookup)."""
-        raw = record_id
-        if isinstance(raw, str):
-            raw = bytes.fromhex(raw.removeprefix("0x"))
+        raw = self._record_id(record_id)
         location = self.chain.locate_record(raw)
         if location is None:
-            raise RpcError("transaction not found")
+            raise RpcError(f"transaction {_hex(raw)} not found on the canonical chain")
         record = self.chain.get_record(raw)
         return {
             "hash": _hex(raw),
@@ -112,13 +130,96 @@ class Eth:
             "confirmations": self.chain.confirmations(location.block_id),
         }
 
+    def get_transaction_receipt(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
+        """Mined-record receipt (web3's ``get_transaction_receipt``).
+
+        Raises :class:`RpcError` for records that are still pending in
+        the mempool (web3 nodes answer null until inclusion) or unknown
+        entirely — the message says which.
+        """
+        raw = self._record_id(record_id)
+        location = self.chain.locate_record(raw)
+        if location is None:
+            if self.mempool is not None and raw in self.mempool:
+                raise RpcError(
+                    f"transaction {_hex(raw)} is pending in the mempool, "
+                    "not yet mined"
+                )
+            raise RpcError(f"no receipt: transaction {_hex(raw)} is unknown")
+        record = self.chain.get_record(raw)
+        return {
+            "transactionHash": _hex(raw),
+            "blockHash": _hex(location.block_id),
+            "blockNumber": location.height,
+            "transactionIndex": location.index_in_block,
+            "from": record.sender.hex() if record.sender else None,
+            "status": 1,
+            "confirmations": self.chain.confirmations(location.block_id),
+        }
+
+    def get_pending_transactions(self) -> List[Dict[str, Any]]:
+        """Records waiting in the mempool (web3's pending filter).
+
+        Needs a node-attached shim (``Web3Shim.connect``): a bare
+        chain-reader has no mempool to inspect.
+        """
+        pool = self._require_mempool()
+        return [
+            {
+                "hash": _hex(record.record_id),
+                "kind": record.kind.value,
+                "fee": record.fee,
+                "from": record.sender.hex() if record.sender else None,
+            }
+            for record in pool.select()
+        ]
+
+    def pending_transaction(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
+        """One pending record by id; RpcError if absent from the pool."""
+        pool = self._require_mempool()
+        raw = self._record_id(record_id)
+        record = pool.get(raw)
+        if record is None:
+            raise RpcError(f"transaction {_hex(raw)} is not pending in the mempool")
+        return {
+            "hash": _hex(raw),
+            "kind": record.kind.value,
+            "fee": record.fee,
+            "from": record.sender.hex() if record.sender else None,
+        }
+
+    def _require_mempool(self) -> Mempool:
+        if self.mempool is None:
+            raise RpcError(
+                "no mempool attached: connect the shim to a node "
+                "(Web3Shim.connect) to query pending transactions"
+            )
+        return self.mempool
+
     # -- account reads ------------------------------------------------------
 
     def get_balance(self, account: Union[Address, str]) -> int:
         """Balance in wei (accepts an Address or 0x hex string)."""
-        if isinstance(account, str):
-            account = Address.from_hex(account)
-        return self.runtime.state.balance(account)
+        return self.runtime.state.balance(self._address(account))
+
+    def get_transaction_count(self, account: Union[Address, str]) -> int:
+        """Canonical records sent by ``account`` (web3's nonce query)."""
+        address = self._address(account)
+        count = 0
+        for block in self.chain.iter_canonical():
+            for record in block.records:
+                if record.sender == address:
+                    count += 1
+        return count
+
+    @staticmethod
+    def _address(account: Union[Address, str]) -> Address:
+        if isinstance(account, Address):
+            return account
+        try:
+            return Address.from_hex(account)
+        except (ValueError, AttributeError, TypeError) as error:
+            raise RpcError(f"malformed address {account!r}") from error
 
     # -- contract interaction ------------------------------------------------
 
@@ -165,13 +266,18 @@ class Eth:
 class Web3Shim:
     """Top-level handle, mirroring ``web3.Web3``."""
 
-    def __init__(self, chain: Blockchain, runtime: ContractRuntime) -> None:
-        self.eth = Eth(chain=chain, runtime=runtime)
+    def __init__(
+        self,
+        chain: Blockchain,
+        runtime: ContractRuntime,
+        mempool: Optional[Mempool] = None,
+    ) -> None:
+        self.eth = Eth(chain=chain, runtime=runtime, mempool=mempool)
 
     @classmethod
     def connect(cls, platform) -> "Web3Shim":
         """Attach to a running :class:`~repro.core.platform.SmartCrowdPlatform`."""
-        return cls(platform.mining.chain, platform.runtime)
+        return cls(platform.mining.chain, platform.runtime, platform.mining.mempool)
 
     def is_connected(self) -> bool:
         """Liveness probe (always true in-process)."""

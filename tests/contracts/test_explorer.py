@@ -33,7 +33,7 @@ def settled():
         insurance_wei=to_wei(500),
         at_time=0.0,
     )
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
     return platform, Explorer(platform.runtime)
 

@@ -23,7 +23,7 @@ def settled():
     clean = build_system("solid-lock", "1.1.0", vulnerability_count=0)
     platform.announce_release("provider-1", vulnerable)
     platform.announce_release("provider-3", clean)
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
     return platform, ConsumerClient(platform.mining.chain), vulnerable
 

@@ -130,3 +130,62 @@ class TestLightClient:
         shallow = prove_record(chain, hash_fields("lc", "b5r0"))
         assert client.record_is_confirmed(deep)
         assert not client.record_is_confirmed(shallow)
+
+
+class TestHeaderChainReorg:
+    def _fork(self, chain: Blockchain, fork_height: int, length: int):
+        """Graft a heavier branch onto ``chain`` above ``fork_height``."""
+        parent = chain.block_at_height(fork_height)
+        branch = []
+        for offset in range(1, length + 1):
+            records = (_record(f"fork-h{fork_height}-{offset}"),)
+            block = Block.assemble(
+                parent.block_id,
+                parent.height + 1,
+                records,
+                parent.header.timestamp + 7.0,
+                100,
+                MINER,
+            )
+            # Early fork blocks are lighter than the standing head, so
+            # add_block returns False until the branch overtakes it.
+            chain.add_block(block)
+            branch.append(block)
+            parent = block
+        assert chain.head.block_id == branch[-1].block_id  # reorg happened
+        return branch
+
+    def test_sync_truncates_stale_tail_and_counts_reorg(self, chain):
+        headers = HeaderChain()
+        headers.sync_from(chain)
+        branch = self._fork(chain, fork_height=3, length=3)
+        added = headers.sync_from(chain)
+        assert added == 3
+        assert headers.reorgs == 1
+        assert headers.tip.header_hash() == branch[-1].block_id
+        assert len(headers) == 7  # genesis + 3 shared + 3 fork
+
+    def test_truncate_purges_stale_id_index(self, chain):
+        headers = HeaderChain()
+        headers.sync_from(chain)
+        stale = [chain.block_at_height(h).block_id for h in (4, 5)]
+        self._fork(chain, fork_height=3, length=3)
+        headers.sync_from(chain)
+        for block_id in stale:
+            assert headers.header(block_id) is None
+            assert headers.confirmations(block_id) == -1
+
+    def test_confirmations_recomputed_after_reorg(self, chain):
+        headers = HeaderChain()
+        headers.sync_from(chain)
+        shared = chain.block_at_height(2).block_id
+        assert headers.confirmations(shared) == 3
+        self._fork(chain, fork_height=3, length=3)
+        headers.sync_from(chain)
+        assert headers.confirmations(shared) == 4  # now buried deeper
+
+    def test_sync_without_divergence_counts_no_reorg(self, chain):
+        headers = HeaderChain()
+        headers.sync_from(chain)
+        headers.sync_from(chain)
+        assert headers.reorgs == 0

@@ -26,7 +26,7 @@ def settled_platform():
     clean = build_system("clean-sys", "1.0.0", vulnerability_count=0)
     sra_vuln = platform.announce_release("provider-2", vulnerable, insurance_wei=to_wei(1000))
     sra_clean = platform.announce_release("provider-4", clean, insurance_wei=to_wei(1000))
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
     return platform, sra_vuln, sra_clean, vulnerable
 
@@ -104,14 +104,14 @@ class TestScheduling:
         platform = _platform(seed=22)
         system = build_system("later", vulnerability_count=0)
         sra = platform.announce_release("provider-1", system, at_time=300.0)
-        platform.run_until(200.0)
+        platform.advance_until(200.0)
         assert platform.release_case(sra.sra_id) is None
-        platform.run_until(400.0)
+        platform.advance_until(400.0)
         assert platform.release_case(sra.sra_id) is not None
 
     def test_run_until_advances_clock(self):
         platform = _platform(seed=23)
-        platform.run_until(500.0)
+        platform.advance_until(500.0)
         assert platform.now == pytest.approx(500.0)
 
     def test_deterministic_given_seed(self):
@@ -120,7 +120,7 @@ class TestScheduling:
             platform = _platform(seed=24)
             system = build_system("det-sys", vulnerability_count=2, rng=random.Random(3))
             platform.announce_release("provider-1", system)
-            platform.run_for(900.0)
+            platform.advance_for(900.0)
             results.append(
                 tuple(
                     (d, s.incentives_wei)
@@ -136,7 +136,7 @@ class TestFindingsTooLateNotPaid:
         platform = _platform(seed=25, window=20.0)
         system = build_system("rushed", vulnerability_count=3, rng=random.Random(4))
         platform.announce_release("provider-1", system, insurance_wei=to_wei(1000))
-        platform.run_for(600.0)
+        platform.advance_for(600.0)
         platform.finish_pending()
         earned = sum(s.incentives_wei for s in platform.detector_stats.values())
         assert earned == 0

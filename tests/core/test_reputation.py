@@ -39,7 +39,7 @@ def settled():
         insurance_wei=to_wei(10),
         at_time=0.0,
     )
-    platform.run_for(2100.0)
+    platform.advance_for(2100.0)
     platform.finish_pending()
     return platform, ReputationEngine(platform.mining.chain)
 

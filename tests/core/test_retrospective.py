@@ -29,7 +29,7 @@ class TestMonitorBasics:
         platform = _platform(build_detector_fleet(seed=51))
         system = build_system("hub", "1.0.0", vulnerability_count=2, rng=random.Random(1))
         platform.announce_release("provider-1", system)
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
         return platform, system
 
@@ -101,14 +101,14 @@ class TestReDetectionRound:
         for detector in strong:
             platform.isolated_detectors.add(detector.detector_id)
         sra1 = platform.announce_release("provider-2", system, insurance_wei=to_wei(1000))
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
 
         # Strong fleet comes online; provider reopens a detection round.
         for detector in strong:
             platform.isolated_detectors.discard(detector.detector_id)
         sra2 = platform.reopen_release(sra1.sra_id, insurance_wei=to_wei(1000))
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
         return platform, sra1, sra2, system
 
@@ -149,7 +149,7 @@ class TestReDetectionRound:
         platform = _platform(build_detector_fleet(seed=53), seed=53)
         system = build_system("x", vulnerability_count=1, rng=random.Random(3))
         sra = platform.announce_release("provider-1", system)
-        platform.run_for(60.0)  # window still open
+        platform.advance_for(60.0)  # window still open
         with pytest.raises(ValueError):
             platform.reopen_release(sra.sra_id)
 
@@ -165,14 +165,14 @@ class TestExcludedKeysNotRepaid:
         platform = _platform(fleet, seed=55)
         system = build_system("lock", "1.0.0", vulnerability_count=2, rng=random.Random(4))
         sra1 = platform.announce_release("provider-3", system, insurance_wei=to_wei(1000))
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
         case1 = platform.release_case(sra1.sra_id)
         round1_awards = sum(case1.awarded_counts.values())
         assert round1_awards > 0
 
         sra2 = platform.reopen_release(sra1.sra_id, insurance_wei=to_wei(1000))
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
         case2 = platform.release_case(sra2.sra_id)
         # Every flaw was already paid in round 1; round 2 pays nothing

@@ -23,7 +23,7 @@ def settled():
     )
     system = build_system("dd-cam", vulnerability_count=3, rng=random.Random(1))
     sra = deployment.announce("provider-1", system)
-    deployment.run_for(900.0)
+    deployment.advance_for(900.0)
     return deployment, sra, system
 
 
@@ -67,14 +67,14 @@ class TestWorkflowOverMessages:
 
     def test_replicas_converge(self, settled):
         deployment, _, _ = settled
-        deployment.simulator.run()
+        deployment.simulator.advance()
         assert deployment.converged()
 
     def test_consumer_query_round_trip(self, settled):
         deployment, _, _ = settled
         consumer = deployment.consumers["consumer-1"]
         consumer.query("provider-2", "dd-cam", "1.0.0")
-        deployment.simulator.run()
+        deployment.simulator.advance()
         reference = consumer.latest_reference
         assert reference is not None
         assert reference.vulnerability_count > 0

@@ -126,7 +126,7 @@ class TestArtifactDetectorOnPlatform:
             "marked-cam", vulnerability_count=3, rng=random.Random(16)
         )
         platform.announce_release("provider-1", system)
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
 
         earned = sum(s.incentives_wei for s in platform.detector_stats.values())

@@ -108,7 +108,7 @@ class TestModalDetector:
         )
         system = build_system("modal-live", vulnerability_count=2, rng=random.Random(6))
         platform.announce_release("provider-1", system)
-        platform.run_for(900.0)
+        platform.advance_for(900.0)
         platform.finish_pending()
         assert platform.runtime.state.total_supply() == platform.runtime.state.total_minted
 

@@ -40,14 +40,14 @@ class TestInjection:
         injector = FaultInjector(simulator, network, plan)
         assert injector.arm() == 3
 
-        simulator.run_until(6.0)
+        simulator.advance_until(6.0)
         assert network.loss_rate == 0.5
         assert network.node("a").alive
 
-        simulator.run_until(11.0)
+        simulator.advance_until(11.0)
         assert not network.node("a").alive
 
-        simulator.run_until(21.0)
+        simulator.advance_until(21.0)
         assert network.node("a").alive
         assert injector.faults_applied == 3
         assert [at for at, _ in injector.log] == [5.0, 10.0, 20.0]
@@ -57,11 +57,11 @@ class TestInjection:
         plan = ChaosPlan().partition(("a", "b"), ("c", "d"), at=1.0, heal_at=2.0)
         FaultInjector(simulator, network, plan).arm()
 
-        simulator.run_until(1.5)
+        simulator.advance_until(1.5)
         assert "c" not in network.neighbors("a")
         assert "d" not in network.neighbors("b")
 
-        simulator.run_until(2.5)
+        simulator.advance_until(2.5)
         assert "c" in network.neighbors("a")
         assert "d" in network.neighbors("b")
 
@@ -70,19 +70,19 @@ class TestInjection:
         plan = ChaosPlan().delay_spike(3.0, at=1.0, until=5.0)
         FaultInjector(simulator, network, plan).arm()
 
-        simulator.run_until(1.5)
+        simulator.advance_until(1.5)
         assert network.extra_delay is not None
         extra = network.extra_delay("a", "b", random.Random(1))
         assert 0.0 <= extra <= 3.0
 
-        simulator.run_until(5.5)
+        simulator.advance_until(5.5)
         assert network.extra_delay is None
 
     def test_duplication_knob(self, rig):
         simulator, network = rig
         plan = ChaosPlan().set_duplication(0.25, at=2.0)
         FaultInjector(simulator, network, plan).arm()
-        simulator.run_until(3.0)
+        simulator.advance_until(3.0)
         assert network.duplication_rate == 0.25
 
     def test_double_arm_rejected(self, rig):
@@ -94,10 +94,10 @@ class TestInjection:
 
     def test_past_events_fire_immediately(self, rig):
         simulator, network = rig
-        simulator.run_until(10.0)
+        simulator.advance_until(10.0)
         plan = ChaosPlan().crash("b", at=1.0)  # already in the past
         FaultInjector(simulator, network, plan).arm()
-        simulator.run()
+        simulator.advance()
         assert not network.node("b").alive
 
     def test_log_describes_applied_faults(self, rig):
@@ -105,7 +105,7 @@ class TestInjection:
         plan = ChaosPlan().crash("a", at=1.0).restart("a", at=2.0)
         injector = FaultInjector(simulator, network, plan)
         injector.arm()
-        simulator.run()
+        simulator.advance()
         text = injector.describe_log()
         assert "crash a" in text
         assert "restart a" in text

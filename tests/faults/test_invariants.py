@@ -55,13 +55,13 @@ def healthy():
     )
     system = build_system("inv-sys", vulnerability_count=2, rng=random.Random(6))
     deployment.announce("provider-1", system)
-    deployment.run_for(900.0)
-    deployment.simulator.run()
+    deployment.advance_for(900.0)
+    deployment.simulator.advance()
     for _ in range(20):
         if deployment.converged():
             break
-        deployment.run_for(30.0)
-        deployment.simulator.run()
+        deployment.advance_for(30.0)
+        deployment.simulator.advance()
     return deployment
 
 

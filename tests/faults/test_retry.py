@@ -72,23 +72,23 @@ class TestDetectorRetries:
         system = build_system("retry-sys", vulnerability_count=2,
                               rng=random.Random(4))
         sra = deployment.announce("provider-1", system)
-        deployment.run_for(2.0)  # let the SRA flood while links are up
+        deployment.advance_for(2.0)  # let the SRA flood while links are up
 
         # Consumers relay gossip too — they must sit on the detector
         # side or reports sneak through them to the providers.
         detectors = list(deployment.detectors) + list(deployment.consumers)
         providers = list(deployment.providers)
         deployment.network.partition(detectors, providers)
-        deployment.run_for(400.0)  # find times elapse; submissions lost
+        deployment.advance_for(400.0)  # find times elapse; submissions lost
 
         deployment.network.heal_all()
-        deployment.run_for(900.0)
-        deployment.simulator.run()
+        deployment.advance_for(900.0)
+        deployment.simulator.advance()
         for _ in range(20):
             if deployment.converged():
                 break
-            deployment.run_for(30.0)
-            deployment.simulator.run()
+            deployment.advance_for(30.0)
+            deployment.simulator.advance()
 
         detector = next(iter(deployment.detectors.values()))
         assert detector.scans == 1
@@ -121,7 +121,7 @@ class TestDetectorRetries:
         system = build_system("no-retry", vulnerability_count=1,
                               rng=random.Random(5))
         deployment.announce("provider-1", system)
-        deployment.run_for(600.0)
+        deployment.advance_for(600.0)
         detector = next(iter(deployment.detectors.values()))
         assert detector.retry_policy is None
         assert detector.initial_retries == 0

@@ -30,7 +30,7 @@ def both_frontends():
         PlatformConfig(seed=99, detection_window=600.0),
     )
     platform.announce_release("provider-1", system, insurance_wei=to_wei(1000))
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
 
     deployment = DecentralizedDeployment(
@@ -39,7 +39,7 @@ def both_frontends():
         seed=99,
     )
     sra = deployment.announce("provider-1", system, insurance_ether=1000)
-    deployment.run_for(900.0)
+    deployment.advance_for(900.0)
     return platform, deployment, sra, system
 
 

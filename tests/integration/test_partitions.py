@@ -30,24 +30,24 @@ class TestPartitionHealing:
     def test_provider_partition_heals_and_reconverges(self, deployment):
         system = build_system("part-sys", vulnerability_count=2, rng=random.Random(1))
         deployment.announce("provider-1", system)
-        deployment.run_for(120.0)
+        deployment.advance_for(120.0)
 
         # Split the providers 2|3 for a while: both sides keep mining
         # their own forks.
         side_a = ["provider-1", "provider-2"]
         side_b = ["provider-3", "provider-4", "provider-5"]
         deployment.network.partition(side_a, side_b)
-        deployment.run_for(300.0)
+        deployment.advance_for(300.0)
 
         deployment.network.heal_all()
-        deployment.run_for(400.0)
-        deployment.simulator.run()
+        deployment.advance_for(400.0)
+        deployment.simulator.advance()
         # Total difficulty is uniform, so a tie can persist; mine on.
         for _ in range(20):
             if deployment.converged():
                 break
-            deployment.run_for(30.0)
-            deployment.simulator.run()
+            deployment.advance_for(30.0)
+            deployment.simulator.advance()
         assert deployment.converged()
 
     def test_reports_during_partition_eventually_pay(self, deployment):
@@ -60,11 +60,11 @@ class TestPartitionHealing:
 
         system = build_system("part-sys-2", vulnerability_count=2, rng=random.Random(2))
         sra = deployment.announce("provider-1", system)
-        deployment.run_for(350.0)
+        deployment.advance_for(350.0)
 
         deployment.network.heal_all()
-        deployment.run_for(500.0)
-        deployment.simulator.run()
+        deployment.advance_for(500.0)
+        deployment.simulator.advance()
 
         contract = deployment.contracts[sra.sra_id]
         assert contract.total_paid_wei() > 0

@@ -56,7 +56,7 @@ def test_conservation_and_payout_soundness(config):
         platform.announce_release(
             providers[provider_index], system, at_time=at_time
         )
-    platform.run_until(2000.0)
+    platform.advance_until(2000.0)
     platform.finish_pending()
 
     # Invariant 1: exact ether conservation.

@@ -25,7 +25,7 @@ def _run_platform(detectors, seed=41, releases=None, duration=900.0):
     )
     for provider, system, at_time in releases or ():
         platform.announce_release(provider, system, at_time=at_time)
-    platform.run_for(duration)
+    platform.advance_for(duration)
     platform.finish_pending()
     return platform
 
@@ -120,7 +120,7 @@ class TestRepudiationImpossible:
         platform.announce_release(
             "provider-1", system, insurance_wei=to_wei(1000)
         )
-        platform.run_for(30.0)  # just enough for the announce action
+        platform.advance_for(30.0)  # just enough for the announce action
         after = platform.provider_balance("provider-1")
         # Insurance + gas are gone from the provider's control before
         # any detection happens — nothing left to repudiate with.
@@ -152,7 +152,7 @@ class TestConsumerProtection:
         systems = [corpus.next_release() for _ in range(4)]
         for index, system in enumerate(systems):
             platform.announce_release("provider-1", system, at_time=index * 600.0)
-        platform.run_until(4 * 600.0 + 600.0)
+        platform.advance_until(4 * 600.0 + 600.0)
         platform.finish_pending()
 
         consumer = ConsumerClient(platform.mining.chain)

@@ -47,7 +47,7 @@ class TestBroadcast:
         for node in nodes:
             node.on(MessageKind.SRA_ANNOUNCE, lambda n, m: received.append(n.name))
         nodes[0].broadcast(MessageKind.SRA_ANNOUNCE, "release!")
-        sim.run()
+        sim.advance()
         assert sorted(received) == sorted(NAMES[1:])
 
     def test_each_node_delivers_once(self):
@@ -60,7 +60,7 @@ class TestBroadcast:
         for node in nodes:
             node.on(MessageKind.SRA_ANNOUNCE, handler)
         nodes[0].broadcast(MessageKind.SRA_ANNOUNCE, "once")
-        sim.run()
+        sim.advance()
         assert all(count <= 1 for count in counts.values())
 
     def test_unicast_delivers_to_target_only(self):
@@ -69,7 +69,7 @@ class TestBroadcast:
         for node in nodes:
             node.on(MessageKind.CONSUMER_QUERY, lambda n, m: received.append(n.name))
         nodes[0].send("node-5", MessageKind.CONSUMER_QUERY, "q")
-        sim.run()
+        sim.advance()
         assert received == ["node-5"]
 
     def test_detached_node_cannot_broadcast(self):
@@ -80,7 +80,7 @@ class TestBroadcast:
     def test_reach_counts_seen_nodes(self):
         sim, net, nodes = _network()
         message = nodes[0].broadcast(MessageKind.CONTROL, "x")
-        sim.run()
+        sim.advance()
         assert net.reach(message.dedup_key) == len(NAMES)
 
 
@@ -94,7 +94,7 @@ class TestFaults:
         for node in nodes:
             node.on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
         nodes[0].broadcast(MessageKind.CONTROL, "partitioned")
-        sim.run()
+        sim.advance()
         assert sorted(received) == sorted(group_a[1:])
 
     def test_heal_restores_connectivity(self):
@@ -105,7 +105,7 @@ class TestFaults:
         for node in nodes:
             node.on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
         nodes[0].broadcast(MessageKind.CONTROL, "healed")
-        sim.run()
+        sim.advance()
         assert len(received) == len(NAMES) - 1
 
     def test_loss_rate_drops_messages(self):
@@ -114,7 +114,7 @@ class TestFaults:
         for node in nodes:
             node.on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
         nodes[0].broadcast(MessageKind.CONTROL, "lossy ring")
-        sim.run()
+        sim.advance()
         # On a 90%-lossy ring the flood dies early.
         assert len(received) < len(NAMES) - 1
         assert net.messages_dropped > 0
@@ -135,7 +135,7 @@ class TestRelayFilter:
         # Nobody relays a message whose payload is marked spoofed.
         net.add_relay_filter(lambda node, message: message.payload != "spoofed")
         nodes[0].broadcast(MessageKind.SRA_ANNOUNCE, "spoofed")
-        sim.run()
+        sim.advance()
         # On a ring, only the origin's two direct neighbors ever see it.
         assert len(received) == 2
 
@@ -146,7 +146,7 @@ class TestRelayFilter:
             node.on(MessageKind.SRA_ANNOUNCE, lambda n, m: received.append(n.name))
         net.add_relay_filter(lambda node, message: True)
         nodes[0].broadcast(MessageKind.SRA_ANNOUNCE, "fine")
-        sim.run()
+        sim.advance()
         assert len(received) == len(NAMES) - 1
 
 
@@ -187,7 +187,7 @@ class TestDuplicationAccounting:
         received = []
         nodes[1].on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
         net.unicast("a", "b", Message.wrap(MessageKind.CONTROL, b"e", origin="a"))
-        sim.run()
+        sim.advance()
         # The echo is a physical copy on the link: both counted sent,
         # one suppressed by receiver dedup, delivered exactly once.
         assert net.messages_sent == 2
@@ -201,7 +201,7 @@ class TestDuplicationAccounting:
         received = []
         nodes[1].on(MessageKind.CONTROL, lambda n, m: received.append(n.name))
         net.unicast("a", "b", Message.wrap(MessageKind.CONTROL, b"e", origin="a"))
-        sim.run()
+        sim.advance()
         # Both copies roll the loss dice; at 99% loss (seed 1) both drop.
         assert net.messages_sent == 2
         assert net.messages_dropped == 2
@@ -227,7 +227,7 @@ class TestDuplicationAccounting:
         )
         net.attach_all([Node("a"), Node("b")])
         net.broadcast("a", Message.wrap(MessageKind.CONTROL, b"x", origin="a"))
-        sim.run()
+        sim.advance()
         sent = telemetry.counter("gossip.messages", status="sent").value
         assert sent == net.messages_sent > 0
         assert telemetry.counter("gossip.broadcasts").value == 1

@@ -41,7 +41,7 @@ def test_lossless_flood_reaches_every_node(node_count, degree, kind, seed):
         node.on(MessageKind.CONTROL, lambda n, m: received.add(n.name))
     origin = nodes[seed % node_count]
     message = origin.broadcast(MessageKind.CONTROL, "flood")
-    simulator.run()
+    simulator.advance()
     assert received == set(names) - {origin.name}
     assert network.reach(message.dedup_key) == node_count
 
@@ -72,7 +72,7 @@ def test_each_node_delivers_each_broadcast_once(node_count, seed):
         node.on(MessageKind.CONTROL, handler)
     for origin in nodes[:3]:
         origin.broadcast(MessageKind.CONTROL, f"from-{origin.name}")
-    simulator.run()
+    simulator.advance()
     # 3 distinct broadcasts; every other node sees each exactly once.
     for name, count in counts.items():
         expected = 3 - (1 if name in {n.name for n in nodes[:3]} else 0)

@@ -111,23 +111,23 @@ class TestGossipFaultCounters:
         nodes["b"].crash()
         payload = _Payload.tagged("missed")
         nodes["a"].broadcast(MessageKind.CONTROL, payload)
-        simulator.run()
+        simulator.advance()
         assert network.messages_lost_to_crashes > 0
         assert nodes["b"].received == []
         # After restart, a salted retransmission floods again and now
         # reaches the node the original missed.
         nodes["b"].restart()
         nodes["a"].broadcast(MessageKind.CONTROL, payload, salt=1)
-        simulator.run()
+        simulator.advance()
         assert nodes["b"].received == [payload]
 
     def test_unsalted_rebroadcast_is_deduplicated(self):
         simulator, network, nodes = _network()
         payload = _Payload.tagged("once")
         nodes["a"].broadcast(MessageKind.CONTROL, payload)
-        simulator.run()
+        simulator.advance()
         nodes["a"].broadcast(MessageKind.CONTROL, payload)
-        simulator.run()
+        simulator.advance()
         assert nodes["b"].received == [payload]
         assert nodes["c"].received == [payload]
 
@@ -136,7 +136,7 @@ class TestGossipFaultCounters:
         network.duplication_rate = 0.99
         before = network.messages_duplicated
         nodes["a"].broadcast(MessageKind.CONTROL, _Payload.tagged("dup"))
-        simulator.run()
+        simulator.advance()
         # Every duplicated copy arrives after the original and is
         # suppressed by dedup — and counted.
         assert network.messages_duplicated > before
@@ -147,7 +147,7 @@ class TestGossipFaultCounters:
         network.duplication_rate = 0.5
         nodes["c"].crash()
         nodes["a"].broadcast(MessageKind.CONTROL, _Payload.tagged("s"))
-        simulator.run()
+        simulator.advance()
         summary = network.summary()
         for key in (
             "time",
@@ -176,7 +176,7 @@ class TestGossipFaultCounters:
         simulator, network, nodes = _network()
         network.extra_delay = lambda _src, _dst, _rng: 5.0
         nodes["a"].broadcast(MessageKind.CONTROL, _Payload.tagged("slow"))
-        simulator.run_until(1.0)
+        simulator.advance_until(1.0)
         assert nodes["b"].received == []  # still in flight
-        simulator.run()
+        simulator.advance()
         assert len(nodes["b"].received) == 1

@@ -12,7 +12,7 @@ class TestScheduling:
         sim.schedule(3.0, lambda: fired.append("late"))
         sim.schedule(1.0, lambda: fired.append("early"))
         sim.schedule(2.0, lambda: fired.append("middle"))
-        sim.run()
+        sim.advance()
         assert fired == ["early", "middle", "late"]
 
     def test_ties_break_by_insertion_order(self):
@@ -20,14 +20,14 @@ class TestScheduling:
         fired = []
         for tag in ("a", "b", "c"):
             sim.schedule(1.0, fired.append, tag)
-        sim.run()
+        sim.advance()
         assert fired == ["a", "b", "c"]
 
     def test_now_advances_to_event_time(self):
         sim = Simulator()
         seen = []
         sim.schedule(2.5, lambda: seen.append(sim.now))
-        sim.run()
+        sim.advance()
         assert seen == [2.5]
         assert sim.now == 2.5
 
@@ -39,7 +39,7 @@ class TestScheduling:
         sim = Simulator()
         seen = []
         sim.schedule(0.0, lambda a, b=0: seen.append((a, b)), 1, b=2)
-        sim.run()
+        sim.advance()
         assert seen == [(1, 2)]
 
     def test_events_can_schedule_events(self):
@@ -52,7 +52,7 @@ class TestScheduling:
                 sim.schedule(1.0, chain, depth + 1)
 
         sim.schedule(0.0, chain, 0)
-        sim.run()
+        sim.advance()
         assert fired == [0, 1, 2, 3]
         assert sim.now == 3.0
 
@@ -66,7 +66,7 @@ class TestControl:
         fired = []
         handle = sim.schedule(1.0, lambda: fired.append("x"))
         handle.cancel()
-        sim.run()
+        sim.advance()
         assert fired == []
         assert sim.events_processed == 0
 
@@ -74,7 +74,7 @@ class TestControl:
         sim = Simulator()
         for _ in range(5):
             sim.schedule(1.0, lambda: None)
-        assert sim.run(max_events=3) == 3
+        assert sim.advance(max_events=3) == 3
         assert sim.pending == 2
 
     def test_run_until_stops_at_deadline(self):
@@ -82,7 +82,7 @@ class TestControl:
         fired = []
         sim.schedule(1.0, lambda: fired.append(1))
         sim.schedule(5.0, lambda: fired.append(5))
-        count = sim.run_until(2.0)
+        count = sim.advance_until(2.0)
         assert count == 1
         assert fired == [1]
         assert sim.now == 2.0
@@ -92,15 +92,15 @@ class TestControl:
         fired = []
         sim.schedule(1.0, lambda: fired.append(1))
         sim.schedule(5.0, lambda: fired.append(5))
-        sim.run_until(2.0)
-        sim.run()
+        sim.advance_until(2.0)
+        sim.advance()
         assert fired == [1, 5]
 
     def test_schedule_at_absolute_time(self):
         sim = Simulator(start_time=10.0)
         seen = []
         sim.schedule_at(12.0, lambda: seen.append(sim.now))
-        sim.run()
+        sim.advance()
         assert seen == [12.0]
 
 
@@ -132,7 +132,7 @@ class TestCancellationAccounting:
         handle.cancel()
         handle.cancel()
         assert sim.pending == 1
-        assert sim.run() == 1
+        assert sim.advance() == 1
 
     def test_cancel_after_firing_is_harmless(self):
         sim = Simulator()
@@ -141,7 +141,7 @@ class TestCancellationAccounting:
         assert sim.step()
         handle.cancel()  # late cancel of an already-fired event
         assert sim.pending == 1
-        assert sim.run() == 1
+        assert sim.advance() == 1
 
     def test_ordering_preserved_after_compaction(self):
         sim = Simulator()
@@ -156,7 +156,7 @@ class TestCancellationAccounting:
         for i, handle in enumerate(keep):
             if handle is not None:
                 handle.cancel()
-        sim.run()
+        sim.advance()
         assert fired == [10, 20, 30, 40, 50]
 
     def test_mass_cancel_then_run_until(self):
@@ -165,6 +165,6 @@ class TestCancellationAccounting:
         handles = [sim.schedule(float(i + 1), fired.append, i + 1) for i in range(20)]
         for handle in handles[:19]:
             handle.cancel()
-        assert sim.run_until(25.0) == 1
+        assert sim.advance_until(25.0) == 1
         assert fired == [20]
         assert sim.pending == 0

@@ -24,7 +24,7 @@ class TestSimulator:
         simulator = Simulator(telemetry=telemetry)
         for delay in (1.0, 2.0, 3.0):
             simulator.schedule(delay, lambda: None)
-        simulator.run()
+        simulator.advance()
         assert telemetry.counter("sim.events_processed").value == 3
         assert telemetry.histogram("sim.dispatch_seconds").count == 3
         assert telemetry.gauge("sim.queue_depth").value == 0
@@ -33,7 +33,7 @@ class TestSimulator:
         simulator = Simulator()
         assert simulator.telemetry is NULL_TELEMETRY
         simulator.schedule(1.0, lambda: None)
-        assert simulator.run() == 1
+        assert simulator.advance() == 1
 
 
 class TestMining:

@@ -42,7 +42,7 @@ class TestClock:
         log = TraceLog()
         log.bind_clock(simulator)
         simulator.schedule(5.0, lambda: log.emit("tick"))
-        simulator.run()
+        simulator.advance()
         assert list(log)[0].time == 5.0
 
     def test_bound_to_callable(self):

@@ -1,0 +1,29 @@
+"""docs/API.md must match what ``scripts/gen_api_index.py`` generates.
+
+The reference is checked in (greppable offline), so any change to a
+package's ``__all__`` or an export's first docstring line must be
+accompanied by regenerating the file.  This test turns drift into a
+tier-1 failure with a copy-pasteable fix.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load_generator():
+    script = REPO_ROOT / "scripts" / "gen_api_index.py"
+    spec = importlib.util.spec_from_file_location("gen_api_index", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_reference_is_current():
+    expected = _load_generator().render()
+    checked_in = (REPO_ROOT / "docs" / "API.md").read_text()
+    assert checked_in == expected, (
+        "docs/API.md is stale — regenerate it with "
+        "`python scripts/gen_api_index.py`"
+    )

@@ -1,0 +1,152 @@
+"""The unified time-control surface and its warn-once deprecation shims.
+
+One convention across the stack (simulator, platform, deployment):
+``schedule(delay)`` relative, ``schedule_at(time)`` absolute, and
+``advance``/``advance_until``/``advance_for`` returning the count of
+work items processed.  Old spellings keep working, return what they
+historically returned, and warn exactly once per process.
+"""
+
+import warnings
+
+import pytest
+
+from repro import PlatformConfig, SmartCrowdPlatform
+from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.compat import _reset_warned, warn_deprecated
+from repro.detection import build_detector_fleet
+from repro.core.stakeholders import DecentralizedDeployment
+from repro.network.simulator import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_state():
+    _reset_warned()
+    yield
+    _reset_warned()
+
+
+def _deployment(seed):
+    return DecentralizedDeployment(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(thread_counts=(2, 5), seed=seed),
+        seed=seed,
+    )
+
+
+def _platform(seed=5):
+    return SmartCrowdPlatform(
+        PAPER_HASHPOWER_SHARES,
+        build_detector_fleet(seed=seed),
+        PlatformConfig(seed=seed),
+    )
+
+
+class TestWarnOnce:
+    def test_second_call_is_silent(self):
+        with pytest.warns(DeprecationWarning):
+            warn_deprecated("Old.spelling", "New.spelling")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            warn_deprecated("Old.spelling", "New.spelling")  # must not raise
+
+    def test_distinct_spellings_each_warn(self):
+        with pytest.warns(DeprecationWarning, match="Old.a"):
+            warn_deprecated("Old.a", "New.a")
+        with pytest.warns(DeprecationWarning, match="Old.b"):
+            warn_deprecated("Old.b", "New.b")
+
+
+class TestSimulatorShims:
+    def test_run_forwards_to_advance(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        with pytest.warns(DeprecationWarning, match="Simulator.run is deprecated"):
+            count = sim.run()
+        assert count == 1 and fired == [1]
+
+    def test_run_until_forwards_and_returns_count(self):
+        sim = Simulator()
+        for delay in (1.0, 2.0, 30.0):
+            sim.schedule(delay, lambda: None)
+        with pytest.warns(DeprecationWarning, match="Simulator.run_until"):
+            count = sim.run_until(5.0)
+        assert count == 2
+        assert sim.now == 5.0
+
+    def test_canonical_methods_do_not_warn(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert sim.advance_for(1.5) == 1
+            assert sim.advance_until(3.0) == 1
+            assert sim.advance() == 0
+
+
+class TestPlatformShims:
+    def test_run_for_returns_mined_events_and_warns_once(self):
+        platform = _platform()
+        with pytest.warns(DeprecationWarning, match="SmartCrowdPlatform.run_for"):
+            events = platform.run_for(100.0)
+        assert isinstance(events, list)
+        assert events == platform.last_mined_events
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            platform.run_for(50.0)  # second call: silent
+
+    def test_advance_for_returns_count(self):
+        platform = _platform(seed=6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            count = platform.advance_for(200.0)
+        assert count == len(platform.last_mined_events)
+        assert count >= 1
+
+    def test_run_until_matches_advance_until(self):
+        first = _platform(seed=7)
+        second = _platform(seed=7)
+        with pytest.warns(DeprecationWarning):
+            events = first.run_until(300.0)
+        count = second.advance_until(300.0)
+        assert len(events) == count
+        assert first.now == second.now
+
+    def test_schedule_is_deprecated_absolute_spelling(self):
+        platform = _platform(seed=8)
+        fired = []
+        with pytest.warns(DeprecationWarning, match="SmartCrowdPlatform.schedule"):
+            platform.schedule(50.0, lambda: fired.append(platform.now))
+        platform.advance_until(100.0)
+        assert fired and fired[0] == pytest.approx(50.0)
+
+    def test_schedule_at_is_canonical(self):
+        platform = _platform(seed=9)
+        fired = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            platform.schedule_at(40.0, lambda: fired.append(True))
+            platform.advance_until(80.0)
+        assert fired == [True]
+
+
+class TestDeploymentShims:
+    def test_run_for_warns_and_forwards(self):
+        deployment = _deployment(seed=11)
+        with pytest.warns(
+            DeprecationWarning, match="DecentralizedDeployment.run_for"
+        ):
+            mined = deployment.run_for(120.0)
+        assert isinstance(mined, int)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            deployment.run_for(30.0)
+
+    def test_advance_for_is_canonical(self):
+        deployment = _deployment(seed=12)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            mined = deployment.advance_for(120.0)
+        assert isinstance(mined, int)

@@ -25,7 +25,7 @@ def test_readme_quickstart_executes():
     )
     firmware = build_system("smart-camera", "2.4.1", vulnerability_count=3)
     platform.announce_release("provider-3", firmware, insurance_wei=to_wei(1000))
-    platform.run_for(1500.0)
+    platform.advance_for(1500.0)
     platform.finish_pending()
 
     consumer = ConsumerClient(platform.mining.chain)

@@ -20,7 +20,7 @@ def connected():
     )
     system = build_system("rpc-sys", vulnerability_count=2, rng=random.Random(1))
     sra = platform.announce_release("provider-1", system, insurance_wei=to_wei(1000))
-    platform.run_for(900.0)
+    platform.advance_for(900.0)
     platform.finish_pending()
     return platform, Web3Shim.connect(platform), sra
 
@@ -125,3 +125,102 @@ class TestContractInteraction:
             "det-x", provider.address, b"\x01" * 32,
         )
         assert call.success and call.return_value is True
+
+
+class TestErrorPaths:
+    def test_malformed_transaction_hex(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="not valid hex"):
+            w3.eth.get_transaction("0xnothex!!")
+
+    def test_transaction_id_wrong_type(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="must be bytes or 0x hex"):
+            w3.eth.get_transaction(12345)
+
+    def test_unknown_transaction_message_names_the_id(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="0x" + "00" * 32):
+            w3.eth.get_transaction(b"\x00" * 32)
+
+    def test_missing_receipt_is_descriptive(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="no receipt"):
+            w3.eth.get_transaction_receipt(b"\x01" * 32)
+
+    def test_malformed_receipt_hex(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="not valid hex"):
+            w3.eth.get_transaction_receipt("0xqq")
+
+    def test_malformed_address(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="malformed address"):
+            w3.eth.get_balance("0xnothex")
+
+    def test_unknown_block_height_message(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="no block at height"):
+            w3.eth.get_block(10**9)
+
+    def test_pending_lookup_without_mempool(self, connected):
+        platform, _, _ = connected
+        from repro.rpc import Web3Shim as Shim
+
+        bare = Shim(platform.mining.chain, platform.runtime)
+        with pytest.raises(RpcError, match="no mempool attached"):
+            bare.eth.get_pending_transactions()
+
+    def test_pending_transaction_not_in_pool(self, connected):
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="not pending"):
+            w3.eth.pending_transaction(b"\x02" * 32)
+
+
+class TestReceiptsAndCounts:
+    def test_receipt_matches_transaction(self, connected):
+        _, w3, sra = connected
+        tx = w3.eth.get_transaction(sra.sra_id)
+        receipt = w3.eth.get_transaction_receipt(sra.sra_id)
+        assert receipt["status"] == 1
+        assert receipt["blockHash"] == tx["blockHash"]
+        assert receipt["blockNumber"] == tx["blockNumber"]
+        assert receipt["transactionIndex"] == tx["transactionIndex"]
+        assert receipt["confirmations"] == w3.eth.get_transaction(sra.sra_id)[
+            "confirmations"
+        ]
+
+    def test_transaction_count_counts_senders(self, connected):
+        platform, w3, _ = connected
+        totals = sum(
+            w3.eth.get_transaction_count(keys.address)
+            for keys in platform.detector_keys.values()
+        )
+        # Every detector report on the canonical chain has a sender.
+        assert totals >= 1
+
+    def test_pending_transactions_shape(self, connected):
+        _, w3, _ = connected
+        pending = w3.eth.get_pending_transactions()
+        assert isinstance(pending, list)
+        for entry in pending:
+            assert set(entry) == {"hash", "kind", "fee", "from"}
+
+    def test_pending_record_visible_before_mining(self, connected):
+        platform, w3, _ = connected
+        from repro.chain.block import ChainRecord, RecordKind
+        from repro.crypto.hashing import hash_fields
+
+        record = ChainRecord(
+            kind=RecordKind.TRANSACTION,
+            record_id=hash_fields("rpc-pending-probe"),
+            payload=b"probe",
+        )
+        platform.mining.mempool.add(record)
+        try:
+            entry = w3.eth.pending_transaction(record.record_id)
+            assert entry["hash"] == "0x" + record.record_id.hex()
+            with pytest.raises(RpcError, match="pending in the mempool"):
+                w3.eth.get_transaction_receipt(record.record_id)
+        finally:
+            platform.mining.mempool.remove(record.record_id)

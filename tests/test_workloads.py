@@ -31,7 +31,7 @@ class TestPaperSetup:
 
     def test_build_platform_runs(self):
         platform = paper_setup(seed=3).build_platform()
-        platform.run_for(60.0)
+        platform.advance_for(60.0)
         assert platform.now == pytest.approx(60.0)
 
     def test_parameter_overrides(self):

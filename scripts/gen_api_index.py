@@ -25,6 +25,7 @@ PACKAGES = [
     ("repro.workloads", "Experimental presets"),
     ("repro.experiments", "Table/figure runners"),
     ("repro.faults", "Fault injection and chaos harness"),
+    ("repro.store", "Durable chain store (crash-safe persistence)"),
     ("repro.telemetry", "Metrics and trace events"),
 ]
 
@@ -38,7 +39,14 @@ def summarize(name: str, item) -> tuple:
     else:
         kind = "constant"
     if kind == "constant":
-        text = "mapping" if isinstance(item, dict) else f"`{item!r}`"
+        if isinstance(item, dict):
+            text = "mapping"
+        elif isinstance(item, (set, frozenset)):
+            # Set iteration order is per-process — render sorted.
+            members = ", ".join(sorted(repr(member) for member in item))
+            text = f"`{type(item).__name__}({{{members}}})`"
+        else:
+            text = f"`{item!r}`"
         if " at 0x" in text:  # default object repr — not reproducible
             doc = (inspect.getdoc(type(item)) or "").strip().splitlines()
             text = doc[0] if doc else f"`{type(item).__name__}` instance"

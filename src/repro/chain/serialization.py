@@ -20,6 +20,8 @@ from repro.crypto.keys import Address
 __all__ = [
     "encode_record",
     "decode_record",
+    "encode_header",
+    "decode_header",
     "encode_block",
     "decode_block",
     "export_chain",
@@ -47,6 +49,43 @@ def decode_record(data: bytes) -> ChainRecord:
         payload=payload,
         fee=int.from_bytes(fee, "big"),
         sender=Address(sender) if sender else None,
+    )
+
+
+def encode_header(header: BlockHeader) -> bytes:
+    """Serialize a bare block header (light clients, header stores)."""
+    return pack(
+        [
+            header.prev_block_id,
+            header.merkle_root,
+            repr(float(header.timestamp)).encode(),
+            header.nonce.to_bytes(16, "big"),
+            header.height.to_bytes(8, "big"),
+            header.difficulty.to_bytes(32, "big"),
+            header.miner.value,
+        ]
+    )
+
+
+def decode_header(data: bytes) -> BlockHeader:
+    """Parse a bare block header; the hash is re-derived, never trusted."""
+    (
+        prev_block_id,
+        merkle_root,
+        timestamp,
+        nonce,
+        height,
+        difficulty,
+        miner,
+    ) = unpack(data, 7)
+    return BlockHeader(
+        prev_block_id=prev_block_id,
+        merkle_root=merkle_root,
+        timestamp=float(timestamp.decode()),
+        nonce=int.from_bytes(nonce, "big"),
+        height=int.from_bytes(height, "big"),
+        difficulty=int.from_bytes(difficulty, "big"),
+        miner=Address(miner),
     )
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Set
 
 from repro.chain.block import Block, BlockHeader, ChainRecord
@@ -32,6 +33,7 @@ from repro.network.latency import DEFAULT_LATENCY, LatencyModel
 from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
 from repro.network.simulator import Simulator
+from repro.store import ChainStore, HeaderStore
 
 __all__ = ["DistributedChain", "LightReplicaNode", "ReplicaNode"]
 
@@ -84,6 +86,7 @@ class ReplicaNode(Node):
         record_check: Optional[RecordCheck] = None,
         confirmation_depth: int = 6,
         keys: Optional[KeyPair] = None,
+        store: Optional[ChainStore] = None,
     ) -> None:
         super().__init__(name, keys)
         self.chain = Blockchain(genesis, confirmation_depth=confirmation_depth)
@@ -97,6 +100,16 @@ class ReplicaNode(Node):
         self.resyncs_performed = 0
         self.blocks_resynced = 0
         self._resyncing = False
+        #: Optional durable block log.  With a store attached, every
+        #: accepted block is logged and a restart rebuilds the chain
+        #: from disk before resyncing only the missing suffix (RAM is
+        #: assumed lost; without a store the in-memory chain plays the
+        #: durable-database role it always did).
+        self.store = store
+        self._genesis = genesis
+        self.store_recoveries = 0
+        if store is not None:
+            store.ensure_genesis(genesis)
         self.on(MessageKind.BLOCK_ANNOUNCE, self._on_block_message)
 
     # -- receive path -----------------------------------------------------
@@ -139,6 +152,9 @@ class ReplicaNode(Node):
             self.blocks_rejected += 1
             return
         self.blocks_accepted += 1
+        if self.store is not None:
+            self.store.append(block)
+            self.store.maybe_snapshot(self.chain)
         if head_moved and block.header.prev_block_id != old_head_id:
             # Reorg: the old branch was abandoned.  Records that only
             # existed there must go back to the mempool (subclasses that
@@ -160,10 +176,40 @@ class ReplicaNode(Node):
     # -- crash recovery ----------------------------------------------------
 
     def on_restarted(self) -> None:
-        """Headers-first chain resync from the best reachable peer."""
+        """Recover the chain, then resync the missing suffix from peers.
+
+        With a store attached, the process's RAM is assumed gone: the
+        store is reopened (running checksum verification and torn-tail
+        truncation against whatever happened on disk while the node was
+        down) and the chain is rebuilt purely from the log.  The peer
+        resync then fetches only the suffix the store lost — headers
+        walked back from the peer's tip stop at the first block the
+        recovered chain already holds.
+        """
+        if self.store is not None:
+            self._recover_from_store()
         peer = self._best_peer()
         if peer is not None:
             self.resync_from(peer)
+
+    def _recover_from_store(self) -> None:
+        """Reopen the store and swap in the chain it can vouch for."""
+        assert self.store is not None
+        self.store.reopen()
+        chain = self.store.load_chain(
+            confirmation_depth=self.chain.confirmation_depth
+        )
+        if chain is None:
+            # Store emptied entirely (e.g. log lost): restart from
+            # genesis and re-seed the log; peers refill the rest.
+            chain = Blockchain(
+                self._genesis,
+                confirmation_depth=self.chain.confirmation_depth,
+            )
+            self.store.ensure_genesis(self._genesis)
+        self.chain = chain
+        self._orphans = {}
+        self.store_recoveries += 1
 
     def _best_peer(self) -> Optional["ReplicaNode"]:
         """The reachable, alive neighbor with the heaviest chain."""
@@ -252,7 +298,11 @@ class LightReplicaNode(Node):
     wants_headers_only = True
 
     def __init__(
-        self, name: str, genesis: Block, keys: Optional[KeyPair] = None
+        self,
+        name: str,
+        genesis: Block,
+        keys: Optional[KeyPair] = None,
+        store: Optional[HeaderStore] = None,
     ) -> None:
         super().__init__(name, keys)
         self.headers = HeaderChain()
@@ -262,7 +312,23 @@ class LightReplicaNode(Node):
         #: Full nodes this light client can pull headers from (SPV
         #: servers); the heaviest alive one is used on each resync.
         self._servers: List[ReplicaNode] = []
+        #: Optional durable header log; mirrors the in-memory header
+        #: chain through its accept/truncate hooks.
+        self.store = store
+        self._genesis_header = genesis.header
+        self.store_recoveries = 0
+        if store is not None:
+            store.ensure_genesis(genesis.header)
+            if len(store) > 1:
+                # Adopting a pre-populated store: trust the log.
+                self.headers = store.load_headers()
+            self._attach_store_hooks()
         self.on(MessageKind.BLOCK_ANNOUNCE, self._on_block_message)
+
+    def _attach_store_hooks(self) -> None:
+        assert self.store is not None
+        self.headers.on_accept = self.store.append
+        self.headers.on_truncate = self.store.truncate
 
     def set_servers(self, servers: List[ReplicaNode]) -> None:
         """Configure the full nodes this client may resync from."""
@@ -308,7 +374,15 @@ class LightReplicaNode(Node):
         return best
 
     def on_restarted(self) -> None:
-        """Recover after a crash by resyncing headers from a server."""
+        """Recover after a crash: local header log first, then servers."""
+        if self.store is not None:
+            self.store.reopen()
+            self.headers = self.store.load_headers()
+            if len(self.headers) == 0:
+                self.headers.accept(self._genesis_header)
+                self.store.ensure_genesis(self._genesis_header)
+            self._attach_store_hooks()
+            self.store_recoveries += 1
         self.resync()
 
     def tip_id(self) -> bytes:
@@ -349,6 +423,8 @@ class DistributedChain:
         seed: int = 0,
         network: Optional[NetworkConfig] = None,
         light_count: int = 0,
+        store_dir: Optional[str] = None,
+        store_snapshot_interval: int = 512,
     ) -> None:
         rng = random.Random(seed)
         self.simulator = Simulator()
@@ -369,20 +445,39 @@ class DistributedChain:
         )
         genesis = make_genesis(difficulty=difficulty)
         self.byzantine = set(byzantine or ())
+        #: With ``store_dir`` set, every replica persists to its own
+        #: subdirectory and restarts recover from disk.  Persistence
+        #: draws no randomness and schedules no events, so the fleet's
+        #: trajectory is bit-identical with or without it.
+        self.store_dir = Path(store_dir) if store_dir is not None else None
         self.replicas: Dict[str, ReplicaNode] = {}
         for name in names:
             # Byzantine replicas skip the semantic check on their own
             # copy (they will happily build on forged records).
             check = None if name in self.byzantine else record_check
+            store = (
+                ChainStore(
+                    self.store_dir / name,
+                    snapshot_interval=store_snapshot_interval,
+                )
+                if self.store_dir is not None
+                else None
+            )
             replica = ReplicaNode(
                 name, genesis, record_check=check,
                 confirmation_depth=confirmation_depth,
+                store=store,
             )
             self.replicas[name] = replica
             self.network.attach(replica)
         self.light_replicas: Dict[str, LightReplicaNode] = {}
         for name in light_names:
-            light = LightReplicaNode(name, genesis)
+            header_store = (
+                HeaderStore(self.store_dir / name)
+                if self.store_dir is not None
+                else None
+            )
+            light = LightReplicaNode(name, genesis, store=header_store)
             light.set_servers(list(self.replicas.values()))
             self.light_replicas[name] = light
             self.network.attach(light)

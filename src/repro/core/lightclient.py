@@ -18,7 +18,7 @@ Full nodes serve proofs via :func:`prove_record`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.chain.block import BlockHeader, ChainRecord, GENESIS_PARENT
 from repro.chain.chain import Blockchain
@@ -73,6 +73,12 @@ class HeaderChain:
         #: Times a sync found the source chain diverging from our tail
         #: (full-node reorg observed from the light side).
         self.reorgs = 0
+        #: Optional persistence hooks: ``on_accept(header)`` after each
+        #: accepted header, ``on_truncate(height)`` before a reorg drops
+        #: the tail.  A durable header store mirrors the chain through
+        #: these (see :class:`repro.store.HeaderStore`).
+        self.on_accept: Optional[Callable[[BlockHeader], None]] = None
+        self.on_truncate: Optional[Callable[[int], None]] = None
 
     def __len__(self) -> int:
         return len(self._headers)
@@ -105,6 +111,8 @@ class HeaderChain:
             return False
         self._headers.append(header)
         self._by_id[header_id] = len(self._headers) - 1
+        if self.on_accept is not None:
+            self.on_accept(header)
         return True
 
     def sync_from(self, chain: Blockchain) -> int:
@@ -129,6 +137,8 @@ class HeaderChain:
 
     def _truncate(self, height: int) -> None:
         """Drop every header at or above ``height`` (reorg tail)."""
+        if self.on_truncate is not None:
+            self.on_truncate(height)
         for header in self._headers[height:]:
             self._by_id.pop(header.header_hash(), None)
         del self._headers[height:]

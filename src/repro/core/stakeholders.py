@@ -30,6 +30,7 @@ by the platform; this front-end validates the decentralized dataflow.
 from __future__ import annotations
 
 import random
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.compat import warn_deprecated
@@ -54,6 +55,7 @@ from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
 from repro.network.simulator import Simulator
 from repro.chain.consensus import make_genesis
+from repro.store import ChainStore
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.units import to_wei
 
@@ -94,8 +96,9 @@ class ProviderStakeholder(ReplicaNode):
         directory: SystemDirectory,
         autoverif: Optional[AutoVerifEngine] = None,
         keys: Optional[KeyPair] = None,
+        store=None,
     ) -> None:
-        super().__init__(name, genesis, record_check=None, keys=keys)
+        super().__init__(name, genesis, record_check=None, keys=keys, store=store)
         self.registry = registry
         self.directory = directory
         self.verifier = ReportVerifier(
@@ -494,6 +497,8 @@ class DecentralizedDeployment:
         seed: int = 0,
         retry_policy=None,
         telemetry: Optional[Telemetry] = None,
+        store_dir=None,
+        store_snapshot_interval: int = 512,
     ) -> None:
         rng = random.Random(seed)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -526,12 +531,25 @@ class DecentralizedDeployment:
         self._authority = KeyPair.from_seed(f"dd-authority:{seed}".encode())
         self.runtime.state.mint(self._authority.address, to_wei(1_000_000))
 
+        #: With ``store_dir`` set, every provider persists its replica
+        #: to ``store_dir/<name>`` and restarts recover from disk.
+        self.store_dir = Path(store_dir) if store_dir is not None else None
         self.providers: Dict[str, ProviderStakeholder] = {}
         for name in provider_shares:
             keys = KeyPair.from_seed(f"dd-provider:{name}:{seed}".encode())
             self.registry.register(name, keys.public)
+            store = (
+                ChainStore(
+                    self.store_dir / name,
+                    snapshot_interval=store_snapshot_interval,
+                    telemetry=self.telemetry,
+                )
+                if self.store_dir is not None
+                else None
+            )
             provider = ProviderStakeholder(
-                name, genesis, self.registry, self.directory, keys=keys
+                name, genesis, self.registry, self.directory, keys=keys,
+                store=store,
             )
             provider.chain.confirmation_depth = confirmation_depth
             provider.mempool.telemetry = self.telemetry

@@ -27,7 +27,9 @@ import json
 import os
 import platform
 import random
+import shutil
 import sys
+import tempfile
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -48,6 +50,7 @@ from repro.network.gossip import GossipNetwork, build_topology
 from repro.network.messages import Message, MessageKind
 from repro.network.node import Node
 from repro.network.simulator import Simulator
+from repro.store import ChainStore
 
 __all__ = ["run_suite", "main", "naive_mine_block", "pretelemetry_mine_block"]
 
@@ -401,6 +404,54 @@ def run_suite(
         "blocks_per_sec": blocks / e2e_seconds,
     }
 
+    # -- durable store: append throughput + cold-reopen replay -------------
+    # The persistence probe: log a linear chain frame by frame, then a
+    # cold process (fresh ChainStore) verifies every checksum, rebuilds
+    # the chain, and recovers the ledger from the newest snapshot.
+    store_blocks = 150 if quick else 600
+    store_chain = Blockchain(make_genesis(difficulty=100))
+    for height in range(1, store_blocks + 1):
+        record = ChainRecord(
+            kind=RecordKind.INITIAL_REPORT,
+            record_id=hash_fields("bench-store-record", height),
+            payload=b"r" * 120,
+        )
+        store_chain.add_block(
+            Block.assemble(
+                store_chain.head.block_id, height, (record,),
+                store_chain.head.header.timestamp + 10.0, 100, _MINER,
+            )
+        )
+    store_root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store_path = os.path.join(store_root, "replica")
+        store = ChainStore(store_path, snapshot_interval=64)
+        append_started = time.perf_counter()
+        for block in store_chain.iter_canonical():
+            store.append(block)
+        append_seconds = time.perf_counter() - append_started
+        store.maybe_snapshot(store_chain, force=True)
+        store.close()
+        reopen_started = time.perf_counter()
+        reopened = ChainStore(store_path, snapshot_interval=64)
+        loaded = reopened.load_chain()
+        replay = reopened.replay_ledger()
+        reopen_seconds = time.perf_counter() - reopen_started
+        if loaded is None or loaded.head.block_id != store_chain.head.block_id:
+            raise AssertionError("cold reopen did not rebuild the benched chain")
+        reopened.close()
+        results["store_replay"] = {
+            "blocks": store_blocks,
+            "append_seconds": append_seconds,
+            "append_blocks_per_sec": store_blocks / append_seconds,
+            "reopen_seconds": reopen_seconds,
+            "replay_blocks_per_sec": (store_blocks + 1) / reopen_seconds,
+            "snapshot_hit": replay.snapshot_hit,
+            "frames_replayed": replay.frames_replayed,
+        }
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
     # -- parallel experiment runner ---------------------------------------
     if parallel_probe:
         trials = 8 if quick else 24
@@ -564,6 +615,15 @@ def to_table(payload: Dict[str, Any]) -> ResultTable:
             f"{entry['nodes']} nodes x {entry['blocks']} blocks",
             entry["inv_seconds"],
             f"{entry['messages_ratio']:.1f}x fewer msgs than flooding",
+        )
+    if "store_replay" in rows:
+        entry = rows["store_replay"]
+        table.add_row(
+            "store cold-reopen replay",
+            f"{entry['blocks']} blocks",
+            entry["reopen_seconds"],
+            f"{entry['replay_blocks_per_sec']:.0f} blocks/s "
+            f"(append {entry['append_blocks_per_sec']:.0f}/s)",
         )
     if "mini_experiment" in rows:
         entry = rows["mini_experiment"]

@@ -5,12 +5,17 @@ schedules (:mod:`~repro.faults.plan`), a deterministic injector
 (:mod:`~repro.faults.injector`), the detector-side retry policy for
 the two-phase report submission (:mod:`~repro.faults.retry`), the
 post-heal invariant sweep (:mod:`~repro.faults.invariants`), and the
-end-to-end chaos gauntlet (:mod:`~repro.faults.gauntlet`).
+end-to-end chaos gauntlets — workload chaos and disk-fault recovery —
+(:mod:`~repro.faults.gauntlet`).
 """
 
 from repro.faults.gauntlet import (
+    DISK_SCENARIOS,
+    DiskGauntletResult,
     GauntletConfig,
     GauntletResult,
+    run_disk_fault_gauntlet,
+    run_disk_fault_suite,
     run_gauntlet,
     run_many,
 )
@@ -19,13 +24,17 @@ from repro.faults.invariants import (
     InvariantChecker,
     InvariantReport,
     InvariantViolation,
+    confirmed_chain_bytes,
 )
-from repro.faults.plan import ChaosPlan, FaultEvent, FaultKind
+from repro.faults.plan import DISK_FAULTS, ChaosPlan, FaultEvent, FaultKind
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "ChaosPlan",
     "DEFAULT_RETRY_POLICY",
+    "DISK_FAULTS",
+    "DISK_SCENARIOS",
+    "DiskGauntletResult",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
@@ -35,6 +44,9 @@ __all__ = [
     "InvariantReport",
     "InvariantViolation",
     "RetryPolicy",
+    "confirmed_chain_bytes",
+    "run_disk_fault_gauntlet",
+    "run_disk_fault_suite",
     "run_gauntlet",
     "run_many",
 ]

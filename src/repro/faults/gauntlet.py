@@ -18,19 +18,38 @@ gives it a quiet settling window and checks:
 from __future__ import annotations
 
 import random
+import shutil
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.chain.ledger import LedgerStateMachine
 from repro.chain.pow import PAPER_HASHPOWER_SHARES
+from repro.core.distributed import DistributedChain
 from repro.core.stakeholders import DecentralizedDeployment
 from repro.detection import build_detector_fleet, build_system
 from repro.faults.injector import FaultInjector
-from repro.faults.invariants import InvariantChecker, InvariantReport
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    confirmed_chain_bytes,
+)
 from repro.faults.plan import ChaosPlan
 from repro.faults.retry import RetryPolicy
+from repro.store import fsck
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
-__all__ = ["GauntletConfig", "GauntletResult", "run_gauntlet", "run_many"]
+__all__ = [
+    "DISK_SCENARIOS",
+    "DiskGauntletResult",
+    "GauntletConfig",
+    "GauntletResult",
+    "run_disk_fault_gauntlet",
+    "run_disk_fault_suite",
+    "run_gauntlet",
+    "run_many",
+]
 
 
 @dataclass(frozen=True)
@@ -328,4 +347,202 @@ def run_many(seeds: Tuple[int, ...] = (0, 1, 2), **overrides) -> List[GauntletRe
     results = []
     for seed in seeds:
         results.append(run_gauntlet(GauntletConfig(seed=seed, **overrides)))
+    return results
+
+
+# -- disk-fault gauntlet ------------------------------------------------------
+
+#: The three on-disk corruption shapes the store must survive.
+DISK_SCENARIOS: Tuple[str, ...] = ("torn_write", "bit_flip", "drop_snapshot")
+
+
+@dataclass
+class DiskGauntletResult:
+    """Outcome of one store-backed crash/corrupt/recover run."""
+
+    seed: int
+    scenario: str
+    victim: str
+    blocks_mined: int
+    faults_applied: int
+    fault_log: List[Tuple[float, str]]
+    #: fsck ran against the corrupted store while the victim was down.
+    corruption_detected: bool
+    corruption_kinds: List[str]
+    store_recoveries: int
+    #: Post-heal: confirmed canonical prefix byte-identical to a
+    #: never-crashed replica's.
+    chain_match: bool
+    #: Post-heal: store-replayed ledger equals a from-genesis replay.
+    ledger_match: bool
+    #: Post-heal: fsck reports the recovered store clean.
+    fsck_clean_after: bool
+    converged: bool
+
+    @property
+    def ok(self) -> bool:
+        """Corruption was detected, then fully healed."""
+        return (
+            self.corruption_detected
+            and self.store_recoveries >= 1
+            and self.chain_match
+            and self.ledger_match
+            and self.fsck_clean_after
+            and self.converged
+        )
+
+    def assert_ok(self) -> None:
+        """Raise AssertionError with every problem if the run failed."""
+        problems: List[str] = []
+        if not self.corruption_detected:
+            problems.append(
+                "fsck did not flag the corrupted store while the node was down"
+            )
+        if self.store_recoveries < 1:
+            problems.append("restart never went through store recovery")
+        if not self.chain_match:
+            problems.append(
+                "recovered confirmed chain differs from the never-crashed replica"
+            )
+        if not self.ledger_match:
+            problems.append(
+                "store-replayed ledger differs from a from-genesis replay"
+            )
+        if not self.fsck_clean_after:
+            problems.append("fsck still reports issues after recovery")
+        if not self.converged:
+            problems.append("replicas did not converge to a single tip")
+        if problems:
+            lines = "\n".join(f"  - {problem}" for problem in problems)
+            raise AssertionError(
+                f"disk gauntlet seed {self.seed} "
+                f"scenario {self.scenario!r} failed:\n{lines}"
+            )
+
+    def render(self) -> str:
+        """Human-readable run report."""
+        detected = ", ".join(self.corruption_kinds) or "none"
+        return (
+            f"disk gauntlet seed={self.seed} scenario={self.scenario}: "
+            f"{'PASS' if self.ok else 'FAIL'} "
+            f"({self.blocks_mined} blocks, {self.faults_applied} faults, "
+            f"victim={self.victim}, detected=[{detected}], "
+            f"recoveries={self.store_recoveries}, "
+            f"chain_match={self.chain_match}, ledger_match={self.ledger_match}, "
+            f"fsck_clean_after={self.fsck_clean_after})"
+        )
+
+
+def run_disk_fault_gauntlet(
+    scenario: str,
+    seed: int = 0,
+    store_dir: Optional[str] = None,
+    snapshot_interval: int = 4,
+) -> DiskGauntletResult:
+    """One store-backed crash/corrupt/recover run; deterministic in ``seed``.
+
+    A five-replica :class:`~repro.core.distributed.DistributedChain`
+    persists every replica to disk.  The plan crashes one victim, hits
+    its (now process-less) store with the requested disk fault, and
+    restarts it; while the victim is down an fsck probe must *detect*
+    the injected corruption, and after the heal the recovered replica's
+    confirmed chain must be byte-identical to a never-crashed one, its
+    store-replayed ledger must equal a from-genesis replay, and fsck
+    must come back clean.
+
+    ``store_dir`` defaults to a fresh temp directory removed before
+    returning; pass a path to keep the stores for inspection.
+    """
+    if scenario not in DISK_SCENARIOS:
+        raise ValueError(
+            f"unknown disk scenario {scenario!r}; pick one of {DISK_SCENARIOS}"
+        )
+    cleanup = store_dir is None
+    root = (
+        Path(tempfile.mkdtemp(prefix="repro-disk-gauntlet-"))
+        if store_dir is None
+        else Path(store_dir)
+    )
+    try:
+        shares = {f"provider-{i}": 0.2 for i in range(1, 6)}
+        fleet = DistributedChain(
+            shares,
+            mean_block_time=5.0,
+            seed=seed,
+            store_dir=str(root),
+            store_snapshot_interval=snapshot_interval,
+        )
+        names = sorted(shares)
+        victim = names[seed % len(names)]
+        reference = next(name for name in names if name != victim)
+
+        plan = ChaosPlan().crash(victim, at=150.0)
+        if scenario == "torn_write":
+            plan.torn_write(victim, at=170.0)
+        elif scenario == "bit_flip":
+            plan.bit_flip(victim, at=170.0)
+        else:
+            plan.drop_snapshot(victim, at=170.0)
+        plan.restart(victim, at=230.0)
+        injector = FaultInjector(
+            fleet.simulator, fleet.network, plan, rng=random.Random(seed + 11)
+        )
+        injector.arm()
+
+        victim_node = fleet.replicas[victim]
+        assert victim_node.store is not None
+        probe: Dict[str, object] = {}
+
+        def _probe_down_store() -> None:
+            # What an operator's fsck would see on the dead node's disk.
+            report = fsck(victim_node.store.path)
+            probe["ok"] = report.ok
+            probe["kinds"] = sorted({issue.kind for issue in report.issues})
+
+        fleet.simulator.schedule_at(200.0, _probe_down_store)
+
+        while fleet.simulator.now < 420.0:
+            fleet.step()
+        fleet.finalize()
+
+        machine = LedgerStateMachine()
+        state, nonces = machine.replay(fleet.replicas[victim].chain)
+        replay = victim_node.store.replay_ledger()
+        ledger_match = (
+            replay.state.snapshot() == state.snapshot()
+            and replay.nonces == nonces
+        )
+        return DiskGauntletResult(
+            seed=seed,
+            scenario=scenario,
+            victim=victim,
+            blocks_mined=fleet.blocks_mined,
+            faults_applied=injector.faults_applied,
+            fault_log=list(injector.log),
+            corruption_detected=probe.get("ok") is False,
+            corruption_kinds=list(probe.get("kinds", [])),
+            store_recoveries=victim_node.store_recoveries,
+            chain_match=(
+                confirmed_chain_bytes(fleet.replicas[victim].chain)
+                == confirmed_chain_bytes(fleet.replicas[reference].chain)
+                != b""
+            ),
+            ledger_match=ledger_match,
+            fsck_clean_after=fsck(victim_node.store.path).ok,
+            converged=fleet.converged(),
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def run_disk_fault_suite(
+    seeds: Tuple[int, ...] = (0, 1, 2),
+    scenarios: Tuple[str, ...] = DISK_SCENARIOS,
+) -> List[DiskGauntletResult]:
+    """The acceptance sweep: every disk scenario under every seed."""
+    results = []
+    for scenario in scenarios:
+        for seed in seeds:
+            results.append(run_disk_fault_gauntlet(scenario, seed=seed))
     return results

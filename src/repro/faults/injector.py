@@ -17,9 +17,10 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
-from repro.faults.plan import ChaosPlan, FaultEvent, FaultKind
+from repro.faults.plan import DISK_FAULTS, ChaosPlan, FaultEvent, FaultKind
 from repro.network.gossip import GossipNetwork
 from repro.network.simulator import Simulator
+from repro.store.faultinject import drop_snapshots, flip_bit, tear_frame
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["FaultInjector"]
@@ -53,10 +54,15 @@ class FaultInjector:
         """Schedule every plan event on the simulator; returns the count.
 
         Events are scheduled at absolute plan times; arming twice is an
-        error (the plan would double-apply).
+        error (the plan would double-apply).  The plan's crash/restart
+        ordering is validated first — a restart without a preceding
+        crash, or a crash of an already-down node, is a plan bug and
+        raises ValueError here rather than silently firing no-op
+        lifecycle events mid-run.
         """
         if self._armed:
             raise RuntimeError("injector is already armed")
+        self.plan.validate()
         self._armed = True
         for event in self.plan.events:
             self.simulator.schedule_at(
@@ -93,6 +99,8 @@ class FaultInjector:
             )
         elif kind is FaultKind.CLEAR_DELAY_SPIKE:
             self.network.extra_delay = None
+        elif kind in DISK_FAULTS:
+            self._apply_disk_fault(event)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unknown fault kind {kind!r}")
         self.faults_applied += 1
@@ -100,6 +108,39 @@ class FaultInjector:
         if self.telemetry.enabled:
             self.telemetry.counter("faults.injected", kind=kind.name.lower()).inc()
             self.telemetry.event("fault.injected", fault=event.describe())
+
+    def _apply_disk_fault(self, event: FaultEvent) -> None:
+        """Corrupt the target nodes' durable stores (they must exist).
+
+        Plan validation already guarantees the node is down; real disk
+        corruption happens *behind* a dead process, and the damage only
+        surfaces when the restart's store recovery scans the log.
+        """
+        params = event.params
+        for name in event.targets[0]:
+            node = self.network.node(name)
+            store = getattr(node, "store", None)
+            if store is None:
+                raise ValueError(
+                    f"{event.kind.value} targets {name!r}, which has no "
+                    "durable store attached"
+                )
+            if event.kind is FaultKind.TORN_WRITE:
+                tear_frame(
+                    store,
+                    frame_index=params[0] if params else -1,
+                    keep_bytes=params[1] if len(params) > 1 else -1,
+                )
+            elif event.kind is FaultKind.BIT_FLIP:
+                flip_bit(
+                    store,
+                    frame_index=params[0] if params else -1,
+                    bit=params[1] if len(params) > 1 else -1,
+                )
+            else:  # DROP_SNAPSHOT
+                drop_snapshots(
+                    store, keep_oldest=params[0] if params else 0
+                )
 
     # -- views ---------------------------------------------------------------
 

@@ -25,10 +25,34 @@ from typing import Dict, List, Mapping, Optional, Set
 
 from repro.chain.block import RecordKind
 from repro.chain.chain import Blockchain
+from repro.chain.serialization import encode_block
 from repro.contracts.state import BURN_ADDRESS
 from repro.core.reports import DetailedReport
 
-__all__ = ["InvariantViolation", "InvariantReport", "InvariantChecker"]
+__all__ = [
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "confirmed_chain_bytes",
+]
+
+
+def confirmed_chain_bytes(chain: Blockchain) -> bytes:
+    """Byte-exact wire encoding of the chain's confirmed canonical prefix.
+
+    The strongest recovery check available: two replicas whose confirmed
+    prefixes serialize to the same bytes agree on every header field,
+    every record payload, and every Merkle root — not merely on a head
+    id.  Used by the disk-fault gauntlet to assert that a crash-recovered
+    replica is indistinguishable from one that never crashed.
+    """
+    confirmed_height = chain.height - chain.confirmation_depth
+    parts = []
+    for block in chain.iter_canonical():
+        if block.header.height > confirmed_height:
+            break
+        parts.append(encode_block(block))
+    return b"".join(parts)
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["FaultKind", "FaultEvent", "ChaosPlan"]
+__all__ = ["ChaosPlan", "DISK_FAULTS", "FaultEvent", "FaultKind"]
 
 
 class FaultKind(enum.Enum):
@@ -30,28 +30,44 @@ class FaultKind(enum.Enum):
     SET_DUPLICATION = "set_duplication"
     DELAY_SPIKE = "delay_spike"
     CLEAR_DELAY_SPIKE = "clear_delay_spike"
+    # Disk faults: corrupt a down node's durable store so its restart
+    # exercises the crash-recovery path (see repro.store.faultinject).
+    TORN_WRITE = "torn_write"
+    BIT_FLIP = "bit_flip"
+    DROP_SNAPSHOT = "drop_snapshot"
+
+
+#: Fault kinds that modify a node's on-disk store.
+DISK_FAULTS = frozenset(
+    {FaultKind.TORN_WRITE, FaultKind.BIT_FLIP, FaultKind.DROP_SNAPSHOT}
+)
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One scheduled fault.
 
-    ``targets`` holds node names for CRASH/RESTART and the two side
-    groups for PARTITION/HEAL_PARTITION; ``value`` carries the rate
-    for SET_LOSS/SET_DUPLICATION and the maximum extra seconds for
-    DELAY_SPIKE.
+    ``targets`` holds node names for CRASH/RESTART and disk faults,
+    and the two side groups for PARTITION/HEAL_PARTITION; ``value``
+    carries the rate for SET_LOSS/SET_DUPLICATION and the maximum
+    extra seconds for DELAY_SPIKE; ``params`` carries the disk-fault
+    knobs (frame index, bytes/bit, snapshots kept).
     """
 
     at: float
     kind: FaultKind
     targets: Tuple[Tuple[str, ...], ...] = ()
     value: float = 0.0
+    params: Tuple[int, ...] = ()
 
     def describe(self) -> str:
         """Human-readable one-liner for chaos logs."""
-        if self.kind in (FaultKind.CRASH, FaultKind.RESTART):
+        if self.kind in (FaultKind.CRASH, FaultKind.RESTART) or (
+            self.kind in DISK_FAULTS
+        ):
             names = ",".join(self.targets[0]) if self.targets else "?"
-            return f"t={self.at:.1f} {self.kind.value} {names}"
+            suffix = f" params={self.params}" if self.params else ""
+            return f"t={self.at:.1f} {self.kind.value} {names}{suffix}"
         if self.kind in (FaultKind.PARTITION, FaultKind.HEAL_PARTITION):
             sides = " | ".join(",".join(group) for group in self.targets)
             return f"t={self.at:.1f} {self.kind.value} [{sides}]"
@@ -85,6 +101,52 @@ class ChaosPlan:
         if downtime <= 0:
             raise ValueError("downtime must be positive")
         return self.crash(node, at).restart(node, at + downtime)
+
+    # -- disk faults (durable stores) --------------------------------------
+
+    def torn_write(
+        self, node: str, at: float, frame: int = -1, keep_bytes: int = -1
+    ) -> "ChaosPlan":
+        """Tear ``node``'s block log mid-frame while it is down.
+
+        ``frame`` picks the victim frame (negative counts from the
+        end); ``keep_bytes`` is how much of it survives (default about
+        half).  The node must be crashed at ``at`` — see
+        :meth:`validate`.
+        """
+        return self._add(
+            FaultEvent(
+                at=at, kind=FaultKind.TORN_WRITE, targets=((node,),),
+                params=(frame, keep_bytes),
+            )
+        )
+
+    def bit_flip(self, node: str, at: float, frame: int = -1, bit: int = -1) -> "ChaosPlan":
+        """Flip one bit of a stored frame while ``node`` is down."""
+        return self._add(
+            FaultEvent(
+                at=at, kind=FaultKind.BIT_FLIP, targets=((node,),),
+                params=(frame, bit),
+            )
+        )
+
+    def drop_snapshot(
+        self, node: str, at: float, keep_oldest: int = 0
+    ) -> "ChaosPlan":
+        """Delete ``node``'s ledger snapshots while it is down.
+
+        ``keep_oldest=0`` loses them all (genesis replay on recovery);
+        ``keep_oldest=1`` leaves a *stale* one (older anchor, longer
+        delta replay).
+        """
+        if keep_oldest < 0:
+            raise ValueError("keep_oldest cannot be negative")
+        return self._add(
+            FaultEvent(
+                at=at, kind=FaultKind.DROP_SNAPSHOT, targets=((node,),),
+                params=(keep_oldest,),
+            )
+        )
 
     def partition(
         self,
@@ -192,6 +254,52 @@ class ChaosPlan:
             tick += epoch
         plan.sort()
         return plan
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> "ChaosPlan":
+        """Check crash/restart ordering; raises ValueError on nonsense.
+
+        Replays the schedule in time order (stable, so builder order
+        breaks ties — matching how the injector applies simultaneous
+        events) and rejects:
+
+        * a RESTART of a node that is not down at that time,
+        * a second CRASH of a node that is already down,
+        * a disk fault against a node that is *not* down (a live store
+          is mid-use; real disk corruption surfaces at recovery).
+
+        Returns self, so it chains fluently.
+        """
+        down_since: Dict[str, float] = {}
+        for event in sorted(self.events, key=lambda e: e.at):
+            if event.kind is FaultKind.CRASH:
+                for name in event.targets[0]:
+                    if name in down_since:
+                        raise ValueError(
+                            f"crash of {name!r} at t={event.at:g} while it "
+                            f"is already down (crashed at "
+                            f"t={down_since[name]:g} with no restart in "
+                            "between)"
+                        )
+                    down_since[name] = event.at
+            elif event.kind is FaultKind.RESTART:
+                for name in event.targets[0]:
+                    if name not in down_since:
+                        raise ValueError(
+                            f"restart of {name!r} at t={event.at:g} has no "
+                            "preceding crash: the node is already up"
+                        )
+                    del down_since[name]
+            elif event.kind in DISK_FAULTS:
+                for name in event.targets[0]:
+                    if name not in down_since:
+                        raise ValueError(
+                            f"{event.kind.value} against {name!r} at "
+                            f"t={event.at:g} requires the node to be down "
+                            "(schedule a crash before the disk fault)"
+                        )
+        return self
 
     # -- inspection ----------------------------------------------------------
 

@@ -42,18 +42,63 @@ def _hex(data: bytes) -> str:
 class Eth:
     """The ``w3.eth`` namespace."""
 
-    chain: Blockchain
-    runtime: ContractRuntime
+    chain: Optional[Blockchain]
+    runtime: Optional[ContractRuntime]
     #: The node's pending-record pool, when the shim fronts a live node
     #: (``Web3Shim.connect``); pending lookups need it.
     mempool: Optional[Mempool] = None
+    #: A live replica node (``Web3Shim.connect_node``).  When set, every
+    #: call re-resolves ``chain``/``mempool`` from the node's *current*
+    #: attributes — a restart-from-disk swaps the node's chain object
+    #: wholesale, and a shim bound to the old object would serve stale
+    #: blocks and phantom receipts.
+    node: Optional[object] = None
+
+    # -- live resolution ----------------------------------------------------
+
+    def _live_chain(self) -> Blockchain:
+        """The chain to answer from right now; RpcError if there is none."""
+        if self.node is not None:
+            if getattr(self.node, "crashed", False):
+                name = getattr(self.node, "name", "node")
+                raise RpcError(
+                    f"{name} is down (crashed or mid-recovery); "
+                    "retry once it has restarted"
+                )
+            chain = getattr(self.node, "chain", None)
+            if chain is None:
+                name = getattr(self.node, "name", "node")
+                raise RpcError(f"{name} holds no full chain replica")
+            return chain
+        if self.chain is None:
+            raise RpcError("no chain attached to this shim")
+        return self.chain
+
+    def _live_mempool(self) -> Optional[Mempool]:
+        if self.node is not None:
+            if getattr(self.node, "crashed", False):
+                name = getattr(self.node, "name", "node")
+                raise RpcError(
+                    f"{name} is down (crashed or mid-recovery); "
+                    "retry once it has restarted"
+                )
+            return getattr(self.node, "mempool", None)
+        return self.mempool
+
+    def _require_runtime(self) -> ContractRuntime:
+        if self.runtime is None:
+            raise RpcError(
+                "no contract runtime attached: balances and contract "
+                "calls need one (pass runtime= when connecting)"
+            )
+        return self.runtime
 
     # -- chain reads --------------------------------------------------------
 
     @property
     def block_number(self) -> int:
         """Height of the canonical head."""
-        return self.chain.height
+        return self._live_chain().height
 
     def get_block(self, identifier: BlockIdentifier) -> Dict[str, Any]:
         """A block as a web3-shaped dict.
@@ -75,12 +120,13 @@ class Eth:
         }
 
     def _resolve_block(self, identifier: BlockIdentifier) -> Block:
+        chain = self._live_chain()
         if identifier == "latest":
-            return self.chain.head
+            return chain.head
         if identifier == "earliest":
-            return self.chain.genesis
+            return chain.genesis
         if isinstance(identifier, int):
-            block = self.chain.block_at_height(identifier)
+            block = chain.block_at_height(identifier)
             if block is None:
                 raise RpcError(f"no block at height {identifier}")
             return block
@@ -90,7 +136,7 @@ class Eth:
                 raw = bytes.fromhex(raw.removeprefix("0x"))
             except ValueError as error:
                 raise RpcError(f"bad block identifier {identifier!r}") from error
-        block = self.chain.get_block(raw)
+        block = chain.get_block(raw)
         if block is None:
             raise RpcError("unknown block hash")
         return block
@@ -113,11 +159,12 @@ class Eth:
 
     def get_transaction(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
         """Look up a canonical chain record by id (web3's tx lookup)."""
+        chain = self._live_chain()
         raw = self._record_id(record_id)
-        location = self.chain.locate_record(raw)
+        location = chain.locate_record(raw)
         if location is None:
             raise RpcError(f"transaction {_hex(raw)} not found on the canonical chain")
-        record = self.chain.get_record(raw)
+        record = chain.get_record(raw)
         return {
             "hash": _hex(raw),
             "blockHash": _hex(location.block_id),
@@ -127,7 +174,7 @@ class Eth:
             "fee": record.fee,
             "from": record.sender.hex() if record.sender else None,
             "input": _hex(record.payload),
-            "confirmations": self.chain.confirmations(location.block_id),
+            "confirmations": chain.confirmations(location.block_id),
         }
 
     def get_transaction_receipt(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
@@ -135,18 +182,23 @@ class Eth:
 
         Raises :class:`RpcError` for records that are still pending in
         the mempool (web3 nodes answer null until inclusion) or unknown
-        entirely — the message says which.
+        entirely — the message says which.  Against a node whose restart
+        emptied the record from both chain and pool (empty-store
+        recovery before the peer resync refills it), the answer is the
+        documented "unknown" RpcError — never a KeyError.
         """
+        chain = self._live_chain()
         raw = self._record_id(record_id)
-        location = self.chain.locate_record(raw)
+        location = chain.locate_record(raw)
         if location is None:
-            if self.mempool is not None and raw in self.mempool:
+            mempool = self._live_mempool()
+            if mempool is not None and raw in mempool:
                 raise RpcError(
                     f"transaction {_hex(raw)} is pending in the mempool, "
                     "not yet mined"
                 )
             raise RpcError(f"no receipt: transaction {_hex(raw)} is unknown")
-        record = self.chain.get_record(raw)
+        record = chain.get_record(raw)
         return {
             "transactionHash": _hex(raw),
             "blockHash": _hex(location.block_id),
@@ -154,7 +206,7 @@ class Eth:
             "transactionIndex": location.index_in_block,
             "from": record.sender.hex() if record.sender else None,
             "status": 1,
-            "confirmations": self.chain.confirmations(location.block_id),
+            "confirmations": chain.confirmations(location.block_id),
         }
 
     def get_pending_transactions(self) -> List[Dict[str, Any]]:
@@ -189,24 +241,26 @@ class Eth:
         }
 
     def _require_mempool(self) -> Mempool:
-        if self.mempool is None:
+        mempool = self._live_mempool()
+        if mempool is None:
             raise RpcError(
                 "no mempool attached: connect the shim to a node "
-                "(Web3Shim.connect) to query pending transactions"
+                "(Web3Shim.connect / connect_node) to query pending "
+                "transactions"
             )
-        return self.mempool
+        return mempool
 
     # -- account reads ------------------------------------------------------
 
     def get_balance(self, account: Union[Address, str]) -> int:
         """Balance in wei (accepts an Address or 0x hex string)."""
-        return self.runtime.state.balance(self._address(account))
+        return self._require_runtime().state.balance(self._address(account))
 
     def get_transaction_count(self, account: Union[Address, str]) -> int:
         """Canonical records sent by ``account`` (web3's nonce query)."""
         address = self._address(account)
         count = 0
-        for block in self.chain.iter_canonical():
+        for block in self._live_chain().iter_canonical():
             for record in block.records:
                 if record.sender == address:
                     count += 1
@@ -227,7 +281,7 @@ class Eth:
         self, contract: Contract, sender: Address, value_wei: int = 0
     ) -> Receipt:
         """Deploy a contract (web3's ``contract.constructor().transact()``)."""
-        return self.runtime.deploy(contract, sender, value_wei=value_wei)
+        return self._require_runtime().deploy(contract, sender, value_wei=value_wei)
 
     def call_contract(
         self,
@@ -241,16 +295,17 @@ class Eth:
         """Invoke a contract function (web3's ``fn(...).transact()``)."""
         if isinstance(address, str):
             address = Address.from_hex(address)
-        return self.runtime.call(
+        return self._require_runtime().call(
             address, method, sender, value_wei, None, *args, **kwargs
         )
 
     def get_logs(self, event_name: Optional[str] = None) -> List[Dict[str, Any]]:
         """Event logs, optionally filtered by name (web3's ``get_logs``)."""
+        runtime = self._require_runtime()
         events = (
-            self.runtime.events_named(event_name)
+            runtime.events_named(event_name)
             if event_name is not None
-            else self.runtime.events
+            else runtime.events
         )
         return [
             {
@@ -268,8 +323,8 @@ class Web3Shim:
 
     def __init__(
         self,
-        chain: Blockchain,
-        runtime: ContractRuntime,
+        chain: Optional[Blockchain],
+        runtime: Optional[ContractRuntime],
         mempool: Optional[Mempool] = None,
     ) -> None:
         self.eth = Eth(chain=chain, runtime=runtime, mempool=mempool)
@@ -279,6 +334,28 @@ class Web3Shim:
         """Attach to a running :class:`~repro.core.platform.SmartCrowdPlatform`."""
         return cls(platform.mining.chain, platform.runtime, platform.mining.mempool)
 
+    @classmethod
+    def connect_node(cls, node, runtime: Optional[ContractRuntime] = None) -> "Web3Shim":
+        """Attach to a live replica node (provider, fleet member...).
+
+        Unlike :meth:`connect`, the binding is *by node, not by object*:
+        a restart-from-disk replaces ``node.chain`` wholesale, and this
+        shim follows the swap instead of serving stale blocks and
+        phantom receipts from the pre-crash object.  Queries against a
+        crashed or mid-recovery node raise :class:`RpcError` rather
+        than reading a corpse.
+        """
+        if getattr(node, "chain", None) is None:
+            raise RpcError(
+                f"{getattr(node, 'name', node)!r} holds no full chain "
+                "replica (light clients cannot serve this RPC surface)"
+            )
+        shim = cls(chain=None, runtime=runtime)
+        shim.eth.node = node
+        return shim
+
     def is_connected(self) -> bool:
-        """Liveness probe (always true in-process)."""
+        """Liveness probe: false while a bound node is down."""
+        if self.eth.node is not None:
+            return not getattr(self.eth.node, "crashed", False)
         return True

@@ -1,0 +1,53 @@
+"""Command-line entry point: ``python -m repro.store fsck PATH``.
+
+Exit codes: 0 = store is clean, 1 = corruption detected, 2 = the path
+is not a usable store (missing, unreadable, or not a store directory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.store.frames import StoreError
+from repro.store.fsck import EXIT_UNUSABLE, fsck
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="Durable chain store maintenance tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser(
+        "fsck",
+        help="verify a store directory (exit 0 clean, 1 corrupt, 2 unusable)",
+    )
+    check.add_argument("path", help="store directory to verify")
+    check.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    check.add_argument(
+        "--quiet", action="store_true", help="no output, exit code only"
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = fsck(args.path)
+    except (StoreError, OSError) as error:
+        if not getattr(args, "quiet", False):
+            print(f"fsck: {error}", file=sys.stderr)
+        return EXIT_UNUSABLE
+    if not args.quiet:
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Checksummed length-prefixed frames — the on-disk unit of the store.
+
+Every durable artifact (block log, header log, ledger snapshot) is a
+sequence of *frames*: an 8-byte header (4-byte big-endian payload
+length, 4-byte CRC-32 of the payload) followed by the payload bytes.
+The frame layer is what makes the store *crash-safe* rather than merely
+persistent: a torn write leaves a frame whose length overruns the file,
+and a bit flip breaks the checksum — both are detected by
+:func:`scan_frames` on open, never silently decoded.
+
+The payload encodings themselves reuse the repo's framed codec
+(:mod:`repro.codec`), so the injectivity discipline of the wire format
+extends to disk.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import BinaryIO, Callable, List, Optional
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "FrameInfo",
+    "MAX_FRAME_BYTES",
+    "ScanResult",
+    "StoreCorruption",
+    "StoreError",
+    "frame_bytes",
+    "read_frame",
+    "scan_frames",
+    "write_frame",
+]
+
+#: Bytes of metadata ahead of every payload: length (4) + CRC-32 (4).
+FRAME_HEADER_BYTES = 8
+
+#: Sanity ceiling on a single frame.  A flipped bit in the length field
+#: must read as corruption, not as a request to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class StoreError(ValueError):
+    """Raised for misused or structurally invalid stores."""
+
+
+class StoreCorruption(StoreError):
+    """Raised when on-disk bytes fail checksum or framing validation."""
+
+
+@dataclass(frozen=True)
+class FrameInfo:
+    """Location of one verified frame inside a log file."""
+
+    offset: int
+    length: int  # payload bytes, excluding the frame header
+
+    @property
+    def end(self) -> int:
+        """File offset one past this frame's last byte."""
+        return self.offset + FRAME_HEADER_BYTES + self.length
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a full verification pass over a log file.
+
+    ``good_end`` is the offset of the first byte that cannot be
+    trusted; recovery truncates there.  ``corruption`` is None for a
+    clean file, else a human-readable reason anchored at
+    ``corrupt_offset``.
+    """
+
+    frames: List[FrameInfo] = field(default_factory=list)
+    good_end: int = 0
+    file_size: int = 0
+    corruption: Optional[str] = None
+    corrupt_offset: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        """True when every byte of the file is a verified frame."""
+        return self.corruption is None
+
+    @property
+    def tail_bytes(self) -> int:
+        """Unreadable bytes past the last good frame."""
+        return self.file_size - self.good_end
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    """Encode one payload as a checksummed frame."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise StoreError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+    return (
+        len(payload).to_bytes(4, "big")
+        + zlib.crc32(payload).to_bytes(4, "big")
+        + payload
+    )
+
+
+def write_frame(handle: BinaryIO, payload: bytes) -> FrameInfo:
+    """Append one frame at the current end of ``handle``; flushes."""
+    handle.seek(0, 2)
+    offset = handle.tell()
+    handle.write(frame_bytes(payload))
+    handle.flush()
+    return FrameInfo(offset=offset, length=len(payload))
+
+
+def read_frame(handle: BinaryIO, info: FrameInfo) -> bytes:
+    """Read one frame's payload, re-verifying its checksum."""
+    handle.seek(info.offset)
+    header = handle.read(FRAME_HEADER_BYTES)
+    if len(header) != FRAME_HEADER_BYTES:
+        raise StoreCorruption(
+            f"frame header at offset {info.offset} is torn"
+        )
+    length = int.from_bytes(header[:4], "big")
+    expected_crc = int.from_bytes(header[4:], "big")
+    if length != info.length:
+        raise StoreCorruption(
+            f"frame at offset {info.offset} changed length on disk "
+            f"({length} != indexed {info.length}); reopen the store"
+        )
+    payload = handle.read(length)
+    if len(payload) != length or zlib.crc32(payload) != expected_crc:
+        raise StoreCorruption(
+            f"frame at offset {info.offset} fails its checksum"
+        )
+    return payload
+
+
+def scan_frames(
+    handle: BinaryIO,
+    on_payload: Optional[Callable[[int, int, bytes], None]] = None,
+) -> ScanResult:
+    """Verify every frame in ``handle`` front to back.
+
+    Stops at the first frame that is torn (header or payload overruns
+    the file), implausible (length above :data:`MAX_FRAME_BYTES`), or
+    checksum-broken; everything before that point is good, everything
+    after is untrusted.  ``on_payload(index, offset, payload)`` lets a
+    caller build its index in the same single pass that verifies the
+    checksums.
+    """
+    handle.seek(0, 2)
+    size = handle.tell()
+    handle.seek(0)
+    result = ScanResult(file_size=size)
+    offset = 0
+    while offset < size:
+        if offset + FRAME_HEADER_BYTES > size:
+            result.corruption = (
+                f"torn frame header: {size - offset} trailing bytes"
+            )
+            result.corrupt_offset = offset
+            break
+        header = handle.read(FRAME_HEADER_BYTES)
+        length = int.from_bytes(header[:4], "big")
+        expected_crc = int.from_bytes(header[4:], "big")
+        if length > MAX_FRAME_BYTES:
+            result.corruption = (
+                f"implausible frame length {length} (bit-flipped header?)"
+            )
+            result.corrupt_offset = offset
+            break
+        if offset + FRAME_HEADER_BYTES + length > size:
+            result.corruption = (
+                f"frame payload overruns the file by "
+                f"{offset + FRAME_HEADER_BYTES + length - size} bytes "
+                "(torn write)"
+            )
+            result.corrupt_offset = offset
+            break
+        payload = handle.read(length)
+        if zlib.crc32(payload) != expected_crc:
+            result.corruption = f"checksum mismatch at offset {offset}"
+            result.corrupt_offset = offset
+            break
+        if on_payload is not None:
+            on_payload(len(result.frames), offset, payload)
+        result.frames.append(FrameInfo(offset=offset, length=length))
+        offset += FRAME_HEADER_BYTES + length
+    result.good_end = (
+        result.frames[-1].end if result.frames else 0
+    )
+    return result

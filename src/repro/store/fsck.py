@@ -1,0 +1,247 @@
+"""``fsck`` for chain and header stores — detect, never mutate.
+
+:func:`fsck` runs every check the recovery path relies on, but reports
+instead of repairing: frame checksums, torn tails, block structure
+(full decode incl. Merkle re-derivation), parent-before-child linkage,
+snapshot integrity, and manifest/snapshot agreement.  It is the
+auditor's answer to "can this store be trusted as the authoritative
+report reference" (§V-C) — and the chaos gauntlet's proof that every
+injected corruption is *detected*, not silently absorbed.
+
+Exit-code contract (see :mod:`repro.store.__main__`):
+
+* 0 — store is clean
+* 1 — corruption found (torn tail, bad frame, stale/missing snapshot)
+* 2 — not a store at all, or unreadable
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.chain.block import GENESIS_PARENT
+from repro.chain.serialization import decode_block, decode_header
+from repro.codec import CodecError
+from repro.store.frames import StoreError, scan_frames
+from repro.store.snapshot import LedgerSnapshot
+from repro.store.store import ChainStore, HeaderStore
+
+__all__ = ["FsckIssue", "FsckReport", "fsck"]
+
+EXIT_CLEAN = 0
+EXIT_CORRUPT = 1
+EXIT_UNUSABLE = 2
+
+
+@dataclass(frozen=True)
+class FsckIssue:
+    """One detected problem."""
+
+    kind: str  # e.g. "torn-tail", "bad-frame", "snapshot-missing"
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class FsckReport:
+    """Everything fsck found about one store directory."""
+
+    path: str
+    kind: str  # "chain" or "header"
+    frames_ok: int = 0
+    snapshots_ok: int = 0
+    issues: List[FsckIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if self.ok else EXIT_CORRUPT
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "frames_ok": self.frames_ok,
+            "snapshots_ok": self.snapshots_ok,
+            "ok": self.ok,
+            "issues": [
+                {"kind": issue.kind, "detail": issue.detail}
+                for issue in self.issues
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"{self.path}: {self.kind} store, "
+            f"{self.frames_ok} good frames, "
+            f"{self.snapshots_ok} good snapshots — "
+            + ("CLEAN" if self.ok else f"{len(self.issues)} issue(s)")
+        ]
+        lines.extend("  " + issue.render() for issue in self.issues)
+        return "\n".join(lines)
+
+
+def _check_chain_frames(log_path: Path, report: FsckReport) -> Dict[bytes, int]:
+    """Verify block frames; returns block_id -> height for good frames."""
+    heights: Dict[bytes, int] = {}
+
+    def check_payload(index: int, offset: int, payload: bytes) -> None:
+        block = decode_block(payload)  # full decode: Merkle re-derived
+        if index == 0:
+            if (
+                block.height != 0
+                or block.header.prev_block_id != GENESIS_PARENT
+            ):
+                raise StoreError("frame 0 is not a genesis block")
+        elif block.header.prev_block_id not in heights:
+            raise StoreError(
+                f"frame {index} references an unknown parent"
+            )
+        if block.block_id in heights:
+            raise StoreError(f"frame {index} duplicates an earlier block")
+        heights[block.block_id] = block.height
+
+    with open(log_path, "rb") as handle:
+        try:
+            scan = scan_frames(handle, on_payload=check_payload)
+        except (CodecError, StoreError) as error:
+            report.frames_ok = len(heights)
+            report.issues.append(
+                FsckIssue("bad-frame", f"frame {len(heights)}: {error}")
+            )
+            return heights
+    report.frames_ok = len(scan.frames)
+    if scan.corruption is not None:
+        report.issues.append(
+            FsckIssue(
+                "torn-tail" if "torn" in scan.corruption else "bad-frame",
+                f"{scan.corruption}; {scan.tail_bytes} byte(s) after "
+                f"offset {scan.good_end} are unreadable",
+            )
+        )
+    return heights
+
+
+def _check_snapshots(
+    store_path: Path, heights: Dict[bytes, int], report: FsckReport
+) -> None:
+    snap_dir = store_path / ChainStore.SNAPSHOT_DIR
+    best_valid: Optional[int] = None
+    if snap_dir.is_dir():
+        for file in sorted(snap_dir.glob("ledger-*.snap")):
+            try:
+                with open(file, "rb") as handle:
+                    scan = scan_frames(handle)
+                if scan.corruption is not None or len(scan.frames) != 1:
+                    raise StoreError(
+                        scan.corruption or "expected exactly one frame"
+                    )
+                with open(file, "rb") as handle:
+                    handle.seek(scan.frames[0].offset + 8)
+                    payload = handle.read(scan.frames[0].length)
+                snapshot = LedgerSnapshot.from_bytes(payload)
+            except (StoreError, CodecError, OSError) as error:
+                report.issues.append(
+                    FsckIssue("snapshot-corrupt", f"{file.name}: {error}")
+                )
+                continue
+            if heights.get(snapshot.block_id) != snapshot.height:
+                report.issues.append(
+                    FsckIssue(
+                        "snapshot-stale",
+                        f"{file.name} pins block "
+                        f"{snapshot.block_id.hex()[:12]} at height "
+                        f"{snapshot.height}, which the log does not hold",
+                    )
+                )
+                continue
+            report.snapshots_ok += 1
+            if best_valid is None or snapshot.height > best_valid:
+                best_valid = snapshot.height
+    # Manifest agreement: a manifest promising a snapshot the directory
+    # cannot deliver is how a *lost* snapshot is detected at all.
+    meta_path = store_path / ChainStore.META_NAME
+    if meta_path.exists():
+        try:
+            manifest = json.loads(meta_path.read_text())
+        except (OSError, ValueError) as error:
+            report.issues.append(
+                FsckIssue("manifest-corrupt", str(error))
+            )
+            return
+        recorded = manifest.get("last_snapshot_height")
+        if recorded is not None and recorded != best_valid:
+            report.issues.append(
+                FsckIssue(
+                    "snapshot-missing",
+                    f"manifest records a snapshot at height {recorded} "
+                    "but the newest valid snapshot on disk is "
+                    + (str(best_valid) if best_valid is not None else "absent"),
+                )
+            )
+
+
+def _check_header_frames(log_path: Path, report: FsckReport) -> None:
+    ids: List[bytes] = []
+
+    def check_payload(index: int, offset: int, payload: bytes) -> None:
+        header = decode_header(payload)
+        if index == 0:
+            if header.height != 0 or header.prev_block_id != GENESIS_PARENT:
+                raise StoreError("frame 0 is not a genesis header")
+        elif header.height != index or header.prev_block_id != ids[-1]:
+            raise StoreError(f"frame {index} breaks the header link")
+        ids.append(header.header_hash())
+
+    with open(log_path, "rb") as handle:
+        try:
+            scan = scan_frames(handle, on_payload=check_payload)
+        except (CodecError, StoreError) as error:
+            report.frames_ok = len(ids)
+            report.issues.append(
+                FsckIssue("bad-frame", f"frame {len(ids)}: {error}")
+            )
+            return
+    report.frames_ok = len(scan.frames)
+    if scan.corruption is not None:
+        report.issues.append(
+            FsckIssue(
+                "torn-tail" if "torn" in scan.corruption else "bad-frame",
+                f"{scan.corruption}; {scan.tail_bytes} byte(s) after "
+                f"offset {scan.good_end} are unreadable",
+            )
+        )
+
+
+def fsck(path) -> FsckReport:
+    """Verify a store directory without modifying it.
+
+    Raises :class:`~repro.store.frames.StoreError` when ``path`` is not
+    a store at all (the CLI maps that to exit code 2).
+    """
+    store_path = Path(path)
+    chain_log = store_path / ChainStore.LOG_NAME
+    header_log = store_path / HeaderStore.LOG_NAME
+    if not store_path.is_dir():
+        raise StoreError(f"{store_path} is not a directory")
+    if chain_log.exists():
+        report = FsckReport(path=str(store_path), kind="chain")
+        heights = _check_chain_frames(chain_log, report)
+        _check_snapshots(store_path, heights, report)
+        return report
+    if header_log.exists():
+        report = FsckReport(path=str(store_path), kind="header")
+        _check_header_frames(header_log, report)
+        return report
+    raise StoreError(
+        f"{store_path} holds neither {ChainStore.LOG_NAME} nor "
+        f"{HeaderStore.LOG_NAME}: not a store"
+    )

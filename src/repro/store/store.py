@@ -1,0 +1,767 @@
+"""Durable chain stores: append-only logs with crash-safe recovery.
+
+A :class:`ChainStore` is a directory::
+
+    <path>/
+      blocks.log    append-only checksummed block frames
+      snapshots/    periodic ledger-state snapshots (one frame each)
+      meta.json     manifest: format version, snapshot bookkeeping
+
+and a :class:`HeaderStore` is the light-client analogue holding bare
+headers (``headers.log``).  Both are *crash-safe*, not merely
+persistent: opening a store runs a full checksum scan, truncates any
+torn tail, and reports what was lost (:class:`StoreRecovery`) so the
+node can resync exactly the missing suffix from peers.  Every frame is
+read back through the same CRC verification it was written with — a
+bit-flipped byte is an error, never a silently mis-decoded block.
+
+Blocks are appended in acceptance order, which means a parent frame
+always precedes its children; replaying the log front to back through
+:meth:`Blockchain.add_block` therefore reconstructs the replica's full
+block DAG (canonical chain *and* stored side branches) with no
+topological sort.  Ledger state does not need a full replay: recovery
+restores the newest usable snapshot and replays only the delta above
+it, so million-block stores recover in bounded RAM
+(:meth:`ChainStore.replay_ledger`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.chain.block import Block, BlockHeader, GENESIS_PARENT
+from repro.chain.chain import Blockchain, ChainError
+from repro.chain.ledger import DEFAULT_BLOCK_REWARD_WEI, apply_block
+from repro.chain.serialization import (
+    decode_block,
+    decode_header,
+    encode_block,
+    encode_header,
+)
+from repro.codec import CodecError, unpack
+from repro.contracts.state import WorldState
+from repro.core.lightclient import HeaderChain
+from repro.crypto.keys import Address
+from repro.store.frames import (
+    FRAME_HEADER_BYTES,
+    FrameInfo,
+    StoreCorruption,
+    StoreError,
+    read_frame,
+    scan_frames,
+    write_frame,
+)
+from repro.store.snapshot import LedgerSnapshot, SnapshotStore
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "ChainStore",
+    "HeaderStore",
+    "LedgerReplay",
+    "StoreRecovery",
+]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class StoreRecovery:
+    """What one open/reopen scan found and did.
+
+    ``tail_bytes_truncated`` counts bytes physically removed past the
+    last good frame; ``corruption`` is the scan's reason when that
+    happened (None for a clean open).
+    """
+
+    frames_kept: int = 0
+    tail_bytes_truncated: int = 0
+    corruption: Optional[str] = None
+    snapshot_heights_healed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing had to be repaired."""
+        return (
+            self.corruption is None and self.snapshot_heights_healed == 0
+        )
+
+
+@dataclass
+class LedgerReplay:
+    """Result of a snapshot-anchored ledger recovery."""
+
+    state: WorldState
+    nonces: Dict[Address, int]
+    height: int
+    snapshot_height: Optional[int] = None
+    frames_replayed: int = 0
+
+    @property
+    def snapshot_hit(self) -> bool:
+        """True when a disk snapshot anchored the replay."""
+        return self.snapshot_height is not None
+
+
+@dataclass
+class _Entry:
+    """In-memory index entry: one verified block frame."""
+
+    info: FrameInfo
+    block_id: bytes
+    height: int
+    prev_id: bytes
+
+
+def _header_from_block_payload(payload: bytes) -> BlockHeader:
+    """Decode just the header of an ``encode_block`` payload.
+
+    The open-time scan needs every frame's block id (one hash over the
+    header) without paying for record decoding and Merkle verification
+    — those run lazily when the block itself is read.
+    """
+    fields = unpack(payload, 8)
+    return BlockHeader(
+        prev_block_id=fields[0],
+        merkle_root=fields[1],
+        timestamp=float(fields[2].decode()),
+        nonce=int.from_bytes(fields[3], "big"),
+        height=int.from_bytes(fields[4], "big"),
+        difficulty=int.from_bytes(fields[5], "big"),
+        miner=Address(fields[6]),
+    )
+
+
+class _FrameLog:
+    """Shared machinery: a verified, indexed, truncate-on-open log."""
+
+    LOG_NAME = "log"
+
+    def __init__(self, path, telemetry: Optional[Telemetry] = None) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.log_path = self.path / self.LOG_NAME
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._handle = None
+        self._stale = False
+        #: Cumulative counters across the store's lifetime (all opens).
+        self.frames_replayed_total = 0
+        self.tail_bytes_truncated_total = 0
+        self.recoveries = 0
+        self.last_recovery = StoreRecovery()
+        self._open()
+
+    # -- open / recover ----------------------------------------------------
+
+    def _index_payload(self, index: int, offset: int, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _reset_index(self) -> None:
+        raise NotImplementedError
+
+    def _open(self) -> None:
+        self._reset_index()
+        self._handle = open(self.log_path, "a+b")
+        recovery = StoreRecovery()
+        try:
+            scan = scan_frames(self._handle, on_payload=self._index_payload)
+        except (CodecError, StoreError) as error:
+            # A frame passed its CRC but failed structural decode during
+            # indexing — treat everything from there on as untrusted.
+            self._handle.seek(0)
+            partial = scan_frames(self._handle)
+            keep = len(self._indexed_frames())
+            good_end = (
+                partial.frames[keep - 1].end if keep else 0
+            )
+            recovery.corruption = f"undecodable frame {keep}: {error}"
+            self._truncate_to(good_end, partial.file_size, recovery)
+            self.last_recovery = recovery
+            self._finish_recovery(recovery)
+            return
+        recovery.frames_kept = len(scan.frames)
+        if scan.corruption is not None:
+            recovery.corruption = scan.corruption
+            self._truncate_to(scan.good_end, scan.file_size, recovery)
+        self.last_recovery = recovery
+        self._finish_recovery(recovery)
+
+    def _indexed_frames(self) -> List[FrameInfo]:
+        raise NotImplementedError
+
+    def _truncate_to(
+        self, good_end: int, file_size: int, recovery: StoreRecovery
+    ) -> None:
+        recovery.tail_bytes_truncated = file_size - good_end
+        recovery.frames_kept = len(self._indexed_frames())
+        self._handle.truncate(good_end)
+        self._handle.flush()
+        self.tail_bytes_truncated_total += recovery.tail_bytes_truncated
+        if self.telemetry.enabled:
+            self.telemetry.counter("store.tail_bytes_truncated").inc(
+                recovery.tail_bytes_truncated
+            )
+            self.telemetry.event(
+                "store.truncated",
+                path=str(self.log_path),
+                reason=recovery.corruption,
+                bytes=recovery.tail_bytes_truncated,
+            )
+
+    def _finish_recovery(self, recovery: StoreRecovery) -> None:
+        """Subclass hook after the scan (e.g. snapshot manifest heal)."""
+
+    def reopen(self) -> StoreRecovery:
+        """Close and re-run the full verification scan.
+
+        This is the crash-recovery entry point: anything that happened
+        to the files while the node was down (torn write, bit flip,
+        deleted snapshot) is detected and repaired here.
+        """
+        self.close()
+        self._stale = False
+        self._open()
+        self.recoveries += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "store.recoveries",
+                clean="yes" if self.last_recovery.clean else "no",
+            ).inc()
+        return self.last_recovery
+
+    def close(self) -> None:
+        """Flush and release the log file handle."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- frame access ------------------------------------------------------
+
+    def _require_fresh(self) -> None:
+        if self._handle is None:
+            raise StoreError("store is closed")
+        if self._stale:
+            raise StoreError(
+                "store was externally modified (injected fault); "
+                "reopen() before using it"
+            )
+
+    def mark_stale(self) -> None:
+        """Flag that on-disk bytes changed behind the index."""
+        self._stale = True
+
+    def frame_count(self) -> int:
+        return len(self._indexed_frames())
+
+    def frame_span(self, index: int) -> Tuple[int, int]:
+        """(file offset, total bytes incl. header) of frame ``index``."""
+        info = self._indexed_frames()[index]
+        return info.offset, FRAME_HEADER_BYTES + info.length
+
+    def _append_payload(self, payload: bytes) -> FrameInfo:
+        self._require_fresh()
+        return write_frame(self._handle, payload)
+
+    def _read_payload(self, index: int) -> bytes:
+        self._require_fresh()
+        return read_frame(self._handle, self._indexed_frames()[index])
+
+
+class ChainStore(_FrameLog):
+    """A replica's durable block log + ledger snapshots.
+
+    ``snapshot_interval`` is the cadence (in confirmed blocks) of
+    :meth:`maybe_snapshot`; ``ledger_config`` (block reward, genesis
+    allocations) must match the deployment's economics for snapshots to
+    reproduce the same balances a full replay would.
+    """
+
+    LOG_NAME = "blocks.log"
+    SNAPSHOT_DIR = "snapshots"
+    META_NAME = "meta.json"
+
+    def __init__(
+        self,
+        path,
+        snapshot_interval: int = 512,
+        keep_snapshots: int = 3,
+        block_reward_wei: int = DEFAULT_BLOCK_REWARD_WEI,
+        genesis_allocations: Optional[Dict[Address, int]] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if snapshot_interval < 1:
+            raise StoreError("snapshot interval must be >= 1")
+        self.snapshot_interval = snapshot_interval
+        self.block_reward_wei = block_reward_wei
+        self.genesis_allocations = dict(genesis_allocations or {})
+        self._entries: List[_Entry] = []
+        self._by_id: Dict[bytes, int] = {}
+        self._linear = True
+        #: Incremental ledger cursor for cheap periodic snapshots:
+        #: (height, block_id, state, nonces) at the last snapshotted
+        #: point, advanced by replaying only the blocks in between.
+        self._ledger_cursor: Optional[
+            Tuple[int, bytes, WorldState, Dict[Address, int]]
+        ] = None
+        super().__init__(path, telemetry)
+        self.snapshots = SnapshotStore(
+            self.path / self.SNAPSHOT_DIR, keep=keep_snapshots
+        )
+        self._heal_manifest(self.last_recovery)
+
+    # -- index -------------------------------------------------------------
+
+    def _reset_index(self) -> None:
+        self._entries = []
+        self._by_id = {}
+        self._linear = True
+        self._ledger_cursor = None
+
+    def _indexed_frames(self) -> List[FrameInfo]:
+        return [entry.info for entry in self._entries]
+
+    def _index_payload(self, index: int, offset: int, payload: bytes) -> None:
+        header = _header_from_block_payload(payload)
+        block_id = header.header_hash()
+        if block_id in self._by_id:
+            raise StoreError(f"duplicate block frame {block_id.hex()[:12]}")
+        if index == 0:
+            if header.height != 0 or header.prev_block_id != GENESIS_PARENT:
+                raise StoreError("frame 0 is not a genesis block")
+        elif header.prev_block_id not in self._by_id:
+            raise StoreError(
+                f"frame {index} references an unknown parent "
+                "(parent-before-child order violated)"
+            )
+        if self._entries and (
+            header.prev_block_id != self._entries[-1].block_id
+            or header.height != self._entries[-1].height + 1
+        ):
+            self._linear = False
+        entry = _Entry(
+            info=FrameInfo(offset=offset, length=len(payload)),
+            block_id=block_id,
+            height=header.height,
+            prev_id=header.prev_block_id,
+        )
+        self._by_id[block_id] = index
+        self._entries.append(entry)
+
+    def _finish_recovery(self, recovery: StoreRecovery) -> None:
+        # snapshots attribute exists only after __init__ finishes; the
+        # first open defers manifest healing to the constructor.
+        if hasattr(self, "snapshots"):
+            self._heal_manifest(recovery)
+
+    # -- manifest ----------------------------------------------------------
+
+    @property
+    def meta_path(self) -> Path:
+        return self.path / self.META_NAME
+
+    def _read_manifest(self) -> Dict:
+        try:
+            return json.loads(self.meta_path.read_text())
+        except (OSError, ValueError):
+            return {}
+
+    def _write_manifest(self, last_snapshot_height: Optional[int]) -> None:
+        payload = {
+            "format": _FORMAT_VERSION,
+            "kind": "chain",
+            "snapshot_interval": self.snapshot_interval,
+            "last_snapshot_height": last_snapshot_height,
+        }
+        tmp = self.meta_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.meta_path)
+
+    def _valid_snapshot_heights(self) -> List[int]:
+        """Heights whose snapshot file decodes AND matches the log."""
+        heights = []
+        for file in self.snapshots.files():
+            try:
+                snapshot = self.snapshots.load_file(file)
+            except (StoreError, CodecError, OSError):
+                continue
+            if self._snapshot_matches_log(snapshot):
+                heights.append(snapshot.height)
+        return heights
+
+    def _snapshot_matches_log(self, snapshot: LedgerSnapshot) -> bool:
+        index = self._by_id.get(snapshot.block_id)
+        return index is not None and self._entries[index].height == snapshot.height
+
+    def _heal_manifest(self, recovery: StoreRecovery) -> None:
+        """Reconcile the manifest with the snapshots actually on disk.
+
+        A deleted or stale snapshot leaves the manifest promising state
+        the directory cannot deliver; recovery records the miss (the
+        "snapshot miss" counter) and rewrites the manifest so a later
+        fsck sees a consistent store.
+        """
+        manifest = self._read_manifest()
+        recorded = manifest.get("last_snapshot_height")
+        valid = self._valid_snapshot_heights()
+        actual = max(valid) if valid else None
+        if recorded != actual:
+            if recorded is not None:
+                recovery.snapshot_heights_healed += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter(
+                        "store.snapshot", outcome="miss"
+                    ).inc()
+            self._write_manifest(actual)
+        elif not self.meta_path.exists():
+            self._write_manifest(actual)
+
+    # -- appends -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block_id: bytes) -> bool:
+        return block_id in self._by_id
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the log is a single parent-to-child chain."""
+        return self._linear
+
+    @property
+    def tip_entry(self) -> Optional[_Entry]:
+        return self._entries[-1] if self._entries else None
+
+    def append(self, block: Block) -> bool:
+        """Log a block (idempotent by id); returns True if written."""
+        if block.block_id in self._by_id:
+            return False
+        if not self._entries:
+            if (
+                block.height != 0
+                or block.header.prev_block_id != GENESIS_PARENT
+            ):
+                raise StoreError("first appended block must be a genesis")
+        elif block.header.prev_block_id not in self._by_id:
+            raise StoreError(
+                f"block {block.block_id.hex()[:12]} has no logged parent"
+            )
+        payload = encode_block(block)
+        info = self._append_payload(payload)
+        self._index_payload(len(self._entries), info.offset, payload)
+        if self.telemetry.enabled:
+            self.telemetry.counter("store.blocks_appended").inc()
+        return True
+
+    def ensure_genesis(self, genesis: Block) -> None:
+        """Seed an empty store, or assert it belongs to this chain."""
+        if not self._entries:
+            self.append(genesis)
+            return
+        if self._entries[0].block_id != genesis.block_id:
+            raise StoreError(
+                "store belongs to a different chain "
+                f"(genesis {self._entries[0].block_id.hex()[:12]} != "
+                f"{genesis.block_id.hex()[:12]})"
+            )
+
+    # -- reads -------------------------------------------------------------
+
+    def block_at(self, index: int) -> Block:
+        """Decode frame ``index`` (CRC re-verified, Merkle re-derived)."""
+        payload = self._read_payload(index)
+        block = decode_block(payload)
+        if block.block_id != self._entries[index].block_id:
+            raise StoreCorruption(
+                f"frame {index} decoded to an unexpected block id"
+            )
+        return block
+
+    def iter_blocks(self, start: int = 0) -> Iterator[Block]:
+        """Stream decoded blocks from frame ``start`` onward."""
+        for index in range(start, len(self._entries)):
+            yield self.block_at(index)
+
+    def load_chain(
+        self, confirmation_depth: int = 6
+    ) -> Optional[Blockchain]:
+        """Rebuild the replica's Blockchain from the log.
+
+        Returns None for an empty store.  Frames whose parent fell past
+        a truncation point are skipped (the peer resync refetches
+        them); the count lands in the ``store.frames_replayed`` counter
+        either way, since every surviving frame is decoded and
+        re-verified.
+        """
+        if not self._entries:
+            return None
+        chain = Blockchain(
+            self.block_at(0), confirmation_depth=confirmation_depth
+        )
+        replayed = 1
+        for block in self.iter_blocks(1):
+            try:
+                chain.add_block(block)
+            except ChainError:
+                continue  # orphaned by tail truncation
+            replayed += 1
+        self.frames_replayed_total += replayed
+        if self.telemetry.enabled:
+            self.telemetry.counter("store.frames_replayed").inc(replayed)
+        return chain
+
+    # -- ledger snapshots --------------------------------------------------
+
+    def _genesis_ledger(self) -> Tuple[WorldState, Dict[Address, int]]:
+        state = WorldState()
+        for account, amount in self.genesis_allocations.items():
+            state.mint(account, amount)
+        return state, {}
+
+    def _canonical_path(self, chain: Blockchain) -> Dict[int, bytes]:
+        return {
+            block.height: block.block_id for block in chain.iter_canonical()
+        }
+
+    def maybe_snapshot(self, chain: Blockchain, force: bool = False) -> Optional[int]:
+        """Write a ledger snapshot when the cadence is due.
+
+        Snapshots anchor at *confirmed* heights (``chain.height -
+        confirmation_depth``), which in these simulations never reorg —
+        so an incremental ledger cursor advances by replaying only the
+        blocks since the previous snapshot, amortized O(1) per block.
+        Returns the snapshotted height, or None when not due.
+        """
+        confirmed = chain.height - chain.confirmation_depth
+        if confirmed < 0:
+            return None
+        target = (confirmed // self.snapshot_interval) * self.snapshot_interval
+        cursor_height = self._ledger_cursor[0] if self._ledger_cursor else None
+        if not force and (
+            target < self.snapshot_interval
+            or (cursor_height is not None and target <= cursor_height)
+        ):
+            return None
+        if force:
+            target = confirmed
+            if target <= (cursor_height if cursor_height is not None else -1):
+                return None
+        anchor = chain.block_at_height(target)
+        if anchor is None:
+            return None
+        state, nonces = self._advance_cursor(chain, target)
+        snapshot = LedgerSnapshot.capture(
+            height=target,
+            block_id=anchor.block_id,
+            state=state,
+            nonces=nonces,
+        )
+        self.snapshots.write(snapshot)
+        self._write_manifest(target)
+        if self.telemetry.enabled:
+            self.telemetry.counter("store.snapshots_written").inc()
+        return target
+
+    def _advance_cursor(
+        self, chain: Blockchain, target: int
+    ) -> Tuple[WorldState, Dict[Address, int]]:
+        """Ledger state at canonical height ``target`` (cursor-cached)."""
+        cursor = self._ledger_cursor
+        if cursor is not None:
+            height, block_id, state, nonces = cursor
+            anchor = chain.block_at_height(height)
+            if (
+                height > target
+                or anchor is None
+                or anchor.block_id != block_id
+            ):
+                cursor = None  # cursor left the canonical chain: rebuild
+        if cursor is None:
+            snapshot = self.snapshots.latest_valid(
+                is_usable=self._snapshot_matches_log, max_height=target
+            )
+            if snapshot is not None:
+                state, nonces = snapshot.restore_state()
+                height = snapshot.height
+            else:
+                state, nonces = self._genesis_ledger()
+                height = -1
+        else:
+            height, _, state, nonces = cursor
+        # Collect the delta blocks by one back-walk from the target.
+        delta: List[Block] = []
+        block = chain.block_at_height(target)
+        while block is not None and block.height > height:
+            delta.append(block)
+            if block.height == 0:
+                break
+            block = chain.get_block(block.header.prev_block_id)
+        for step in reversed(delta):
+            apply_block(state, nonces, step, self.block_reward_wei)
+        anchor = chain.block_at_height(target)
+        self._ledger_cursor = (target, anchor.block_id, state, nonces)
+        return state, nonces
+
+    def replay_ledger(self) -> LedgerReplay:
+        """Recover ledger state from the newest usable snapshot + delta.
+
+        For a linear log (the long-horizon economics shape) the delta
+        is streamed frame by frame — bounded RAM regardless of chain
+        length.  A forky log falls back to rebuilding the block DAG to
+        find the canonical path first.
+        """
+        if not self._entries:
+            raise StoreError("cannot replay the ledger of an empty store")
+        if self._linear:
+            snapshot = self.snapshots.latest_valid(
+                is_usable=self._snapshot_matches_log,
+                max_height=self._entries[-1].height,
+            )
+            if snapshot is not None:
+                state, nonces = snapshot.restore_state()
+                start = self._by_id[snapshot.block_id] + 1
+                snapshot_height: Optional[int] = snapshot.height
+            else:
+                state, nonces = self._genesis_ledger()
+                start = 0
+                snapshot_height = None
+            replayed = 0
+            for block in self.iter_blocks(start):
+                apply_block(state, nonces, block, self.block_reward_wei)
+                replayed += 1
+            result = LedgerReplay(
+                state=state,
+                nonces=nonces,
+                height=self._entries[-1].height,
+                snapshot_height=snapshot_height,
+                frames_replayed=replayed,
+            )
+        else:
+            chain = self.load_chain()
+            assert chain is not None
+            canonical = self._canonical_path(chain)
+            snapshot = self.snapshots.latest_valid(
+                is_usable=lambda s: canonical.get(s.height) == s.block_id,
+                max_height=chain.height,
+            )
+            if snapshot is not None:
+                state, nonces = snapshot.restore_state()
+                start_height = snapshot.height + 1
+                snapshot_height = snapshot.height
+            else:
+                state, nonces = self._genesis_ledger()
+                start_height = 0
+                snapshot_height = None
+            replayed = 0
+            for block in chain.iter_canonical():
+                if block.height < start_height:
+                    continue
+                apply_block(state, nonces, block, self.block_reward_wei)
+                replayed += 1
+            result = LedgerReplay(
+                state=state,
+                nonces=nonces,
+                height=chain.height,
+                snapshot_height=snapshot_height,
+                frames_replayed=replayed,
+            )
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "store.snapshot",
+                outcome="hit" if result.snapshot_hit else "genesis_replay",
+            ).inc()
+        return result
+
+
+class HeaderStore(_FrameLog):
+    """A light client's durable headers-only log.
+
+    The log mirrors the :class:`~repro.core.lightclient.HeaderChain`
+    exactly: headers append in accept order, and a full-node reorg that
+    truncates the in-memory chain truncates the log at the same height
+    (frame index == header height, since the chain is linear).
+    """
+
+    LOG_NAME = "headers.log"
+
+    def __init__(self, path, telemetry: Optional[Telemetry] = None) -> None:
+        self._infos: List[FrameInfo] = []
+        self._ids: List[bytes] = []
+        super().__init__(path, telemetry)
+
+    def _reset_index(self) -> None:
+        self._infos = []
+        self._ids = []
+
+    def _indexed_frames(self) -> List[FrameInfo]:
+        return self._infos
+
+    def _index_payload(self, index: int, offset: int, payload: bytes) -> None:
+        header = decode_header(payload)
+        if index == 0:
+            if header.height != 0 or header.prev_block_id != GENESIS_PARENT:
+                raise StoreError("frame 0 is not a genesis header")
+        elif (
+            header.height != index
+            or header.prev_block_id != self._ids[-1]
+        ):
+            raise StoreError(f"header frame {index} breaks the chain link")
+        self._infos.append(FrameInfo(offset=offset, length=len(payload)))
+        self._ids.append(header.header_hash())
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def tip_id(self) -> Optional[bytes]:
+        return self._ids[-1] if self._ids else None
+
+    def append(self, header: BlockHeader) -> bool:
+        """Log a header extending the stored tip (idempotent at tip)."""
+        if self._ids and header.header_hash() == self._ids[-1]:
+            return False
+        payload = encode_header(header)
+        info = self._append_payload(payload)
+        self._index_payload(len(self._infos), info.offset, payload)
+        if self.telemetry.enabled:
+            self.telemetry.counter("store.headers_appended").inc()
+        return True
+
+    def truncate(self, height: int) -> int:
+        """Drop frames at or above ``height`` (light-side reorg)."""
+        self._require_fresh()
+        if height >= len(self._infos):
+            return 0
+        dropped = len(self._infos) - height
+        offset = self._infos[height].offset
+        self._handle.truncate(offset)
+        self._handle.flush()
+        del self._infos[height:]
+        del self._ids[height:]
+        return dropped
+
+    def ensure_genesis(self, header: BlockHeader) -> None:
+        """Seed an empty store, or assert it matches this chain."""
+        if not self._ids:
+            self.append(header)
+        elif self._ids[0] != header.header_hash():
+            raise StoreError("header store belongs to a different chain")
+
+    def header_at(self, index: int) -> BlockHeader:
+        """Decode frame ``index`` (CRC re-verified)."""
+        return decode_header(self._read_payload(index))
+
+    def load_headers(self) -> HeaderChain:
+        """Rebuild the in-memory header chain from the log."""
+        headers = HeaderChain()
+        replayed = 0
+        for index in range(len(self._infos)):
+            if not headers.accept(self.header_at(index)):
+                break
+            replayed += 1
+        self.frames_replayed_total += replayed
+        if self.telemetry.enabled:
+            self.telemetry.counter("store.frames_replayed").inc(replayed)
+        return headers

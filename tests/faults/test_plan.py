@@ -107,3 +107,75 @@ class TestRandomPlans:
         with pytest.raises(ValueError):
             ChaosPlan.random(self.NAMES, duration=10.0, epoch=10.0,
                              min_downtime=5.0, max_downtime=1.0)
+
+
+class TestOrderingValidation:
+    """Plan-build-time rejection of impossible crash/restart sequences."""
+
+    def test_valid_crash_fault_restart_chains(self):
+        plan = (
+            ChaosPlan()
+            .crash("n1", at=10.0)
+            .torn_write("n1", at=20.0)
+            .restart("n1", at=30.0)
+            .crash("n1", at=50.0)  # a second cycle is fine after restart
+            .bit_flip("n1", at=55.0, frame=3, bit=2)
+            .drop_snapshot("n1", at=56.0, keep_oldest=1)
+            .restart("n1", at=60.0)
+        )
+        assert plan.validate() is plan  # chains fluently
+
+    def test_restart_without_crash_is_rejected(self):
+        plan = ChaosPlan().restart("n1", at=30.0)
+        with pytest.raises(ValueError, match="no preceding crash"):
+            plan.validate()
+
+    def test_second_crash_while_down_is_rejected(self):
+        plan = ChaosPlan().crash("n1", at=10.0).crash("n1", at=20.0)
+        with pytest.raises(ValueError, match="already down"):
+            plan.validate()
+
+    def test_restart_after_restart_is_rejected(self):
+        plan = (
+            ChaosPlan()
+            .crash("n1", at=10.0)
+            .restart("n1", at=20.0)
+            .restart("n1", at=30.0)
+        )
+        with pytest.raises(ValueError, match="already up"):
+            plan.validate()
+
+    def test_disk_fault_against_a_live_node_is_rejected(self):
+        for build in ("torn_write", "bit_flip", "drop_snapshot"):
+            plan = getattr(ChaosPlan(), build)("n1", 20.0)
+            with pytest.raises(ValueError, match="requires the node to be down"):
+                plan.validate()
+
+    def test_disk_fault_after_restart_is_rejected(self):
+        plan = (
+            ChaosPlan()
+            .crash("n1", at=10.0)
+            .restart("n1", at=20.0)
+            .torn_write("n1", at=25.0)
+        )
+        with pytest.raises(ValueError, match="requires the node to be down"):
+            plan.validate()
+
+    def test_validation_follows_time_order_not_builder_order(self):
+        # Built out of order, but time-sorted it is a valid sequence.
+        plan = ChaosPlan().restart("n1", at=30.0).crash("n1", at=10.0)
+        plan.validate()
+
+    def test_other_nodes_are_independent(self):
+        plan = ChaosPlan().crash("n1", at=10.0).restart("n2", at=20.0)
+        with pytest.raises(ValueError, match="'n2'"):
+            plan.validate()
+
+    def test_random_plans_always_validate(self):
+        for seed in range(10):
+            ChaosPlan.random(
+                ("a", "b", "c", "d", "e"),
+                duration=600.0,
+                epoch=60.0,
+                rng=random.Random(seed),
+            ).validate()

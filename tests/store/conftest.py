@@ -1,0 +1,66 @@
+"""Shared chain-building helpers for the store tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import make_genesis
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import KeyPair
+
+MINER = KeyPair.from_seed(b"store-test-miner").address
+
+
+def make_record(label: str, index: int, payload: bytes = b"") -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.INITIAL_REPORT,
+        record_id=hash_fields("store-test", label, index),
+        payload=payload or f"payload-{label}-{index}".encode(),
+    )
+
+
+def build_chain(
+    blocks: int,
+    records_per_block: int = 1,
+    confirmation_depth: int = 2,
+    label: str = "main",
+) -> Blockchain:
+    """A linear chain of ``blocks`` non-genesis blocks with records."""
+    chain = Blockchain(
+        make_genesis(difficulty=100), confirmation_depth=confirmation_depth
+    )
+    extend_chain(chain, blocks, records_per_block=records_per_block, label=label)
+    return chain
+
+
+def extend_chain(
+    chain: Blockchain,
+    blocks: int,
+    records_per_block: int = 1,
+    label: str = "main",
+) -> List[Block]:
+    """Append ``blocks`` new blocks on the canonical head."""
+    added = []
+    for _ in range(blocks):
+        head = chain.head
+        height = head.height + 1
+        records = tuple(
+            make_record(label, height * 100 + i) for i in range(records_per_block)
+        )
+        block = Block.assemble(
+            head.block_id, height, records,
+            head.header.timestamp + 10.0, 100, MINER,
+        )
+        chain.add_block(block)
+        added.append(block)
+    return added
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    """A 12-block linear chain (confirmation depth 2)."""
+    return build_chain(12)

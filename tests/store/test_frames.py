@@ -1,0 +1,129 @@
+"""The frame layer: checksummed length-prefixed log records."""
+
+import io
+
+import pytest
+
+from repro.store.frames import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameInfo,
+    StoreCorruption,
+    StoreError,
+    frame_bytes,
+    read_frame,
+    scan_frames,
+    write_frame,
+)
+
+
+def _log(*payloads: bytes) -> io.BytesIO:
+    handle = io.BytesIO()
+    for payload in payloads:
+        write_frame(handle, payload)
+    return handle
+
+
+class TestRoundTrip:
+    def test_write_then_read_back(self):
+        handle = io.BytesIO()
+        info = write_frame(handle, b"hello")
+        assert info == FrameInfo(offset=0, length=5)
+        assert info.end == FRAME_HEADER_BYTES + 5
+        assert read_frame(handle, info) == b"hello"
+
+    def test_empty_payload_is_a_valid_frame(self):
+        handle = _log(b"")
+        scan = scan_frames(handle)
+        assert scan.clean
+        assert scan.frames == [FrameInfo(offset=0, length=0)]
+
+    def test_frames_append_back_to_back(self):
+        handle = _log(b"one", b"twotwo", b"three")
+        scan = scan_frames(handle)
+        assert scan.clean
+        assert [info.length for info in scan.frames] == [3, 6, 5]
+        assert scan.good_end == scan.file_size
+        assert scan.tail_bytes == 0
+        for info, expected in zip(scan.frames, (b"one", b"twotwo", b"three")):
+            assert read_frame(handle, info) == expected
+
+    def test_oversize_payload_is_rejected_at_write(self):
+        with pytest.raises(StoreError, match="ceiling"):
+            frame_bytes(b"x" * (MAX_FRAME_BYTES + 1))
+
+
+class TestScanDetectsCorruption:
+    def test_torn_header_trailing_bytes(self):
+        handle = _log(b"good")
+        handle.seek(0, 2)
+        handle.write(b"\x00\x01\x02")  # 3 bytes: not even a header
+        scan = scan_frames(handle)
+        assert not scan.clean
+        assert "torn frame header" in scan.corruption
+        assert len(scan.frames) == 1
+        assert scan.tail_bytes == 3
+
+    def test_torn_payload_overruns_file(self):
+        handle = _log(b"good", b"this frame will be cut")
+        data = handle.getvalue()
+        cut = io.BytesIO(data[:-5])
+        scan = scan_frames(cut)
+        assert not scan.clean
+        assert "torn write" in scan.corruption
+        assert len(scan.frames) == 1
+        assert scan.good_end == FRAME_HEADER_BYTES + 4
+
+    def test_implausible_length_reads_as_corruption(self):
+        handle = io.BytesIO()
+        handle.write((MAX_FRAME_BYTES + 1).to_bytes(4, "big") + b"\x00" * 4)
+        scan = scan_frames(handle)
+        assert not scan.clean
+        assert "implausible frame length" in scan.corruption
+        assert scan.frames == []
+        assert scan.good_end == 0
+
+    def test_flipped_payload_bit_fails_checksum(self):
+        handle = _log(b"good", b"target payload")
+        data = bytearray(handle.getvalue())
+        data[FRAME_HEADER_BYTES + 4 + FRAME_HEADER_BYTES + 3] ^= 0x10
+        scan = scan_frames(io.BytesIO(bytes(data)))
+        assert not scan.clean
+        assert "checksum mismatch" in scan.corruption
+        assert len(scan.frames) == 1
+
+    def test_scan_stops_at_first_bad_frame(self):
+        handle = _log(b"a", b"b", b"c")
+        data = bytearray(handle.getvalue())
+        second_offset = FRAME_HEADER_BYTES + 1
+        data[second_offset + FRAME_HEADER_BYTES] ^= 0xFF  # break frame 1
+        scan = scan_frames(io.BytesIO(bytes(data)))
+        assert len(scan.frames) == 1  # frame 2 is untrusted even if intact
+        assert scan.corrupt_offset == second_offset
+
+    def test_on_payload_sees_only_verified_frames(self):
+        handle = _log(b"a", b"bb")
+        handle.seek(0, 2)
+        handle.write(b"junk")
+        seen = []
+        scan_frames(handle, on_payload=lambda i, off, p: seen.append((i, p)))
+        assert seen == [(0, b"a"), (1, b"bb")]
+
+
+class TestReadFrameReVerifies:
+    def test_read_detects_length_drift(self):
+        handle = _log(b"payload")
+        with pytest.raises(StoreCorruption, match="changed length"):
+            read_frame(handle, FrameInfo(offset=0, length=3))
+
+    def test_read_detects_flipped_byte(self):
+        handle = _log(b"payload")
+        data = bytearray(handle.getvalue())
+        data[FRAME_HEADER_BYTES + 2] ^= 0x01
+        with pytest.raises(StoreCorruption, match="checksum"):
+            read_frame(io.BytesIO(bytes(data)), FrameInfo(offset=0, length=7))
+
+    def test_read_past_end_is_torn(self):
+        handle = _log(b"payload")
+        with pytest.raises(StoreCorruption, match="torn"):
+            read_frame(handle, FrameInfo(offset=500, length=7))

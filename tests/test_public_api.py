@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.network",
+    "repro.store",
     "repro.telemetry",
     "repro.workloads",
 ]

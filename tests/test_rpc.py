@@ -224,3 +224,117 @@ class TestReceiptsAndCounts:
                 w3.eth.get_transaction_receipt(record.record_id)
         finally:
             platform.mining.mempool.remove(record.record_id)
+
+
+class TestNodeBoundShim:
+    """connect_node: live binding that survives restart-from-disk.
+
+    The regression these lock in: receipt and pending lookups against a
+    node that is mid-recovery, or that restarted from an empty store,
+    must answer with a documented RpcError (or an empty result) — never
+    a KeyError from a stale chain object.
+    """
+
+    def _fleet(self, tmp_path, seed=0):
+        from repro.chain.block import ChainRecord, RecordKind
+        from repro.core.distributed import DistributedChain
+        from repro.crypto.hashing import hash_fields
+        from repro.network.latency import ConstantLatency
+
+        fleet = DistributedChain(
+            PAPER_HASHPOWER_SHARES,
+            latency=ConstantLatency(0.05),
+            seed=seed,
+            confirmation_depth=4,
+            store_dir=str(tmp_path / "stores"),
+            store_snapshot_interval=4,
+        )
+        record = ChainRecord(
+            kind=RecordKind.INITIAL_REPORT,
+            record_id=hash_fields("rpc-node-bound", seed),
+            payload=b"rpc-record",
+        )
+        fleet.submit_record(record)
+        fleet.run_blocks(8)
+        fleet.finalize()
+        return fleet, record
+
+    def test_receipt_survives_restart_from_disk(self, tmp_path):
+        fleet, record = self._fleet(tmp_path)
+        node = fleet.replicas["provider-2"]
+        w3 = Web3Shim.connect_node(node)
+        before = w3.eth.get_transaction_receipt(record.record_id)
+        assert before["status"] == 1
+
+        fleet.crash("provider-2")
+        fleet.run_blocks(6)
+        fleet.restart("provider-2")
+        fleet.run_blocks(2)
+        fleet.finalize()
+
+        # node.chain was swapped wholesale by the recovery; the shim
+        # must follow it, not the pre-crash object.
+        assert w3.eth._live_chain() is node.chain
+        after = w3.eth.get_transaction_receipt(record.record_id)
+        assert after["transactionHash"] == before["transactionHash"]
+        assert after["status"] == 1
+
+    def test_crashed_node_raises_not_keyerror(self, tmp_path):
+        fleet, record = self._fleet(tmp_path)
+        node = fleet.replicas["provider-2"]
+        w3 = Web3Shim.connect_node(node)
+        fleet.crash("provider-2")
+        assert not w3.is_connected()
+        with pytest.raises(RpcError, match="down \\(crashed or mid-recovery\\)"):
+            w3.eth.get_transaction_receipt(record.record_id)
+        with pytest.raises(RpcError, match="down"):
+            w3.eth.get_pending_transactions()
+        with pytest.raises(RpcError, match="down"):
+            w3.eth.block_number
+        fleet.restart("provider-2")
+        assert w3.is_connected()
+        assert w3.eth.get_transaction_receipt(record.record_id)["status"] == 1
+
+    def test_empty_store_restart_answers_unknown_not_keyerror(self, tmp_path):
+        # Wipe the victim's log while it is down: it restarts from an
+        # empty store (genesis) and resyncs.  Queries fired mid-window
+        # must stay documented errors, never KeyError.
+        fleet, record = self._fleet(tmp_path)
+        node = fleet.replicas["provider-2"]
+        w3 = Web3Shim.connect_node(node)
+        fleet.crash("provider-2")
+        node.store.log_path.write_bytes(b"")
+        node.store.mark_stale()
+        fleet.restart("provider-2")
+        # Recovery ran from the emptied store, then peers refilled it.
+        assert node.store_recoveries == 1
+        fleet.finalize()
+        assert w3.eth.get_transaction_receipt(record.record_id)["status"] == 1
+        with pytest.raises(RpcError, match="not found on the canonical chain"):
+            w3.eth.get_transaction(b"\x00" * 32)
+
+    def test_node_without_mempool_is_a_documented_error(self, tmp_path):
+        fleet, _ = self._fleet(tmp_path)
+        node = fleet.replicas["provider-1"]  # ReplicaNode: no mempool
+        w3 = Web3Shim.connect_node(node)
+        with pytest.raises(RpcError, match="no mempool attached"):
+            w3.eth.get_pending_transactions()
+
+    def test_light_client_cannot_be_connected(self, tmp_path):
+        from repro.core.distributed import DistributedChain
+        from repro.network.latency import ConstantLatency
+
+        fleet = DistributedChain(
+            PAPER_HASHPOWER_SHARES,
+            latency=ConstantLatency(0.05),
+            seed=0,
+            light_count=1,
+        )
+        with pytest.raises(RpcError, match="light clients cannot"):
+            Web3Shim.connect_node(fleet.light_replicas["light-0"])
+
+    def test_deploy_without_runtime_is_documented(self, tmp_path):
+        fleet, _ = self._fleet(tmp_path)
+        w3 = Web3Shim.connect_node(fleet.replicas["provider-1"])
+        with pytest.raises(RpcError):
+            w3.eth.deploy_contract(None, "0x" + "00" * 20)

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the vectorized economics engine.
+
+Times the batch Eq. 7-10 paths against the scalar closed forms they
+replay, on the populations the platform actually settles (hundreds to
+tens of thousands of detectors per block).  Every timed comparison is
+also a parity assertion: the batch engine must reproduce the scalar
+wei amounts bit for bit, so a "fast but wrong" regression cannot pass.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.incentives import (
+    IncentiveParameters,
+    detector_cost,
+    detector_incentive,
+    provider_punishment,
+)
+from repro.economics.batch import (
+    detector_settlement,
+    provider_punishments,
+    wei_list,
+)
+
+pytestmark = pytest.mark.bench
+
+PARAMS = IncentiveParameters()
+
+
+def _population(size, seed=17):
+    rng = random.Random(seed)
+    counts = [float(rng.randint(0, 50)) for _ in range(size)]
+    rhos = [rng.random() for _ in range(size)]
+    return counts, rhos
+
+
+def test_bench_scalar_settlement_10k(benchmark):
+    counts, rhos = _population(10_000)
+
+    def _settle():
+        return (
+            [detector_incentive(PARAMS, n, r) for n, r in zip(counts, rhos)],
+            [detector_cost(PARAMS, n, r) for n, r in zip(counts, rhos)],
+        )
+
+    incentives, costs = benchmark(_settle)
+    assert len(incentives) == len(costs) == 10_000
+
+
+def test_bench_batch_settlement_10k(benchmark):
+    counts, rhos = _population(10_000)
+    counts_array = np.asarray(counts, dtype=np.float64)
+    rhos_array = np.asarray(rhos, dtype=np.float64)
+
+    incentives, costs = benchmark(
+        detector_settlement, PARAMS, counts_array, rhos_array
+    )
+    # Parity against the scalar loop — outside the timed region.
+    assert wei_list(incentives) == [
+        detector_incentive(PARAMS, n, r) for n, r in zip(counts, rhos)
+    ]
+    assert wei_list(costs) == [
+        detector_cost(PARAMS, n, r) for n, r in zip(counts, rhos)
+    ]
+
+
+def test_bench_batch_settlement_10k_from_lists(benchmark):
+    """The list-input path: array conversion included in the timing."""
+    counts, rhos = _population(10_000)
+    incentives, costs = benchmark(detector_settlement, PARAMS, counts, rhos)
+    assert len(wei_list(incentives)) == 10_000
+    assert len(wei_list(costs)) == 10_000
+
+
+def test_bench_provider_punishments_100x64(benchmark):
+    """Eq. 9 over 100 providers with 64 awarded detections each."""
+    rng = random.Random(23)
+    awarded = [
+        [float(rng.randint(0, 20)) for _ in range(64)] for _ in range(100)
+    ]
+    rhos = [[rng.random() for _ in range(64)] for _ in range(100)]
+    deployed = [rng.randint(1, 5) for _ in range(100)]
+
+    punishments = benchmark(provider_punishments, PARAMS, awarded, rhos, deployed)
+    assert punishments == [
+        provider_punishment(PARAMS, counts, provider_rhos, contracts)
+        for counts, provider_rhos, contracts in zip(awarded, rhos, deployed)
+    ]

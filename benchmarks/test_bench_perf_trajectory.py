@@ -26,9 +26,25 @@ def test_nonce_search_speedup_floor(suite):
     assert nonce["speedup"] >= 3.0
 
 
+def test_economics_batch_speedup_floor(suite):
+    """Vectorized Eq. 7/10 settlement must hold >=5x over the scalar loop."""
+    econ = suite["benchmarks"]["economics_batch"]
+    assert econ["identical_to_scalar"]
+    assert econ["speedup"] >= 5.0
+
+
 def test_parallel_runner_identical(suite):
     """The jobs>1 fig5b probe must be bit-identical to serial."""
     assert suite["benchmarks"]["parallel_fig5b"]["identical_to_serial"]
+
+
+def test_parallel_probes_record_speedup_gate(suite):
+    """Parallel probes must say whether their ratio is gateable here."""
+    import os
+
+    expected = (os.cpu_count() or 1) > 1
+    assert suite["benchmarks"]["parallel_fig5b"]["speedup_gated"] is expected
+    assert suite["benchmarks"]["runner_scaling"]["speedup_gated"] is expected
 
 
 def test_suite_is_json_serializable_and_renders(suite, tmp_path):

@@ -22,6 +22,7 @@ PACKAGES = [
     ("repro.core", "SmartCrowd core (the paper's contribution)"),
     ("repro.adversary", "Attack library and majority analysis"),
     ("repro.analysis", "Theoretical analysis (§VI-B)"),
+    ("repro.economics", "Vectorized Eq. 7–10 accounting"),
     ("repro.workloads", "Experimental presets"),
     ("repro.experiments", "Table/figure runners"),
     ("repro.faults", "Fault injection and chaos harness"),

@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
 # Substrate perf-trajectory lane: time the hot paths (header hashing,
-# PoW nonce search, Merkle build, gossip round, one mini end-to-end
-# experiment, serial-vs-parallel runner) and record the baseline to
-# BENCH_substrate.json so future PRs measure regressions against it.
+# PoW nonce search, batch economics settlement, Merkle build, gossip
+# round, one mini end-to-end experiment, serial-vs-parallel runner) and
+# record the baseline to BENCH_substrate.json so future PRs measure
+# regressions against it.
 # Includes the runner-scaling probe: the pinned fork-rate sweep run
 # serially and at jobs=2, asserted bit-identical, with the wall-clock
-# ratio recorded under "runner_scaling".
+# ratio recorded under "runner_scaling".  Parallel probes carry a
+# "speedup_gated" flag (cpu_count > 1) marking whether their wall-clock
+# ratios are meaningful to gate on for this host.
 #
 # Exits non-zero if the midstate nonce search falls below its 3x floor
-# over the naive loop, or if mining with telemetry disabled runs more
-# than 5% slower than the pinned pre-telemetry loop.
+# over the naive loop, if the vectorized Eq. 7/10 settlement falls
+# below its 5x floor over the scalar loop, or if mining with telemetry
+# disabled runs more than 5% slower than the pinned pre-telemetry loop.
+#
+# The same quick workloads run inside tier-1 as a smoke
+# (tests/test_bench_smoke.py), so a broken probe fails the normal test
+# run, not just this lane.
 #
 # Usage:  scripts/run_bench.sh [--quick] [--jobs N] [--output FILE]
 

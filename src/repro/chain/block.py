@@ -15,8 +15,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.codec import pack
-from repro.crypto.hashing import hash_fields
+from repro.crypto.hashing import hash_fields, sha3_256
 from repro.crypto.keys import Address
+from repro.chain.fastpath import header_hash_frame
 from repro.chain.merkle import MerkleTree, compute_merkle_root
 
 __all__ = ["RecordKind", "ChainRecord", "BlockHeader", "Block", "GENESIS_PARENT"]
@@ -116,15 +117,30 @@ class BlockHeader:
             return cached
         # Timestamps are simulated-clock floats; encode via repr to keep
         # the encoding stable and injective for finite floats.
-        digest = hash_fields(
-            self.prev_block_id,
-            self.merkle_root,
-            repr(float(self.timestamp)),
-            self.nonce,
-            self.height,
-            self.difficulty,
-            self.miner.value,
-        )
+        if len(self.prev_block_id) == 32 and len(self.merkle_root) == 32:
+            # Struct-packed fast path (repro.chain.fastpath): one C call
+            # emits the exact field frames hash_fields would feed.
+            digest = sha3_256(
+                header_hash_frame(
+                    self.prev_block_id,
+                    self.merkle_root,
+                    repr(float(self.timestamp)).encode(),
+                    self.nonce,
+                    self.height,
+                    self.difficulty,
+                    self.miner.value,
+                )
+            )
+        else:  # non-standard id widths fall back to the generic codec
+            digest = hash_fields(
+                self.prev_block_id,
+                self.merkle_root,
+                repr(float(self.timestamp)),
+                self.nonce,
+                self.height,
+                self.difficulty,
+                self.miner.value,
+            )
         object.__setattr__(self, "_hash", digest)
         return digest
 

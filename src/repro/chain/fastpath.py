@@ -1,0 +1,106 @@
+"""Struct-packed serialization fast path — same bytes, one C call.
+
+The generic codecs build header byte layouts field by field:
+:func:`repro.crypto.hashing.field_frame` frames each hash input and
+:func:`repro.codec.pack` frames each wire field, both via per-field
+Python loops and ``join``.  Headers dominate the mining/serialization
+hot paths and their layout is almost fixed — only the timestamp string
+and the integer magnitudes vary in width — so this module compiles the
+whole header layout into one cached :class:`struct.Struct` keyed by
+those widths and emits the frame in a single C call.
+
+Byte-compatibility is the contract: every function here produces output
+identical to the generic codec it shadows (property-tested in
+``tests/chain/test_fastpath.py``), so digests, stored frames, and wire
+dumps are indistinguishable from the slow path.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Tuple
+
+from repro.crypto.hashpool import int_frame_parts
+
+__all__ = [
+    "header_hash_frame",
+    "pack_header_fields",
+]
+
+# Cached layouts keyed by the variable field widths.  The key space is
+# tiny (timestamp reprs and integer magnitudes only span a few dozen
+# widths) so the caches stay small for the life of the process.
+_HASH_FRAME_STRUCTS: Dict[Tuple[int, int, int, int], struct.Struct] = {}
+_WIRE_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def header_hash_frame(
+    prev_block_id: bytes,
+    merkle_root: bytes,
+    timestamp_repr: bytes,
+    nonce: int,
+    height: int,
+    difficulty: int,
+    miner_value: bytes,
+) -> bytes:
+    """The exact byte stream ``hash_fields`` hashes for a block header.
+
+    Concatenation of the seven ``field_frame`` frames (32-byte prev id,
+    32-byte merkle root, timestamp repr string, three ints, 20-byte
+    miner address) emitted by one cached :class:`struct.Struct`.
+    Feeding the result to SHA3-256 yields
+    :meth:`repro.chain.block.BlockHeader.header_hash`.
+    """
+    nonce_sign, nonce_mag = int_frame_parts(nonce)
+    height_sign, height_mag = int_frame_parts(height)
+    diff_sign, diff_mag = int_frame_parts(difficulty)
+    key = (len(timestamp_repr), len(nonce_mag), len(height_mag), len(diff_mag))
+    layout = _HASH_FRAME_STRUCTS.get(key)
+    if layout is None:
+        layout = struct.Struct(
+            ">IB32sIB32sIB%dsIBB%dsIBB%dsIBB%dsIB20s" % key
+        )
+        _HASH_FRAME_STRUCTS[key] = layout
+    return layout.pack(
+        33, 0x00, prev_block_id,
+        33, 0x00, merkle_root,
+        len(timestamp_repr) + 1, 0x01, timestamp_repr,
+        len(nonce_mag) + 2, 0x02, nonce_sign, nonce_mag,
+        len(height_mag) + 2, 0x02, height_sign, height_mag,
+        len(diff_mag) + 2, 0x02, diff_sign, diff_mag,
+        21, 0x00, miner_value,
+    )
+
+
+def pack_header_fields(
+    prev_block_id: bytes,
+    merkle_root: bytes,
+    timestamp_repr: bytes,
+    nonce: int,
+    height: int,
+    difficulty: int,
+    miner_value: bytes,
+) -> bytes:
+    """``repro.codec.pack`` of the seven wire header fields, struct-packed.
+
+    Byte-identical to the generic ``pack`` call in
+    :func:`repro.chain.serialization.encode_header`: each field framed
+    with a 4-byte length, integers in their fixed wire widths (16-byte
+    nonce, 8-byte height, 32-byte difficulty).  Raises ``OverflowError``
+    for values that do not fit those widths, exactly like ``to_bytes``.
+    """
+    layout = _WIRE_STRUCTS.get(len(timestamp_repr))
+    if layout is None:
+        layout = struct.Struct(
+            ">I32sI32sI%dsI16sI8sI32sI20s" % len(timestamp_repr)
+        )
+        _WIRE_STRUCTS[len(timestamp_repr)] = layout
+    return layout.pack(
+        32, prev_block_id,
+        32, merkle_root,
+        len(timestamp_repr), timestamp_repr,
+        16, nonce.to_bytes(16, "big"),
+        8, height.to_bytes(8, "big"),
+        32, difficulty.to_bytes(32, "big"),
+        20, miner_value,
+    )

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-from repro.crypto.hashing import merkle_leaf_hash, merkle_pair_hash, sha3_256
+from repro.crypto.hashing import merkle_pair_hash, sha3_256
+from repro.crypto.hashpool import leaf_hashes, pair_hashes
 
 __all__ = ["MerkleTree", "MerkleProof", "compute_merkle_root"]
 
@@ -57,7 +58,9 @@ class MerkleTree:
     """
 
     def __init__(self, payloads: Sequence[bytes]) -> None:
-        self._leaf_hashes: List[bytes] = [merkle_leaf_hash(p) for p in payloads]
+        # Pooled batch hashing (repro.crypto.hashpool) — digests equal
+        # merkle_leaf_hash/merkle_pair_hash applied one at a time.
+        self._leaf_hashes: List[bytes] = leaf_hashes(payloads)
         self._levels: List[List[bytes]] = self._build_levels(self._leaf_hashes)
 
     @staticmethod
@@ -69,11 +72,7 @@ class MerkleTree:
             current = levels[-1]
             if len(current) % 2 == 1:
                 current = current + [current[-1]]  # duplicate odd tail
-            nxt = [
-                merkle_pair_hash(current[i], current[i + 1])
-                for i in range(0, len(current), 2)
-            ]
-            levels.append(nxt)
+            levels.append(pair_hashes(current))
         return levels
 
     def __len__(self) -> int:

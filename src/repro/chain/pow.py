@@ -28,6 +28,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.chain.block import Block, BlockHeader
 from repro.crypto.hashing import field_frame, fields_midstate
+from repro.crypto.hashpool import search_nonce
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
@@ -77,11 +78,11 @@ def mine_block(
     experiments use :class:`MiningModel` instead.
 
     The header fields before the nonce are hashed once into a SHA3-256
-    midstate; each attempt copies the midstate and feeds only the nonce
-    frame plus the (constant) post-nonce suffix — no per-nonce header
-    allocation or field re-encoding.  The digest is byte-for-byte what
-    :meth:`BlockHeader.header_hash` computes, so :func:`check_pow`
-    accepts exactly the same nonces as the naive loop.
+    midstate; the pooled searcher (:func:`repro.crypto.hashpool.search_nonce`)
+    precomputes each chunk's nonce-frame+suffix tails so every attempt
+    is one midstate copy and a single ``update``.  The digest is
+    byte-for-byte what :meth:`BlockHeader.header_hash` computes, so
+    :func:`check_pow` accepts exactly the same nonces as the naive loop.
 
     Telemetry (attempt counts, per-search histogram) is recorded after
     the search loop, never inside it, so the disabled path is the bare
@@ -101,17 +102,13 @@ def mine_block(
     )
     found: Optional[Block] = None
     attempts = max_attempts
-    for nonce in range(start_nonce, start_nonce + max_attempts):
-        hasher = midstate.copy()
-        hasher.update(field_frame(nonce))
-        hasher.update(suffix)
-        digest = hasher.digest()
-        if int.from_bytes(digest, "big") < target:
-            winner = header.with_nonce(nonce)
-            object.__setattr__(winner, "_hash", digest)  # pre-warm the id cache
-            found = Block(header=winner, records=block.records)
-            attempts = nonce - start_nonce + 1
-            break
+    hit = search_nonce(midstate, suffix, target, start_nonce, max_attempts)
+    if hit is not None:
+        nonce, digest = hit
+        winner = header.with_nonce(nonce)
+        object.__setattr__(winner, "_hash", digest)  # pre-warm the id cache
+        found = Block(header=winner, records=block.records)
+        attempts = nonce - start_nonce + 1
     if telemetry is not None and telemetry.enabled:
         telemetry.counter("pow.nonce_attempts").inc(attempts)
         telemetry.counter(

@@ -15,6 +15,7 @@ from typing import List
 from repro.codec import CodecError, pack, unpack
 from repro.chain.block import Block, BlockHeader, ChainRecord, RecordKind
 from repro.chain.chain import Blockchain
+from repro.chain.fastpath import pack_header_fields
 from repro.crypto.keys import Address
 
 __all__ = [
@@ -52,8 +53,23 @@ def decode_record(data: bytes) -> ChainRecord:
     )
 
 
-def encode_header(header: BlockHeader) -> bytes:
-    """Serialize a bare block header (light clients, header stores)."""
+def _header_wire_bytes(header: BlockHeader) -> bytes:
+    """The framed wire fields of a header, via the struct fast path.
+
+    Byte-identical to packing the seven fields through the generic
+    codec; non-standard id widths (only reachable through hand-built
+    headers) fall back to :func:`repro.codec.pack`.
+    """
+    if len(header.prev_block_id) == 32 and len(header.merkle_root) == 32:
+        return pack_header_fields(
+            header.prev_block_id,
+            header.merkle_root,
+            repr(float(header.timestamp)).encode(),
+            header.nonce,
+            header.height,
+            header.difficulty,
+            header.miner.value,
+        )
     return pack(
         [
             header.prev_block_id,
@@ -65,6 +81,11 @@ def encode_header(header: BlockHeader) -> bytes:
             header.miner.value,
         ]
     )
+
+
+def encode_header(header: BlockHeader) -> bytes:
+    """Serialize a bare block header (light clients, header stores)."""
+    return _header_wire_bytes(header)
 
 
 def decode_header(data: bytes) -> BlockHeader:
@@ -91,18 +112,11 @@ def decode_header(data: bytes) -> BlockHeader:
 
 def encode_block(block: Block) -> bytes:
     """Serialize a block (header fields + framed records)."""
-    header = block.header
-    return pack(
-        [
-            header.prev_block_id,
-            header.merkle_root,
-            repr(float(header.timestamp)).encode(),
-            header.nonce.to_bytes(16, "big"),
-            header.height.to_bytes(8, "big"),
-            header.difficulty.to_bytes(32, "big"),
-            header.miner.value,
-            pack([encode_record(record) for record in block.records]),
-        ]
+    records_blob = pack([encode_record(record) for record in block.records])
+    return (
+        _header_wire_bytes(block.header)
+        + len(records_blob).to_bytes(4, "big")
+        + records_blob
     )
 
 

@@ -40,6 +40,7 @@ from repro.contracts.smartcrowd_contract import SmartCrowdContract
 from repro.contracts.state import InsufficientFunds
 from repro.contracts.vm import ContractRuntime
 from repro.core.incentives import IncentiveParameters
+from repro.economics.batch import crosscheck_detectors, crosscheck_providers
 from repro.core.registry import IdentityRegistry
 from repro.core.reports import DetailedReport, InitialReport, build_report_pair
 from repro.core.sra import SignedSRA, make_sra
@@ -50,7 +51,13 @@ from repro.detection.detector import Detector
 from repro.detection.iot_system import IoTSystem
 from repro.units import to_wei
 
-__all__ = ["SmartCrowdPlatform", "PlatformConfig", "ReleaseCase", "DetectorStats"]
+__all__ = [
+    "SmartCrowdPlatform",
+    "PlatformConfig",
+    "ReleaseCase",
+    "DetectorStats",
+    "EconomicsSummary",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,26 @@ class DetectorStats:
     bounties_won: int = 0
     incentives_wei: int = 0
     fees_paid_wei: int = 0
+
+
+@dataclass(frozen=True)
+class EconomicsSummary:
+    """Whole-population Eq. 7–10 accounting for one platform run.
+
+    Computed by the batch engine (:mod:`repro.economics`) with the
+    scalar closed forms of :mod:`repro.core.incentives` run alongside
+    as the cross-check oracle — any divergence raises
+    :class:`repro.economics.BatchParityError` instead of returning.
+    """
+
+    #: Eq. 7 per detector: μ·n_i·ρ_i with measured findings/awards.
+    detector_incentives_wei: Dict[str, int]
+    #: Eq. 10 per detector: n_i·(c + ρ_i·ψ).
+    detector_costs_wei: Dict[str, int]
+    #: Eq. 8 per provider: χ·ν + ψ·ω with measured block/fee counts.
+    provider_incentives_wei: Dict[str, int]
+    #: Eq. 9 per provider: μ·Σn_j·ρ_j + releases·cp over its releases.
+    provider_punishments_wei: Dict[str, int]
 
 
 class SmartCrowdPlatform:
@@ -176,6 +203,10 @@ class SmartCrowdPlatform:
         self.detector_stats: Dict[str, DetectorStats] = {
             detector_id: DetectorStats() for detector_id in self.detectors
         }
+        self._stats_by_address: Dict[Address, DetectorStats] = {
+            keys.address: self.detector_stats[detector_id]
+            for detector_id, keys in self.detector_keys.items()
+        }
         self.dropped_reports: List[Tuple[bytes, VerdictCode]] = []
         #: Detectors exposed by a failed AutoVerif: providers filter all
         #: of their future submissions (§V-C "filter this detector's
@@ -185,6 +216,8 @@ class SmartCrowdPlatform:
         self.punishments_wei: Dict[str, int] = {name: 0 for name in provider_shares}
         #: Per-provider fee income from mined records (the ψ·ω term).
         self.fee_income_wei: Dict[str, int] = {name: 0 for name in provider_shares}
+        #: Per-provider count of fee-bearing records collected (ω of Eq. 8).
+        self.fee_records_collected: Dict[str, int] = {name: 0 for name in provider_shares}
         self.blocks_mined: Dict[str, int] = {name: 0 for name in provider_shares}
 
         self.mining.add_listener(self._on_block)
@@ -530,16 +563,13 @@ class SmartCrowdPlatform:
 
         # Mint the block reward ν and collect record fees ψ·ω (Eq. 8).
         self.runtime.state.mint(miner_address, self.config.params.block_reward_wei)
-        for record in event.block.records:
-            if record.fee and record.sender is not None:
-                try:
-                    self.runtime.state.transfer(record.sender, miner_address, record.fee)
-                except InsufficientFunds:
-                    continue  # checked at submission; racing drain is dropped
-                self.fee_income_wei[miner_name] += record.fee
-                stats = self._stats_for_address(record.sender)
-                if stats is not None:
-                    stats.fees_paid_wei += record.fee
+        fee_records = [
+            record
+            for record in event.block.records
+            if record.fee and record.sender is not None
+        ]
+        if fee_records:
+            self._settle_fees(fee_records, miner_name, miner_address)
 
         # Gas of authority-triggered contract calls flows to this miner.
         self.runtime.fee_collector = miner_address
@@ -558,11 +588,62 @@ class SmartCrowdPlatform:
         for record in confirmed_block.records:
             self._on_record_confirmed(record)
 
+    def _settle_fees(
+        self,
+        fee_records: Sequence[ChainRecord],
+        miner_name: str,
+        miner_address: Address,
+    ) -> None:
+        """Collect a block's record fees for the miner, batched by sender.
+
+        Equivalent to transferring each record's fee in block order:
+        fee-bearing senders are never *credited* during settlement (only
+        the miner receives), so each sender's total settles in one
+        transfer.  A sender that cannot cover its total falls back to
+        the per-record greedy semantics (drop exactly the records the
+        sequential loop would drop), and a block whose miner is itself a
+        fee sender takes the per-record path outright — its balance
+        changes mid-settlement.
+        """
+        state = self.runtime.state
+        if any(record.sender == miner_address for record in fee_records):
+            for record in fee_records:
+                self._settle_fee_record(record, miner_name, miner_address)
+            return
+        totals: Dict[Address, int] = {}
+        for record in fee_records:
+            totals[record.sender] = totals.get(record.sender, 0) + record.fee
+        for sender, total in totals.items():
+            if state.balance(sender) >= total:
+                state.transfer(sender, miner_address, total)
+                self.fee_income_wei[miner_name] += total
+                self.fee_records_collected[miner_name] += sum(
+                    1 for record in fee_records if record.sender == sender
+                )
+                stats = self._stats_by_address.get(sender)
+                if stats is not None:
+                    stats.fees_paid_wei += total
+            else:
+                for record in fee_records:
+                    if record.sender == sender:
+                        self._settle_fee_record(record, miner_name, miner_address)
+
+    def _settle_fee_record(
+        self, record: ChainRecord, miner_name: str, miner_address: Address
+    ) -> None:
+        """Transfer one record's fee (the pre-batch sequential step)."""
+        try:
+            self.runtime.state.transfer(record.sender, miner_address, record.fee)
+        except InsufficientFunds:
+            return  # checked at submission; racing drain is dropped
+        self.fee_income_wei[miner_name] += record.fee
+        self.fee_records_collected[miner_name] += 1
+        stats = self._stats_by_address.get(record.sender)
+        if stats is not None:
+            stats.fees_paid_wei += record.fee
+
     def _stats_for_address(self, address: Address) -> Optional[DetectorStats]:
-        for detector_id, keys in self.detector_keys.items():
-            if keys.address == address:
-                return self.detector_stats[detector_id]
-        return None
+        return self._stats_by_address.get(address)
 
     def _on_record_confirmed(self, record: ChainRecord) -> None:
         if record.kind == RecordKind.INITIAL_REPORT:
@@ -663,6 +744,53 @@ class SmartCrowdPlatform:
     def release_case(self, sra_id: bytes) -> Optional[ReleaseCase]:
         """Look up a tracked release."""
         return self.releases.get(sra_id)
+
+    def economics_summary(self) -> EconomicsSummary:
+        """Batch Eq. 7–10 accounting over the whole population.
+
+        One vectorized pass through :mod:`repro.economics` instead of a
+        per-entity loop, with every value re-derived by the scalar
+        oracle (:class:`repro.economics.BatchParityError` on any
+        divergence).  Semantics: ``n_i`` is the detector's measured
+        findings and ``ρ_i`` its award proportion (clamped to 1 — a
+        bounty per finding at most); a provider's Eq. 9 term uses the
+        awarded counts against its releases at ρ = 1 (awards are
+        confirmed on-chain by definition) plus one deployment per
+        release.
+        """
+        params = self.config.params
+        detector_ids = sorted(self.detector_stats)
+        counts = [self.detector_stats[d].findings for d in detector_ids]
+        rhos = [
+            min(1.0, self.detector_stats[d].bounties_won / found) if found else 0.0
+            for d, found in zip(detector_ids, counts)
+        ]
+        incentives, costs = crosscheck_detectors(params, counts, rhos)
+
+        providers = sorted(self.blocks_mined)
+        chis = [self.blocks_mined[p] for p in providers]
+        omegas = [self.fee_records_collected[p] for p in providers]
+        awarded: Dict[str, List[float]] = {p: [] for p in providers}
+        deployed: Dict[str, int] = {p: 0 for p in providers}
+        for case in self.releases.values():
+            deployed[case.provider_name] += 1
+            awarded[case.provider_name].extend(
+                float(count) for count in case.awarded_counts.values()
+            )
+        provider_inc, provider_pun = crosscheck_providers(
+            params,
+            chis,
+            omegas,
+            [awarded[p] for p in providers],
+            [[1.0] * len(awarded[p]) for p in providers],
+            [deployed[p] for p in providers],
+        )
+        return EconomicsSummary(
+            detector_incentives_wei=dict(zip(detector_ids, incentives)),
+            detector_costs_wei=dict(zip(detector_ids, costs)),
+            provider_incentives_wei=dict(zip(providers, provider_inc)),
+            provider_punishments_wei=dict(zip(providers, provider_pun)),
+        )
 
     def finish_pending(self, max_extra_time: float = 3600.0) -> None:
         """Run until all open releases are closed (bounded)."""

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.balance import provider_punishment_ether
 from repro.core.incentives import IncentiveParameters
+from repro.economics.batch import punishment_curve_ether
 from repro.detection.corpus import ReleaseCorpus, ReleaseCorpusConfig
 from repro.detection.iot_system import build_system
 from repro.experiments.harness import ResultTable
@@ -162,13 +163,22 @@ class Fig4bResult:
 
 
 def _fig4b_curve_trial(args: Tuple[int, Tuple[float, ...]]) -> List[List[float]]:
-    """Closed-form punishment curve for one insurance level."""
+    """Closed-form punishment curve for one insurance level.
+
+    The whole VP grid is evaluated in one vectorized pass
+    (:func:`repro.economics.batch.punishment_curve_ether`); the scalar
+    closed form audits every point as the cross-check oracle.
+    """
     insurance, vp_grid = args
     params = IncentiveParameters()
-    return [
-        [vp, provider_punishment_ether(params, vp, float(insurance), releases=1.0)]
-        for vp in vp_grid
-    ]
+    curve = punishment_curve_ether(params, vp_grid, float(insurance), releases=1.0)
+    for vp, punishment in zip(vp_grid, curve):
+        oracle = provider_punishment_ether(params, vp, float(insurance), releases=1.0)
+        if punishment != oracle:
+            raise AssertionError(
+                f"batch punishment curve diverged at VP={vp}: {punishment} vs {oracle}"
+            )
+    return [[vp, punishment] for vp, punishment in zip(vp_grid, curve)]
 
 
 def _fig4b_spot_trial(args: Tuple[int, int, float, int]) -> float:

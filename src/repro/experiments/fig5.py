@@ -25,10 +25,15 @@ from repro.chain.consensus import MiningSimulation
 from repro.chain.pow import PAPER_HASHPOWER_SHARES
 from repro.core.incentives import IncentiveParameters
 from repro.crypto.keys import KeyPair
+from repro.economics.batch import provider_balance_curves_ether
 from repro.experiments.harness import ResultTable
-from repro.experiments.runner import SweepCheckpoint, run_trials, sweep_checkpoint
+from repro.experiments.runner import (
+    SweepCheckpoint,
+    derive_seeds,
+    run_trials,
+    sweep_checkpoint,
+)
 from repro.telemetry import Telemetry
-from repro.units import from_wei
 from repro.workloads.scenarios import provider_zeta
 
 __all__ = ["Fig5aResult", "Fig5bResult", "run_fig5a", "run_fig5b", "PAPER_VPB_REFERENCE"]
@@ -182,21 +187,20 @@ def run_fig5b(
         6,
     )
     vps = (round(vpb - 0.01, 6), vpb, round(vpb + 0.01, 6))
-    rng = random.Random(seed)
-    trial_seeds = [rng.randrange(2**31) for _ in range(trials)]
-    balances: Dict[float, List[float]] = {vp: [] for vp in vps}
-    fee_income_per_block = from_wei(params.report_fee_wei) * omega_per_block
+    # Trial seeds follow the runner's shared derivation discipline
+    # (identical values to the historical inline randrange loop).
+    trial_seeds = derive_seeds(seed, trials)
     wins = run_trials(
         _fig5b_trial,
         [(trial_seed, provider, window) for trial_seed in trial_seeds],
         jobs=jobs,
         checkpoint=sweep_checkpoint(checkpoint, "fig5b", seed),
     )
-    for won in wins:
-        income = won * (from_wei(params.block_reward_wei) + fee_income_per_block)
-        for vp in vps:
-            punishment = vp * insurance_ether + from_wei(params.deployment_cost_wei)
-            balances[vp].append(income - punishment)
+    # Batch balance assembly: one vectorized pass over the trial axis,
+    # bit-identical to the per-trial income/punishment arithmetic.
+    balances = provider_balance_curves_ether(
+        params, wins, vps, insurance_ether, omega_per_block
+    )
     result = Fig5bResult(provider=provider, vpb=vpb, balances=balances)
     if telemetry is not None and telemetry.enabled:
         wins_histogram = telemetry.histogram("fig5b.blocks_won")

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.analysis.vpb import vpb_closed_form
 from repro.core.incentives import IncentiveParameters
 from repro.detection.iot_system import build_system
+from repro.economics.batch import incentive_grid_ether
 from repro.experiments.harness import ResultTable
 from repro.experiments.runner import (
     SweepCheckpoint,
@@ -224,13 +225,10 @@ def run_fig6(
             from_wei(fees_wei.get(detector_id, 0)) / reports if reports else 0.0
         )
 
-    incentives = {
-        vp: {
-            detector_id: vp * releases_per_window * payout
-            for detector_id, payout in payout_per_release.items()
-        }
-        for vp in vps
-    }
+    # The VP × detector incentive grid vectorizes over the detector
+    # axis; values equal the scalar vp·releases·payout products bit for
+    # bit (repro.economics.batch preserves the operation order).
+    incentives = incentive_grid_ether(vps, releases_per_window, payout_per_release)
     return Fig6Result(
         incentives=incentives,
         payout_per_vulnerable_release=payout_per_release,

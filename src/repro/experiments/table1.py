@@ -15,6 +15,7 @@ from repro.detection.services import (
     PAPER_SERVICE_PROFILES,
     build_table1_apps,
 )
+from repro.economics.batch import jaccard_counts
 from repro.detection.vulnerability import Severity
 from repro.experiments.harness import ResultTable
 from repro.experiments.runner import (
@@ -144,19 +145,20 @@ def run_table1(
         )
         per_app.setdefault(outcome["app"], []).append(outcome)
     # Pairwise Jaccard per app, matching repro.detection.services.overlap_matrix
-    # (pairs where both services found nothing are skipped).
+    # (pairs where both services found nothing are skipped).  The
+    # intersection counts come from one vectorized membership-matrix
+    # product (repro.economics.batch.jaccard_counts); the final ratios
+    # divide the same exact integer counts the set arithmetic produced.
     for app_name, scans in per_app.items():
         matrix: Dict[Tuple[str, str], float] = {}
+        intersections, sizes = jaccard_counts([scan["keys"] for scan in scans])
         for i, first in enumerate(scans):
-            first_keys = set(first["keys"])
-            for second in scans[i + 1 :]:
-                union = first_keys | set(second["keys"])
+            for j in range(i + 1, len(scans)):
+                intersection = int(intersections[i, j])
+                union = int(sizes[i]) + int(sizes[j]) - intersection
                 if not union:
                     continue
-                intersection = first_keys & set(second["keys"])
-                matrix[(first["service"], second["service"])] = (
-                    len(intersection) / len(union)
-                )
+                matrix[(first["service"], scans[j]["service"])] = intersection / union
         overlaps[app_name] = matrix
     return Table1Result(counts=counts, overlaps=overlaps)
 

@@ -159,6 +159,86 @@ class TestReDetectionRound:
             platform.reopen_release(b"\x00" * 32)
 
 
+class TestIncrementalScanParity:
+    """The incremental chain scan must equal the full-rescan oracle."""
+
+    def _sorted_flaws(self, flaws):
+        return {
+            release: sorted(
+                (description.canonical, detector_id)
+                for description, detector_id in entries
+            )
+            for release, entries in flaws.items()
+            if entries
+        }
+
+    def test_incremental_scan_matches_full_rescan_at_every_poll(self):
+        platform = _platform(build_detector_fleet(seed=56), seed=56)
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        monitor.register_deployment("erin", "hub-a", "1.0.0")
+        monitor.register_deployment("erin", "hub-b", "1.0.0")
+        for index, name in enumerate(("hub-a", "hub-b", "hub-c")):
+            system = build_system(
+                name, "1.0.0", vulnerability_count=2, rng=random.Random(60 + index)
+            )
+            platform.announce_release("provider-2", system, at_time=index * 400.0)
+        # Poll mid-run repeatedly so the scan advances in many small
+        # batches, then compare the cache against the oracle each time.
+        for _ in range(8):
+            platform.advance_for(250.0)
+            monitor.poll()
+            assert self._sorted_flaws(monitor._flaws) == self._sorted_flaws(
+                monitor._confirmed_flaws_by_release()
+            )
+        platform.finish_pending()
+        monitor.poll()
+        assert self._sorted_flaws(monitor._flaws) == self._sorted_flaws(
+            monitor._confirmed_flaws_by_release()
+        )
+
+    def test_incremental_notifications_match_fresh_monitor(self):
+        platform = _platform(build_detector_fleet(seed=57), seed=57)
+        polling = RetrospectiveMonitor(platform.mining.chain)
+        polling.register_deployment("frank", "cam-x", "2.0.0")
+        system = build_system("cam-x", "2.0.0", vulnerability_count=3, rng=random.Random(70))
+        platform.announce_release("provider-1", system)
+        collected = []
+        for _ in range(6):
+            platform.advance_for(200.0)
+            collected.extend(polling.poll())
+        platform.finish_pending()
+        collected.extend(polling.poll())
+
+        fresh = RetrospectiveMonitor(platform.mining.chain)
+        fresh.register_deployment("frank", "cam-x", "2.0.0")
+        single = fresh.poll()
+        assert sorted(n.vulnerability_key for n in collected) == sorted(
+            n.vulnerability_key for n in single
+        )
+
+    def test_boundary_mismatch_triggers_full_rebuild(self):
+        platform = _platform(build_detector_fleet(seed=58), seed=58)
+        system = build_system("lock-y", "1.0.0", vulnerability_count=2, rng=random.Random(80))
+        platform.announce_release("provider-3", system)
+        platform.advance_for(900.0)
+        platform.finish_pending()
+        monitor = RetrospectiveMonitor(platform.mining.chain)
+        monitor.register_deployment("gus", "lock-y", "1.0.0")
+        first = monitor.poll()
+        # Simulate the scan boundary being rewritten (the reorg guard):
+        # the monitor must rebuild from genesis and reach the same state.
+        monitor._scanned_block_id = b"\xde\xad" * 16
+        before = self._sorted_flaws(monitor._flaws)
+        monitor.poll()
+        assert self._sorted_flaws(monitor._flaws) == before
+        assert self._sorted_flaws(monitor._flaws) == self._sorted_flaws(
+            monitor._confirmed_flaws_by_release()
+        )
+        # Dedup state survives the rebuild: nothing is re-notified.
+        assert first
+        assert monitor.poll() == []
+
+
 class TestExcludedKeysNotRepaid:
     def test_second_round_excludes_round1_awards(self):
         fleet = build_detector_fleet(seed=55)

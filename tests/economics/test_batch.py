@@ -1,0 +1,224 @@
+"""Unit tests for the vectorized economics engine.
+
+Every numeric test pins the batch result to the scalar closed forms of
+:mod:`repro.core.incentives` / :mod:`repro.analysis.balance` — equality
+is exact (wei for wei, bit for bit), never approximate.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro.economics.batch as batch_module
+from repro.analysis.balance import provider_punishment_ether
+from repro.core.incentives import (
+    IncentiveParameters,
+    detector_cost,
+    detector_incentive,
+    provider_incentive,
+    provider_punishment,
+)
+from repro.economics import (
+    BatchParityError,
+    crosscheck_detectors,
+    crosscheck_providers,
+    detector_costs,
+    detector_incentives,
+    detector_settlement,
+    incentive_grid_ether,
+    jaccard_counts,
+    provider_balance_curves_ether,
+    provider_incentives,
+    provider_punishments,
+    punishment_curve_ether,
+    wei_list,
+)
+from repro.units import from_wei
+
+PARAMS = IncentiveParameters()
+
+
+def _population(size, seed=3):
+    rng = random.Random(seed)
+    counts = [float(rng.randint(0, 40)) for _ in range(size)]
+    rhos = [rng.random() for _ in range(size)]
+    return counts, rhos
+
+
+class TestDetectorEquations:
+    def test_incentives_match_scalar(self):
+        counts, rhos = _population(500)
+        assert wei_list(detector_incentives(PARAMS, counts, rhos)) == [
+            detector_incentive(PARAMS, n, r) for n, r in zip(counts, rhos)
+        ]
+
+    def test_costs_match_scalar(self):
+        counts, rhos = _population(500)
+        assert wei_list(detector_costs(PARAMS, counts, rhos)) == [
+            detector_cost(PARAMS, n, r) for n, r in zip(counts, rhos)
+        ]
+
+    def test_settlement_returns_both_equations(self):
+        counts, rhos = _population(64)
+        incentives, costs = detector_settlement(PARAMS, counts, rhos)
+        assert wei_list(incentives) == wei_list(detector_incentives(PARAMS, counts, rhos))
+        assert wei_list(costs) == wei_list(detector_costs(PARAMS, counts, rhos))
+
+    def test_integer_counts_take_the_exact_product_path(self):
+        # The scalar form multiplies bounty*n as an exact big int before
+        # its single float rounding; the batch engine must reproduce it.
+        counts = [0, 1, 7, 10**6, 10**12]
+        rhos = [0.0, 1.0, 0.3, 0.999999, 0.5]
+        assert wei_list(detector_incentives(PARAMS, counts, rhos)) == [
+            detector_incentive(PARAMS, n, r) for n, r in zip(counts, rhos)
+        ]
+
+    def test_empty_population(self):
+        incentives, costs = detector_settlement(PARAMS, [], [])
+        assert wei_list(incentives) == []
+        assert wei_list(costs) == []
+
+    def test_rejects_misaligned_shapes(self):
+        with pytest.raises(ValueError, match="counts and rhos must align"):
+            detector_incentives(PARAMS, [1.0, 2.0], [0.5])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="n_i cannot be negative"):
+            detector_costs(PARAMS, [1.0, -2.0], [0.5, 0.5])
+
+    def test_rejects_out_of_range_rho(self):
+        with pytest.raises(ValueError, match=r"rho_i must be in \[0, 1\]"):
+            detector_incentives(PARAMS, [1.0], [1.5])
+
+    def test_rejects_nan_rho(self):
+        with pytest.raises(ValueError, match=r"rho_i must be in \[0, 1\]"):
+            detector_incentives(PARAMS, [1.0], [float("nan")])
+
+
+class TestProviderEquations:
+    def test_incentives_are_exact_integers(self):
+        chis = [0, 1, 5, 10**9]
+        omegas = [3, 0, 7, 10**9]
+        assert provider_incentives(PARAMS, chis, omegas) == [
+            provider_incentive(PARAMS, chi, omega)
+            for chi, omega in zip(chis, omegas)
+        ]
+
+    def test_incentives_reject_negative_counts(self):
+        with pytest.raises(ValueError, match="cannot be negative"):
+            provider_incentives(PARAMS, [1, -1], [0, 0])
+
+    def test_incentives_reject_misalignment(self):
+        with pytest.raises(ValueError, match="chis and omegas must align"):
+            provider_incentives(PARAMS, [1], [2, 3])
+
+    def test_punishments_match_scalar(self):
+        rng = random.Random(9)
+        awarded = [[float(rng.randint(0, 10)) for _ in range(rng.randint(0, 8))]
+                   for _ in range(20)]
+        rhos = [[rng.random() for _ in group] for group in awarded]
+        deployed = [rng.randint(0, 4) for _ in range(20)]
+        assert provider_punishments(PARAMS, awarded, rhos, deployed) == [
+            provider_punishment(PARAMS, counts, group_rhos, contracts)
+            for counts, group_rhos, contracts in zip(awarded, rhos, deployed)
+        ]
+
+    def test_punishment_of_empty_population_is_deployment_gas_only(self):
+        assert provider_punishments(PARAMS, [[]], [[]], [2]) == [
+            provider_punishment(PARAMS, [], [], 2)
+        ]
+
+    def test_punishments_reject_misalignment(self):
+        with pytest.raises(ValueError, match="must align"):
+            provider_punishments(PARAMS, [[1.0]], [[0.5]], [1, 2])
+        with pytest.raises(ValueError, match="must align"):
+            provider_punishments(PARAMS, [[1.0, 2.0]], [[0.5]], [1])
+
+
+class TestCrosschecks:
+    def test_crosscheck_detectors_agrees(self):
+        counts, rhos = _population(40)
+        incentives, costs = crosscheck_detectors(PARAMS, counts, rhos)
+        assert incentives == [detector_incentive(PARAMS, n, r) for n, r in zip(counts, rhos)]
+        assert costs == [detector_cost(PARAMS, n, r) for n, r in zip(counts, rhos)]
+
+    def test_crosscheck_providers_agrees(self):
+        inc, pun = crosscheck_providers(
+            PARAMS, [2, 0], [1, 4], [[3.0, 1.0], []], [[1.0, 0.5], []], [1, 0]
+        )
+        assert inc == [provider_incentive(PARAMS, 2, 1), provider_incentive(PARAMS, 0, 4)]
+        assert pun == [
+            provider_punishment(PARAMS, [3.0, 1.0], [1.0, 0.5], 1),
+            provider_punishment(PARAMS, [], [], 0),
+        ]
+
+    def test_divergence_raises_parity_error(self, monkeypatch):
+        # Corrupt the scalar oracle the crosscheck audits against: any
+        # disagreement between the engines must surface, not pass.
+        monkeypatch.setattr(
+            batch_module, "detector_incentive", lambda params, n, r: -1
+        )
+        with pytest.raises(BatchParityError, match="diverged.*index 0"):
+            crosscheck_detectors(PARAMS, [2.0], [0.5])
+
+    def test_parity_error_is_an_assertion_error(self):
+        assert issubclass(BatchParityError, AssertionError)
+
+
+class TestFigureHelpers:
+    def test_punishment_curve_matches_scalar_oracle(self):
+        grid = (0.0, 0.02, 0.04, 0.5, 1.0)
+        curve = punishment_curve_ether(PARAMS, grid, 1000.0, releases=3.0)
+        assert curve == [
+            provider_punishment_ether(PARAMS, vp, 1000.0, releases=3.0)
+            for vp in grid
+        ]
+
+    def test_punishment_curve_rejects_bad_vp(self):
+        with pytest.raises(ValueError, match=r"VP must be in \[0, 1\]"):
+            punishment_curve_ether(PARAMS, (0.5, 1.2), 1000.0)
+
+    def test_balance_curves_match_serial_loop(self):
+        wins = [3, 0, 5, 2]
+        vps = (0.028, 0.038, 0.048)
+        balances = provider_balance_curves_ether(PARAMS, wins, vps, 1000.0, 2.0)
+        income_per_block = from_wei(PARAMS.block_reward_wei) + from_wei(
+            PARAMS.report_fee_wei
+        ) * 2.0
+        cp = from_wei(PARAMS.deployment_cost_wei)
+        for vp in vps:
+            expected = [
+                won * income_per_block - (vp * 1000.0 + cp) for won in wins
+            ]
+            assert balances[vp] == expected
+
+    def test_incentive_grid_matches_dict_comprehension(self):
+        payouts = {"detector-1": 1.25, "detector-8": 9.75}
+        grid = incentive_grid_ether((0.028, 0.038), 11, payouts)
+        assert grid == {
+            vp: {d: vp * 11 * payout for d, payout in payouts.items()}
+            for vp in (0.028, 0.038)
+        }
+
+    def test_jaccard_counts_match_set_arithmetic(self):
+        groups = [["a", "b", "c"], ["b", "c", "d"], [], ["a"]]
+        intersections, sizes = jaccard_counts(groups)
+        sets = [set(g) for g in groups]
+        for i in range(len(groups)):
+            assert int(sizes[i]) == len(sets[i])
+            for j in range(len(groups)):
+                assert int(intersections[i, j]) == len(sets[i] & sets[j])
+
+    def test_jaccard_counts_empty_universe(self):
+        intersections, sizes = jaccard_counts([[], []])
+        assert intersections.shape == (2, 2)
+        assert not intersections.any()
+        assert not sizes.any()
+
+
+class TestWeiList:
+    def test_recovers_exact_integers(self):
+        values = np.array([0.0, 1.0, float(2**53), -3.0])
+        assert wei_list(values) == [0, 1, 2**53, -3]
+        assert all(isinstance(v, int) for v in wei_list(values))

@@ -1,0 +1,134 @@
+"""Property tests: the batch engine equals the scalar oracle bit for bit.
+
+Hypothesis drives arbitrary populations, parameter magnitudes, and
+rounding edges through both engines.  Proportions are floats (their
+actual domain — ρ ∈ [0, 1]); counts exercise both the float path and
+the exact-big-int path of Eq. 7, including magnitudes far beyond
+``int64``.  Equality is always on exact integer wei.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.incentives import (
+    IncentiveParameters,
+    detector_cost,
+    detector_incentive,
+    provider_incentive,
+    provider_punishment,
+)
+from repro.economics import (
+    detector_settlement,
+    provider_incentives,
+    provider_punishments,
+    wei_list,
+)
+
+# Wei magnitudes: the defaults sit around 2.5e20 (beyond int64); push
+# further to catch any packed-integer assumption in the batch engine.
+wei_amounts = st.integers(min_value=0, max_value=10**30)
+
+params_strategy = st.builds(
+    IncentiveParameters,
+    bounty_wei=wei_amounts,
+    block_reward_wei=wei_amounts,
+    report_fee_wei=wei_amounts,
+    submission_cost_wei=wei_amounts,
+    deployment_cost_wei=wei_amounts,
+)
+
+# Rounding-edge-heavy ρ values: exact endpoints dominate the samples.
+rho_values = st.one_of(
+    st.sampled_from([0.0, 1.0, 0.5, 1e-308, 1.0 - 2**-53]),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+
+float_counts = st.floats(min_value=0.0, max_value=1e18, allow_nan=False)
+int_counts = st.integers(min_value=0, max_value=10**24)
+
+
+def _paired(counts_strategy, max_size=30):
+    """(counts, rhos) of equal length, homogeneous count type."""
+    return st.lists(
+        st.tuples(counts_strategy, rho_values), min_size=0, max_size=max_size
+    ).map(lambda pairs: ([n for n, _ in pairs], [r for _, r in pairs]))
+
+
+@given(params=params_strategy, population=_paired(float_counts))
+@settings(max_examples=150, deadline=None)
+def test_float_counts_settlement_matches_scalar(params, population):
+    counts, rhos = population
+    incentives, costs = detector_settlement(params, counts, rhos)
+    assert wei_list(incentives) == [
+        detector_incentive(params, n, r) for n, r in zip(counts, rhos)
+    ]
+    assert wei_list(costs) == [
+        detector_cost(params, n, r) for n, r in zip(counts, rhos)
+    ]
+
+
+@given(params=params_strategy, population=_paired(int_counts))
+@settings(max_examples=150, deadline=None)
+def test_integer_counts_settlement_matches_scalar(params, population):
+    """Integer counts: the scalar Eq. 7 forms an exact big-int product
+    before its single float rounding; the batch engine must agree even
+    when ``bounty * n`` has hundreds of bits."""
+    counts, rhos = population
+    incentives, costs = detector_settlement(params, counts, rhos)
+    assert wei_list(incentives) == [
+        detector_incentive(params, n, r) for n, r in zip(counts, rhos)
+    ]
+    assert wei_list(costs) == [
+        detector_cost(params, n, r) for n, r in zip(counts, rhos)
+    ]
+
+
+@given(
+    params=params_strategy,
+    chis=st.lists(st.integers(min_value=0, max_value=10**12), max_size=20),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_provider_incentives_match_scalar(params, chis, data):
+    omegas = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=10**12),
+            min_size=len(chis),
+            max_size=len(chis),
+        )
+    )
+    assert provider_incentives(params, chis, omegas) == [
+        provider_incentive(params, chi, omega) for chi, omega in zip(chis, omegas)
+    ]
+
+
+@given(
+    params=params_strategy,
+    populations=st.lists(_paired(float_counts, max_size=12), max_size=8),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_provider_punishments_match_scalar(params, populations, data):
+    awarded = [counts for counts, _ in populations]
+    rhos = [group_rhos for _, group_rhos in populations]
+    deployed = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100),
+            min_size=len(populations),
+            max_size=len(populations),
+        )
+    )
+    assert provider_punishments(params, awarded, rhos, deployed) == [
+        provider_punishment(params, counts, group_rhos, contracts)
+        for counts, group_rhos, contracts in zip(awarded, rhos, deployed)
+    ]
+
+
+@given(params=params_strategy)
+@settings(max_examples=50, deadline=None)
+def test_empty_populations(params):
+    incentives, costs = detector_settlement(params, [], [])
+    assert wei_list(incentives) == []
+    assert wei_list(costs) == []
+    assert provider_incentives(params, [], []) == []
+    assert provider_punishments(params, [], [], []) == []

@@ -1,0 +1,55 @@
+"""Tier-1 smoke of the perf-trajectory lane.
+
+``scripts/run_bench.sh`` runs outside the normal test flow, so a probe
+broken by a refactor used to surface only when someone refreshed the
+baseline.  This smoke runs the suite's ``--quick`` workloads (minus the
+process-pool probes, which belong to the bench lane) inside tier-1: the
+structural assertions — nonce parity, batch-economics parity, fleet
+convergence — all fire, so a wrong-answer regression fails the ordinary
+test run.  Throughput *floors* stay in ``benchmarks/`` where timings
+are not subject to tier-1's parallel load.
+"""
+
+import pytest
+
+from repro.experiments.bench_substrate import run_suite, to_table
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(quick=True, repeats=1, parallel_probe=False)
+
+
+def test_quick_suite_runs_every_probe(suite):
+    assert {
+        "header_hash_cold",
+        "header_hash_cached",
+        "nonce_search",
+        "telemetry_overhead",
+        "economics_batch",
+        "ledger_validate",
+        "merkle_build_256",
+        "gossip_round",
+        "mini_experiment",
+        "store_replay",
+        "fleet_scale",
+    } <= set(suite["benchmarks"])
+
+
+def test_structural_probes_hold(suite):
+    """The bit-parity comparisons, not the timing floors."""
+    assert suite["benchmarks"]["nonce_search"]["same_nonce_as_naive"]
+    assert suite["benchmarks"]["economics_batch"]["identical_to_scalar"]
+    assert suite["benchmarks"]["fleet_scale"]["converged"]
+
+
+def test_economics_batch_is_faster_than_scalar(suite):
+    # The bench lane gates the 5x floor on an unloaded host; tier-1
+    # only insists vectorization doesn't *lose* to the scalar loop.
+    assert suite["benchmarks"]["economics_batch"]["speedup"] > 1.0
+
+
+def test_quick_suite_renders(suite):
+    rendered = to_table(suite).render()
+    assert "economics batch" in rendered
+    assert "nonce search" in rendered

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.crypto",
     "repro.detection",
+    "repro.economics",
     "repro.experiments",
     "repro.faults",
     "repro.network",

@@ -33,6 +33,17 @@ def test_economics_batch_speedup_floor(suite):
     assert econ["speedup"] >= 5.0
 
 
+def test_query_serving_speedup_floor(suite):
+    """Indexed reads must hold >=5x over the pinned full-chain scan.
+
+    The ratio is algorithmic — O(1) dict lookups vs an O(chain) walk —
+    so it is safe to gate even on a loaded single-core host.
+    """
+    query = suite["benchmarks"]["query_serving"]
+    assert query["identical_to_scan"]
+    assert query["speedup"] >= 5.0
+
+
 def test_parallel_runner_identical(suite):
     """The jobs>1 fig5b probe must be bit-identical to serial."""
     assert suite["benchmarks"]["parallel_fig5b"]["identical_to_serial"]

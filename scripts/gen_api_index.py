@@ -27,6 +27,7 @@ PACKAGES = [
     ("repro.experiments", "Table/figure runners"),
     ("repro.faults", "Fault injection and chaos harness"),
     ("repro.store", "Durable chain store (crash-safe persistence)"),
+    ("repro.query", "Query-serving read path (indices, snapshots, batching)"),
     ("repro.telemetry", "Metrics and trace events"),
 ]
 

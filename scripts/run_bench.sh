@@ -12,8 +12,10 @@
 #
 # Exits non-zero if the midstate nonce search falls below its 3x floor
 # over the naive loop, if the vectorized Eq. 7/10 settlement falls
-# below its 5x floor over the scalar loop, or if mining with telemetry
-# disabled runs more than 5% slower than the pinned pre-telemetry loop.
+# below its 5x floor over the scalar loop, if indexed query serving
+# falls below its 5x floor over the pinned full-chain scan, or if
+# mining with telemetry disabled runs more than 5% slower than the
+# pinned pre-telemetry loop.
 #
 # The same quick workloads run inside tier-1 as a smoke
 # (tests/test_bench_smoke.py), so a broken probe fails the normal test

@@ -20,6 +20,8 @@ Subpackages
 ``repro.analysis``    closed forms of SVI-B (DC_T, balances, VPB)
 ``repro.workloads``   the SVII experimental setup as reusable presets
 ``repro.experiments`` one runner per paper table/figure
+``repro.query``       consumer read path: materialized indices, snapshot
+                      caching, batched query serving
 
 Quickstart
 ----------
@@ -41,6 +43,7 @@ from repro.core import (
     SmartCrowdPlatform,
 )
 from repro.network.config import NetworkConfig
+from repro.query import QueryRequest, QueryService
 from repro.units import ETHER, GWEI, WEI, format_ether, from_wei, to_wei
 
 __version__ = "1.0.0"
@@ -52,6 +55,8 @@ __all__ = [
     "IncentiveParameters",
     "NetworkConfig",
     "PlatformConfig",
+    "QueryRequest",
+    "QueryService",
     "SmartCrowdPlatform",
     "WEI",
     "__version__",

@@ -101,8 +101,25 @@ class Blockchain:
         return self._blocks.get(block_id)
 
     def block_at_height(self, height: int) -> Optional[Block]:
-        """The canonical block at ``height``, or None if above the head."""
-        if height < 0 or height > self.head.height:
+        """The canonical block at ``height``, or None if above the head.
+
+        Heights are absolute block numbers: bools are rejected (``True``
+        is an ``int`` in Python and would silently read height 1) and so
+        are negative heights — callers expecting Python-list semantics
+        (``-1`` = head) would otherwise get a silent None where they
+        meant the tip.
+        """
+        if isinstance(height, bool):
+            raise ChainError(
+                "block height must be an int, not a bool "
+                "(True/False would silently read heights 1/0)"
+            )
+        if height < 0:
+            raise ChainError(
+                f"height {height} is negative: canonical heights are "
+                "absolute, with no Python-list wraparound"
+            )
+        if height > self.head.height:
             return None
         block = self.head
         while block.height > height:

@@ -6,6 +6,12 @@ stakeholders actually ask — "what did I earn?", "what did this release
 cost its provider?", "who found what?" — without any private state,
 mirroring what an Etherscan-style service would show for the paper's
 deployment.
+
+Reads go through a :class:`repro.query.EventIndex` (its own, or the
+one inside a shared :class:`repro.query.QueryService`): the event log
+is absorbed incrementally into by-name buckets, so building a release
+statement is O(relevant events) instead of rescanning the whole log
+once per event name per call.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.contracts.contract import ContractEvent
 from repro.contracts.vm import ContractRuntime
 from repro.crypto.keys import Address
+from repro.query.indices import EventIndex
 from repro.units import from_wei
 
 __all__ = ["DetectorStatement", "ReleaseStatement", "Explorer"]
@@ -69,10 +76,22 @@ class ReleaseStatement:
 
 
 class Explorer:
-    """Reads the contract runtime's public event log."""
+    """Reads the contract runtime's public event log (index-backed)."""
 
-    def __init__(self, runtime: ContractRuntime) -> None:
+    def __init__(
+        self, runtime: ContractRuntime, query: Optional[object] = None
+    ) -> None:
         self.runtime = runtime
+        # Share the QueryService's event index when handed one, so the
+        # explorer and the service absorb the log exactly once between
+        # them; otherwise keep a private index.
+        shared = getattr(query, "events", None) if query is not None else None
+        self._events: EventIndex = (
+            shared if isinstance(shared, EventIndex) else EventIndex(runtime)
+        )
+
+    def _named(self, name: str) -> List[ContractEvent]:
+        return self._events.named(name)
 
     # -- detector views ------------------------------------------------------
 
@@ -80,7 +99,7 @@ class Explorer:
         """All bounties credited to one wallet."""
         bounties = tuple(
             event
-            for event in self.runtime.events_named("BountyPaid")
+            for event in self._named("BountyPaid")
             if self._event_wallet(event) == wallet
         )
         return DetectorStatement(wallet=wallet, bounties=bounties)
@@ -99,7 +118,7 @@ class Explorer:
     def top_detectors(self, limit: int = 10) -> List[Tuple[str, int]]:
         """(detector id, total earned wei) leaderboard."""
         totals: Dict[str, int] = {}
-        for event in self.runtime.events_named("BountyPaid"):
+        for event in self._named("BountyPaid"):
             detector = event.payload["detector"]
             totals[detector] = totals.get(detector, 0) + event.payload["amount_wei"]
         ranked = sorted(totals.items(), key=lambda item: item[1], reverse=True)
@@ -108,39 +127,36 @@ class Explorer:
     # -- release views -----------------------------------------------------
 
     def release_statements(self) -> List[ReleaseStatement]:
-        """One statement per announced release, in deployment order."""
+        """One statement per announced release, in deployment order.
+
+        All four event streams are pulled once from the index and
+        joined in dicts keyed by contract / sra id — the historical
+        form rescanned the full event log once per release per stream.
+        """
+        bounties_by_contract: Dict[Address, List[ContractEvent]] = {}
+        for event in self._named("BountyPaid"):
+            bounties_by_contract.setdefault(event.contract, []).append(event)
+        refunded_by_sra = {
+            event.payload["sra_id"]: event.payload["refunded_wei"]
+            for event in self._named("InsuranceRefunded")
+        }
+        burned_by_sra = {
+            event.payload["sra_id"]: event.payload["burned_wei"]
+            for event in self._named("InsuranceForfeited")
+        }
         statements: List[ReleaseStatement] = []
-        for released in self.runtime.events_named("SystemReleased"):
+        for released in self._named("SystemReleased"):
             sra_id_hex = released.payload["sra_id"]
-            bounties = tuple(
-                event
-                for event in self.runtime.events_named("BountyPaid")
-                if event.contract == released.contract
-            )
-            refunded = next(
-                (
-                    event.payload["refunded_wei"]
-                    for event in self.runtime.events_named("InsuranceRefunded")
-                    if event.payload["sra_id"] == sra_id_hex
-                ),
-                None,
-            )
-            burned = next(
-                (
-                    event.payload["burned_wei"]
-                    for event in self.runtime.events_named("InsuranceForfeited")
-                    if event.payload["sra_id"] == sra_id_hex
-                ),
-                None,
-            )
             statements.append(
                 ReleaseStatement(
                     sra_id_hex=sra_id_hex,
                     insurance_wei=released.payload["insurance_wei"],
                     bounty_wei=released.payload["bounty_wei"],
-                    bounties_paid=bounties,
-                    refunded_wei=refunded,
-                    burned_wei=burned,
+                    bounties_paid=tuple(
+                        bounties_by_contract.get(released.contract, ())
+                    ),
+                    refunded_wei=refunded_by_sra.get(sra_id_hex),
+                    burned_wei=burned_by_sra.get(sra_id_hex),
                 )
             )
         return statements
@@ -157,5 +173,5 @@ class Explorer:
         """Detector ids that were isolated by any contract."""
         return [
             event.payload["detector"]
-            for event in self.runtime.events_named("DetectorIsolated")
+            for event in self._named("DetectorIsolated")
         ]

@@ -87,6 +87,16 @@ class ContractRuntime(ContractRuntimeApi):
         """Filter the log by event name."""
         return [event for event in self._events if event.name == name]
 
+    def events_since(self, start: int) -> List[ContractEvent]:
+        """Events committed at log position ``start`` or later.
+
+        The log is append-only (reverted calls never commit), so a
+        cursor over it is stable: incremental consumers
+        (:class:`repro.query.EventIndex`) remember how many events they
+        have absorbed and fetch only the suffix.
+        """
+        return list(self._events[start:])
+
     def get_contract(self, address: Address) -> Optional[Contract]:
         """Look up a deployed contract."""
         return self._contracts.get(address)

@@ -1,0 +1,37 @@
+"""The consumer-side read path: indices, snapshots, batched serving.
+
+The paper's consumers "query the report chain before deploying a
+system" (§V, §VII); this package serves that traffic at volume.
+:class:`ChainIndex` materializes report/nonce/height/location lookups
+incrementally at block confirmation (reorg-guard rebuild),
+:class:`SnapshotCache` freezes block/ledger views per head, and
+:class:`QueryService` batches mixed requests with deterministic
+scheduling under the simulator clock.  ``repro.rpc`` routes its hot
+reads through the same indices, so existing ``Web3Shim`` call sites
+get the fast path transparently.
+"""
+
+from repro.query.indices import ChainIndex, EventIndex, ReportEntry, SraEntry
+from repro.query.service import (
+    PendingBatch,
+    QueryError,
+    QueryRequest,
+    QueryResponse,
+    QueryService,
+)
+from repro.query.snapshots import ChainSnapshot, SnapshotCache, block_dict
+
+__all__ = [
+    "ChainIndex",
+    "ChainSnapshot",
+    "EventIndex",
+    "PendingBatch",
+    "QueryError",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ReportEntry",
+    "SnapshotCache",
+    "SraEntry",
+    "block_dict",
+]

@@ -1,0 +1,429 @@
+"""Materialized read indices over the confirmed report chain.
+
+The paper's consumers "query the report chain before deploying a
+system" (§V, §VII).  Answering those queries by rescanning the chain —
+every canonical block per nonce lookup, every confirmed payload per
+report filter — is O(chain) per call and quadratic over a consumer
+workload.  :class:`ChainIndex` maintains the answers *incrementally*:
+
+* canonical-path indices (height → block id, sender → record count,
+  record id → location) advanced one block at a time as the head moves;
+* confirmed-report indices (reports by system / vendor / severity /
+  detector, SRAs by release) advanced at the confirmation boundary,
+  mirroring the retrospective-monitor cursor pattern — confirmed blocks
+  are stable under the 6-deep rule, so each refresh decodes only the
+  newly confirmed payloads.
+
+Both cursors carry a reorg guard: if the block a cursor last stopped at
+is no longer canonical, every derived structure is rebuilt from genesis
+(a correctness backstop, not a steady-state path; rebuilds are counted
+in ``query.rebuilds``).  The full-scan forms the indices replace stay
+alive as parity oracles in ``tests/query``.
+
+:class:`EventIndex` is the runtime-side sibling: the contract event log
+is append-only (reverted calls never commit events), so by-name lookups
+are served from buckets that absorb only the events appended since the
+previous read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain, ChainError, RecordLocation
+from repro.contracts.contract import ContractEvent
+from repro.core.reports import DetailedReport
+from repro.core.sra import SignedSRA
+from repro.crypto.keys import Address
+from repro.detection.vulnerability import Severity
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = ["ChainIndex", "EventIndex", "ReportEntry", "SraEntry"]
+
+
+@dataclass(frozen=True)
+class SraEntry:
+    """One confirmed release announcement, as the index materializes it."""
+
+    sra_id: bytes
+    provider_id: str
+    system_name: str
+    system_version: str
+    insurance_wei: int
+    bounty_wei: int
+    height: int
+    index_in_block: int
+
+    @property
+    def release_key(self) -> Tuple[str, str]:
+        return (self.system_name, self.system_version)
+
+
+@dataclass(frozen=True)
+class ReportEntry:
+    """One confirmed detailed report, joined to its release.
+
+    ``severities`` / ``vulnerability_keys`` are per-description (a
+    report may describe several flaws); the by-severity index lists a
+    report under every severity it mentions.
+    """
+
+    record_id: bytes
+    sra_id: bytes
+    detector_id: str
+    provider_id: str
+    system_name: str
+    system_version: str
+    severities: Tuple[Severity, ...]
+    vulnerability_keys: Tuple[str, ...]
+    height: int
+    index_in_block: int
+
+    @property
+    def location(self) -> Tuple[int, int]:
+        """Chain-order sort key."""
+        return (self.height, self.index_in_block)
+
+
+def _require_plain_height(height: int) -> None:
+    """Shared height validation (mirrors :meth:`Blockchain.block_at_height`)."""
+    if isinstance(height, bool):
+        raise ChainError(
+            "block height must be an int, not a bool "
+            "(True/False would silently read heights 1/0)"
+        )
+    if height < 0:
+        raise ChainError(
+            f"height {height} is negative: canonical heights are absolute, "
+            "with no Python-list wraparound"
+        )
+
+
+class ChainIndex:
+    """Incrementally maintained read indices over one :class:`Blockchain`.
+
+    Every public query calls :meth:`refresh` first, so callers never
+    observe a stale answer; when the head has not moved, a refresh is
+    one block-id comparison.  Answers are bit-identical to the
+    full-scan forms (property-tested in ``tests/query``).
+    """
+
+    def __init__(
+        self, chain: Blockchain, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.chain = chain
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Reorg-triggered full rebuilds since construction (the initial
+        #: build does not count).
+        self.rebuilds = 0
+        self._reset()
+        self.refresh()
+
+    # -- cursor maintenance -------------------------------------------------
+
+    def _reset(self) -> None:
+        self._height_ids: List[bytes] = []
+        self._sender_counts: Dict[Address, int] = {}
+        self._locations: Dict[bytes, RecordLocation] = {}
+        self._reset_confirmed()
+
+    def _reset_confirmed(self) -> None:
+        self._confirmed_height = -1
+        self._confirmed_block_id: Optional[bytes] = None
+        self._sras: Dict[bytes, SraEntry] = {}
+        self._sras_in_order: List[SraEntry] = []
+        self._sras_by_release: Dict[Tuple[str, str], List[int]] = {}
+        self._sras_by_provider: Dict[str, List[int]] = {}
+        self._reports: List[ReportEntry] = []
+        self._reports_by_system: Dict[str, List[int]] = {}
+        self._reports_by_provider: Dict[str, List[int]] = {}
+        self._reports_by_severity: Dict[Severity, List[int]] = {}
+        self._reports_by_detector: Dict[str, List[int]] = {}
+        self._reports_by_sra: Dict[bytes, List[int]] = {}
+        self._pending_reports: List[Tuple[int, int, DetailedReport]] = []
+
+    def refresh(self) -> None:
+        """Fold head movement since the last refresh into every index."""
+        head = self.chain.head
+        tip_height = len(self._height_ids) - 1
+        if tip_height == head.height and self._height_ids[-1] == head.block_id:
+            return  # head unchanged: nothing moved
+        if head.height < tip_height:
+            # The canonical chain got *shorter* (heavier-but-shorter
+            # branch won): unambiguous reorg.
+            self._rebuild()
+            return
+        new_blocks: List[Block] = []
+        block = head
+        while block.height > tip_height:
+            new_blocks.append(block)
+            if block.height == 0:
+                break
+            block = self.chain.get_block(block.header.prev_block_id)
+        if tip_height >= 0 and block.block_id != self._height_ids[tip_height]:
+            # The walk from the new head does not pass through our
+            # recorded tip: the branch we indexed was abandoned.
+            self._rebuild()
+            return
+        for extension in reversed(new_blocks):
+            self._apply_canonical(extension)
+        self._advance_confirmed()
+
+    def _rebuild(self) -> None:
+        """Reorg guard: rebuild everything against the new canonical chain."""
+        self.rebuilds += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.rebuilds").inc()
+        self._reset()
+        for block in self.chain.iter_canonical():
+            self._apply_canonical(block)
+        self._advance_confirmed()
+
+    def _apply_canonical(self, block: Block) -> None:
+        self._height_ids.append(block.block_id)
+        for position, record in enumerate(block.records):
+            if record.sender is not None:
+                self._sender_counts[record.sender] = (
+                    self._sender_counts.get(record.sender, 0) + 1
+                )
+            self._locations[record.record_id] = RecordLocation(
+                block_id=block.block_id,
+                height=block.height,
+                index_in_block=position,
+            )
+
+    def _advance_confirmed(self) -> None:
+        confirmed_height = self.chain.head.height - self.chain.confirmation_depth
+        if self._confirmed_height >= 0 and (
+            self._confirmed_height >= len(self._height_ids)
+            or self._height_ids[self._confirmed_height] != self._confirmed_block_id
+        ):
+            # A confirmed block was rewritten — impossible under the
+            # depth rule in these simulations, but guarded anyway.
+            self._reset_confirmed()
+        for height in range(self._confirmed_height + 1, confirmed_height + 1):
+            block = self.chain.get_block(self._height_ids[height])
+            for position, record in enumerate(block.records):
+                self._index_confirmed_record(height, position, record)
+            self._confirmed_height = height
+            self._confirmed_block_id = block.block_id
+
+    def _index_confirmed_record(
+        self, height: int, position: int, record: ChainRecord
+    ) -> None:
+        if record.kind == RecordKind.SRA:
+            sra = SignedSRA.from_payload(record.payload)
+            entry = SraEntry(
+                sra_id=sra.sra_id,
+                provider_id=sra.body.provider_id,
+                system_name=sra.body.system_name,
+                system_version=sra.body.system_version,
+                insurance_wei=sra.body.insurance_wei,
+                bounty_wei=sra.body.bounty_wei,
+                height=height,
+                index_in_block=position,
+            )
+            index = len(self._sras_in_order)
+            self._sras_in_order.append(entry)
+            self._sras[entry.sra_id] = entry
+            self._sras_by_release.setdefault(entry.release_key, []).append(index)
+            self._sras_by_provider.setdefault(entry.provider_id, []).append(index)
+            if self._pending_reports:
+                # A report can only be parked while its SRA is unseen;
+                # retry the queue now that a new SRA landed.
+                pending, self._pending_reports = self._pending_reports, []
+                for parked in pending:
+                    self._file_report(*parked)
+        elif record.kind == RecordKind.DETAILED_REPORT:
+            report = DetailedReport.from_payload(record.payload)
+            self._file_report(height, position, report)
+
+    def _file_report(
+        self, height: int, position: int, report: DetailedReport
+    ) -> None:
+        """Join a confirmed report to its release (or park it).
+
+        The platform always records an SRA before any report against
+        it, so in practice reports resolve in chain order; a report
+        whose SRA is not yet indexed waits and is retried when the next
+        SRA lands — matching the two-pass full scan, which resolves
+        such reports regardless of record order.
+        """
+        sra = self._sras.get(report.sra_id)
+        if sra is None:
+            self._pending_reports.append((height, position, report))
+            return
+        entry = ReportEntry(
+            record_id=report.report_id,
+            sra_id=report.sra_id,
+            detector_id=report.detector_id,
+            provider_id=sra.provider_id,
+            system_name=sra.system_name,
+            system_version=sra.system_version,
+            severities=tuple(d.severity for d in report.descriptions),
+            vulnerability_keys=tuple(d.canonical for d in report.descriptions),
+            height=height,
+            index_in_block=position,
+        )
+        index = len(self._reports)
+        self._reports.append(entry)
+        self._reports_by_system.setdefault(entry.system_name, []).append(index)
+        self._reports_by_provider.setdefault(entry.provider_id, []).append(index)
+        self._reports_by_detector.setdefault(entry.detector_id, []).append(index)
+        self._reports_by_sra.setdefault(entry.sra_id, []).append(index)
+        for severity in set(entry.severities):
+            self._reports_by_severity.setdefault(severity, []).append(index)
+
+    def _hit(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.index_hits").inc()
+
+    # -- canonical-path queries ---------------------------------------------
+
+    @property
+    def confirmed_height(self) -> int:
+        """Highest height folded into the confirmed-report indices."""
+        return self._confirmed_height
+
+    def block_id_at_height(self, height: int) -> Optional[bytes]:
+        """Canonical block id at ``height`` — O(1) against the index."""
+        _require_plain_height(height)
+        self.refresh()
+        self._hit()
+        if height >= len(self._height_ids):
+            return None
+        return self._height_ids[height]
+
+    def block_at_height(self, height: int) -> Optional[Block]:
+        """The canonical block at ``height``, or None above the head.
+
+        Same answer (and same bool/negative rejection) as
+        :meth:`Blockchain.block_at_height`, without the head walk.
+        """
+        block_id = self.block_id_at_height(height)
+        if block_id is None:
+            return None
+        return self.chain.get_block(block_id)
+
+    def sender_count(self, sender: Address) -> int:
+        """Canonical records sent by ``sender`` (web3's nonce query)."""
+        self.refresh()
+        self._hit()
+        return self._sender_counts.get(sender, 0)
+
+    def locate_record(self, record_id: bytes) -> Optional[RecordLocation]:
+        """Where a record lives on the canonical chain (indexed)."""
+        self.refresh()
+        self._hit()
+        return self._locations.get(record_id)
+
+    def get_record(self, record_id: bytes) -> Optional[ChainRecord]:
+        """Fetch a canonical record by id through the location index."""
+        location = self.locate_record(record_id)
+        if location is None:
+            return None
+        return self.chain.get_block(location.block_id).records[
+            location.index_in_block
+        ]
+
+    # -- confirmed-report queries -------------------------------------------
+
+    def sras(
+        self,
+        provider: Optional[str] = None,
+        system: Optional[str] = None,
+        version: Optional[str] = None,
+    ) -> List[SraEntry]:
+        """Confirmed release announcements, filtered, in chain order."""
+        self.refresh()
+        self._hit()
+        candidates: Optional[set] = None
+        if provider is not None:
+            candidates = set(self._sras_by_provider.get(provider, ()))
+        if system is not None:
+            if version is not None:
+                matches = set(self._sras_by_release.get((system, version), ()))
+            else:
+                matches = {
+                    index
+                    for key, indices in self._sras_by_release.items()
+                    if key[0] == system
+                    for index in indices
+                }
+            candidates = matches if candidates is None else candidates & matches
+        if candidates is None:
+            return list(self._sras_in_order)
+        return [self._sras_in_order[index] for index in sorted(candidates)]
+
+    def reports(
+        self,
+        system: Optional[str] = None,
+        provider: Optional[str] = None,
+        severity: Optional[Union[Severity, str]] = None,
+        detector: Optional[str] = None,
+        sra_id: Optional[bytes] = None,
+    ) -> List[ReportEntry]:
+        """Confirmed detailed reports matching every given filter.
+
+        Results come back in chain order (height, index-in-block); the
+        filters intersect, so ``reports(system=..., severity=...)`` is
+        "reports against this system that mention this severity".
+        """
+        self.refresh()
+        self._hit()
+        if isinstance(severity, str):
+            severity = Severity(severity)
+        candidates: Optional[set] = None
+        for bucket, key in (
+            (self._reports_by_system, system),
+            (self._reports_by_provider, provider),
+            (self._reports_by_severity, severity),
+            (self._reports_by_detector, detector),
+            (self._reports_by_sra, sra_id),
+        ):
+            if key is None:
+                continue
+            matches = set(bucket.get(key, ()))
+            candidates = matches if candidates is None else candidates & matches
+        if candidates is None:
+            entries = list(self._reports)
+        else:
+            entries = [self._reports[index] for index in sorted(candidates)]
+        return sorted(entries, key=lambda entry: entry.location)
+
+
+class EventIndex:
+    """By-name buckets over the contract runtime's append-only event log.
+
+    The log only ever grows (reverted calls discard their events before
+    commit), so a single consumed-count cursor suffices: each refresh
+    absorbs only the events appended since the previous read, and
+    ``named`` is O(matches) instead of O(all events) per call.
+    """
+
+    def __init__(self, runtime, telemetry: Optional[Telemetry] = None) -> None:
+        self.runtime = runtime
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._consumed = 0
+        self._by_name: Dict[str, List[ContractEvent]] = {}
+
+    @property
+    def consumed(self) -> int:
+        """Events folded into the buckets so far."""
+        return self._consumed
+
+    def refresh(self) -> None:
+        """Absorb events appended since the previous refresh."""
+        fresh = self.runtime.events_since(self._consumed)
+        for event in fresh:
+            self._by_name.setdefault(event.name, []).append(event)
+        self._consumed += len(fresh)
+
+    def named(self, name: str) -> List[ContractEvent]:
+        """All committed events with ``name``, oldest first."""
+        self.refresh()
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.index_hits").inc()
+        return list(self._by_name.get(name, ()))

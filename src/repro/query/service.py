@@ -1,0 +1,429 @@
+"""Batched + async query serving over the materialized indices.
+
+:class:`QueryService` is the consumer-facing read path: requests are
+plain :class:`QueryRequest` values (method + params, mirroring the
+JSON-RPC surface the paper's consumers would hit), batches are served
+against ONE refreshed index view and one chain snapshot per batch, and
+``submit_batch`` defers execution onto the simulator clock so consumer
+traffic interleaves deterministically with mining and gossip events.
+
+Per-request failures (unknown block, malformed address) become
+``ok=False`` responses carrying the error message — one bad request in
+a batch never poisons its neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.chain.chain import Blockchain, ChainError
+from repro.contracts.vm import ContractRuntime
+from repro.crypto.keys import Address
+from repro.network.simulator import Simulator
+from repro.query.indices import ChainIndex, EventIndex
+from repro.query.snapshots import ChainSnapshot, SnapshotCache, block_dict
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "PendingBatch",
+    "QueryError",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+]
+
+
+class QueryError(ValueError):
+    """Raised for malformed requests or an unusable service binding."""
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One read request: a method name plus keyword params.
+
+    The constructors below cover the supported surface; ``params`` is a
+    tuple of (key, value) pairs so requests stay hashable.
+    """
+
+    method: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def head(cls) -> "QueryRequest":
+        """Canonical head height + id."""
+        return cls("head")
+
+    @classmethod
+    def get_block(cls, identifier: Union[int, str, bytes]) -> "QueryRequest":
+        """A block by height / ``"latest"`` / ``"earliest"`` / hash."""
+        return cls("get_block", (("identifier", identifier),))
+
+    @classmethod
+    def get_balance(cls, account: Union[Address, str]) -> "QueryRequest":
+        """Snapshot balance in wei, as of the batch's head."""
+        return cls("get_balance", (("account", account),))
+
+    @classmethod
+    def get_transaction(cls, record_id: Union[str, bytes]) -> "QueryRequest":
+        """A canonical record by id (web3's tx lookup)."""
+        return cls("get_transaction", (("record_id", record_id),))
+
+    @classmethod
+    def get_transaction_count(
+        cls, account: Union[Address, str]
+    ) -> "QueryRequest":
+        """Canonical records sent by ``account`` (the nonce query)."""
+        return cls("get_transaction_count", (("account", account),))
+
+    @classmethod
+    def get_reports(
+        cls,
+        system: Optional[str] = None,
+        provider: Optional[str] = None,
+        severity: Optional[str] = None,
+        detector: Optional[str] = None,
+    ) -> "QueryRequest":
+        """Confirmed detailed reports matching every given filter."""
+        params = tuple(
+            (key, value)
+            for key, value in (
+                ("system", system),
+                ("provider", provider),
+                ("severity", severity),
+                ("detector", detector),
+            )
+            if value is not None
+        )
+        return cls("get_reports", params)
+
+    @classmethod
+    def get_sras(
+        cls,
+        provider: Optional[str] = None,
+        system: Optional[str] = None,
+        version: Optional[str] = None,
+    ) -> "QueryRequest":
+        """Confirmed release announcements matching every given filter."""
+        params = tuple(
+            (key, value)
+            for key, value in (
+                ("provider", provider),
+                ("system", system),
+                ("version", version),
+            )
+            if value is not None
+        )
+        return cls("get_sras", params)
+
+    @classmethod
+    def get_logs(cls, event_name: str) -> "QueryRequest":
+        """Committed contract events by name."""
+        return cls("get_logs", (("event_name", event_name),))
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The outcome of one request: ``result`` if ``ok``, else ``error``."""
+
+    request: QueryRequest
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+
+
+@dataclass
+class PendingBatch:
+    """A batch deferred onto the simulator clock.
+
+    ``responses`` stays None until the scheduled event fires; callers
+    either poll it after ``advance`` or pass a ``callback`` to
+    :meth:`QueryService.submit_batch`.
+    """
+
+    requests: Tuple[QueryRequest, ...]
+    scheduled_time: float
+    responses: Optional[List[QueryResponse]] = None
+    callback: Optional[Callable[[List[QueryResponse]], None]] = field(
+        default=None, repr=False
+    )
+
+    @property
+    def done(self) -> bool:
+        return self.responses is not None
+
+    def _deliver(self, responses: List[QueryResponse]) -> None:
+        self.responses = responses
+        if self.callback is not None:
+            self.callback(responses)
+
+
+class QueryService:
+    """The consumer read path: indices + snapshots + batch dispatch.
+
+    Like :class:`~repro.rpc.Eth`, the binding may be *by node*: when
+    ``node`` is set, every batch re-resolves ``node.chain`` so a
+    restart-from-disk (which swaps the chain object wholesale) is
+    followed — the index is rebuilt against the new object instead of
+    serving the corpse.
+    """
+
+    def __init__(
+        self,
+        chain: Optional[Blockchain] = None,
+        runtime: Optional[ContractRuntime] = None,
+        node: Optional[object] = None,
+        simulator: Optional[Simulator] = None,
+        telemetry: Optional[Telemetry] = None,
+        snapshot_capacity: int = 4,
+    ) -> None:
+        if chain is None and node is None:
+            raise QueryError("QueryService needs a chain or a node to read from")
+        self.chain = chain
+        self.runtime = runtime
+        self.node = node
+        self.simulator = simulator
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.snapshots = SnapshotCache(capacity=snapshot_capacity)
+        self.index = ChainIndex(self._live_chain(), telemetry=self.telemetry)
+        self.events: Optional[EventIndex] = (
+            EventIndex(runtime, telemetry=self.telemetry)
+            if runtime is not None
+            else None
+        )
+
+    @classmethod
+    def connect(
+        cls, platform, simulator: Optional[Simulator] = None, **kwargs: Any
+    ) -> "QueryService":
+        """Attach to a :class:`~repro.core.platform.SmartCrowdPlatform`.
+
+        The platform itself carries the unified ``now``/``schedule_at``
+        clock surface, so it doubles as the async-batch scheduler
+        unless an explicit ``simulator`` is handed in.
+        """
+        return cls(
+            chain=platform.mining.chain,
+            runtime=platform.runtime,
+            simulator=simulator if simulator is not None else platform,
+            **kwargs,
+        )
+
+    # -- live resolution -----------------------------------------------------
+
+    def _live_chain(self) -> Blockchain:
+        if self.node is not None:
+            if getattr(self.node, "crashed", False):
+                name = getattr(self.node, "name", "node")
+                raise QueryError(
+                    f"{name} is down (crashed or mid-recovery); "
+                    "retry once it has restarted"
+                )
+            chain = getattr(self.node, "chain", None)
+            if chain is None:
+                name = getattr(self.node, "name", "node")
+                raise QueryError(f"{name} holds no full chain replica")
+            return chain
+        assert self.chain is not None  # guaranteed by __init__
+        return self.chain
+
+    def _live_index(self) -> ChainIndex:
+        """The index, rebound if a restart swapped the chain object."""
+        chain = self._live_chain()
+        if self.index.chain is not chain:
+            self.index = ChainIndex(chain, telemetry=self.telemetry)
+        return self.index
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request (a batch of one)."""
+        return self.serve_batch([request])[0]
+
+    def serve_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[QueryResponse]:
+        """Serve a batch against one consistent chain view.
+
+        The index refreshes once and the snapshot is captured once; all
+        requests in the batch answer as of that head, even if live
+        objects move underneath mid-iteration.
+        """
+        index = self._live_index()
+        index.refresh()
+        chain = self._live_chain()
+        state = self.runtime.state if self.runtime is not None else None
+        snapshot = self.snapshots.current(chain, state)
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.requests").inc(len(requests))
+        responses: List[QueryResponse] = []
+        for request in requests:
+            try:
+                result = self._dispatch(request, index, snapshot)
+            except (QueryError, ChainError, ValueError) as error:
+                responses.append(
+                    QueryResponse(request=request, ok=False, error=str(error))
+                )
+            else:
+                responses.append(
+                    QueryResponse(request=request, ok=True, result=result)
+                )
+        return responses
+
+    def submit_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        delay: float = 0.0,
+        callback: Optional[Callable[[List[QueryResponse]], None]] = None,
+    ) -> PendingBatch:
+        """Defer a batch onto the simulator clock.
+
+        The batch runs when the simulator reaches ``now + delay``,
+        interleaved deterministically (time, seq) with whatever else is
+        scheduled; it observes the chain *as of that simulated moment*,
+        not submission time.
+        """
+        if self.simulator is None:
+            raise QueryError(
+                "submit_batch needs a simulator binding "
+                "(pass simulator= when constructing the service)"
+            )
+        pending = PendingBatch(
+            requests=tuple(requests),
+            scheduled_time=self.simulator.now + delay,
+            callback=callback,
+        )
+        # schedule_at is the unified absolute-time surface shared by
+        # Simulator and SmartCrowdPlatform, so either works as the clock.
+        self.simulator.schedule_at(
+            pending.scheduled_time,
+            lambda: pending._deliver(self.serve_batch(pending.requests)),
+        )
+        return pending
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(
+        self, request: QueryRequest, index: ChainIndex, snapshot: ChainSnapshot
+    ) -> Any:
+        params = request.param_dict()
+        method = request.method
+        if method == "head":
+            return {
+                "number": snapshot.height,
+                "hash": "0x" + snapshot.head_id.hex(),
+            }
+        if method == "get_block":
+            return self._serve_block(params["identifier"], snapshot)
+        if method == "get_balance":
+            return snapshot.balance(self._address(params["account"]))
+        if method == "get_transaction":
+            return self._serve_transaction(params["record_id"], index)
+        if method == "get_transaction_count":
+            return index.sender_count(self._address(params["account"]))
+        if method == "get_reports":
+            return index.reports(
+                system=params.get("system"),
+                provider=params.get("provider"),
+                severity=params.get("severity"),
+                detector=params.get("detector"),
+            )
+        if method == "get_sras":
+            return index.sras(
+                provider=params.get("provider"),
+                system=params.get("system"),
+                version=params.get("version"),
+            )
+        if method == "get_logs":
+            if self.events is None:
+                raise QueryError(
+                    "no contract runtime attached: event queries need one"
+                )
+            return [
+                {
+                    "address": event.contract.hex(),
+                    "event": event.name,
+                    "args": dict(event.payload),
+                    "blockTime": event.block_time,
+                }
+                for event in self.events.named(params["event_name"])
+            ]
+        raise QueryError(f"unknown query method {method!r}")
+
+    def _serve_block(
+        self, identifier: Union[int, str, bytes], snapshot: ChainSnapshot
+    ) -> Dict[str, Any]:
+        if identifier == "latest":
+            return block_dict(snapshot.head)
+        if identifier == "earliest":
+            return block_dict(snapshot.blocks[0])
+        if isinstance(identifier, bool):
+            raise QueryError(
+                f"bad block identifier {identifier!r}: True/False would "
+                "silently read heights 1/0 — pass a plain int height"
+            )
+        if isinstance(identifier, int):
+            payload = snapshot.block_dict_at_height(identifier)
+            if payload is None:
+                raise QueryError(f"no block at height {identifier}")
+            return payload
+        raw = identifier
+        if isinstance(raw, str):
+            try:
+                raw = bytes.fromhex(raw.removeprefix("0x"))
+            except ValueError as error:
+                raise QueryError(
+                    f"bad block identifier {identifier!r}"
+                ) from error
+        for block in snapshot.blocks:
+            if block.block_id == raw:
+                return block_dict(block)
+        raise QueryError("unknown block hash (not on the snapshotted chain)")
+
+    def _serve_transaction(
+        self, record_id: Union[str, bytes], index: ChainIndex
+    ) -> Dict[str, Any]:
+        if isinstance(record_id, str):
+            try:
+                record_id = bytes.fromhex(record_id.removeprefix("0x"))
+            except ValueError as error:
+                raise QueryError(
+                    f"malformed transaction id {record_id!r}: not valid hex"
+                ) from error
+        elif not isinstance(record_id, (bytes, bytearray)):
+            raise QueryError(
+                "transaction id must be bytes or 0x hex, got "
+                f"{type(record_id).__name__}"
+            )
+        record_id = bytes(record_id)
+        location = index.locate_record(record_id)
+        if location is None:
+            raise QueryError(
+                f"transaction 0x{record_id.hex()} not found on the "
+                "canonical chain"
+            )
+        record = index.get_record(record_id)
+        return {
+            "hash": "0x" + record_id.hex(),
+            "blockHash": "0x" + location.block_id.hex(),
+            "blockNumber": location.height,
+            "transactionIndex": location.index_in_block,
+            "kind": record.kind.value,
+            "fee": record.fee,
+            "from": record.sender.hex() if record.sender else None,
+            "input": "0x" + record.payload.hex(),
+        }
+
+    @staticmethod
+    def _address(account: Union[Address, str]) -> Address:
+        if isinstance(account, Address):
+            return account
+        try:
+            return Address.from_hex(account)
+        except (ValueError, AttributeError, TypeError) as error:
+            raise QueryError(f"malformed address {account!r}") from error

@@ -1,0 +1,161 @@
+"""Immutable chain/ledger snapshots keyed by head id.
+
+A consumer batch should see one consistent view of the chain even while
+blocks keep arriving.  :class:`ChainSnapshot` freezes the canonical
+path and the ledger balances at a given head; :class:`SnapshotCache`
+hands the same frozen object back for every read until the head moves,
+and drops snapshots whose head is no longer canonical (reorg
+invalidation), so ``get_block``/``get_balance``-shaped reads never
+touch live objects mid-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain, ChainError
+from repro.contracts.state import WorldState
+from repro.crypto.keys import Address
+
+__all__ = ["ChainSnapshot", "SnapshotCache", "block_dict"]
+
+
+def _hex(data: bytes) -> str:
+    return "0x" + data.hex()
+
+
+def block_dict(block: Block) -> Dict[str, Any]:
+    """A block as the web3-shaped dict ``Eth.get_block`` serves.
+
+    Shared by :mod:`repro.rpc` and the snapshot read path so the two
+    can never drift apart (their parity is asserted in tests).
+    """
+    return {
+        "number": block.height,
+        "hash": _hex(block.block_id),
+        "parentHash": _hex(block.header.prev_block_id),
+        "timestamp": block.header.timestamp,
+        "nonce": block.header.nonce,
+        "difficulty": block.header.difficulty,
+        "miner": block.header.miner.hex(),
+        "merkleRoot": _hex(block.header.merkle_root),
+        "transactions": [_hex(record.record_id) for record in block.records],
+    }
+
+
+@dataclass(frozen=True)
+class ChainSnapshot:
+    """A frozen view of the canonical chain and ledger at one head.
+
+    Blocks themselves are frozen dataclasses, so holding references is
+    safe; the canonical *path* and the balance map are copied because
+    those are the parts the live objects mutate.
+    """
+
+    head_id: bytes
+    height: int
+    blocks: Tuple[Block, ...]
+    balances: Dict[Address, int] = field(hash=False)
+
+    @classmethod
+    def capture(
+        cls, chain: Blockchain, state: Optional[WorldState] = None
+    ) -> "ChainSnapshot":
+        """Freeze ``chain`` (and optionally ``state``) right now."""
+        blocks = tuple(chain.iter_canonical())
+        balances: Dict[Address, int] = {}
+        if state is not None:
+            balances = {account: balance for account, balance in state.accounts()}
+        return cls(
+            head_id=chain.head.block_id,
+            height=chain.head.height,
+            blocks=blocks,
+            balances=balances,
+        )
+
+    def block_at_height(self, height: int) -> Optional[Block]:
+        """The snapshotted block at ``height`` — O(1), rejects bools."""
+        if isinstance(height, bool):
+            raise ChainError(
+                "block height must be an int, not a bool "
+                "(True/False would silently read heights 1/0)"
+            )
+        if height < 0:
+            raise ChainError(
+                f"height {height} is negative: canonical heights are "
+                "absolute, with no Python-list wraparound"
+            )
+        if height > self.height:
+            return None
+        return self.blocks[height]
+
+    def block_dict_at_height(self, height: int) -> Optional[Dict[str, Any]]:
+        """Web3-shaped dict for the snapshotted block at ``height``."""
+        block = self.block_at_height(height)
+        if block is None:
+            return None
+        return block_dict(block)
+
+    def balance(self, account: Address) -> int:
+        """Snapshotted balance in wei (0 for unknown accounts)."""
+        return self.balances.get(account, 0)
+
+    @property
+    def head(self) -> Block:
+        return self.blocks[-1]
+
+
+class SnapshotCache:
+    """Head-keyed cache of :class:`ChainSnapshot` objects.
+
+    ``current`` returns the cached snapshot while the head stands
+    still; a head move captures a fresh one, and any cached snapshot
+    whose head fell off the canonical chain (reorg) is evicted rather
+    than recycled.  Capacity is small by design — consumers only ever
+    ask about the recent past.
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError("snapshot cache needs capacity >= 1")
+        self.capacity = capacity
+        self._snapshots: Dict[bytes, ChainSnapshot] = {}
+        self._order: List[bytes] = []  # insertion order, oldest first
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def current(
+        self, chain: Blockchain, state: Optional[WorldState] = None
+    ) -> ChainSnapshot:
+        """The snapshot for ``chain``'s current head, capturing on miss."""
+        head_id = chain.head.block_id
+        self._evict_noncanonical(chain)
+        cached = self._snapshots.get(head_id)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        snapshot = ChainSnapshot.capture(chain, state)
+        self._snapshots[head_id] = snapshot
+        self._order.append(head_id)
+        while len(self._order) > self.capacity:
+            oldest = self._order.pop(0)
+            self._snapshots.pop(oldest, None)
+        return snapshot
+
+    def _evict_noncanonical(self, chain: Blockchain) -> None:
+        stale = [
+            head_id
+            for head_id in self._order
+            if not chain.is_canonical(head_id)
+        ]
+        for head_id in stale:
+            self._order.remove(head_id)
+            self._snapshots.pop(head_id, None)
+            self.invalidations += 1

@@ -15,15 +15,17 @@ hex identifiers, dict-shaped blocks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.chain.block import Block
-from repro.chain.chain import Blockchain
+from repro.chain.chain import Blockchain, ChainError
 from repro.chain.mempool import Mempool
 from repro.contracts.contract import Contract, Receipt
 from repro.contracts.vm import ContractRuntime
 from repro.crypto.keys import Address
+from repro.query.indices import ChainIndex
+from repro.query.snapshots import block_dict
 
 __all__ = ["Eth", "RpcError", "Web3Shim"]
 
@@ -53,6 +55,10 @@ class Eth:
     #: wholesale, and a shim bound to the old object would serve stale
     #: blocks and phantom receipts.
     node: Optional[object] = None
+    #: Lazily built read index over the live chain (height → block,
+    #: sender → count).  Rebound whenever the chain object is swapped
+    #: (restart-from-disk), mirroring ``_live_chain``'s discipline.
+    _index: Optional[ChainIndex] = field(default=None, repr=False, compare=False)
 
     # -- live resolution ----------------------------------------------------
 
@@ -73,6 +79,19 @@ class Eth:
         if self.chain is None:
             raise RpcError("no chain attached to this shim")
         return self.chain
+
+    def _live_index(self) -> ChainIndex:
+        """The materialized index over the live chain.
+
+        Built on first use and rebuilt when the underlying chain
+        *object* changes — a node restart-from-disk swaps ``node.chain``
+        wholesale, and an index over the old object would serve the
+        corpse.
+        """
+        chain = self._live_chain()
+        if self._index is None or self._index.chain is not chain:
+            self._index = ChainIndex(chain)
+        return self._index
 
     def _live_mempool(self) -> Optional[Mempool]:
         if self.node is not None:
@@ -107,17 +126,7 @@ class Eth:
         block hash (bytes or ``0x`` hex).
         """
         block = self._resolve_block(identifier)
-        return {
-            "number": block.height,
-            "hash": _hex(block.block_id),
-            "parentHash": _hex(block.header.prev_block_id),
-            "timestamp": block.header.timestamp,
-            "nonce": block.header.nonce,
-            "difficulty": block.header.difficulty,
-            "miner": block.header.miner.hex(),
-            "merkleRoot": _hex(block.header.merkle_root),
-            "transactions": [_hex(record.record_id) for record in block.records],
-        }
+        return block_dict(block)
 
     def _resolve_block(self, identifier: BlockIdentifier) -> Block:
         chain = self._live_chain()
@@ -125,8 +134,18 @@ class Eth:
             return chain.head
         if identifier == "earliest":
             return chain.genesis
+        if isinstance(identifier, bool):
+            # bool subclasses int: without this guard get_block(True)
+            # silently serves height 1 and get_block(False) genesis.
+            raise RpcError(
+                f"bad block identifier {identifier!r}: True/False would "
+                "silently read heights 1/0 — pass a plain int height"
+            )
         if isinstance(identifier, int):
-            block = chain.block_at_height(identifier)
+            try:
+                block = self._live_index().block_at_height(identifier)
+            except ChainError as error:
+                raise RpcError(str(error)) from error
             if block is None:
                 raise RpcError(f"no block at height {identifier}")
             return block
@@ -257,14 +276,13 @@ class Eth:
         return self._require_runtime().state.balance(self._address(account))
 
     def get_transaction_count(self, account: Union[Address, str]) -> int:
-        """Canonical records sent by ``account`` (web3's nonce query)."""
-        address = self._address(account)
-        count = 0
-        for block in self._live_chain().iter_canonical():
-            for record in block.records:
-                if record.sender == address:
-                    count += 1
-        return count
+        """Canonical records sent by ``account`` (web3's nonce query).
+
+        Served from the sender index — O(1) after an incremental
+        refresh — instead of the historical full-chain scan, which
+        stays alive in the tests as the parity oracle.
+        """
+        return self._live_index().sender_count(self._address(account))
 
     @staticmethod
     def _address(account: Union[Address, str]) -> Address:
@@ -293,8 +311,7 @@ class Eth:
         **kwargs: Any,
     ) -> Receipt:
         """Invoke a contract function (web3's ``fn(...).transact()``)."""
-        if isinstance(address, str):
-            address = Address.from_hex(address)
+        address = self._address(address)
         return self._require_runtime().call(
             address, method, sender, value_wei, None, *args, **kwargs
         )

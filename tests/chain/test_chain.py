@@ -83,7 +83,20 @@ class TestBasics:
         assert chain.block_at_height(1) == b1
         assert chain.block_at_height(2) == b2
         assert chain.block_at_height(3) is None
-        assert chain.block_at_height(-1) is None
+
+    def test_block_at_height_rejects_negative(self, chain):
+        # Callers expecting Python-list wraparound (-1 = head) must get
+        # a loud error, not a silent None.
+        with pytest.raises(ChainError, match="negative"):
+            chain.block_at_height(-1)
+
+    def test_block_at_height_rejects_bool(self, chain):
+        _extend(chain, chain.genesis)
+        # bool subclasses int: True would silently read height 1.
+        with pytest.raises(ChainError, match="bool"):
+            chain.block_at_height(True)
+        with pytest.raises(ChainError, match="bool"):
+            chain.block_at_height(False)
 
     def test_iter_canonical_order(self, chain):
         b1 = _extend(chain, chain.genesis)

@@ -1,0 +1,269 @@
+"""Builders + full-scan oracles for the query-layer tests.
+
+The index under test must answer exactly like a scan of the live
+objects.  The oracles here ARE those scans — including the historical
+``Eth.get_transaction_count`` full-chain loop the sender index
+replaced — kept alive so drift between the index and the chain is a
+test failure, not a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.chain.block import Block, ChainRecord, RecordKind
+from repro.chain.chain import Blockchain, RecordLocation
+from repro.chain.consensus import make_genesis
+from repro.core.reports import DetailedReport
+from repro.core.sra import SRA, SignedSRA
+from repro.crypto.ecdsa import Signature
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import Address, KeyPair
+from repro.detection.descriptions import VulnerabilityDescription
+from repro.detection.vulnerability import Severity
+
+MINER = KeyPair.from_seed(b"query-test-miner").address
+
+#: A small sender pool; addresses are cheap to derive once at import.
+SENDERS: Tuple[Address, ...] = tuple(
+    Address(bytes([index + 1]) * 20) for index in range(6)
+)
+
+_SYSTEMS = ("camera", "doorlock", "thermostat", "router")
+_PROVIDERS = ("vendor-a", "vendor-b", "vendor-c")
+_DETECTORS = ("det-1", "det-2", "det-3", "det-4", "det-5")
+_SEVERITIES = (Severity.HIGH, Severity.MEDIUM, Severity.LOW)
+
+#: Signatures are never verified when parsing chain payloads, so
+#: synthetic records can carry a constant dummy.
+DUMMY_SIG = Signature(1, 1)
+
+
+def make_sra_record(rng: random.Random, tag: int) -> ChainRecord:
+    """A synthetic (unverifiable but parseable) SRA chain record."""
+    provider = rng.choice(_PROVIDERS)
+    system = rng.choice(_SYSTEMS)
+    body = SRA(
+        provider_id=provider,
+        system_name=system,
+        system_version=f"v{tag}",
+        artifact_hash=hash_fields("artifact", tag),
+        download_link=f"https://{provider}.example/{system}-{tag}",
+        insurance_wei=rng.randrange(1, 10) * 10**18,
+        bounty_wei=rng.randrange(1, 5) * 10**17,
+    )
+    signed = SignedSRA(body=body, claimed_id=body.sra_id(), signature=DUMMY_SIG)
+    return ChainRecord(
+        kind=RecordKind.SRA,
+        record_id=signed.sra_id,
+        payload=signed.to_payload(),
+        sender=rng.choice(SENDERS),
+    )
+
+
+def make_report_record(
+    rng: random.Random, sra_id: bytes, tag: int
+) -> ChainRecord:
+    """A synthetic detailed report against an existing SRA."""
+    detector = rng.choice(_DETECTORS)
+    wallet = rng.choice(SENDERS)
+    descriptions = tuple(
+        VulnerabilityDescription(
+            canonical=f"vuln-{tag}-{index}",
+            severity=rng.choice(_SEVERITIES),
+            category="overflow",
+            wording=f"finding {tag}.{index}",
+        )
+        for index in range(rng.randrange(1, 3))
+    )
+    report_id = DetailedReport.compute_id(sra_id, detector, wallet, descriptions)
+    report = DetailedReport(
+        sra_id=sra_id,
+        detector_id=detector,
+        wallet=wallet,
+        descriptions=descriptions,
+        report_id=report_id,
+        signature=DUMMY_SIG,
+    )
+    return ChainRecord(
+        kind=RecordKind.DETAILED_REPORT,
+        record_id=report.report_id,
+        payload=report.to_payload(),
+        sender=wallet,
+    )
+
+
+def make_tx_record(rng: random.Random, tag: int) -> ChainRecord:
+    return ChainRecord(
+        kind=RecordKind.TRANSACTION,
+        record_id=hash_fields("query-tx", tag),
+        payload=f"tx-{tag}".encode(),
+        fee=rng.randrange(0, 3),
+        sender=rng.choice(SENDERS),
+    )
+
+
+def make_mixed_records(
+    rng: random.Random,
+    count: int,
+    sra_ids: List[bytes],
+    tag_start: int,
+) -> Tuple[ChainRecord, ...]:
+    """``count`` records mixing transactions, SRAs, and reports.
+
+    New SRA ids are appended to ``sra_ids`` so later blocks can file
+    reports against earlier releases, like the platform does.
+    """
+    records: List[ChainRecord] = []
+    for offset in range(count):
+        tag = tag_start + offset
+        roll = rng.random()
+        if roll < 0.25:
+            record = make_sra_record(rng, tag)
+            sra_ids.append(record.record_id)
+        elif roll < 0.55 and sra_ids:
+            record = make_report_record(rng, rng.choice(sra_ids), tag)
+        else:
+            record = make_tx_record(rng, tag)
+        records.append(record)
+    return tuple(records)
+
+
+def extend_mixed(
+    chain: Blockchain,
+    rng: random.Random,
+    blocks: int,
+    records_per_block: int,
+    sra_ids: List[bytes],
+    parent: Optional[Block] = None,
+) -> List[Block]:
+    """Append ``blocks`` mixed-record blocks (optionally as a fork)."""
+    added: List[Block] = []
+    head = parent if parent is not None else chain.head
+    for _ in range(blocks):
+        # 60-bit tags: unique for all practical purposes, deterministic
+        # per seed (so hypothesis failures replay exactly).
+        records = make_mixed_records(
+            rng, records_per_block, sra_ids, tag_start=rng.getrandbits(60)
+        )
+        block = Block.assemble(
+            head.block_id,
+            head.height + 1,
+            records,
+            head.header.timestamp + 10.0,
+            100,
+            MINER,
+        )
+        chain.add_block(block)
+        added.append(block)
+        head = block
+    return added
+
+
+def build_mixed_chain(
+    seed: int,
+    blocks: int = 20,
+    records_per_block: int = 4,
+    confirmation_depth: int = 3,
+) -> Tuple[Blockchain, List[bytes]]:
+    """A linear chain of mixed records; returns (chain, sra_ids)."""
+    rng = random.Random(seed)
+    chain = Blockchain(
+        make_genesis(difficulty=100), confirmation_depth=confirmation_depth
+    )
+    sra_ids: List[bytes] = []
+    extend_mixed(chain, rng, blocks, records_per_block, sra_ids)
+    return chain, sra_ids
+
+
+# -- full-scan oracles ------------------------------------------------------
+
+
+def full_scan_sender_count(chain: Blockchain, address: Address) -> int:
+    """The historical ``Eth.get_transaction_count`` loop, verbatim."""
+    count = 0
+    for block in chain.iter_canonical():
+        for record in block.records:
+            if record.sender == address:
+                count += 1
+    return count
+
+
+def full_scan_block_at_height(chain: Blockchain, height: int) -> Optional[Block]:
+    """The historical head walk-back (pre-index ``block_at_height``)."""
+    if height < 0 or height > chain.head.height:
+        return None
+    block = chain.head
+    while block.height > height:
+        block = chain.get_block(block.header.prev_block_id)
+    return block
+
+
+def full_scan_locate(
+    chain: Blockchain, record_id: bytes
+) -> Optional[RecordLocation]:
+    """Find a record by scanning every canonical block."""
+    for block in chain.iter_canonical():
+        for position, record in enumerate(block.records):
+            if record.record_id == record_id:
+                return RecordLocation(
+                    block_id=block.block_id,
+                    height=block.height,
+                    index_in_block=position,
+                )
+    return None
+
+
+def full_scan_reports(
+    chain: Blockchain,
+    system: Optional[str] = None,
+    provider: Optional[str] = None,
+    severity: Optional[Union[Severity, str]] = None,
+    detector: Optional[str] = None,
+) -> List[Tuple[int, int, bytes]]:
+    """Confirmed reports matching the filters, two-pass over payloads.
+
+    Returns (height, index_in_block, report_id) triples in chain order
+    — the comparable identity of a report — resolving each report's
+    release via a first pass over every confirmed SRA.
+    """
+    if isinstance(severity, str):
+        severity = Severity(severity)
+    sras: Dict[bytes, SignedSRA] = {}
+    confirmed: List[Tuple[int, int, ChainRecord]] = []
+    for block in chain.iter_canonical():
+        if not chain.is_confirmed(block.block_id):
+            continue
+        for position, record in enumerate(block.records):
+            confirmed.append((block.height, position, record))
+            if record.kind == RecordKind.SRA:
+                sras[record.record_id] = SignedSRA.from_payload(record.payload)
+    matches: List[Tuple[int, int, bytes]] = []
+    for height, position, record in confirmed:
+        if record.kind != RecordKind.DETAILED_REPORT:
+            continue
+        report = DetailedReport.from_payload(record.payload)
+        sra = sras.get(report.sra_id)
+        if sra is None:
+            continue
+        if system is not None and sra.body.system_name != system:
+            continue
+        if provider is not None and sra.body.provider_id != provider:
+            continue
+        if detector is not None and report.detector_id != detector:
+            continue
+        if severity is not None and severity not in {
+            d.severity for d in report.descriptions
+        }:
+            continue
+        matches.append((height, position, record.record_id))
+    return matches
+
+
+def report_identities(entries: Sequence) -> List[Tuple[int, int, bytes]]:
+    """Project index ReportEntry results onto the oracle's identity."""
+    return [
+        (entry.height, entry.index_in_block, entry.record_id)
+        for entry in entries
+    ]

@@ -1,0 +1,197 @@
+"""ChainIndex / EventIndex vs the full-scan oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.chain import ChainError
+from repro.query import ChainIndex, EventIndex
+from repro.telemetry import Telemetry
+
+from tests.query.conftest import (
+    SENDERS,
+    build_mixed_chain,
+    extend_mixed,
+    full_scan_block_at_height,
+    full_scan_locate,
+    full_scan_reports,
+    full_scan_sender_count,
+    report_identities,
+)
+
+
+@pytest.fixture
+def indexed():
+    chain, sra_ids = build_mixed_chain(seed=11, blocks=24)
+    return chain, sra_ids, ChainIndex(chain)
+
+
+def assert_full_parity(chain, index):
+    """Every indexed answer == the corresponding full scan."""
+    for height in range(chain.head.height + 2):
+        oracle = full_scan_block_at_height(chain, height)
+        assert index.block_at_height(height) == oracle
+    for sender in SENDERS:
+        assert index.sender_count(sender) == full_scan_sender_count(chain, sender)
+    for block in chain.iter_canonical():
+        for record in block.records:
+            assert index.locate_record(record.record_id) == full_scan_locate(
+                chain, record.record_id
+            )
+            assert index.get_record(record.record_id) == record
+    for filters in (
+        {},
+        {"system": "camera"},
+        {"provider": "vendor-b"},
+        {"severity": "high"},
+        {"detector": "det-3"},
+        {"system": "doorlock", "severity": "low"},
+        {"system": "no-such-system"},
+    ):
+        assert report_identities(index.reports(**filters)) == full_scan_reports(
+            chain, **filters
+        )
+
+
+class TestCanonicalIndices:
+    def test_parity_on_linear_chain(self, indexed):
+        chain, _, index = indexed
+        assert_full_parity(chain, index)
+
+    def test_incremental_refresh_tracks_extension(self, indexed):
+        chain, sra_ids, index = indexed
+        rng = random.Random(7)
+        for _ in range(4):
+            extend_mixed(chain, rng, 2, 3, sra_ids)
+            assert_full_parity(chain, index)
+        assert index.rebuilds == 0  # pure extensions never rebuild
+
+    def test_unknown_record_and_sender(self, indexed):
+        chain, _, index = indexed
+        assert index.locate_record(b"\x00" * 32) is None
+        assert index.get_record(b"\x00" * 32) is None
+        stranger = SENDERS[0].__class__(b"\xff" * 20)
+        assert index.sender_count(stranger) == 0
+
+    def test_height_above_head_is_none(self, indexed):
+        chain, _, index = indexed
+        assert index.block_at_height(chain.head.height + 1) is None
+
+    def test_bool_and_negative_heights_raise(self, indexed):
+        _, _, index = indexed
+        with pytest.raises(ChainError, match="bool"):
+            index.block_at_height(True)
+        with pytest.raises(ChainError, match="negative"):
+            index.block_at_height(-1)
+
+
+class TestReorgGuard:
+    def test_reorg_triggers_rebuild_and_stays_correct(self):
+        chain, sra_ids = build_mixed_chain(seed=23, blocks=10)
+        index = ChainIndex(chain)
+        assert_full_parity(chain, index)
+        # Fork two blocks below the head and out-mine the main branch.
+        rng = random.Random(99)
+        fork_parent = chain.get_block(
+            index.block_id_at_height(chain.head.height - 2)
+        )
+        fork_sras = list(sra_ids)
+        extend_mixed(chain, rng, 4, 3, fork_sras, parent=fork_parent)
+        assert index.rebuilds == 0
+        assert_full_parity(chain, index)  # refresh happens inside queries
+        assert index.rebuilds == 1
+
+    def test_shorter_but_known_head_rebuilds(self):
+        # Same-height competing branch adopted: boundary id mismatch.
+        chain, sra_ids = build_mixed_chain(seed=31, blocks=8)
+        index = ChainIndex(chain)
+        index.refresh()
+        rng = random.Random(5)
+        fork_parent = full_scan_block_at_height(chain, chain.head.height - 1)
+        extend_mixed(chain, rng, 2, 2, list(sra_ids), parent=fork_parent)
+        assert_full_parity(chain, index)
+        assert index.rebuilds == 1
+
+    def test_rebuild_counter_telemetry(self):
+        telemetry = Telemetry()
+        chain, sra_ids = build_mixed_chain(seed=37, blocks=8)
+        index = ChainIndex(chain, telemetry=telemetry)
+        index.refresh()
+        rng = random.Random(13)
+        fork_parent = full_scan_block_at_height(chain, chain.head.height - 2)
+        extend_mixed(chain, rng, 4, 2, list(sra_ids), parent=fork_parent)
+        index.refresh()
+        assert telemetry.counter("query.rebuilds").value == 1
+        index.sender_count(SENDERS[0])
+        assert telemetry.counter("query.index_hits").value >= 1
+
+
+class TestConfirmedReportIndices:
+    def test_only_confirmed_reports_are_served(self):
+        chain, _ = build_mixed_chain(seed=41, blocks=12, confirmation_depth=5)
+        index = ChainIndex(chain)
+        entries = index.reports()
+        boundary = chain.head.height - chain.confirmation_depth
+        assert all(entry.height <= boundary for entry in entries)
+        assert report_identities(entries) == full_scan_reports(chain)
+
+    def test_severity_accepts_enum_and_string(self):
+        from repro.detection.vulnerability import Severity
+
+        chain, _ = build_mixed_chain(seed=43, blocks=16)
+        index = ChainIndex(chain)
+        assert index.reports(severity="high") == index.reports(
+            severity=Severity.HIGH
+        )
+
+    def test_sras_filtering(self):
+        chain, _ = build_mixed_chain(seed=47, blocks=16)
+        index = ChainIndex(chain)
+        everything = index.sras()
+        assert everything == sorted(
+            everything, key=lambda e: (e.height, e.index_in_block)
+        )
+        for entry in index.sras(provider="vendor-a"):
+            assert entry.provider_id == "vendor-a"
+        one = everything[0]
+        narrowed = index.sras(
+            provider=one.provider_id,
+            system=one.system_name,
+            version=one.system_version,
+        )
+        assert one in narrowed
+        assert index.sras(system="no-such") == []
+
+
+class TestEventIndex:
+    def _runtime_with_events(self):
+        from repro.core import PlatformConfig, SmartCrowdPlatform
+        from repro.chain import PAPER_HASHPOWER_SHARES
+        from repro.detection import build_detector_fleet, build_system
+
+        platform = SmartCrowdPlatform(
+            PAPER_HASHPOWER_SHARES,
+            build_detector_fleet(),
+            PlatformConfig(seed=3),
+        )
+        system = build_system("camera-ei", vulnerability_count=2)
+        platform.announce_release("provider-1", system)
+        platform.advance_for(1500.0)
+        return platform.runtime
+
+    def test_named_matches_full_scan(self):
+        runtime = self._runtime_with_events()
+        index = EventIndex(runtime)
+        for name in ("SystemReleased", "BountyPaid", "NoSuchEvent"):
+            assert index.named(name) == runtime.events_named(name)
+
+    def test_incremental_consumption(self):
+        runtime = self._runtime_with_events()
+        index = EventIndex(runtime)
+        index.refresh()
+        consumed = index.consumed
+        assert consumed == len(runtime.events)
+        index.refresh()  # no new events: cursor stands still
+        assert index.consumed == consumed

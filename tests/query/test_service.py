@@ -1,0 +1,252 @@
+"""QueryService: batches, async scheduling, error isolation, rebinding."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.consensus import make_genesis
+from repro.chain.chain import Blockchain
+from repro.crypto.keys import Address
+from repro.network.simulator import Simulator
+from repro.query import QueryError, QueryRequest, QueryService
+from repro.telemetry import Telemetry
+
+from tests.query.conftest import (
+    SENDERS,
+    build_mixed_chain,
+    extend_mixed,
+    full_scan_reports,
+    full_scan_sender_count,
+    report_identities,
+)
+
+
+@pytest.fixture
+def service():
+    chain, sra_ids = build_mixed_chain(seed=71, blocks=16)
+    return QueryService(chain=chain), chain, sra_ids
+
+
+class TestServeBatch:
+    def test_mixed_batch_answers(self, service):
+        svc, chain, _ = service
+        batch = [
+            QueryRequest.head(),
+            QueryRequest.get_block(0),
+            QueryRequest.get_block("latest"),
+            QueryRequest.get_transaction_count(SENDERS[0]),
+            QueryRequest.get_reports(severity="high"),
+            QueryRequest.get_sras(),
+        ]
+        responses = svc.serve_batch(batch)
+        assert all(r.ok for r in responses)
+        head, genesis, latest, count, reports, sras = (r.result for r in responses)
+        assert head["number"] == chain.head.height
+        assert genesis["number"] == 0
+        assert latest["hash"] == "0x" + chain.head.block_id.hex()
+        assert count == full_scan_sender_count(chain, SENDERS[0])
+        assert report_identities(reports) == full_scan_reports(
+            chain, severity="high"
+        )
+        assert len(sras) > 0
+
+    def test_get_transaction_roundtrip(self, service):
+        svc, chain, _ = service
+        record = next(iter(chain.head.records))
+        # head records are canonical; look one up by hex id
+        response = svc.serve(
+            QueryRequest.get_transaction("0x" + record.record_id.hex())
+        )
+        assert response.ok
+        assert response.result["hash"] == "0x" + record.record_id.hex()
+        assert response.result["kind"] == record.kind.value
+
+    def test_bad_request_does_not_poison_batch(self, service):
+        svc, chain, _ = service
+        responses = svc.serve_batch(
+            [
+                QueryRequest.get_block(10**9),
+                QueryRequest.get_balance("0xnothex"),
+                QueryRequest.get_block(True),
+                QueryRequest.get_block(-1),
+                QueryRequest("no_such_method"),
+                QueryRequest.head(),
+            ]
+        )
+        assert [r.ok for r in responses] == [False] * 5 + [True]
+        assert "no block at height" in responses[0].error
+        assert "malformed address" in responses[1].error
+        assert "True/False" in responses[2].error
+        assert "negative" in responses[3].error
+        assert "unknown query method" in responses[4].error
+
+    def test_batch_is_consistent_view(self, service):
+        svc, chain, sra_ids = service
+        before = chain.head.height
+        responses = svc.serve_batch(
+            [QueryRequest.head(), QueryRequest.get_block("latest")]
+        )
+        assert responses[0].result["number"] == before
+        assert responses[1].result["number"] == before
+
+    def test_telemetry_counters(self):
+        chain, _ = build_mixed_chain(seed=73, blocks=8)
+        telemetry = Telemetry()
+        svc = QueryService(chain=chain, telemetry=telemetry)
+        svc.serve_batch([QueryRequest.head(), QueryRequest.get_block(1)])
+        assert telemetry.counter("query.requests").value == 2
+
+    def test_balance_served_from_snapshot(self):
+        from repro.contracts.vm import ContractRuntime
+
+        chain, _ = build_mixed_chain(seed=79, blocks=8)
+        runtime = ContractRuntime()
+        rich = Address(b"\x33" * 20)
+        runtime.state.mint(rich, 5 * 10**18)
+        svc = QueryService(chain=chain, runtime=runtime)
+        response = svc.serve(QueryRequest.get_balance(rich))
+        assert response.ok and response.result == 5 * 10**18
+
+
+class TestAsyncBatches:
+    def test_submit_batch_requires_simulator(self, service):
+        svc, _, _ = service
+        with pytest.raises(QueryError, match="simulator"):
+            svc.submit_batch([QueryRequest.head()])
+
+    def test_deferred_batch_sees_chain_at_fire_time(self):
+        chain, sra_ids = build_mixed_chain(seed=83, blocks=8)
+        simulator = Simulator()
+        svc = QueryService(chain=chain, simulator=simulator)
+        rng = random.Random(9)
+        # Schedule chain growth at t=5 and the batch at t=10.
+        simulator.schedule(5.0, lambda: extend_mixed(chain, rng, 2, 2, sra_ids))
+        early = svc.submit_batch([QueryRequest.head()], delay=1.0)
+        late = svc.submit_batch([QueryRequest.head()], delay=10.0)
+        assert not early.done and not late.done
+        simulator.advance()
+        assert early.done and late.done
+        assert early.responses[0].result["number"] == 8
+        assert late.responses[0].result["number"] == 10
+
+    def test_callback_delivery_and_determinism(self):
+        chain, _ = build_mixed_chain(seed=89, blocks=6)
+        simulator = Simulator()
+        svc = QueryService(chain=chain, simulator=simulator)
+        order = []
+        svc.submit_batch(
+            [QueryRequest.head()], delay=2.0, callback=lambda rs: order.append("b")
+        )
+        svc.submit_batch(
+            [QueryRequest.head()], delay=1.0, callback=lambda rs: order.append("a")
+        )
+        svc.submit_batch(
+            [QueryRequest.head()], delay=2.0, callback=lambda rs: order.append("c")
+        )
+        simulator.advance()
+        # (time, seq) ordering: earlier time first, ties by submission.
+        assert order == ["a", "b", "c"]
+
+
+class TestBinding:
+    def test_needs_chain_or_node(self):
+        with pytest.raises(QueryError):
+            QueryService()
+
+    def test_node_rebinding_follows_chain_swap(self):
+        class FakeNode:
+            def __init__(self, chain):
+                self.chain = chain
+                self.crashed = False
+                self.name = "fake-node"
+
+        chain_a, _ = build_mixed_chain(seed=91, blocks=5)
+        chain_b, _ = build_mixed_chain(seed=97, blocks=9)
+        node = FakeNode(chain_a)
+        svc = QueryService(node=node)
+        assert svc.serve(QueryRequest.head()).result["number"] == 5
+        node.chain = chain_b  # restart-from-disk swaps the object
+        assert svc.serve(QueryRequest.head()).result["number"] == 9
+
+    def test_crashed_node_raises(self):
+        class FakeNode:
+            chain = None
+            crashed = False
+            name = "dead-node"
+
+        chain, _ = build_mixed_chain(seed=101, blocks=3)
+        node = FakeNode()
+        node.chain = chain
+        svc = QueryService(node=node)
+        node.crashed = True  # crash after binding: queries must refuse
+        with pytest.raises(QueryError, match="down"):
+            svc.serve(QueryRequest.head())
+
+    def test_connect_platform(self):
+        from repro.core import PlatformConfig, SmartCrowdPlatform
+        from repro.chain import PAPER_HASHPOWER_SHARES
+        from repro.detection import build_detector_fleet
+
+        platform = SmartCrowdPlatform(
+            PAPER_HASHPOWER_SHARES,
+            build_detector_fleet(),
+            PlatformConfig(seed=5),
+        )
+        svc = QueryService.connect(platform)
+        response = svc.serve(QueryRequest.head())
+        assert response.ok
+        assert response.result["number"] == platform.mining.chain.head.height
+
+    def test_connect_defaults_to_platform_clock(self):
+        from repro.core import PlatformConfig, SmartCrowdPlatform
+        from repro.chain import PAPER_HASHPOWER_SHARES
+        from repro.detection import build_detector_fleet
+
+        platform = SmartCrowdPlatform(
+            PAPER_HASHPOWER_SHARES,
+            build_detector_fleet(),
+            PlatformConfig(seed=5),
+        )
+        # The platform's unified now/schedule_at surface is the
+        # scheduler when no explicit simulator is handed in.
+        svc = QueryService.connect(platform)
+        height_at_submit = platform.mining.chain.head.height
+        pending = svc.submit_batch([QueryRequest.head()], delay=30.0)
+        assert not pending.done
+        platform.advance_for(60.0)
+        assert pending.done
+        # The batch observed the chain at fire time (t=30), somewhere
+        # between submission and the end of the advance.
+        served = pending.responses[0].result["number"]
+        assert height_at_submit <= served <= platform.mining.chain.head.height
+
+
+class TestExplorerOnEventIndex:
+    def _platform_with_history(self):
+        from repro.core import PlatformConfig, SmartCrowdPlatform
+        from repro.chain import PAPER_HASHPOWER_SHARES
+        from repro.detection import build_detector_fleet, build_system
+
+        platform = SmartCrowdPlatform(
+            PAPER_HASHPOWER_SHARES,
+            build_detector_fleet(),
+            PlatformConfig(seed=7),
+        )
+        system = build_system("camera-x", vulnerability_count=2)
+        platform.announce_release("provider-1", system)
+        platform.advance_for(1500.0)
+        return platform
+
+    def test_explorer_shares_service_event_index(self):
+        from repro.contracts.explorer import Explorer
+
+        platform = self._platform_with_history()
+        svc = QueryService.connect(platform)
+        explorer = Explorer(platform.runtime, query=svc)
+        assert explorer._events is svc.events
+        # Statements agree with a fresh, privately-indexed explorer.
+        private = Explorer(platform.runtime)
+        assert explorer.release_statements() == private.release_statements()
+        assert explorer.top_detectors() == private.top_detectors()

@@ -1,0 +1,109 @@
+"""ChainSnapshot / SnapshotCache behaviour."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.chain import ChainError
+from repro.crypto.keys import Address
+from repro.contracts.state import WorldState
+from repro.query import ChainSnapshot, SnapshotCache, block_dict
+
+from tests.query.conftest import (
+    build_mixed_chain,
+    extend_mixed,
+    full_scan_block_at_height,
+)
+
+
+@pytest.fixture
+def chain():
+    chain, _ = build_mixed_chain(seed=61, blocks=10)
+    return chain
+
+
+class TestChainSnapshot:
+    def test_capture_freezes_canonical_path(self, chain):
+        snapshot = ChainSnapshot.capture(chain)
+        assert snapshot.head_id == chain.head.block_id
+        assert snapshot.height == chain.head.height
+        for height in range(chain.head.height + 1):
+            assert snapshot.block_at_height(height) == full_scan_block_at_height(
+                chain, height
+            )
+        assert snapshot.block_at_height(chain.head.height + 1) is None
+
+    def test_snapshot_survives_chain_extension(self, chain):
+        snapshot = ChainSnapshot.capture(chain)
+        old_head = chain.head
+        extend_mixed(chain, random.Random(1), 3, 2, [])
+        # The live chain moved; the snapshot still answers as-of capture.
+        assert snapshot.head == old_head
+        assert snapshot.block_at_height(old_head.height + 1) is None
+
+    def test_bool_and_negative_heights_raise(self, chain):
+        snapshot = ChainSnapshot.capture(chain)
+        with pytest.raises(ChainError, match="bool"):
+            snapshot.block_at_height(True)
+        with pytest.raises(ChainError, match="negative"):
+            snapshot.block_at_height(-2)
+
+    def test_balances_copied_from_state(self, chain):
+        state = WorldState()
+        rich = Address(b"\x11" * 20)
+        state.mint(rich, 10**18)
+        snapshot = ChainSnapshot.capture(chain, state)
+        state.mint(rich, 10**18)  # later mutation must not leak in
+        assert snapshot.balance(rich) == 10**18
+        assert snapshot.balance(Address(b"\x22" * 20)) == 0
+
+    def test_block_dict_matches_rpc_shape(self, chain):
+        from repro.rpc import Web3Shim
+
+        w3 = Web3Shim(chain, None)
+        snapshot = ChainSnapshot.capture(chain)
+        for height in (0, 1, chain.head.height):
+            assert snapshot.block_dict_at_height(height) == w3.eth.get_block(height)
+        assert block_dict(chain.head) == w3.eth.get_block("latest")
+
+
+class TestSnapshotCache:
+    def test_same_head_hits(self, chain):
+        cache = SnapshotCache()
+        first = cache.current(chain)
+        second = cache.current(chain)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_head_move_captures_fresh(self, chain):
+        cache = SnapshotCache()
+        first = cache.current(chain)
+        extend_mixed(chain, random.Random(2), 1, 2, [])
+        second = cache.current(chain)
+        assert second is not first
+        assert second.head_id == chain.head.block_id
+        assert cache.misses == 2
+
+    def test_reorg_invalidates_stale_snapshots(self, chain):
+        cache = SnapshotCache()
+        cache.current(chain)
+        rng = random.Random(3)
+        fork_parent = full_scan_block_at_height(chain, chain.head.height - 2)
+        extend_mixed(chain, rng, 4, 2, [], parent=fork_parent)
+        fresh = cache.current(chain)
+        assert fresh.head_id == chain.head.block_id
+        assert cache.invalidations == 1  # the pre-reorg head left the chain
+
+    def test_capacity_bounds_cache(self, chain):
+        cache = SnapshotCache(capacity=2)
+        rng = random.Random(4)
+        for _ in range(5):
+            cache.current(chain)
+            extend_mixed(chain, rng, 1, 1, [])
+        assert len(cache) <= 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotCache(capacity=0)

@@ -33,6 +33,7 @@ def test_quick_suite_runs_every_probe(suite):
         "mini_experiment",
         "store_replay",
         "fleet_scale",
+        "query_serving",
     } <= set(suite["benchmarks"])
 
 
@@ -41,6 +42,19 @@ def test_structural_probes_hold(suite):
     assert suite["benchmarks"]["nonce_search"]["same_nonce_as_naive"]
     assert suite["benchmarks"]["economics_batch"]["identical_to_scalar"]
     assert suite["benchmarks"]["fleet_scale"]["converged"]
+    assert suite["benchmarks"]["query_serving"]["identical_to_scan"]
+
+
+def test_query_serving_quick_workload_shape(suite):
+    # The quick workload still exercises the whole read path: every
+    # query in the mix must have succeeded (the probe raises on the
+    # first failed response), latencies must be recorded, and the
+    # incremental index must never have fallen back to a rebuild.
+    entry = suite["benchmarks"]["query_serving"]
+    assert entry["queries"] >= 20_000
+    assert entry["p50_us"] <= entry["p99_us"]
+    assert entry["index_rebuilds"] == 0
+    assert entry["queries_per_sec"] > 0
 
 
 def test_economics_batch_is_faster_than_scalar(suite):

@@ -176,6 +176,30 @@ class TestErrorPaths:
         with pytest.raises(RpcError, match="not pending"):
             w3.eth.pending_transaction(b"\x02" * 32)
 
+    def test_get_block_rejects_bools(self, connected):
+        # bool subclasses int: get_block(True) used to silently serve
+        # height 1 and get_block(False) the genesis.
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="True/False"):
+            w3.eth.get_block(True)
+        with pytest.raises(RpcError, match="True/False"):
+            w3.eth.get_block(False)
+
+    def test_get_block_negative_height_is_descriptive(self, connected):
+        # Python-list semantics (-1 = head) must fail loudly.
+        _, w3, _ = connected
+        with pytest.raises(RpcError, match="negative"):
+            w3.eth.get_block(-1)
+
+    def test_call_contract_malformed_address_is_rpc_error(self, connected):
+        # Used to leak the bare ValueError from Address.from_hex.
+        platform, w3, _ = connected
+        sender = platform.provider_keys["provider-1"].address
+        with pytest.raises(RpcError, match="malformed address"):
+            w3.eth.call_contract("0xnothex", "confirm_initial_report", sender)
+        with pytest.raises(RpcError, match="malformed address"):
+            w3.eth.call_contract("0x1234", "confirm_initial_report", sender)
+
 
 class TestReceiptsAndCounts:
     def test_receipt_matches_transaction(self, connected):
@@ -198,6 +222,21 @@ class TestReceiptsAndCounts:
         )
         # Every detector report on the canonical chain has a sender.
         assert totals >= 1
+
+    def test_transaction_count_matches_full_scan_oracle(self, connected):
+        # get_transaction_count is index-backed now; the historical
+        # full-chain scan stays here as the parity oracle.
+        platform, w3, _ = connected
+        chain = platform.mining.chain
+        accounts = [keys.address for keys in platform.detector_keys.values()]
+        accounts += [keys.address for keys in platform.provider_keys.values()]
+        for address in accounts:
+            scanned = 0
+            for block in chain.iter_canonical():
+                for record in block.records:
+                    if record.sender == address:
+                        scanned += 1
+            assert w3.eth.get_transaction_count(address) == scanned
 
     def test_pending_transactions_shape(self, connected):
         _, w3, _ = connected

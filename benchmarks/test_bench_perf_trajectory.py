@@ -44,6 +44,15 @@ def test_query_serving_speedup_floor(suite):
     assert query["speedup"] >= 5.0
 
 
+def test_query_warm_start_speedup_floor(suite):
+    """A warm start (persisted load + delta replay) must hold >=5x over
+    the cold from-genesis rebuild, with parity asserted before timing."""
+    query = suite["benchmarks"]["query_serving"]
+    assert query["warm_start_identical_to_cold"]
+    assert query["warm_start_delta_blocks"] > 0
+    assert query["warm_start_speedup"] >= 5.0
+
+
 def test_parallel_runner_identical(suite):
     """The jobs>1 fig5b probe must be bit-identical to serial."""
     assert suite["benchmarks"]["parallel_fig5b"]["identical_to_serial"]

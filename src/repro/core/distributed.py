@@ -576,6 +576,29 @@ class DistributedChain:
         heaviest = self._heaviest_replica()
         return heaviest is None or tips == {heaviest.head_id()}
 
+    def query_service(self, name: str, **kwargs):
+        """A :class:`~repro.query.service.QueryService` over one replica.
+
+        ``name`` may be a full replica (whole query surface, index
+        persisted into its durable store when it has one) or a light
+        replica (header-backed subset).  The staleness reference
+        defaults to the fleet's heaviest alive replica, so responses
+        report how far this node lags the canonical chain — e.g. mid
+        resync after a restart — and the batch scheduler defaults to
+        the fleet simulator.
+        """
+        from repro.query.service import QueryService  # noqa: PLC0415 - cycle
+
+        if name in self.replicas:
+            node = self.replicas[name]
+        elif name in self.light_replicas:
+            node = self.light_replicas[name]
+        else:
+            raise KeyError(f"{name!r} names no replica in this fleet")
+        kwargs.setdefault("canonical", self._heaviest_replica)
+        kwargs.setdefault("simulator", self.simulator)
+        return QueryService.connect_node(node, **kwargs)
+
     def _heaviest_replica(self) -> Optional[ReplicaNode]:
         """The alive replica with the heaviest chain (name-ordered ties)."""
         best: Optional[ReplicaNode] = None

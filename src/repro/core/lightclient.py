@@ -148,6 +148,12 @@ class HeaderChain:
         index = self._by_id.get(block_id)
         return self._headers[index] if index is not None else None
 
+    def at_height(self, height: int) -> Optional[BlockHeader]:
+        """The synced header at ``height`` (None above the tip)."""
+        if 0 <= height < len(self._headers):
+            return self._headers[height]
+        return None
+
     def confirmations(self, block_id: bytes) -> int:
         """Headers linked after ``block_id`` (-1 if unknown)."""
         index = self._by_id.get(block_id)

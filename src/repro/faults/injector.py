@@ -20,7 +20,12 @@ from typing import List, Optional, Tuple
 from repro.faults.plan import DISK_FAULTS, ChaosPlan, FaultEvent, FaultKind
 from repro.network.gossip import GossipNetwork
 from repro.network.simulator import Simulator
-from repro.store.faultinject import drop_snapshots, flip_bit, tear_frame
+from repro.store.faultinject import (
+    drop_index_file,
+    drop_snapshots,
+    flip_bit,
+    tear_frame,
+)
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = ["FaultInjector"]
@@ -137,10 +142,14 @@ class FaultInjector:
                     frame_index=params[0] if params else -1,
                     bit=params[1] if len(params) > 1 else -1,
                 )
-            else:  # DROP_SNAPSHOT
+            elif event.kind is FaultKind.DROP_SNAPSHOT:
                 drop_snapshots(
                     store, keep_oldest=params[0] if params else 0
                 )
+            elif event.kind is FaultKind.DROP_INDEX:
+                drop_index_file(store)
+            else:  # pragma: no cover - DISK_FAULTS is exhaustive
+                raise ValueError(f"unknown disk fault {event.kind!r}")
 
     # -- views ---------------------------------------------------------------
 

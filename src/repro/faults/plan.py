@@ -35,11 +35,17 @@ class FaultKind(enum.Enum):
     TORN_WRITE = "torn_write"
     BIT_FLIP = "bit_flip"
     DROP_SNAPSHOT = "drop_snapshot"
+    DROP_INDEX = "drop_index"
 
 
 #: Fault kinds that modify a node's on-disk store.
 DISK_FAULTS = frozenset(
-    {FaultKind.TORN_WRITE, FaultKind.BIT_FLIP, FaultKind.DROP_SNAPSHOT}
+    {
+        FaultKind.TORN_WRITE,
+        FaultKind.BIT_FLIP,
+        FaultKind.DROP_SNAPSHOT,
+        FaultKind.DROP_INDEX,
+    }
 )
 
 
@@ -146,6 +152,17 @@ class ChaosPlan:
                 at=at, kind=FaultKind.DROP_SNAPSHOT, targets=((node,),),
                 params=(keep_oldest,),
             )
+        )
+
+    def drop_index(self, node: str, at: float) -> "ChaosPlan":
+        """Delete ``node``'s persisted serving index while it is down.
+
+        The block log survives, so chain recovery is unaffected; the
+        fault forces the next query service over this store onto the
+        cold from-genesis build path instead of a warm start.
+        """
+        return self._add(
+            FaultEvent(at=at, kind=FaultKind.DROP_INDEX, targets=((node,),))
         )
 
     def partition(

@@ -46,6 +46,9 @@ class Node:
         #: Sends attempted while down (simulation callbacks firing on a
         #: dead process are silently dropped, as the real process would).
         self.sends_while_crashed = 0
+        #: Observers of crash/restart transitions (e.g. a query service
+        #: pre-warming its index after the node's recovery completes).
+        self._lifecycle_listeners: List[Callable[[str], None]] = []
 
     @property
     def address(self):
@@ -65,6 +68,7 @@ class Node:
             return
         self.crashed = True
         self.crash_count += 1
+        self._notify_lifecycle("crash")
 
     def restart(self) -> None:
         """Bring the process back up and run recovery hooks."""
@@ -73,9 +77,24 @@ class Node:
         self.crashed = False
         self.restart_count += 1
         self.on_restarted()
+        self._notify_lifecycle("restart")
 
     def on_restarted(self) -> None:
         """Recovery hook after a restart (subclasses resync here)."""
+
+    def subscribe_lifecycle(self, listener: Callable[[str], None]) -> None:
+        """Observe crash/restart transitions.
+
+        ``listener`` is called with ``"crash"`` after the node goes
+        down and ``"restart"`` after it is back up *and* its recovery
+        hooks (:meth:`on_restarted`) have run — so a restart listener
+        sees the recovered state, not the mid-recovery one.
+        """
+        self._lifecycle_listeners.append(listener)
+
+    def _notify_lifecycle(self, event: str) -> None:
+        for listener in list(self._lifecycle_listeners):
+            listener(event)
 
     # -- messaging ----------------------------------------------------------
 

@@ -9,22 +9,63 @@ incrementally at block confirmation (reorg-guard rebuild),
 scheduling under the simulator clock.  ``repro.rpc`` routes its hot
 reads through the same indices, so existing ``Web3Shim`` call sites
 get the fast path transparently.
+
+Beyond one process: :mod:`repro.query.persistence` gives the index a
+durable home next to the block log (warm-start restarts replay only
+the delta above the persisted tip), :meth:`QueryService.connect_node`
+binds the service to full or light replica nodes, every response
+carries a :class:`StalenessBound` against the canonical chain, and
+multi-row reads are paginated with reorg-safe cursors.
 """
 
-from repro.query.indices import ChainIndex, EventIndex, ReportEntry, SraEntry
+from repro.query.indices import (
+    ChainIndex,
+    EventIndex,
+    IndexState,
+    ReportEntry,
+    SraEntry,
+)
 from repro.query.service import (
+    DEFAULT_PAGE_LIMIT,
+    MAX_PAGE_LIMIT,
     PendingBatch,
     QueryError,
     QueryRequest,
     QueryResponse,
     QueryService,
+    StalenessBound,
 )
-from repro.query.snapshots import ChainSnapshot, SnapshotCache, block_dict
+from repro.query.snapshots import (
+    ChainSnapshot,
+    SnapshotCache,
+    block_dict,
+    header_dict,
+)
+
+#: Persistence names resolved lazily (PEP 562): repro.query is imported
+#: while repro.chain initializes (via repro.contracts.explorer), and
+#: repro.query.persistence pulls in repro.store, which sits *above*
+#: repro.chain — an eager import here would be a cycle.
+_PERSISTENCE_EXPORTS = frozenset(
+    {"decode_index_state", "encode_index_state", "load_index", "save_index"}
+)
+
+
+def __getattr__(name):
+    if name in _PERSISTENCE_EXPORTS:
+        from repro.query import persistence
+
+        return getattr(persistence, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ChainIndex",
     "ChainSnapshot",
+    "DEFAULT_PAGE_LIMIT",
     "EventIndex",
+    "IndexState",
+    "MAX_PAGE_LIMIT",
     "PendingBatch",
     "QueryError",
     "QueryRequest",
@@ -33,5 +74,11 @@ __all__ = [
     "ReportEntry",
     "SnapshotCache",
     "SraEntry",
+    "StalenessBound",
     "block_dict",
+    "decode_index_state",
+    "encode_index_state",
+    "header_dict",
+    "load_index",
+    "save_index",
 ]

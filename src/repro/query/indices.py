@@ -29,7 +29,7 @@ previous read.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Tuple, Union
 
 from repro.chain.block import Block, ChainRecord, RecordKind
 from repro.chain.chain import Blockchain, ChainError, RecordLocation
@@ -40,12 +40,16 @@ from repro.crypto.keys import Address
 from repro.detection.vulnerability import Severity
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
-__all__ = ["ChainIndex", "EventIndex", "ReportEntry", "SraEntry"]
+__all__ = ["ChainIndex", "EventIndex", "IndexState", "ReportEntry", "SraEntry"]
 
 
-@dataclass(frozen=True)
-class SraEntry:
-    """One confirmed release announcement, as the index materializes it."""
+class SraEntry(NamedTuple):
+    """One confirmed release announcement, as the index materializes it.
+
+    A ``NamedTuple`` rather than a dataclass: the warm-start decode
+    constructs every persisted entry, and the C-level tuple constructor
+    keeps that linear pass cheap.
+    """
 
     sra_id: bytes
     provider_id: str
@@ -61,8 +65,7 @@ class SraEntry:
         return (self.system_name, self.system_version)
 
 
-@dataclass(frozen=True)
-class ReportEntry:
+class ReportEntry(NamedTuple):
     """One confirmed detailed report, joined to its release.
 
     ``severities`` / ``vulnerability_keys`` are per-description (a
@@ -85,6 +88,51 @@ class ReportEntry:
     def location(self) -> Tuple[int, int]:
         """Chain-order sort key."""
         return (self.height, self.index_in_block)
+
+
+@dataclass
+class IndexState:
+    """Everything a :class:`ChainIndex` needs to resume where it left off.
+
+    The warm-start unit: :meth:`ChainIndex.dump_state` captures it,
+    :mod:`repro.query.persistence` serializes it through the store
+    layer, and ``ChainIndex(chain, state=...)`` adopts it and replays
+    only the blocks above ``height_ids[-1]``.  The derived posting maps
+    (by-system, by-severity, ...) ride along as plain entry-ordinal
+    lists: adoption is then a bulk copy instead of a per-entry re-filing
+    pass, and because they are part of the state, the warm-vs-cold
+    ``dump_state`` parity checks cover any drift between the persisted
+    maps and the live filing logic.
+    """
+
+    height_ids: List[bytes]
+    sender_counts: Dict[Address, int]
+    #: (record_id, height, index_in_block); the block id is recovered
+    #: from ``height_ids`` so each location costs 44 bytes, not 76.
+    locations: List[Tuple[bytes, int, int]]
+    confirmed_height: int
+    confirmed_block_id: Optional[bytes]
+    sras: List[SraEntry]
+    reports: List[ReportEntry]
+    pending_reports: List[Tuple[int, int, DetailedReport]]
+    #: Posting maps: values are ordinals into ``sras`` / ``reports``.
+    sras_by_release: Dict[Tuple[str, str], List[int]]
+    sras_by_provider: Dict[str, List[int]]
+    reports_by_system: Dict[str, List[int]]
+    reports_by_provider: Dict[str, List[int]]
+    reports_by_severity: Dict[Severity, List[int]]
+    reports_by_detector: Dict[str, List[int]]
+    reports_by_sra: Dict[bytes, List[int]]
+
+    @property
+    def tip_height(self) -> int:
+        return len(self.height_ids) - 1
+
+    @property
+    def tip_block_id(self) -> bytes:
+        if not self.height_ids:
+            raise ValueError("an empty index state has no tip")
+        return self.height_ids[-1]
 
 
 def _require_plain_height(height: int) -> None:
@@ -111,14 +159,26 @@ class ChainIndex:
     """
 
     def __init__(
-        self, chain: Blockchain, telemetry: Optional[Telemetry] = None
+        self,
+        chain: Blockchain,
+        telemetry: Optional[Telemetry] = None,
+        state: Optional[IndexState] = None,
     ) -> None:
         self.chain = chain
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Reorg-triggered full rebuilds since construction (the initial
         #: build does not count).
         self.rebuilds = 0
-        self._reset()
+        #: Blocks folded in via ``_apply_canonical`` since construction
+        #: — the warm-start observable: an index adopted from a
+        #: persisted :class:`IndexState` ends construction with only
+        #: the *delta* above the persisted tip counted here, never the
+        #: whole chain.
+        self.blocks_indexed = 0
+        if state is not None:
+            self._adopt_state(state)
+        else:
+            self._reset()
         self.refresh()
 
     # -- cursor maintenance -------------------------------------------------
@@ -126,7 +186,11 @@ class ChainIndex:
     def _reset(self) -> None:
         self._height_ids: List[bytes] = []
         self._sender_counts: Dict[Address, int] = {}
-        self._locations: Dict[bytes, RecordLocation] = {}
+        #: record_id -> (height, index_in_block); the block id is
+        #: recoverable from ``_height_ids``, so the hot indexing path
+        #: stores a plain tuple and :meth:`locate_record` materializes
+        #: the :class:`RecordLocation` on demand.
+        self._locations: Dict[bytes, Tuple[int, int]] = {}
         self._reset_confirmed()
 
     def _reset_confirmed(self) -> None:
@@ -143,6 +207,77 @@ class ChainIndex:
         self._reports_by_detector: Dict[str, List[int]] = {}
         self._reports_by_sra: Dict[bytes, List[int]] = {}
         self._pending_reports: List[Tuple[int, int, DetailedReport]] = []
+
+    # -- warm start ---------------------------------------------------------
+
+    def dump_state(self) -> IndexState:
+        """Capture the cursor state for persistence (no live references).
+
+        The capture is taken as-is, *without* refreshing first: callers
+        persist the view they have been serving.
+        """
+        def copied(mapping):
+            return {key: list(value) for key, value in mapping.items()}
+
+        return IndexState(
+            height_ids=list(self._height_ids),
+            sender_counts=dict(self._sender_counts),
+            locations=[
+                (record_id, height, index_in_block)
+                for record_id, (height, index_in_block) in self._locations.items()
+            ],
+            confirmed_height=self._confirmed_height,
+            confirmed_block_id=self._confirmed_block_id,
+            sras=list(self._sras_in_order),
+            reports=list(self._reports),
+            pending_reports=list(self._pending_reports),
+            sras_by_release=copied(self._sras_by_release),
+            sras_by_provider=copied(self._sras_by_provider),
+            reports_by_system=copied(self._reports_by_system),
+            reports_by_provider=copied(self._reports_by_provider),
+            reports_by_severity=copied(self._reports_by_severity),
+            reports_by_detector=copied(self._reports_by_detector),
+            reports_by_sra=copied(self._reports_by_sra),
+        )
+
+    def _adopt_state(self, state: IndexState) -> None:
+        """Rebuild the internal structures from a persisted state.
+
+        The posting maps travel inside the state as ordinal lists, so
+        adoption is a bulk copy; the follow-up :meth:`refresh` replays
+        only the chain delta above ``state.tip_height`` (or falls into
+        the ordinary reorg guard if that tip was abandoned while the
+        index was cold).
+        """
+        self._reset()
+        self._height_ids = list(state.height_ids)
+        self._sender_counts = dict(state.sender_counts)
+        tip = len(state.height_ids)
+        self._locations = {
+            record_id: (height, index_in_block)
+            for record_id, height, index_in_block in state.locations
+        }
+        # max() over the (height, index) tuples compares heights first,
+        # so this is one C-level pass, not a per-entry genexpr.
+        if self._locations and max(self._locations.values())[0] >= tip:
+            raise ValueError("location names a height beyond the index tip")
+        self._confirmed_height = state.confirmed_height
+        self._confirmed_block_id = state.confirmed_block_id
+        self._sras_in_order = list(state.sras)
+        self._sras = {entry[0]: entry for entry in self._sras_in_order}
+        self._reports = list(state.reports)
+
+        def copied(mapping):
+            return {key: list(value) for key, value in mapping.items()}
+
+        self._sras_by_release = copied(state.sras_by_release)
+        self._sras_by_provider = copied(state.sras_by_provider)
+        self._reports_by_system = copied(state.reports_by_system)
+        self._reports_by_provider = copied(state.reports_by_provider)
+        self._reports_by_severity = copied(state.reports_by_severity)
+        self._reports_by_detector = copied(state.reports_by_detector)
+        self._reports_by_sra = copied(state.reports_by_sra)
+        self._pending_reports = list(state.pending_reports)
 
     def refresh(self) -> None:
         """Fold head movement since the last refresh into every index."""
@@ -182,17 +317,14 @@ class ChainIndex:
         self._advance_confirmed()
 
     def _apply_canonical(self, block: Block) -> None:
+        self.blocks_indexed += 1
         self._height_ids.append(block.block_id)
         for position, record in enumerate(block.records):
             if record.sender is not None:
                 self._sender_counts[record.sender] = (
                     self._sender_counts.get(record.sender, 0) + 1
                 )
-            self._locations[record.record_id] = RecordLocation(
-                block_id=block.block_id,
-                height=block.height,
-                index_in_block=position,
-            )
+            self._locations[record.record_id] = (block.height, position)
 
     def _advance_confirmed(self) -> None:
         confirmed_height = self.chain.head.height - self.chain.confirmation_depth
@@ -317,7 +449,15 @@ class ChainIndex:
         """Where a record lives on the canonical chain (indexed)."""
         self.refresh()
         self._hit()
-        return self._locations.get(record_id)
+        entry = self._locations.get(record_id)
+        if entry is None:
+            return None
+        height, index_in_block = entry
+        return RecordLocation(
+            block_id=self._height_ids[height],
+            height=height,
+            index_in_block=index_in_block,
+        )
 
     def get_record(self, record_id: bytes) -> Optional[ChainRecord]:
         """Fetch a canonical record by id through the location index."""
@@ -427,3 +567,19 @@ class EventIndex:
         if self.telemetry.enabled:
             self.telemetry.counter("query.index_hits").inc()
         return list(self._by_name.get(name, ()))
+
+    def named_slice(
+        self, name: str, start: int, limit: int
+    ) -> Tuple[List[ContractEvent], int]:
+        """A page of the ``name`` bucket: (events, bucket total).
+
+        The event log is append-only, so positions within a bucket are
+        stable forever — an integer offset is a reorg-proof cursor.
+        Slicing here avoids materializing the whole bucket copy that
+        :meth:`named` makes.
+        """
+        self.refresh()
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.index_hits").inc()
+        bucket = self._by_name.get(name, [])
+        return list(bucket[start : start + limit]), len(bucket)

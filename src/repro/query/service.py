@@ -7,31 +7,65 @@ against ONE refreshed index view and one chain snapshot per batch, and
 ``submit_batch`` defers execution onto the simulator clock so consumer
 traffic interleaves deterministically with mining and gossip events.
 
+Beyond one process, the service binds to *replicas*
+(:meth:`QueryService.connect_node`): full :class:`ReplicaNode`\\ s get
+the whole surface, headers-only :class:`LightReplicaNode`\\ s serve the
+header-backed subset (``head``, ``get_block``), and every response
+carries a :class:`StalenessBound` — how far the served head lags the
+canonical chain in blocks and seconds — which a ``max_staleness``
+request knob turns into an explicit rejection instead of a silently
+stale answer.  With an ``index_dir`` binding the service persists its
+:class:`ChainIndex` through :mod:`repro.store` and warm-starts across
+restarts by replaying only the delta above the persisted tip.
+
 Per-request failures (unknown block, malformed address) become
 ``ok=False`` responses carrying the error message — one bad request in
-a batch never poisons its neighbours.
+a batch never poisons its neighbours.  Multi-row reads
+(``get_reports``/``get_sras``/``get_logs``) are paginated: a default
+``limit`` bounds every response, truncation is explicit, and cursors
+are reorg-safe (resume consistently or fail with a descriptive error,
+never silently skip or duplicate rows).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.chain.chain import Blockchain, ChainError
 from repro.contracts.vm import ContractRuntime
 from repro.crypto.keys import Address
+from repro.hexargs import parse_hex
 from repro.network.simulator import Simulator
 from repro.query.indices import ChainIndex, EventIndex
-from repro.query.snapshots import ChainSnapshot, SnapshotCache, block_dict
+from repro.query.snapshots import (
+    ChainSnapshot,
+    SnapshotCache,
+    block_dict,
+    header_dict,
+)
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 __all__ = [
+    "DEFAULT_PAGE_LIMIT",
+    "MAX_PAGE_LIMIT",
     "PendingBatch",
     "QueryError",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "StalenessBound",
 ]
+
+#: Rows returned by a multi-row request that names no ``limit``.  A
+#: filter matching the whole confirmed history must page, not
+#: materialize everything in one response.
+DEFAULT_PAGE_LIMIT = 256
+
+#: Hard ceiling on an explicit ``limit`` — larger asks are rejected
+#: (never silently clamped).
+MAX_PAGE_LIMIT = 1024
 
 
 class QueryError(ValueError):
@@ -88,8 +122,14 @@ class QueryRequest:
         provider: Optional[str] = None,
         severity: Optional[str] = None,
         detector: Optional[str] = None,
+        limit: Optional[int] = None,
+        after: Optional[str] = None,
     ) -> "QueryRequest":
-        """Confirmed detailed reports matching every given filter."""
+        """Confirmed detailed reports matching every given filter.
+
+        ``limit`` bounds the page (service default when omitted);
+        ``after`` resumes from a cursor a previous response returned.
+        """
         params = tuple(
             (key, value)
             for key, value in (
@@ -97,6 +137,8 @@ class QueryRequest:
                 ("provider", provider),
                 ("severity", severity),
                 ("detector", detector),
+                ("limit", limit),
+                ("after", after),
             )
             if value is not None
         )
@@ -108,6 +150,8 @@ class QueryRequest:
         provider: Optional[str] = None,
         system: Optional[str] = None,
         version: Optional[str] = None,
+        limit: Optional[int] = None,
+        after: Optional[str] = None,
     ) -> "QueryRequest":
         """Confirmed release announcements matching every given filter."""
         params = tuple(
@@ -116,25 +160,64 @@ class QueryRequest:
                 ("provider", provider),
                 ("system", system),
                 ("version", version),
+                ("limit", limit),
+                ("after", after),
             )
             if value is not None
         )
         return cls("get_sras", params)
 
     @classmethod
-    def get_logs(cls, event_name: str) -> "QueryRequest":
-        """Committed contract events by name."""
-        return cls("get_logs", (("event_name", event_name),))
+    def get_logs(
+        cls,
+        event_name: str,
+        limit: Optional[int] = None,
+        after: Optional[str] = None,
+    ) -> "QueryRequest":
+        """Committed contract events by name (paged)."""
+        params: Tuple[Tuple[str, Any], ...] = (("event_name", event_name),)
+        if limit is not None:
+            params += (("limit", limit),)
+        if after is not None:
+            params += (("after", after),)
+        return cls("get_logs", params)
+
+
+@dataclass(frozen=True)
+class StalenessBound:
+    """How far a served view lags the canonical chain.
+
+    ``height_lag`` is in blocks, ``time_lag`` in simulated seconds
+    (difference of the tip block timestamps); both are 0 when the
+    service has no canonical reference distinct from what it serves.
+    """
+
+    served_height: int
+    served_block_id: bytes
+    canonical_height: int
+    canonical_block_id: bytes
+    height_lag: int
+    time_lag: float
+
+    @property
+    def is_fresh(self) -> bool:
+        return self.height_lag == 0
 
 
 @dataclass(frozen=True)
 class QueryResponse:
-    """The outcome of one request: ``result`` if ``ok``, else ``error``."""
+    """The outcome of one request: ``result`` if ``ok``, else ``error``.
+
+    ``staleness`` is attached to every response a live service emits;
+    it is None only on synthetic responses (e.g. a deferred batch that
+    fired against a crashed node).
+    """
 
     request: QueryRequest
     ok: bool
     result: Any = None
     error: Optional[str] = None
+    staleness: Optional[StalenessBound] = None
 
 
 @dataclass
@@ -170,7 +253,10 @@ class QueryService:
     ``node`` is set, every batch re-resolves ``node.chain`` so a
     restart-from-disk (which swaps the chain object wholesale) is
     followed — the index is rebuilt against the new object instead of
-    serving the corpse.
+    serving the corpse.  With ``index_dir`` set, that rebuild (and the
+    initial build) warm-starts from the persisted index whenever its
+    tip is still canonical, replaying only the delta — never from
+    genesis.
     """
 
     def __init__(
@@ -181,21 +267,48 @@ class QueryService:
         simulator: Optional[Simulator] = None,
         telemetry: Optional[Telemetry] = None,
         snapshot_capacity: int = 4,
+        canonical: Optional[object] = None,
+        index_dir: Optional[Union[str, Path]] = None,
+        default_page_limit: int = DEFAULT_PAGE_LIMIT,
     ) -> None:
         if chain is None and node is None:
             raise QueryError("QueryService needs a chain or a node to read from")
+        if (
+            isinstance(default_page_limit, bool)
+            or not isinstance(default_page_limit, int)
+            or not 1 <= default_page_limit <= MAX_PAGE_LIMIT
+        ):
+            raise QueryError(
+                f"default_page_limit must be an int in [1, {MAX_PAGE_LIMIT}], "
+                f"got {default_page_limit!r}"
+            )
         self.chain = chain
         self.runtime = runtime
         self.node = node
         self.simulator = simulator
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: The canonical reference for staleness bounds: a Blockchain,
+        #: a node exposing ``.chain``, or a zero-arg callable returning
+        #: either.  None means "what this service serves IS canonical".
+        self.canonical = canonical
+        self.index_dir = Path(index_dir) if index_dir is not None else None
+        self.default_page_limit = default_page_limit
+        self.warm_starts = 0
+        self.cold_starts = 0
         self.snapshots = SnapshotCache(capacity=snapshot_capacity)
-        self.index = ChainIndex(self._live_chain(), telemetry=self.telemetry)
+        self.index: Optional[ChainIndex] = (
+            None
+            if self._bound_headers() is not None
+            else self._build_index(self._live_chain())
+        )
         self.events: Optional[EventIndex] = (
             EventIndex(runtime, telemetry=self.telemetry)
             if runtime is not None
             else None
         )
+        subscribe = getattr(self.node, "subscribe_lifecycle", None)
+        if subscribe is not None:
+            subscribe(self._on_node_lifecycle)
 
     @classmethod
     def connect(
@@ -214,16 +327,58 @@ class QueryService:
             **kwargs,
         )
 
+    @classmethod
+    def connect_node(
+        cls,
+        node,
+        canonical: Optional[object] = None,
+        runtime: Optional[ContractRuntime] = None,
+        simulator: Optional[Simulator] = None,
+        index_dir: Optional[Union[str, Path]] = None,
+        **kwargs: Any,
+    ) -> "QueryService":
+        """Bind to a live replica node (full or headers-only/light).
+
+        A full :class:`~repro.core.distributed.ReplicaNode` serves the
+        whole surface; a :class:`LightReplicaNode` serves the
+        header-backed subset with everything else answered ``ok=False``.
+        ``index_dir`` defaults to a full replica's durable store
+        directory, so the serving index is persisted next to the block
+        log and restarts warm-start from it automatically.
+        """
+        if index_dir is None and getattr(node, "chain", None) is not None:
+            store = getattr(node, "store", None)
+            if store is not None:
+                index_dir = getattr(store, "path", None)
+        return cls(
+            node=node,
+            canonical=canonical,
+            runtime=runtime,
+            simulator=simulator,
+            index_dir=index_dir,
+            **kwargs,
+        )
+
     # -- live resolution -----------------------------------------------------
+
+    def _require_up(self) -> None:
+        if getattr(self.node, "crashed", False):
+            name = getattr(self.node, "name", "node")
+            raise QueryError(
+                f"{name} is down (crashed or mid-recovery); "
+                "retry once it has restarted"
+            )
+
+    def _bound_headers(self):
+        """The bound node's HeaderChain, when it is a light replica."""
+        if self.node is None or getattr(self.node, "chain", None) is not None:
+            return None
+        self._require_up()
+        return getattr(self.node, "headers", None)
 
     def _live_chain(self) -> Blockchain:
         if self.node is not None:
-            if getattr(self.node, "crashed", False):
-                name = getattr(self.node, "name", "node")
-                raise QueryError(
-                    f"{name} is down (crashed or mid-recovery); "
-                    "retry once it has restarted"
-                )
+            self._require_up()
             chain = getattr(self.node, "chain", None)
             if chain is None:
                 name = getattr(self.node, "name", "node")
@@ -232,46 +387,255 @@ class QueryService:
         assert self.chain is not None  # guaranteed by __init__
         return self.chain
 
+    def _build_index(self, chain: Blockchain) -> ChainIndex:
+        """Warm-start from the persisted index when possible, else cold."""
+        # Imported here, not at module top: persistence pulls in
+        # repro.store, which sits above repro.chain — and this module is
+        # (indirectly) imported while repro.chain initializes.
+        from repro.query.persistence import load_index
+
+        if self.index_dir is not None:
+            warm = load_index(chain, self.index_dir, telemetry=self.telemetry)
+            if warm is not None:
+                self.warm_starts += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter("query.warm_starts").inc()
+                return warm
+        self.cold_starts += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.cold_starts").inc()
+        return ChainIndex(chain, telemetry=self.telemetry)
+
     def _live_index(self) -> ChainIndex:
         """The index, rebound if a restart swapped the chain object."""
         chain = self._live_chain()
-        if self.index.chain is not chain:
-            self.index = ChainIndex(chain, telemetry=self.telemetry)
+        if self.index is None or self.index.chain is not chain:
+            self.index = self._build_index(chain)
         return self.index
+
+    def _on_node_lifecycle(self, event: str) -> None:
+        """Node lifecycle hook: pre-warm the index after a restart.
+
+        The restart swapped ``node.chain`` wholesale; rebinding eagerly
+        here (warm start when the persisted tip is still canonical)
+        means the first post-restart query pays an incremental refresh,
+        not a from-genesis rebuild.
+        """
+        if event != "restart" or self.node is None:
+            return
+        if getattr(self.node, "chain", None) is None:
+            return  # light replicas keep no chain index
+        try:
+            self._live_index()
+        except QueryError:
+            pass  # mid-recovery oddity; the next serve re-resolves
+
+    def persist_index(self) -> Path:
+        """Persist the serving index to ``index_dir`` (atomic write).
+
+        A later service over the same directory — or this one, after
+        the node restarts — warm-starts from it, replaying only the
+        delta above the persisted tip.
+        """
+        if self.index_dir is None:
+            raise QueryError(
+                "persist_index needs an index_dir binding "
+                "(pass index_dir= when constructing the service)"
+            )
+        if self._bound_headers() is not None:
+            raise QueryError("light replicas keep no chain index to persist")
+        from repro.query.persistence import save_index  # see _build_index
+
+        index = self._live_index()
+        index.refresh()
+        path = save_index(index, self.index_dir)
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.index_persists").inc()
+        return path
+
+    # -- staleness -----------------------------------------------------------
+
+    def _canonical_view(self) -> Optional[Tuple[int, bytes, float]]:
+        """(height, block id, tip timestamp) of the canonical reference."""
+        ref = self.canonical
+        if ref is None:
+            return None
+        if callable(ref) and not isinstance(ref, Blockchain):
+            ref = ref()
+        if ref is None:
+            return None
+        chain = ref if isinstance(ref, Blockchain) else getattr(ref, "chain", None)
+        if chain is None:
+            return None
+        head = chain.head
+        return head.height, head.block_id, head.header.timestamp
+
+    def _staleness_bound(
+        self, served_height: int, served_id: bytes, served_time: float
+    ) -> StalenessBound:
+        view = self._canonical_view()
+        if view is None:
+            canonical_height, canonical_id, canonical_time = (
+                served_height,
+                served_id,
+                served_time,
+            )
+        else:
+            canonical_height, canonical_id, canonical_time = view
+        return StalenessBound(
+            served_height=served_height,
+            served_block_id=served_id,
+            canonical_height=canonical_height,
+            canonical_block_id=canonical_id,
+            height_lag=max(0, canonical_height - served_height),
+            time_lag=max(0.0, canonical_time - served_time),
+        )
+
+    @staticmethod
+    def _require_max_staleness(max_staleness: Optional[int]) -> None:
+        if max_staleness is None:
+            return
+        if isinstance(max_staleness, bool) or not isinstance(max_staleness, int):
+            raise QueryError(
+                f"bad max_staleness {max_staleness!r}: pass a plain int "
+                "number of blocks (or None for no bound)"
+            )
+        if max_staleness < 0:
+            raise QueryError(
+                f"max_staleness {max_staleness} is negative: a served head "
+                "can never lead the canonical chain"
+            )
+
+    def _reject_stale(
+        self,
+        requests: Sequence[QueryRequest],
+        bound: StalenessBound,
+        max_staleness: int,
+    ) -> List[QueryResponse]:
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.stale_rejections").inc(len(requests))
+        error = (
+            f"stale read rejected: served head {bound.served_height} is "
+            f"{bound.height_lag} block(s) behind the canonical head "
+            f"{bound.canonical_height} (max_staleness={max_staleness}); "
+            "retry against the canonical chain or once this replica "
+            "has resynced"
+        )
+        return [
+            QueryResponse(
+                request=request, ok=False, error=error, staleness=bound
+            )
+            for request in requests
+        ]
 
     # -- serving -------------------------------------------------------------
 
-    def serve(self, request: QueryRequest) -> QueryResponse:
+    def serve(
+        self, request: QueryRequest, max_staleness: Optional[int] = None
+    ) -> QueryResponse:
         """Serve one request (a batch of one)."""
-        return self.serve_batch([request])[0]
+        return self.serve_batch([request], max_staleness=max_staleness)[0]
 
     def serve_batch(
-        self, requests: Sequence[QueryRequest]
+        self,
+        requests: Sequence[QueryRequest],
+        max_staleness: Optional[int] = None,
     ) -> List[QueryResponse]:
         """Serve a batch against one consistent chain view.
 
         The index refreshes once and the snapshot is captured once; all
         requests in the batch answer as of that head, even if live
-        objects move underneath mid-iteration.
+        objects move underneath mid-iteration.  ``max_staleness`` (in
+        blocks) rejects the whole batch with descriptive per-request
+        errors when the served head lags the canonical reference by
+        more than that.
         """
+        self._require_max_staleness(max_staleness)
+        headers = self._bound_headers()
+        if headers is not None:
+            return self._serve_header_batch(headers, requests, max_staleness)
         index = self._live_index()
         index.refresh()
         chain = self._live_chain()
         state = self.runtime.state if self.runtime is not None else None
         snapshot = self.snapshots.current(chain, state)
+        bound = self._staleness_bound(
+            snapshot.height, snapshot.head_id, snapshot.head.header.timestamp
+        )
         if self.telemetry.enabled:
             self.telemetry.counter("query.requests").inc(len(requests))
+        if max_staleness is not None and bound.height_lag > max_staleness:
+            return self._reject_stale(requests, bound, max_staleness)
         responses: List[QueryResponse] = []
         for request in requests:
             try:
                 result = self._dispatch(request, index, snapshot)
             except (QueryError, ChainError, ValueError) as error:
                 responses.append(
-                    QueryResponse(request=request, ok=False, error=str(error))
+                    QueryResponse(
+                        request=request,
+                        ok=False,
+                        error=str(error),
+                        staleness=bound,
+                    )
                 )
             else:
                 responses.append(
-                    QueryResponse(request=request, ok=True, result=result)
+                    QueryResponse(
+                        request=request, ok=True, result=result, staleness=bound
+                    )
+                )
+        return responses
+
+    def _serve_header_batch(
+        self,
+        headers,
+        requests: Sequence[QueryRequest],
+        max_staleness: Optional[int],
+    ) -> List[QueryResponse]:
+        """The light-replica path: header-backed queries only.
+
+        A light replica mid-resync lags the canonical chain; the
+        staleness bound makes that lag explicit on every response, and
+        ``max_staleness`` turns it into a rejection.
+        """
+        tip = headers.tip
+        if tip is None:
+            name = getattr(self.node, "name", "light replica")
+            error = (
+                f"{name} has synced no headers yet; "
+                "retry after its first resync completes"
+            )
+            return [
+                QueryResponse(request=request, ok=False, error=error)
+                for request in requests
+            ]
+        bound = self._staleness_bound(
+            tip.height, tip.header_hash(), tip.timestamp
+        )
+        if self.telemetry.enabled:
+            self.telemetry.counter("query.requests").inc(len(requests))
+            self.telemetry.counter("query.light_requests").inc(len(requests))
+        if max_staleness is not None and bound.height_lag > max_staleness:
+            return self._reject_stale(requests, bound, max_staleness)
+        responses: List[QueryResponse] = []
+        for request in requests:
+            try:
+                result = self._dispatch_header(request, headers)
+            except (QueryError, ChainError, ValueError) as error:
+                responses.append(
+                    QueryResponse(
+                        request=request,
+                        ok=False,
+                        error=str(error),
+                        staleness=bound,
+                    )
+                )
+            else:
+                responses.append(
+                    QueryResponse(
+                        request=request, ok=True, result=result, staleness=bound
+                    )
                 )
         return responses
 
@@ -280,31 +644,158 @@ class QueryService:
         requests: Sequence[QueryRequest],
         delay: float = 0.0,
         callback: Optional[Callable[[List[QueryResponse]], None]] = None,
+        max_staleness: Optional[int] = None,
     ) -> PendingBatch:
         """Defer a batch onto the simulator clock.
 
         The batch runs when the simulator reaches ``now + delay``,
         interleaved deterministically (time, seq) with whatever else is
         scheduled; it observes the chain *as of that simulated moment*,
-        not submission time.
+        not submission time.  A node that crashed between submission
+        and fire time yields per-request ``ok=False`` responses — a
+        dead replica must not poison the simulator event loop.
         """
         if self.simulator is None:
             raise QueryError(
                 "submit_batch needs a simulator binding "
                 "(pass simulator= when constructing the service)"
             )
+        self._require_max_staleness(max_staleness)
         pending = PendingBatch(
             requests=tuple(requests),
             scheduled_time=self.simulator.now + delay,
             callback=callback,
         )
+
+        def _fire() -> None:
+            try:
+                responses = self.serve_batch(
+                    pending.requests, max_staleness=max_staleness
+                )
+            except QueryError as error:
+                responses = [
+                    QueryResponse(request=request, ok=False, error=str(error))
+                    for request in pending.requests
+                ]
+            pending._deliver(responses)
+
         # schedule_at is the unified absolute-time surface shared by
         # Simulator and SmartCrowdPlatform, so either works as the clock.
-        self.simulator.schedule_at(
-            pending.scheduled_time,
-            lambda: pending._deliver(self.serve_batch(pending.requests)),
-        )
+        self.simulator.schedule_at(pending.scheduled_time, _fire)
         return pending
+
+    # -- pagination ----------------------------------------------------------
+
+    def _page_limit(self, params: Dict[str, Any]) -> int:
+        limit = params.get("limit")
+        if limit is None:
+            return self.default_page_limit
+        if isinstance(limit, bool) or not isinstance(limit, int):
+            raise QueryError(
+                f"bad limit {limit!r}: pass a plain int number of rows"
+            )
+        if limit < 1:
+            raise QueryError(f"bad limit {limit}: a page holds at least 1 row")
+        if limit > MAX_PAGE_LIMIT:
+            raise QueryError(
+                f"bad limit {limit}: pages are capped at {MAX_PAGE_LIMIT} "
+                "rows — follow next_cursor instead"
+            )
+        return limit
+
+    @staticmethod
+    def _entry_cursor(entry, index: ChainIndex) -> str:
+        """``height:index:block-id`` — self-validating against reorgs."""
+        block_id = index.block_id_at_height(entry.height)
+        assert block_id is not None  # confirmed entries never outrun the head
+        return f"{entry.height}:{entry.index_in_block}:{block_id.hex()}"
+
+    @staticmethod
+    def _decode_entry_cursor(
+        cursor: Any, index: ChainIndex
+    ) -> Tuple[int, int]:
+        if not isinstance(cursor, str):
+            raise QueryError(
+                f"bad cursor {cursor!r}: expected the "
+                "'height:index:block-id' string a previous response returned"
+            )
+        parts = cursor.split(":")
+        if len(parts) != 3:
+            raise QueryError(
+                f"bad cursor {cursor!r}: expected 'height:index:block-id'"
+            )
+        try:
+            height = int(parts[0])
+            position = int(parts[1])
+        except ValueError as error:
+            raise QueryError(
+                f"bad cursor {cursor!r}: height and index must be integers"
+            ) from error
+        if height < 0 or position < 0:
+            raise QueryError(
+                f"bad cursor {cursor!r}: height and index cannot be negative"
+            )
+        anchor = parse_hex(parts[2], "cursor block id", length=32, error=QueryError)
+        live = index.block_id_at_height(height)
+        if live is None:
+            raise QueryError(
+                f"cursor {cursor!r} points above the canonical head: the "
+                "chain reorganized to a shorter branch since the cursor was "
+                "issued; restart the scan from the beginning"
+            )
+        if live != anchor:
+            raise QueryError(
+                f"cursor {cursor!r} was invalidated by a reorg: height "
+                f"{height} is now block 0x{live.hex()[:12]}…, not the block "
+                "the cursor anchored; restart the scan from the beginning"
+            )
+        return height, position
+
+    def _paginate_entries(
+        self, entries: List[Any], params: Dict[str, Any], index: ChainIndex
+    ) -> Dict[str, Any]:
+        """Page a chain-ordered entry list (reports or SRAs).
+
+        Entries occupy strictly increasing (height, index-in-block)
+        positions, so "strictly after the cursor" resumes with no
+        duplicates and no gaps — provided the cursor's anchor block is
+        still canonical, which :meth:`_decode_entry_cursor` enforces.
+        """
+        limit = self._page_limit(params)
+        after = params.get("after")
+        if after is not None:
+            height, position = self._decode_entry_cursor(after, index)
+            entries = [
+                entry
+                for entry in entries
+                if (entry.height, entry.index_in_block) > (height, position)
+            ]
+        rows = entries[:limit]
+        truncated = len(entries) > limit
+        return {
+            "rows": rows,
+            "next_cursor": (
+                self._entry_cursor(rows[-1], index) if truncated else None
+            ),
+            "truncated": truncated,
+        }
+
+    @staticmethod
+    def _decode_log_cursor(cursor: Any) -> int:
+        if isinstance(cursor, bool) or not isinstance(cursor, (int, str)):
+            raise QueryError(
+                f"bad cursor {cursor!r}: expected the integer position a "
+                "previous get_logs response returned"
+            )
+        try:
+            position = int(cursor)
+        except ValueError as error:
+            raise QueryError(
+                f"bad cursor {cursor!r}: not an integer position"
+            ) from error
+        if position < 0:
+            raise QueryError(f"bad cursor {cursor!r}: cannot be negative")
+        return position
 
     # -- dispatch ------------------------------------------------------------
 
@@ -327,33 +818,93 @@ class QueryService:
         if method == "get_transaction_count":
             return index.sender_count(self._address(params["account"]))
         if method == "get_reports":
-            return index.reports(
+            entries = index.reports(
                 system=params.get("system"),
                 provider=params.get("provider"),
                 severity=params.get("severity"),
                 detector=params.get("detector"),
             )
+            return self._paginate_entries(entries, params, index)
         if method == "get_sras":
-            return index.sras(
+            entries = index.sras(
                 provider=params.get("provider"),
                 system=params.get("system"),
                 version=params.get("version"),
             )
+            return self._paginate_entries(entries, params, index)
         if method == "get_logs":
             if self.events is None:
                 raise QueryError(
                     "no contract runtime attached: event queries need one"
                 )
-            return [
-                {
-                    "address": event.contract.hex(),
-                    "event": event.name,
-                    "args": dict(event.payload),
-                    "blockTime": event.block_time,
-                }
-                for event in self.events.named(params["event_name"])
-            ]
+            limit = self._page_limit(params)
+            start = 0
+            if params.get("after") is not None:
+                start = self._decode_log_cursor(params["after"])
+            events, total = self.events.named_slice(
+                params["event_name"], start, limit
+            )
+            consumed = start + len(events)
+            return {
+                "rows": [
+                    {
+                        "address": event.contract.hex(),
+                        "event": event.name,
+                        "args": dict(event.payload),
+                        "blockTime": event.block_time,
+                    }
+                    for event in events
+                ],
+                "next_cursor": str(consumed) if consumed < total else None,
+                "truncated": consumed < total,
+            }
         raise QueryError(f"unknown query method {method!r}")
+
+    def _dispatch_header(self, request: QueryRequest, headers) -> Any:
+        params = request.param_dict()
+        method = request.method
+        if method == "head":
+            tip = headers.tip
+            return {
+                "number": tip.height,
+                "hash": "0x" + tip.header_hash().hex(),
+            }
+        if method == "get_block":
+            return self._serve_header_block(params["identifier"], headers)
+        name = getattr(self.node, "name", "light replica")
+        raise QueryError(
+            f"{name} is a light (headers-only) replica: it serves head and "
+            f"get_block, not {method}; connect a full replica for the rest "
+            "of the surface"
+        )
+
+    def _serve_header_block(
+        self, identifier: Union[int, str, bytes], headers
+    ) -> Dict[str, Any]:
+        if identifier == "latest":
+            return header_dict(headers.tip)
+        if identifier == "earliest":
+            return header_dict(headers.at_height(0))
+        if isinstance(identifier, bool):
+            raise QueryError(
+                f"bad block identifier {identifier!r}: True/False would "
+                "silently read heights 1/0 — pass a plain int height"
+            )
+        if isinstance(identifier, int):
+            if identifier < 0:
+                raise QueryError(
+                    f"height {identifier} is negative: canonical heights "
+                    "are absolute, with no Python-list wraparound"
+                )
+            header = headers.at_height(identifier)
+            if header is None:
+                raise QueryError(f"no block at height {identifier}")
+            return header_dict(header)
+        raw = parse_hex(identifier, "block identifier", error=QueryError)
+        header = headers.header(raw)
+        if header is None:
+            raise QueryError("unknown block hash (not on the header chain)")
+        return header_dict(header)
 
     def _serve_block(
         self, identifier: Union[int, str, bytes], snapshot: ChainSnapshot
@@ -372,14 +923,7 @@ class QueryService:
             if payload is None:
                 raise QueryError(f"no block at height {identifier}")
             return payload
-        raw = identifier
-        if isinstance(raw, str):
-            try:
-                raw = bytes.fromhex(raw.removeprefix("0x"))
-            except ValueError as error:
-                raise QueryError(
-                    f"bad block identifier {identifier!r}"
-                ) from error
+        raw = parse_hex(identifier, "block identifier", error=QueryError)
         for block in snapshot.blocks:
             if block.block_id == raw:
                 return block_dict(block)
@@ -388,19 +932,7 @@ class QueryService:
     def _serve_transaction(
         self, record_id: Union[str, bytes], index: ChainIndex
     ) -> Dict[str, Any]:
-        if isinstance(record_id, str):
-            try:
-                record_id = bytes.fromhex(record_id.removeprefix("0x"))
-            except ValueError as error:
-                raise QueryError(
-                    f"malformed transaction id {record_id!r}: not valid hex"
-                ) from error
-        elif not isinstance(record_id, (bytes, bytearray)):
-            raise QueryError(
-                "transaction id must be bytes or 0x hex, got "
-                f"{type(record_id).__name__}"
-            )
-        record_id = bytes(record_id)
+        record_id = parse_hex(record_id, "transaction id", error=QueryError)
         location = index.locate_record(record_id)
         if location is None:
             raise QueryError(
@@ -423,7 +955,4 @@ class QueryService:
     def _address(account: Union[Address, str]) -> Address:
         if isinstance(account, Address):
             return account
-        try:
-            return Address.from_hex(account)
-        except (ValueError, AttributeError, TypeError) as error:
-            raise QueryError(f"malformed address {account!r}") from error
+        return Address(parse_hex(account, "address", length=20, error=QueryError))

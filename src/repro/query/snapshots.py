@@ -14,12 +14,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.chain.block import Block
+from repro.chain.block import Block, BlockHeader
 from repro.chain.chain import Blockchain, ChainError
 from repro.contracts.state import WorldState
 from repro.crypto.keys import Address
 
-__all__ = ["ChainSnapshot", "SnapshotCache", "block_dict"]
+__all__ = ["ChainSnapshot", "SnapshotCache", "block_dict", "header_dict"]
 
 
 def _hex(data: bytes) -> str:
@@ -42,6 +42,25 @@ def block_dict(block: Block) -> Dict[str, Any]:
         "miner": block.header.miner.hex(),
         "merkleRoot": _hex(block.header.merkle_root),
         "transactions": [_hex(record.record_id) for record in block.records],
+    }
+
+
+def header_dict(header: BlockHeader) -> Dict[str, Any]:
+    """A bare header as a web3-shaped dict — no ``transactions`` body.
+
+    The light-replica read path serves these: same keys as
+    :func:`block_dict` minus the record list a headers-only node does
+    not hold.
+    """
+    return {
+        "number": header.height,
+        "hash": _hex(header.header_hash()),
+        "parentHash": _hex(header.prev_block_id),
+        "timestamp": header.timestamp,
+        "nonce": header.nonce,
+        "difficulty": header.difficulty,
+        "miner": header.miner.hex(),
+        "merkleRoot": _hex(header.merkle_root),
     }
 
 

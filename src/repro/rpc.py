@@ -24,6 +24,7 @@ from repro.chain.mempool import Mempool
 from repro.contracts.contract import Contract, Receipt
 from repro.contracts.vm import ContractRuntime
 from repro.crypto.keys import Address
+from repro.hexargs import parse_hex
 from repro.query.indices import ChainIndex
 from repro.query.snapshots import block_dict
 
@@ -149,12 +150,7 @@ class Eth:
             if block is None:
                 raise RpcError(f"no block at height {identifier}")
             return block
-        raw = identifier
-        if isinstance(raw, str):
-            try:
-                raw = bytes.fromhex(raw.removeprefix("0x"))
-            except ValueError as error:
-                raise RpcError(f"bad block identifier {identifier!r}") from error
+        raw = parse_hex(identifier, "block identifier", error=RpcError)
         block = chain.get_block(raw)
         if block is None:
             raise RpcError("unknown block hash")
@@ -162,19 +158,15 @@ class Eth:
 
     @staticmethod
     def _record_id(identifier: Union[str, bytes]) -> bytes:
-        """Parse a record id, rejecting malformed input with an RpcError."""
-        if isinstance(identifier, (bytes, bytearray)):
-            return bytes(identifier)
-        if isinstance(identifier, str):
-            try:
-                return bytes.fromhex(identifier.removeprefix("0x"))
-            except ValueError as error:
-                raise RpcError(
-                    f"malformed transaction id {identifier!r}: not valid hex"
-                ) from error
-        raise RpcError(
-            f"transaction id must be bytes or 0x hex, got {type(identifier).__name__}"
-        )
+        """Parse a record id, rejecting malformed input with an RpcError.
+
+        Shares :func:`repro.hexargs.parse_hex` with the query layer, so
+        the edge cases agree everywhere: ``"0x"`` alone is malformed
+        (it used to decode to the empty id and come back as a polite
+        "not found"), ``0X`` prefixes and mixed-case digits parse, and
+        whitespace-laced input is rejected instead of silently skipped.
+        """
+        return parse_hex(identifier, "transaction id", error=RpcError)
 
     def get_transaction(self, record_id: Union[str, bytes]) -> Dict[str, Any]:
         """Look up a canonical chain record by id (web3's tx lookup)."""
@@ -288,10 +280,7 @@ class Eth:
     def _address(account: Union[Address, str]) -> Address:
         if isinstance(account, Address):
             return account
-        try:
-            return Address.from_hex(account)
-        except (ValueError, AttributeError, TypeError) as error:
-            raise RpcError(f"malformed address {account!r}") from error
+        return Address(parse_hex(account, "address", length=20, error=RpcError))
 
     # -- contract interaction ------------------------------------------------
 

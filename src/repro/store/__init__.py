@@ -20,7 +20,12 @@ reference" consumers can trust (§V-C); this package is where
   write, bit flip, snapshot loss) the chaos lane injects.
 """
 
-from repro.store.faultinject import drop_snapshots, flip_bit, tear_frame
+from repro.store.faultinject import (
+    drop_index_file,
+    drop_snapshots,
+    flip_bit,
+    tear_frame,
+)
 from repro.store.frames import (
     FrameInfo,
     ScanResult,
@@ -29,6 +34,13 @@ from repro.store.frames import (
     scan_frames,
 )
 from repro.store.fsck import FsckIssue, FsckReport, fsck
+from repro.store.indexfile import (
+    INDEX_FILE_NAME,
+    INDEX_FORMAT_VERSION,
+    IndexFileInfo,
+    read_index_file,
+    write_index_file,
+)
 from repro.store.snapshot import LedgerSnapshot, SnapshotStore
 from repro.store.store import (
     ChainStore,
@@ -43,6 +55,9 @@ __all__ = [
     "FsckIssue",
     "FsckReport",
     "HeaderStore",
+    "INDEX_FILE_NAME",
+    "INDEX_FORMAT_VERSION",
+    "IndexFileInfo",
     "LedgerReplay",
     "LedgerSnapshot",
     "ScanResult",
@@ -50,9 +65,12 @@ __all__ = [
     "StoreCorruption",
     "StoreError",
     "StoreRecovery",
+    "drop_index_file",
     "drop_snapshots",
     "flip_bit",
     "fsck",
+    "read_index_file",
     "scan_frames",
     "tear_frame",
+    "write_index_file",
 ]

@@ -14,8 +14,9 @@ tests.
 from __future__ import annotations
 
 from repro.store.frames import FRAME_HEADER_BYTES, StoreError
+from repro.store.indexfile import INDEX_FILE_NAME
 
-__all__ = ["drop_snapshots", "flip_bit", "tear_frame"]
+__all__ = ["drop_index_file", "drop_snapshots", "flip_bit", "tear_frame"]
 
 
 def _resolve_frame(store, frame_index: int) -> int:
@@ -92,3 +93,18 @@ def drop_snapshots(store, keep_oldest: int = 0) -> int:
         file.unlink(missing_ok=True)
     store.mark_stale()
     return len(doomed)
+
+
+def drop_index_file(store) -> bool:
+    """Delete the serving-index sidecar (``index.snap``), if present.
+
+    Models losing the persisted query index while the node is down: the
+    block log is intact, so recovery succeeds, but the next query
+    service over this store must fall back to a cold from-genesis index
+    build instead of a warm start.  Returns whether a file existed.
+    """
+    path = store.path / INDEX_FILE_NAME
+    existed = path.exists()
+    path.unlink(missing_ok=True)
+    store.mark_stale()
+    return existed

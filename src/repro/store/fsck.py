@@ -26,6 +26,11 @@ from repro.chain.block import GENESIS_PARENT
 from repro.chain.serialization import decode_block, decode_header
 from repro.codec import CodecError
 from repro.store.frames import StoreError, scan_frames
+from repro.store.indexfile import (
+    INDEX_FILE_NAME,
+    INDEX_FORMAT_VERSION,
+    read_index_file,
+)
 from repro.store.snapshot import LedgerSnapshot
 from repro.store.store import ChainStore, HeaderStore
 
@@ -55,6 +60,9 @@ class FsckReport:
     kind: str  # "chain" or "header"
     frames_ok: int = 0
     snapshots_ok: int = 0
+    #: None when no serving index is present (that is fine — it is an
+    #: optional sidecar); True/False once one was found and checked.
+    index_ok: Optional[bool] = None
     issues: List[FsckIssue] = field(default_factory=list)
 
     @property
@@ -71,6 +79,7 @@ class FsckReport:
             "kind": self.kind,
             "frames_ok": self.frames_ok,
             "snapshots_ok": self.snapshots_ok,
+            "index_ok": self.index_ok,
             "ok": self.ok,
             "issues": [
                 {"kind": issue.kind, "detail": issue.detail}
@@ -79,10 +88,14 @@ class FsckReport:
         }
 
     def render(self) -> str:
+        index_note = (
+            "" if self.index_ok is None
+            else f", index {'ok' if self.index_ok else 'BAD'}"
+        )
         lines = [
             f"{self.path}: {self.kind} store, "
             f"{self.frames_ok} good frames, "
-            f"{self.snapshots_ok} good snapshots — "
+            f"{self.snapshots_ok} good snapshots{index_note} — "
             + ("CLEAN" if self.ok else f"{len(self.issues)} issue(s)")
         ]
         lines.extend("  " + issue.render() for issue in self.issues)
@@ -138,6 +151,16 @@ def _check_snapshots(
     if snap_dir.is_dir():
         for file in sorted(snap_dir.glob("ledger-*.snap")):
             try:
+                if file.stat().st_size == 0:
+                    # Interrupted-write debris: the O_CREAT landed but
+                    # no data ever did.  Recovery skips these in favour
+                    # of older snapshots, so they are not corruption —
+                    # a *recorded* snapshot that went missing is still
+                    # caught by the manifest check below.
+                    continue
+            except OSError:
+                continue
+            try:
                 with open(file, "rb") as handle:
                     scan = scan_frames(handle)
                 if scan.corruption is not None or len(scan.frames) != 1:
@@ -189,6 +212,53 @@ def _check_snapshots(
             )
 
 
+def _check_index(
+    store_path: Path, heights: Dict[bytes, int], report: FsckReport
+) -> None:
+    """Verify the optional serving-index sidecar (``index.snap``).
+
+    Absent or zero-length (never-written debris) is clean.  An index
+    persisted at an *older* tip than the log is fine — warm start
+    replays the delta above it — but a tip the log does not hold at
+    that height means the index describes some other chain and a warm
+    start from it would be wrong.
+    """
+    index_path = store_path / INDEX_FILE_NAME
+    try:
+        if not index_path.is_file() or index_path.stat().st_size == 0:
+            return
+    except OSError:
+        return
+    report.index_ok = False
+    try:
+        info = read_index_file(index_path)
+    except (StoreError, CodecError, OSError) as error:
+        report.issues.append(
+            FsckIssue("index-corrupt", f"{index_path.name}: {error}")
+        )
+        return
+    if info.version != INDEX_FORMAT_VERSION:
+        report.issues.append(
+            FsckIssue(
+                "index-corrupt",
+                f"{index_path.name}: unknown schema version {info.version} "
+                f"(this build reads version {INDEX_FORMAT_VERSION})",
+            )
+        )
+        return
+    if heights.get(info.tip_block_id) != info.tip_height:
+        report.issues.append(
+            FsckIssue(
+                "index-stale",
+                f"{index_path.name} pins tip "
+                f"{info.tip_block_id.hex()[:12]} at height "
+                f"{info.tip_height}, which the log does not hold",
+            )
+        )
+        return
+    report.index_ok = True
+
+
 def _check_header_frames(log_path: Path, report: FsckReport) -> None:
     ids: List[bytes] = []
 
@@ -236,6 +306,7 @@ def fsck(path) -> FsckReport:
         report = FsckReport(path=str(store_path), kind="chain")
         heights = _check_chain_frames(chain_log, report)
         _check_snapshots(store_path, heights, report)
+        _check_index(store_path, heights, report)
         return report
     if header_log.exists():
         report = FsckReport(path=str(store_path), kind="header")

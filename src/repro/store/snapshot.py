@@ -149,8 +149,23 @@ class SnapshotStore:
         return f"ledger-{height:012d}.snap"
 
     def files(self) -> List[Path]:
-        """Snapshot files, newest (highest height) first."""
-        return sorted(self.path.glob("ledger-*.snap"), reverse=True)
+        """Usable snapshot files, newest (highest height) first.
+
+        Zero-length files — interrupted writes that created the
+        directory entry but never landed data — are excluded, so they
+        neither count against the retention budget (which would evict
+        a *valid* older snapshot in favour of debris) nor feed readers
+        a frame that cannot possibly decode.
+        """
+        usable: List[Path] = []
+        for file in sorted(self.path.glob("ledger-*.snap"), reverse=True):
+            try:
+                if file.stat().st_size == 0:
+                    continue
+            except OSError:
+                continue
+            usable.append(file)
+        return usable
 
     def heights(self) -> List[int]:
         """Heights with a snapshot file present, newest first."""
@@ -174,6 +189,14 @@ class SnapshotStore:
     def _prune(self) -> None:
         for stale in self.files()[self.keep :]:
             stale.unlink(missing_ok=True)
+        # Zero-length debris never shows up in files(); reap it here so
+        # it cannot accumulate across crash-restart cycles.
+        for file in self.path.glob("ledger-*.snap"):
+            try:
+                if file.stat().st_size == 0:
+                    file.unlink(missing_ok=True)
+            except OSError:
+                continue
 
     def load_file(self, file: Path) -> LedgerSnapshot:
         """Read and verify one snapshot file.

@@ -1,0 +1,201 @@
+"""Warm-start persistence: bit-parity with cold rebuilds, always.
+
+The acceptance bar for the persisted index is *indistinguishability*:
+a warm-started :class:`ChainIndex` must answer every query exactly as
+a cold from-genesis build over the same chain would — across growth,
+reorgs, and crash-shaped interleavings — while replaying only the
+delta above the persisted tip.  A load that cannot prove its tip is
+still canonical must fall back to the cold build, never serve a wrong
+answer.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.indices import ChainIndex
+from repro.query.persistence import (
+    decode_index_state,
+    encode_index_state,
+    load_index,
+    save_index,
+)
+from repro.store.frames import StoreError
+from repro.store.indexfile import INDEX_FILE_NAME, read_index_file
+
+from tests.query.conftest import (
+    SENDERS,
+    build_mixed_chain,
+    extend_mixed,
+    full_scan_block_at_height,
+    full_scan_sender_count,
+)
+
+
+def assert_bit_identical(warm: ChainIndex, cold: ChainIndex, chain) -> None:
+    """The whole query surface must agree, not just the tip."""
+    assert warm.dump_state() == cold.dump_state()
+    assert warm.reports() == cold.reports()
+    assert warm.sras() == cold.sras()
+    for sender in SENDERS:
+        assert warm.sender_count(sender) == cold.sender_count(sender)
+    for height in range(0, chain.head.height + 1, 3):
+        assert warm.block_id_at_height(height) == cold.block_id_at_height(
+            height
+        )
+
+
+class TestRoundTrip:
+    def test_state_codec_roundtrip(self):
+        chain, _ = build_mixed_chain(seed=11, blocks=14)
+        state = ChainIndex(chain).dump_state()
+        assert decode_index_state(encode_index_state(state)) == state
+
+    def test_warm_start_replays_only_the_delta(self):
+        chain, sra_ids = build_mixed_chain(seed=13, blocks=18)
+        with tempfile.TemporaryDirectory() as directory:
+            save_index(ChainIndex(chain), directory)
+            extend_mixed(chain, random.Random(2), 5, 3, sra_ids)
+            warm = load_index(chain, directory)
+            assert warm is not None
+            # Delta replay only: 5 new blocks, never the 19 persisted.
+            assert warm.blocks_indexed == 5
+            cold = ChainIndex(chain)
+            assert cold.blocks_indexed == chain.head.height + 1
+            assert_bit_identical(warm, cold, chain)
+
+    def test_warm_start_at_exact_tip_replays_nothing(self):
+        chain, _ = build_mixed_chain(seed=17, blocks=10)
+        with tempfile.TemporaryDirectory() as directory:
+            save_index(ChainIndex(chain), directory)
+            warm = load_index(chain, directory)
+            assert warm is not None and warm.blocks_indexed == 0
+            assert_bit_identical(warm, ChainIndex(chain), chain)
+
+    def test_save_empty_index_refuses(self):
+        chain, _ = build_mixed_chain(seed=19, blocks=3)
+        index = ChainIndex(chain)
+        index._reset()  # simulate an index that has adopted nothing
+        with tempfile.TemporaryDirectory() as directory:
+            with pytest.raises(StoreError, match="no blocks"):
+                save_index(index, directory)
+
+    def test_envelope_records_the_tip(self):
+        chain, _ = build_mixed_chain(seed=23, blocks=7)
+        with tempfile.TemporaryDirectory() as directory:
+            path = save_index(ChainIndex(chain), directory)
+            info = read_index_file(path)
+            assert info.tip_height == chain.head.height
+            assert info.tip_block_id == chain.head.block_id
+
+
+class TestColdFallback:
+    def test_absent_file_falls_back(self):
+        chain, _ = build_mixed_chain(seed=29, blocks=4)
+        with tempfile.TemporaryDirectory() as directory:
+            assert load_index(chain, directory) is None
+
+    def test_zero_length_file_falls_back(self):
+        chain, _ = build_mixed_chain(seed=31, blocks=4)
+        with tempfile.TemporaryDirectory() as directory:
+            (Path(directory) / INDEX_FILE_NAME).write_bytes(b"")
+            assert load_index(chain, directory) is None
+
+    def test_corrupt_file_falls_back(self):
+        chain, _ = build_mixed_chain(seed=37, blocks=6)
+        with tempfile.TemporaryDirectory() as directory:
+            path = save_index(ChainIndex(chain), directory)
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= 0x40
+            path.write_bytes(bytes(data))
+            assert load_index(chain, directory) is None
+
+    def test_foreign_chain_tip_falls_back(self):
+        chain_a, _ = build_mixed_chain(seed=41, blocks=8)
+        chain_b, _ = build_mixed_chain(seed=43, blocks=8)
+        with tempfile.TemporaryDirectory() as directory:
+            save_index(ChainIndex(chain_a), directory)
+            # Same directory, different chain: the persisted tip is not
+            # a block chain_b holds, so the load must refuse.
+            assert load_index(chain_b, directory) is None
+
+    def test_reorged_away_tip_falls_back(self):
+        chain, sra_ids = build_mixed_chain(seed=47, blocks=12)
+        rng = random.Random(5)
+        with tempfile.TemporaryDirectory() as directory:
+            save_index(ChainIndex(chain), directory)
+            # Reorg past the persisted tip: fork below it and outgrow.
+            parent = full_scan_block_at_height(chain, chain.head.height - 4)
+            extend_mixed(chain, rng, 7, 2, sra_ids, parent=parent)
+            assert not chain.is_canonical(
+                read_index_file(Path(directory) / INDEX_FILE_NAME).tip_block_id
+            )
+            assert load_index(chain, directory) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    ops=st.lists(
+        st.sampled_from(["extend", "reorg", "persist", "restart"]),
+        min_size=3,
+        max_size=10,
+    ),
+)
+def test_warm_restart_parity_under_interleavings(seed, ops):
+    """S4: grow/reorg/persist/restart in any order never breaks parity.
+
+    ``restart`` models the crash boundary: a *fresh* load from whatever
+    was last persisted (or a cold build when the persisted tip died in
+    a reorg), compared bit-for-bit against a cold rebuild oracle.
+    """
+    rng = random.Random(seed)
+    chain, sra_ids = build_mixed_chain(seed=seed, blocks=6)
+    with tempfile.TemporaryDirectory() as directory:
+        persisted = False
+        for op in ops:
+            if op == "extend":
+                extend_mixed(chain, rng, rng.randint(1, 3), 2, sra_ids)
+            elif op == "reorg":
+                size = rng.randint(1, 4)
+                fork_height = max(0, chain.head.height - size)
+                parent = full_scan_block_at_height(chain, fork_height)
+                extend_mixed(
+                    chain,
+                    rng,
+                    chain.head.height - fork_height + 1,
+                    2,
+                    sra_ids,
+                    parent=parent,
+                )
+            elif op == "persist":
+                save_index(ChainIndex(chain), directory)
+                persisted = True
+            else:  # restart
+                warm = load_index(chain, directory)
+                cold = ChainIndex(chain)
+                if warm is None:
+                    # Fallback is only legal when nothing usable was
+                    # persisted: no file yet, or the tip reorged away.
+                    assert not persisted or not chain.is_canonical(
+                        read_index_file(
+                            Path(directory) / INDEX_FILE_NAME
+                        ).tip_block_id
+                    )
+                else:
+                    assert_bit_identical(warm, cold, chain)
+        # Whatever the interleaving did, a final persisted restart
+        # must come back warm and bit-identical.
+        save_index(ChainIndex(chain), directory)
+        warm = load_index(chain, directory)
+        assert warm is not None and warm.blocks_indexed == 0
+        assert_bit_identical(warm, ChainIndex(chain), chain)
+        assert warm.sender_count(SENDERS[0]) == full_scan_sender_count(
+            chain, SENDERS[0]
+        )

@@ -47,10 +47,11 @@ class TestServeBatch:
         assert genesis["number"] == 0
         assert latest["hash"] == "0x" + chain.head.block_id.hex()
         assert count == full_scan_sender_count(chain, SENDERS[0])
-        assert report_identities(reports) == full_scan_reports(
+        assert report_identities(reports["rows"]) == full_scan_reports(
             chain, severity="high"
         )
-        assert len(sras) > 0
+        assert not reports["truncated"]
+        assert len(sras["rows"]) > 0 and sras["next_cursor"] is None
 
     def test_get_transaction_roundtrip(self, service):
         svc, chain, _ = service

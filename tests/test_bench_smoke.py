@@ -57,6 +57,16 @@ def test_query_serving_quick_workload_shape(suite):
     assert entry["queries_per_sec"] > 0
 
 
+def test_query_warm_start_probe_shape(suite):
+    # The timing floor lives in benchmarks/; tier-1 only checks the
+    # probe ran, replayed a real delta, and held warm/cold parity.
+    entry = suite["benchmarks"]["query_serving"]
+    assert entry["warm_start_delta_blocks"] > 0
+    assert entry["warm_start_identical_to_cold"]
+    assert entry["warm_start_seconds"] > 0
+    assert entry["cold_rebuild_seconds"] > 0
+
+
 def test_economics_batch_is_faster_than_scalar(suite):
     # The bench lane gates the 5x floor on an unloaded host; tier-1
     # only insists vectorization doesn't *lose* to the scalar loop.

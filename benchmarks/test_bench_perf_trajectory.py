@@ -65,6 +65,17 @@ def test_parallel_probes_record_speedup_gate(suite):
     expected = (os.cpu_count() or 1) > 1
     assert suite["benchmarks"]["parallel_fig5b"]["speedup_gated"] is expected
     assert suite["benchmarks"]["runner_scaling"]["speedup_gated"] is expected
+    assert suite["benchmarks"]["fleet_shard"]["speedup_gated"] is expected
+
+
+def test_sharded_fleet_parity_gates(suite):
+    """The sharded probe's parity gates: jobs=N vs the serial oracle,
+    and one shard vs the single-process engine — asserted before any
+    timing, on every host."""
+    shard = suite["benchmarks"]["fleet_shard"]
+    assert shard["identical_to_serial"]
+    assert shard["identical_to_single_process"]
+    assert shard["points"]  # the scale lane actually ran
 
 
 def test_suite_is_json_serializable_and_renders(suite, tmp_path):

@@ -28,6 +28,7 @@ PACKAGES = [
     ("repro.faults", "Fault injection and chaos harness"),
     ("repro.store", "Durable chain store (crash-safe persistence)"),
     ("repro.query", "Query-serving read path (indices, snapshots, batching)"),
+    ("repro.shard", "Sharded fleet simulation (FleetSpec, epoch barriers)"),
     ("repro.telemetry", "Metrics and trace events"),
 ]
 

@@ -22,6 +22,8 @@ Subpackages
 ``repro.experiments`` one runner per paper table/figure
 ``repro.query``       consumer read path: materialized indices, snapshot
                       caching, batched query serving
+``repro.shard``       sharded fleet simulation: FleetSpec, barrier-
+                      synchronized worker processes, bit-parity contract
 
 Quickstart
 ----------
@@ -44,6 +46,7 @@ from repro.core import (
 )
 from repro.network.config import NetworkConfig
 from repro.query import QueryRequest, QueryService
+from repro.shard import FleetSpec, ShardedSimulator
 from repro.units import ETHER, GWEI, WEI, format_ether, from_wei, to_wei
 
 __version__ = "1.0.0"
@@ -51,12 +54,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ConsumerClient",
     "ETHER",
+    "FleetSpec",
     "GWEI",
     "IncentiveParameters",
     "NetworkConfig",
     "PlatformConfig",
     "QueryRequest",
     "QueryService",
+    "ShardedSimulator",
     "SmartCrowdPlatform",
     "WEI",
     "__version__",

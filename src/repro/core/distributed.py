@@ -40,6 +40,10 @@ __all__ = ["DistributedChain", "LightReplicaNode", "ReplicaNode"]
 #: Semantic record check a replica applies before accepting a block.
 RecordCheck = Callable[[ChainRecord], bool]
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so
+#: the legacy fleet-shape kwargs can warn only when actually used.
+_UNSET = object()
+
 
 def _interleave(full_names: List[str], light_names: List[str]) -> List[str]:
     """Ring order for the fleet: light nodes spread between full nodes.
@@ -62,6 +66,87 @@ def _interleave(full_names: List[str], light_names: List[str]) -> List[str]:
         cursor += len(take)
     merged.extend(light_names[cursor:])
     return merged
+
+
+def _resolve_fleet_shape(
+    engine: str,
+    spec,
+    shares: Optional[Mapping[str, float]],
+    topology_kind,
+    network,
+    light_count,
+    store_dir,
+    store_snapshot_interval,
+):
+    """Reconcile ``spec=`` with the legacy per-kwarg fleet shape.
+
+    Exactly one spelling may describe the fleet: a
+    :class:`~repro.shard.spec.FleetSpec` (the canonical one, shared with
+    the sharded engine) or the historical kwargs, which now warn once
+    per process via :mod:`repro.compat`.  Returns the resolved
+    ``(shares, config, light_count, store_dir, snapshot_interval)``.
+    """
+    from repro.compat import warn_deprecated
+    from repro.shard.spec import FleetSpec
+
+    legacy = {
+        "topology_kind": topology_kind,
+        "network": network,
+        "light_count": light_count,
+        "store_dir": store_dir,
+        "store_snapshot_interval": store_snapshot_interval,
+    }
+    passed = [name for name, value in legacy.items() if value is not _UNSET]
+    if spec is not None:
+        if not isinstance(spec, FleetSpec):
+            raise TypeError(
+                f"spec must be a FleetSpec, got {type(spec).__name__}"
+            )
+        if passed:
+            raise ValueError(
+                f"{engine} got both spec= and legacy fleet kwargs "
+                f"({', '.join(passed)}); describe the fleet once"
+            )
+        if spec.shards != 1:
+            raise ValueError(
+                f"{engine} is single-process; run spec.shards={spec.shards} "
+                "through repro.shard.ShardedSimulator, or pass "
+                "spec.unsharded()"
+            )
+        if shares is None:
+            shares = spec.equal_shares()
+        elif set(shares) != set(spec.full_names()):
+            raise ValueError(
+                "shares must cover exactly spec.full_names() "
+                f"({spec.full_nodes} providers)"
+            )
+        return (
+            shares,
+            spec.network,
+            spec.light_nodes,
+            spec.store_dir,
+            spec.store_snapshot_interval,
+        )
+    if shares is None:
+        raise TypeError(f"{engine} needs shares= or spec=")
+    for name in passed:
+        warn_deprecated(
+            f"{engine}({name}=)",
+            f"{engine}(spec=FleetSpec(...))",
+            extra="FleetSpec carries the whole fleet shape in one object.",
+        )
+    if network is not _UNSET and network is not None:
+        config = network
+    else:
+        kind = topology_kind if topology_kind is not _UNSET else "complete"
+        config = NetworkConfig(topology=kind)
+    return (
+        shares,
+        config,
+        light_count if light_count is not _UNSET else 0,
+        store_dir if store_dir is not _UNSET else None,
+        store_snapshot_interval if store_snapshot_interval is not _UNSET else 512,
+    )
 
 
 class ReplicaNode(Node):
@@ -412,24 +497,34 @@ class DistributedChain:
 
     def __init__(
         self,
-        shares: Mapping[str, float],
+        shares: Optional[Mapping[str, float]] = None,
         record_check: Optional[RecordCheck] = None,
         byzantine: Optional[Set[str]] = None,
         difficulty: int = 1000,
         mean_block_time: float = 15.35,
-        topology_kind: str = "complete",
+        topology_kind: str = _UNSET,  # deprecated: pass spec=
         latency: LatencyModel = DEFAULT_LATENCY,
         confirmation_depth: int = 6,
         seed: int = 0,
-        network: Optional[NetworkConfig] = None,
-        light_count: int = 0,
-        store_dir: Optional[str] = None,
-        store_snapshot_interval: int = 512,
+        network: Optional[NetworkConfig] = _UNSET,  # deprecated: pass spec=
+        light_count: int = _UNSET,  # deprecated: pass spec=
+        store_dir: Optional[str] = _UNSET,  # deprecated: pass spec=
+        store_snapshot_interval: int = _UNSET,  # deprecated: pass spec=
+        spec: Optional["FleetSpec"] = None,
     ) -> None:
+        shares, config, light_count, store_dir, store_snapshot_interval = (
+            _resolve_fleet_shape(
+                "DistributedChain", spec, shares, topology_kind, network,
+                light_count, store_dir, store_snapshot_interval,
+            )
+        )
+        #: The :class:`~repro.shard.spec.FleetSpec` this fleet was built
+        #: from, when one was given (legacy kwarg construction leaves it
+        #: None — those shapes may use arbitrary provider names).
+        self.spec = spec
         rng = random.Random(seed)
         self.simulator = Simulator()
         names = list(shares)
-        config = network if network is not None else NetworkConfig(topology=topology_kind)
         light_names = [f"light-{i}" for i in range(light_count)]
         self.network = GossipNetwork(
             self.simulator,

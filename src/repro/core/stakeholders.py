@@ -67,6 +67,65 @@ __all__ = [
     "DecentralizedDeployment",
 ]
 
+#: Sentinel distinguishing "kwarg not passed" from an explicit value, so
+#: the legacy persistence kwargs can warn only when actually used.
+_UNSET = object()
+
+
+def _resolve_deployment_shape(spec, store_dir, store_snapshot_interval):
+    """Reconcile ``spec=`` with the legacy persistence kwargs.
+
+    The deployment's fleet shape is fixed by ``provider_shares`` /
+    ``detectors`` / ``consumers`` (named stakeholders on a complete
+    overlay), so a :class:`~repro.shard.spec.FleetSpec` contributes only
+    its persistence knobs here — and must not ask for light replicas or
+    sharding, which the stakeholder workflow does not model.
+    """
+    from repro.shard.spec import FleetSpec
+
+    passed = [
+        name
+        for name, value in (
+            ("store_dir", store_dir),
+            ("store_snapshot_interval", store_snapshot_interval),
+        )
+        if value is not _UNSET
+    ]
+    if spec is not None:
+        if not isinstance(spec, FleetSpec):
+            raise TypeError(
+                f"spec must be a FleetSpec, got {type(spec).__name__}"
+            )
+        if passed:
+            raise ValueError(
+                "DecentralizedDeployment got both spec= and legacy "
+                f"persistence kwargs ({', '.join(passed)}); describe the "
+                "fleet once"
+            )
+        if spec.light_nodes:
+            raise ValueError(
+                "DecentralizedDeployment has no light replicas; use "
+                "DistributedChain or ShardedSimulator for "
+                f"spec.light_nodes={spec.light_nodes}"
+            )
+        if spec.shards != 1:
+            raise ValueError(
+                "DecentralizedDeployment is single-process; run "
+                f"spec.shards={spec.shards} through "
+                "repro.shard.ShardedSimulator, or pass spec.unsharded()"
+            )
+        return spec.store_dir, spec.store_snapshot_interval
+    for name in passed:
+        warn_deprecated(
+            f"DecentralizedDeployment({name}=)",
+            "DecentralizedDeployment(spec=FleetSpec(...))",
+            extra="FleetSpec carries the whole fleet shape in one object.",
+        )
+    return (
+        store_dir if store_dir is not _UNSET else None,
+        store_snapshot_interval if store_snapshot_interval is not _UNSET else 512,
+    )
+
 
 class SystemDirectory:
     """The download servers behind ``U_l`` links."""
@@ -497,9 +556,14 @@ class DecentralizedDeployment:
         seed: int = 0,
         retry_policy=None,
         telemetry: Optional[Telemetry] = None,
-        store_dir=None,
-        store_snapshot_interval: int = 512,
+        store_dir=_UNSET,  # deprecated: pass spec=
+        store_snapshot_interval: int = _UNSET,  # deprecated: pass spec=
+        spec=None,
     ) -> None:
+        store_dir, store_snapshot_interval = _resolve_deployment_shape(
+            spec, store_dir, store_snapshot_interval,
+        )
+        self.spec = spec
         rng = random.Random(seed)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.simulator = Simulator(telemetry=self.telemetry)

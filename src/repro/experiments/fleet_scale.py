@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple, Union
 
+from repro.chain.serialization import import_chain
 from repro.core.distributed import DistributedChain
 from repro.experiments.harness import ResultTable
 from repro.experiments.runner import (
@@ -37,6 +38,7 @@ from repro.experiments.runner import (
     sweep_checkpoint,
 )
 from repro.network.config import NetworkConfig
+from repro.shard import FleetSpec, ShardedSimulator
 from repro.telemetry import Telemetry
 
 __all__ = ["FleetScaleResult", "fleet_split", "run_fleet_scale"]
@@ -44,6 +46,12 @@ __all__ = ["FleetScaleResult", "fleet_split", "run_fleet_scale"]
 #: Node counts from the issue's scale-out target: the paper's LAN
 #: order of magnitude, a mid-size deployment, and the 1000-node fleet.
 DEFAULT_NODE_COUNTS = (50, 200, 1000)
+
+#: The sharded lane's (node count, shard count) points: past ~1000
+#: nodes one event loop is the bottleneck, so the 10k/100k points run
+#: through :class:`~repro.shard.engine.ShardedSimulator` instead.
+#: Empty by default — the bench lane opts in (they dominate wall-clock).
+DEFAULT_SHARD_POINTS: Tuple[Tuple[int, int], ...] = ()
 
 
 def fleet_split(node_count: int) -> Tuple[int, int]:
@@ -59,23 +67,29 @@ def fleet_split(node_count: int) -> Tuple[int, int]:
     return full, node_count - full
 
 
-def _fleet_trial(args: Tuple[int, int, str, int]) -> Dict[str, float]:
+def _fleet_trial(args: Tuple[int, int, str, int, int]) -> Dict[str, float]:
     """One (mode, node count) point: mine, converge, read the meters."""
-    trial_seed, node_count, mode, blocks = args
+    trial_seed, node_count, mode, blocks, shards = args
     full_count, light_count = fleet_split(node_count)
-    if mode == "inv":
-        config = NetworkConfig.large_fleet()
-    elif mode == "flood":
+    if mode == "flood":
         config = NetworkConfig()  # complete mesh, full-payload flooding
+    elif mode in ("inv", "shard"):
+        config = NetworkConfig.large_fleet()
     else:
         raise ValueError(f"unknown fleet mode {mode!r}")
-    shares = {f"provider-{i}": 1.0 for i in range(full_count)}
-    net = DistributedChain(
-        shares,
+    spec = FleetSpec(
+        full_nodes=full_count,
+        light_nodes=light_count,
         network=config,
-        light_count=light_count,
-        seed=trial_seed,
+        shards=shards if mode == "shard" else 1,
     )
+    if mode == "shard":
+        # ``jobs=1`` inside the trial: run_trials already fans trials
+        # out over processes, and the serial executor is the parity
+        # oracle — identical bits at any outer ``jobs``.
+        net = ShardedSimulator(spec, seed=trial_seed, jobs=1)
+    else:
+        net = DistributedChain(spec=spec, seed=trial_seed)
     net.run_blocks(blocks)
     net.finalize()
     # A fork race on the last block can leave two equal-difficulty
@@ -87,17 +101,22 @@ def _fleet_trial(args: Tuple[int, int, str, int]) -> Dict[str, float]:
         net.run_blocks(1)
         net.finalize()
         extra += 1
-    summary = net.network.summary()
-    canonical = max(
-        (replica.chain for replica in net.replicas.values()),
-        key=lambda chain: chain.total_difficulty(),
-    )
+    if mode == "shard":
+        summary = net.summary()
+        canonical_height = import_chain(net.export_canonical()).height
+    else:
+        summary = net.network.summary()
+        canonical_height = max(
+            (replica.chain for replica in net.replicas.values()),
+            key=lambda chain: chain.total_difficulty(),
+        ).height
     return {
         "nodes": node_count,
         "full_nodes": full_count,
         "light_nodes": light_count,
+        "shards": spec.shards,
         "blocks_mined": net.blocks_mined,
-        "canonical_height": canonical.height,
+        "canonical_height": canonical_height,
         "messages_sent": summary["messages_sent"],
         "bytes_sent": summary["bytes_sent"],
         "events_processed": summary["events_processed"],
@@ -186,6 +205,7 @@ def run_fleet_scale(
     jobs: Optional[int] = None,
     checkpoint: Optional[Union[str, SweepCheckpoint]] = None,
     telemetry: Optional[Telemetry] = None,
+    shard_points: Tuple[Tuple[int, int], ...] = DEFAULT_SHARD_POINTS,
 ) -> FleetScaleResult:
     """Sweep fleet sizes under inv-pull (and optionally flood) gossip.
 
@@ -193,28 +213,33 @@ def run_fleet_scale(
     produces identical points and ``checkpoint`` journals completed
     points for resume.  ``flood_baseline=False`` skips the quadratic
     complete-mesh baseline (it dominates the sweep's wall-clock at 1000
-    nodes).  An armed ``telemetry`` gets one gauge per point.
+    nodes).  ``shard_points`` adds (node count, shard count) trials
+    through the sharded engine — the 10k/100k lane one event loop
+    cannot hold; their table rows are labelled ``shard<K>``.  An armed
+    ``telemetry`` gets one gauge per point.
     """
     inputs = []
     for node_count in node_counts:
-        inputs.append((node_count, "inv"))
+        inputs.append((node_count, "inv", 1))
         if flood_baseline:
-            inputs.append((node_count, "flood"))
+            inputs.append((node_count, "flood", 1))
+    for node_count, shards in shard_points:
+        inputs.append((node_count, "shard", shards))
     trial_seeds = derive_seeds(seed, len(inputs))
     started = time.perf_counter()
     outcomes = run_trials(
         _fleet_trial,
         [
-            (trial_seed, node_count, mode, blocks)
-            for trial_seed, (node_count, mode) in zip(trial_seeds, inputs)
+            (trial_seed, node_count, mode, blocks, shards)
+            for trial_seed, (node_count, mode, shards) in zip(trial_seeds, inputs)
         ],
         jobs=jobs,
         checkpoint=sweep_checkpoint(checkpoint, "fleet_scale", seed),
     )
     elapsed = time.perf_counter() - started
     points = {
-        (mode, node_count): outcome
-        for (node_count, mode), outcome in zip(inputs, outcomes)
+        (mode if shards == 1 else f"shard{shards}", node_count): outcome
+        for (node_count, mode, shards), outcome in zip(inputs, outcomes)
     }
     if telemetry is not None and telemetry.enabled:
         for (mode, node_count), point in sorted(points.items()):

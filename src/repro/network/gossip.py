@@ -178,6 +178,13 @@ class GossipNetwork(GossipNetworkApi):
         #: the source of message *reordering* under chaos).
         self.extra_delay: Optional[Callable[[str, str, random.Random], float]] = None
         self._rng = rng if rng is not None else random.Random(0)
+        #: Sharded engines set this to route traffic for topology
+        #: neighbors that live on another shard.  Duck-typed interface
+        #: (see :class:`repro.shard.engine.ShardGateway`): ``is_remote``,
+        #: ``send_payload``, ``send_inv``, ``send_getdata``.  ``None``
+        #: (the default) keeps the overlay purely local: edges to
+        #: unattached names are silently inert, as before.
+        self.remote_gateway = None
         self._nodes: Dict[str, Node] = {}
         self._seen: Dict[str, SeenLRU] = {}
         #: inv mode: per node, digests announced to us that we have
@@ -327,8 +334,21 @@ class GossipNetwork(GossipNetworkApi):
         self._transmit(origin, destination, message, relay=False)
 
     def _relay_targets(self, relay: str) -> List[str]:
-        """Attached neighbors a relay pushes to — all, or a ``fanout`` sample."""
-        peers = [peer for peer in self.neighbors(relay) if peer in self._nodes]
+        """Attached neighbors a relay pushes to — all, or a ``fanout`` sample.
+
+        With a remote gateway installed, neighbors owned by another
+        shard are eligible targets too; the push to them becomes a
+        cross-shard frame instead of a local simulator event.
+        """
+        gateway = self.remote_gateway
+        if gateway is None:
+            peers = [peer for peer in self.neighbors(relay) if peer in self._nodes]
+        else:
+            peers = [
+                peer
+                for peer in self.neighbors(relay)
+                if peer in self._nodes or gateway.is_remote(peer)
+            ]
         fanout = self.config.fanout
         if fanout is not None and len(peers) > fanout:
             peers = self._rng.sample(peers, fanout)
@@ -349,6 +369,10 @@ class GossipNetwork(GossipNetworkApi):
     ) -> None:
         if self._is_cut(src, dst):
             return
+        gateway = self.remote_gateway
+        remote = (
+            dst not in self._nodes and gateway is not None and gateway.is_remote(dst)
+        )
         # Link-level duplication is decided up front: the echo is a real
         # second transmission, so it is counted in ``messages_sent`` and
         # rolls the same loss dice as the original copy (previously it
@@ -371,7 +395,12 @@ class GossipNetwork(GossipNetworkApi):
             # Each surviving copy arrives after the previous one — the
             # echo trails the original on its own sampled latency.
             arrival += delay
-            self.simulator.schedule(arrival, self._receive, dst, message, relay)
+            if remote:
+                gateway.send_payload(
+                    src, dst, message, self.simulator.now + arrival
+                )
+            else:
+                self.simulator.schedule(arrival, self._receive, dst, message, relay)
 
     # -- inv-pull path ---------------------------------------------------------
 
@@ -391,9 +420,30 @@ class GossipNetwork(GossipNetworkApi):
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self._dropped.inc()
             return
-        self.simulator.schedule(
-            self._link_delay(src, dst), self._receive_inv, dst, src, message
-        )
+        delay = self._link_delay(src, dst)
+        gateway = self.remote_gateway
+        if dst not in self._nodes and gateway is not None and gateway.is_remote(dst):
+            # The announcing shard keeps the content so the pull that
+            # comes back across the boundary can be served locally.
+            gateway.send_inv(src, dst, message, self.simulator.now + delay)
+            return
+        self.simulator.schedule(delay, self._receive_inv, dst, src, message)
+
+    def _announcer_gone(self, name: str, announcer: str) -> bool:
+        """Is a pending pull from ``announcer`` doomed (peer or link dead)?
+
+        A remote announcer's liveness is its own shard's business — it
+        is presumed alive (finalize's settle loop heals a pull that a
+        remote crash actually stranded), so duplicate inventories are
+        suppressed exactly as for a live local announcer.
+        """
+        node = self._nodes.get(announcer)
+        if node is None:
+            gateway = self.remote_gateway
+            if gateway is not None and gateway.is_remote(announcer):
+                return self._is_cut(name, announcer)
+            return True
+        return node.crashed or self._is_cut(name, announcer)
 
     def _receive_inv(self, name: str, announcer: str, message: Message) -> None:
         node = self._nodes.get(name)
@@ -413,9 +463,7 @@ class GossipNetwork(GossipNetworkApi):
             # announcer only if the first request died with its peer
             # (crash) or its link (partition) — otherwise the duplicate
             # inventory is suppressed like any redundant copy.
-            prior_node = self._nodes.get(prior)
-            prior_dead = prior_node is None or prior_node.crashed
-            if not (prior_dead or self._is_cut(name, prior)):
+            if not self._announcer_gone(name, prior):
                 self._duplicated.inc()
                 return
         pending[key] = announcer
@@ -461,6 +509,106 @@ class GossipNetwork(GossipNetworkApi):
             True,
             message,
         )
+
+    # -- cross-shard entry points ----------------------------------------------
+    #
+    # A sharded engine injects boundary traffic by scheduling these at
+    # the frame's (barrier-clamped) arrival time.  They mirror the local
+    # handlers above exactly — same dedup, pending, crash, counter, and
+    # header-reduction behavior — differing only in transport: responses
+    # that must cross back go out through the gateway as frames.
+
+    def receive_remote_inv(
+        self,
+        name: str,
+        announcer: str,
+        message_kind,
+        origin: str,
+        dedup_key: bytes,
+    ) -> None:
+        """An inventory announced from another shard reaches ``name``.
+
+        Unlike the local path there is no payload in hand — only the
+        digest — so an accepted announcement pulls via a ``getdata``
+        frame back to the announcing shard, which serves from the
+        content it cached when it announced.
+        """
+        node = self._nodes.get(name)
+        if node is None:
+            return
+        if node.crashed:
+            self._lost_to_crashes.inc()
+            return
+        if dedup_key in self._seen[name]:
+            self._duplicated.inc()
+            return
+        pending = self._pending[name]
+        prior = pending.get(dedup_key)
+        if prior is not None:
+            if not self._announcer_gone(name, prior):
+                self._duplicated.inc()
+                return
+        pending[dedup_key] = announcer
+        if self._is_cut(name, announcer):
+            return
+        self._sent.inc()
+        self._getdata_frames.inc()
+        self._bytes_sent.inc(CONTROL_WIRE_BYTES)
+        self.remote_gateway.send_getdata(
+            name,
+            announcer,
+            message_kind,
+            origin,
+            dedup_key,
+            bool(getattr(node, "wants_headers_only", False)),
+            self.simulator.now + self._link_delay(name, announcer),
+        )
+
+    def serve_remote_getdata(
+        self, name: str, requester: str, message: Message, wants_headers: bool
+    ) -> None:
+        """Serve a pull from another shard out of ``name``'s announced content.
+
+        ``message`` is the full envelope the engine resolved from the
+        announcing shard's content cache.  The full body ships across
+        the boundary even for a header-only requester — the receiving
+        shard reduces at delivery but relays the full content onward,
+        matching the local light-node path — but the *wire accounting*
+        charges the reduced size, like the local serve does.
+        """
+        node = self._nodes.get(name)
+        if node is None or node.crashed:
+            self._lost_to_crashes.inc()
+            return
+        if self._is_cut(name, requester):
+            return
+        reduced = message
+        if wants_headers and hasattr(message.payload, "header"):
+            reduced = message.with_payload(message.payload.header)
+        self._sent.inc()
+        self._payload_frames.inc()
+        self._bytes_sent.inc(wire_size(reduced))
+        self.remote_gateway.send_payload(
+            name,
+            requester,
+            message,
+            self.simulator.now + self._link_delay(name, requester),
+            reduce_for_delivery=wants_headers,
+        )
+
+    def deliver_remote_payload(
+        self, name: str, message: Message, reduce_for_delivery: bool = False
+    ) -> None:
+        """A payload frame from another shard reaches ``name``.
+
+        ``reduce_for_delivery`` re-applies the light-node header
+        reduction the serving shard deferred: the node is delivered the
+        header while the full content keeps relaying downstream.
+        """
+        if reduce_for_delivery and hasattr(message.payload, "header"):
+            self._receive(name, message.with_payload(message.payload.header), True, message)
+        else:
+            self._receive(name, message)
 
     # -- delivery --------------------------------------------------------------
 

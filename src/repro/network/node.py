@@ -35,7 +35,7 @@ class Node:
 
     def __init__(self, name: str, keys: Optional[KeyPair] = None) -> None:
         self.name = name
-        self.keys = keys if keys is not None else KeyPair.from_seed(name.encode())
+        self._keys = keys
         self._handlers: Dict[MessageKind, List[MessageHandler]] = {}
         self.network: Optional["GossipNetworkApi"] = None
         self.delivered_count = 0
@@ -49,6 +49,22 @@ class Node:
         #: Observers of crash/restart transitions (e.g. a query service
         #: pre-warming its index after the node's recovery completes).
         self._lifecycle_listeners: List[Callable[[str], None]] = []
+
+    @property
+    def keys(self) -> KeyPair:
+        """The node's keypair, derived from its name on first use.
+
+        Derivation is a real secp256k1 scalar multiplication (~2 ms), so
+        a 100k-node fleet must not pay it per node at construction —
+        only the replicas that actually sign (mine) ever touch it.
+        """
+        if self._keys is None:
+            self._keys = KeyPair.from_seed(self.name.encode())
+        return self._keys
+
+    @keys.setter
+    def keys(self, value: Optional[KeyPair]) -> None:
+        self._keys = value
 
     @property
     def address(self):

@@ -1,0 +1,43 @@
+"""Sharded fleet simulation: one spec, many worker processes, same bits.
+
+``repro.shard`` scales the fleet plane past the single-process event
+loop: a :class:`FleetSpec` describes the fleet once, a
+:class:`ShardPlan` partitions it (topology-aware slices or consistent
+hashing), and :class:`ShardedSimulator` runs each shard's simulator
+independently between deterministic epoch barriers, exchanging
+cross-shard inv/getdata/payload traffic as length-prefixed frames
+(:mod:`repro.shard.frames`).  ``jobs=1`` is the always-live parity
+oracle: parallel runs are seed-for-seed bit-identical to it, and a
+one-shard fleet is bit-identical to
+:class:`~repro.core.distributed.DistributedChain`.
+"""
+
+from repro.shard.engine import ShardGateway, ShardState, ShardedSimulator
+from repro.shard.frames import (
+    CrossShardFrame,
+    FrameError,
+    FrameKind,
+    decode_frame,
+    decode_frames,
+    encode_frame,
+    encode_frames,
+)
+from repro.shard.plan import ShardPlan, build_plan, derive_shard_seeds
+from repro.shard.spec import FleetSpec
+
+__all__ = [
+    "CrossShardFrame",
+    "FleetSpec",
+    "FrameError",
+    "FrameKind",
+    "ShardGateway",
+    "ShardPlan",
+    "ShardState",
+    "ShardedSimulator",
+    "build_plan",
+    "decode_frame",
+    "decode_frames",
+    "derive_shard_seeds",
+    "encode_frame",
+    "encode_frames",
+]

@@ -1,0 +1,1247 @@
+"""The sharded fleet engine: partitioned simulation, bit-identical results.
+
+:class:`ShardedSimulator` runs a :class:`~repro.shard.spec.FleetSpec`
+fleet partitioned over shards (:mod:`repro.shard.plan`), each shard a
+fully independent world — its own :class:`~repro.network.simulator.
+Simulator`, :class:`~repro.network.gossip.GossipNetwork` over the full
+overlay graph, and replica/light-replica nodes for the members it owns.
+Shards advance in lock-step *epochs*: all shards run to the same
+deadline, then cross-shard inv/getdata/payload traffic — flattened to
+length-prefixed frames (:mod:`repro.shard.frames`) — is exchanged at
+the barrier and scheduled into its destination shard.  The control
+plane (PoW winner sampling, the honest mempool, crash/restart and disk
+faults, scheduled callbacks) stays on the coordinator, exactly where
+:class:`~repro.core.distributed.DistributedChain` keeps it.
+
+Determinism contract, in decreasing strength:
+
+1. ``jobs`` is pure parallelism.  ``ShardedSimulator(spec, jobs=N)``
+   is seed-for-seed **bit-identical** to ``jobs=1`` for the same spec —
+   heads, chain bytes, ledger state, light tips, gossip counters, and
+   per-replica counters all match, because workers run the exact code
+   the serial path runs and the serial path round-trips every boundary
+   frame through the same wire codec.  The ``jobs=1`` run is the
+   *parity oracle* the test suite holds every parallel run against.
+2. A one-shard fleet is bit-identical to the unsharded engine:
+   ``ShardedSimulator(spec.unsharded())`` reproduces
+   ``DistributedChain`` draw-for-draw (same rng consumption order,
+   same construction order, same mining loop).
+3. The shard *count* is part of the experiment configuration, like the
+   topology: runs with different shard counts are each internally
+   deterministic but not bit-identical to each other, because barrier
+   batching quantizes cross-shard arrival times.
+
+Worker processes are persistent (one round-trip per epoch, not per
+event) and rebuild their shards from a small picklable blueprint — no
+topology graphs or node objects ever cross the process boundary, only
+command tuples and frame bytes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import multiprocessing
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.chain.block import Block, ChainRecord
+from repro.chain.chain import Blockchain
+from repro.chain.consensus import make_genesis
+from repro.chain.pow import MiningModel
+from repro.chain.serialization import decode_block, encode_block, export_chain, import_chain
+from repro.core.distributed import (
+    LightReplicaNode,
+    RecordCheck,
+    ReplicaNode,
+    _interleave,
+)
+from repro.faults.invariants import confirmed_chain_bytes
+from repro.network.gossip import GossipNetwork, build_topology
+from repro.network.latency import DEFAULT_LATENCY, LatencyModel
+from repro.network.messages import Message, MessageKind
+from repro.network.simulator import Simulator
+from repro.shard.frames import (
+    CrossShardFrame,
+    FrameKind,
+    decode_frames,
+    encode_frames,
+)
+from repro.shard.plan import ShardPlan, build_plan, derive_shard_seeds
+from repro.shard.spec import FleetSpec
+from repro.store import ChainStore, HeaderStore
+from repro.store.faultinject import (
+    drop_index_file,
+    drop_snapshots,
+    flip_bit,
+    tear_frame,
+)
+from repro.telemetry import Telemetry
+
+__all__ = ["ShardGateway", "ShardState", "ShardedSimulator"]
+
+#: Disk-fault kinds :meth:`ShardedSimulator.inject_store_fault` accepts,
+#: mirroring :class:`repro.faults.plan.FaultKind`'s disk faults.
+_STORE_FAULTS = ("torn_write", "bit_flip", "drop_snapshot", "drop_index")
+
+#: Settle rounds before declaring the boundary traffic non-quiescent.
+#: Dedup guarantees each content item crosses each link at most once,
+#: so real runs drain in a handful of rounds; this is a loud backstop.
+_MAX_SETTLE_ROUNDS = 100_000
+
+
+class ShardGateway:
+    """A shard's door to the rest of the fleet.
+
+    Installed as :attr:`GossipNetwork.remote_gateway`; collects outbound
+    boundary traffic as :class:`~repro.shard.frames.CrossShardFrame`
+    records (drained at each barrier) and keeps the content this shard
+    has announced across the boundary so returning ``getdata`` pulls can
+    be served without re-shipping state.
+    """
+
+    __slots__ = ("index", "_owners", "outbox", "content", "_seq")
+
+    def __init__(self, index: int, owners: Mapping[str, int]) -> None:
+        self.index = index
+        self._owners = owners
+        self.outbox: List[CrossShardFrame] = []
+        self.content: Dict[bytes, Message] = {}
+        self._seq = itertools.count()
+
+    def is_remote(self, name: str) -> bool:
+        """True if ``name`` is a fleet member another shard owns."""
+        owner = self._owners.get(name)
+        return owner is not None and owner != self.index
+
+    def owner_of(self, name: str) -> int:
+        """The shard index owning ``name``."""
+        return self._owners[name]
+
+    def send_payload(
+        self,
+        src: str,
+        dst: str,
+        message: Message,
+        arrival: float,
+        reduce_for_delivery: bool = False,
+    ) -> None:
+        """Queue a payload frame (flood push or a served pull)."""
+        self.outbox.append(
+            CrossShardFrame(
+                kind=FrameKind.PAYLOAD,
+                src=src,
+                dst=dst,
+                message_kind=message.kind,
+                origin=message.origin,
+                dedup_key=message.dedup_key,
+                arrival=arrival,
+                seq=next(self._seq),
+                wants_headers=reduce_for_delivery,
+                payload=message.payload,
+            )
+        )
+
+    def send_inv(self, src: str, dst: str, message: Message, arrival: float) -> None:
+        """Queue an inventory frame; cache the content for the pull back."""
+        self.content[message.dedup_key] = message
+        self.outbox.append(
+            CrossShardFrame(
+                kind=FrameKind.INV,
+                src=src,
+                dst=dst,
+                message_kind=message.kind,
+                origin=message.origin,
+                dedup_key=message.dedup_key,
+                arrival=arrival,
+                seq=next(self._seq),
+            )
+        )
+
+    def send_getdata(
+        self,
+        src: str,
+        dst: str,
+        message_kind: MessageKind,
+        origin: str,
+        dedup_key: bytes,
+        wants_headers: bool,
+        arrival: float,
+    ) -> None:
+        """Queue the pull back to an announcing shard."""
+        self.outbox.append(
+            CrossShardFrame(
+                kind=FrameKind.GETDATA,
+                src=src,
+                dst=dst,
+                message_kind=message_kind,
+                origin=origin,
+                dedup_key=dedup_key,
+                arrival=arrival,
+                seq=next(self._seq),
+                wants_headers=wants_headers,
+            )
+        )
+
+    def drain(self) -> Dict[int, bytes]:
+        """This epoch's boundary traffic, framed, grouped by destination shard."""
+        if not self.outbox:
+            return {}
+        grouped: Dict[int, List[CrossShardFrame]] = {}
+        for frame in self.outbox:
+            grouped.setdefault(self._owners[frame.dst], []).append(frame)
+        self.outbox = []
+        return {dst: encode_frames(frames) for dst, frames in grouped.items()}
+
+
+class _ChainDonor:
+    """The minimal peer shape :meth:`ReplicaNode.resync_from` reads."""
+
+    __slots__ = ("chain",)
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+
+
+@dataclass(frozen=True)
+class _Blueprint:
+    """Everything a worker needs to rebuild its shards, picklably.
+
+    Topology graphs and node objects never cross the process boundary:
+    each worker re-derives them from the spec and the seeds, which is
+    both cheap (topology build is the only real cost) and exact (the
+    build is a pure function of the seed).
+    """
+
+    spec: FleetSpec
+    assignments: Tuple[Tuple[str, ...], ...]
+    topo_seed: int
+    shard_seeds: Tuple[int, ...]
+    difficulty: int
+    confirmation_depth: int
+    latency: LatencyModel
+    record_check: Optional[RecordCheck]
+    byzantine: FrozenSet[str]
+    telemetry_enabled: bool
+
+
+class ShardState:
+    """One shard's complete world: simulator, overlay, replicas.
+
+    Construction mirrors :class:`~repro.core.distributed.
+    DistributedChain` exactly — full replicas first (fleet order), then
+    light replicas — so a one-shard fleet is the unsharded engine,
+    object for object and rng draw for rng draw.
+    """
+
+    def __init__(self, blueprint: _Blueprint, index: int) -> None:
+        spec = blueprint.spec
+        self.index = index
+        self.confirmation_depth = blueprint.confirmation_depth
+        self.telemetry = Telemetry() if blueprint.telemetry_enabled else None
+        self.simulator = Simulator(telemetry=self.telemetry)
+        ring_order = _interleave(spec.full_names(), spec.light_names())
+        config = spec.network
+        # Every shard builds the same full overlay graph from the same
+        # seed; edges whose far end lives elsewhere route through the
+        # gateway instead of the local event queue.
+        topology = build_topology(
+            ring_order,
+            config.topology,
+            degree=config.degree,
+            rng=random.Random(blueprint.topo_seed),
+        )
+        self.network = GossipNetwork(
+            self.simulator,
+            topology,
+            latency=blueprint.latency,
+            rng=random.Random(blueprint.shard_seeds[index]),
+            config=config,
+            telemetry=self.telemetry,
+        )
+        plan = ShardPlan(assignments=blueprint.assignments)
+        owners = {
+            name: shard
+            for shard in range(plan.shards)
+            for name in plan.members(shard)
+        }
+        self.gateway = ShardGateway(index, owners)
+        if plan.shards > 1:
+            self.network.remote_gateway = self.gateway
+        genesis = make_genesis(difficulty=blueprint.difficulty)
+        self._genesis = genesis
+        store_dir = Path(spec.store_dir) if spec.store_dir is not None else None
+        full_set = frozenset(spec.full_names())
+        members = plan.members(index)
+        self.replicas: Dict[str, ReplicaNode] = {}
+        for name in (n for n in members if n in full_set):
+            check = None if name in blueprint.byzantine else blueprint.record_check
+            store = (
+                ChainStore(
+                    store_dir / name,
+                    snapshot_interval=spec.store_snapshot_interval,
+                )
+                if store_dir is not None
+                else None
+            )
+            replica = ReplicaNode(
+                name,
+                genesis,
+                record_check=check,
+                confirmation_depth=blueprint.confirmation_depth,
+                store=store,
+            )
+            self.replicas[name] = replica
+            self.network.attach(replica)
+        self.light_replicas: Dict[str, LightReplicaNode] = {}
+        for name in (n for n in members if n not in full_set):
+            header_store = (
+                HeaderStore(store_dir / name) if store_dir is not None else None
+            )
+            light = LightReplicaNode(name, genesis, store=header_store)
+            light.set_servers(list(self.replicas.values()))
+            self.light_replicas[name] = light
+            self.network.attach(light)
+
+    # -- epoch protocol ----------------------------------------------------
+
+    def run_epoch(self, target: float) -> Tuple[int, Dict[int, bytes]]:
+        """Advance to the barrier; return (events fired, outbound frames)."""
+        fired = self.simulator.advance_until(target)
+        return fired, self.gateway.drain()
+
+    def settle_round(self) -> Tuple[int, float, Dict[int, bytes]]:
+        """Drain the local queue completely (finalize's settle loop).
+
+        Returns this shard's clock too, so the coordinator can advance
+        the fleet clock to the quiescence point, the way an unsharded
+        ``settle()`` leaves ``now`` at the last delivered event.
+        """
+        fired = self.simulator.advance()
+        return fired, self.simulator.now, self.gateway.drain()
+
+    def inject(self, blob: bytes, barrier_time: Optional[float]) -> None:
+        """Schedule a barrier's worth of inbound frames.
+
+        Arrivals are clamped forward to the barrier (frames produced in
+        epoch *k* cannot act before epoch *k*'s end — that quantization
+        is exactly why the shard count is part of the configuration);
+        during settle, where shard clocks have diverged, the clamp is to
+        this shard's own ``now``.
+        """
+        floor = barrier_time if barrier_time is not None else self.simulator.now
+        net = self.network
+        for frame in decode_frames(blob):
+            when = max(frame.arrival, floor)
+            if frame.kind is FrameKind.PAYLOAD:
+                self.simulator.schedule_at(
+                    when,
+                    net.deliver_remote_payload,
+                    frame.dst,
+                    frame.to_message(),
+                    frame.wants_headers,
+                )
+            elif frame.kind is FrameKind.INV:
+                self.simulator.schedule_at(
+                    when,
+                    net.receive_remote_inv,
+                    frame.dst,
+                    frame.src,
+                    frame.message_kind,
+                    frame.origin,
+                    frame.dedup_key,
+                )
+            else:  # GETDATA: dst is the local announcer serving the pull
+                message = self.gateway.content.get(frame.dedup_key)
+                if message is None:
+                    # Content this shard never announced (or a fleet
+                    # restart dropped): the pull dies; finalize's direct
+                    # resync closes any gap this leaves.
+                    continue
+                self.simulator.schedule_at(
+                    when,
+                    net.serve_remote_getdata,
+                    frame.dst,
+                    frame.src,
+                    message,
+                    frame.wants_headers,
+                )
+
+    # -- control plane -----------------------------------------------------
+
+    def mine(
+        self, winner: str, records: Tuple[ChainRecord, ...], difficulty: int
+    ) -> Optional[bytes]:
+        """The sampled winner extends its own head and announces."""
+        replica = self.replicas[winner]
+        if replica.crashed:
+            return None
+        block = replica.assemble_block(
+            timestamp=self.simulator.now, records=records, difficulty=difficulty
+        )
+        replica.receive_block(block)
+        replica.broadcast(MessageKind.BLOCK_ANNOUNCE, block)
+        return encode_block(block)
+
+    def _node(self, name: str):
+        node = self.replicas.get(name) or self.light_replicas.get(name)
+        if node is None:
+            raise KeyError(f"shard {self.index} does not own {name!r}")
+        return node
+
+    def crash(self, name: str) -> None:
+        self._node(name).crash()
+
+    def restart(self, name: str) -> None:
+        self._node(name).restart()
+
+    def store_fault(self, name: str, kind: str, params: Dict[str, Any]) -> None:
+        """Corrupt a (crashed) member's durable store in place."""
+        node = self._node(name)
+        store = getattr(node, "store", None)
+        if store is None:
+            raise ValueError(f"{name!r} has no durable store attached")
+        if kind == "torn_write":
+            tear_frame(store, **params)
+        elif kind == "bit_flip":
+            flip_bit(store, **params)
+        elif kind == "drop_snapshot":
+            drop_snapshots(store, **params)
+        elif kind == "drop_index":
+            drop_index_file(store)
+        else:
+            raise ValueError(f"unknown store fault {kind!r} (use {_STORE_FAULTS})")
+
+    # -- reconciliation ----------------------------------------------------
+
+    def heaviest_candidate(self) -> Optional[Tuple[int, str, bytes]]:
+        """(total difficulty, name, head id) of the best alive replica.
+
+        Name-sorted with strictly-heavier replacement — the same
+        tie-break :meth:`DistributedChain._heaviest_replica` applies, so
+        the coordinator's global pick over per-shard candidates matches
+        what the unsharded engine would have picked over the whole fleet.
+        """
+        best: Optional[ReplicaNode] = None
+        for name in sorted(self.replicas):
+            replica = self.replicas[name]
+            if replica.crashed:
+                continue
+            if (
+                best is None
+                or replica.chain.total_difficulty() > best.chain.total_difficulty()
+            ):
+                best = replica
+        if best is None:
+            return None
+        return best.chain.total_difficulty(), best.name, best.head_id()
+
+    def export_replica_chain(self, name: str) -> bytes:
+        """The named replica's canonical chain, serialized."""
+        return export_chain(self.replicas[name].chain)
+
+    def adopt(self, chain_blob: bytes, winner: str) -> None:
+        """Close residual gaps against the fleet-wide heaviest chain.
+
+        Mirrors :meth:`DistributedChain.finalize`'s resync pass, with
+        the donor being the *imported* winner chain rather than a live
+        peer object — byte-identical content, so the walk, the adopted
+        blocks, and the resync counters all come out the same.
+        """
+        donor = _ChainDonor(
+            import_chain(chain_blob, confirmation_depth=self.confirmation_depth)
+        )
+        winner_head = donor.chain.head.block_id
+        for name in sorted(self.replicas):
+            replica = self.replicas[name]
+            if name == winner or replica.crashed:
+                continue
+            if replica.head_id() != winner_head:
+                replica.resync_from(donor)
+        for name in sorted(self.light_replicas):
+            light = self.light_replicas[name]
+            if not light.crashed:
+                light.resync()
+
+    # -- inspection --------------------------------------------------------
+
+    def snapshot(self, fields: Tuple[str, ...]) -> Dict[str, Any]:
+        """The requested views only, as picklable primitives.
+
+        Field-selective because the views differ wildly in cost: heads
+        are one dict lookup per replica, ``chain_bytes`` serializes
+        every replica's confirmed chain — a 100k-node bench run must be
+        able to poll heads without paying for the latter.
+        """
+        result: Dict[str, Any] = {}
+        for field in fields:
+            if field == "heads":
+                result[field] = {
+                    name: replica.head_id()
+                    for name, replica in self.replicas.items()
+                }
+            elif field == "light_heads":
+                result[field] = {
+                    name: light.tip_id()
+                    for name, light in self.light_replicas.items()
+                }
+            elif field == "chain_bytes":
+                result[field] = {
+                    name: confirmed_chain_bytes(replica.chain)
+                    for name, replica in self.replicas.items()
+                }
+            elif field == "candidate":
+                result[field] = self.heaviest_candidate()
+            elif field == "summary":
+                result[field] = self.network.summary()
+            elif field == "counters":
+                counters: Dict[str, Dict[str, int]] = {}
+                for name, replica in self.replicas.items():
+                    counters[name] = {
+                        "blocks_accepted": replica.blocks_accepted,
+                        "blocks_rejected": replica.blocks_rejected,
+                        "resyncs_performed": replica.resyncs_performed,
+                        "blocks_resynced": replica.blocks_resynced,
+                        "crash_count": replica.crash_count,
+                        "restart_count": replica.restart_count,
+                        "store_recoveries": replica.store_recoveries,
+                    }
+                for name, light in self.light_replicas.items():
+                    counters[name] = {
+                        "headers_accepted": light.headers_accepted,
+                        "header_resyncs": light.header_resyncs,
+                        "crash_count": light.crash_count,
+                        "restart_count": light.restart_count,
+                        "store_recoveries": light.store_recoveries,
+                    }
+                result[field] = counters
+            else:
+                raise ValueError(f"unknown snapshot field {field!r}")
+        return result
+
+    def telemetry_payload(self) -> Optional[Dict[str, Any]]:
+        return self.telemetry.snapshot_payload() if self.telemetry else None
+
+    def close(self) -> None:
+        for node in (*self.replicas.values(), *self.light_replicas.values()):
+            store = getattr(node, "store", None)
+            if store is not None:
+                close = getattr(store, "close", None)
+                if close is not None:
+                    close()
+
+
+def _build_states(blueprint: _Blueprint, owned: Tuple[int, ...]) -> Dict[int, ShardState]:
+    return {index: ShardState(blueprint, index) for index in owned}
+
+
+def _shard_worker(conn, blueprint: _Blueprint, owned: Tuple[int, ...]) -> None:
+    """Persistent worker: owns a set of shards, serves command tuples."""
+    states = _build_states(blueprint, owned)
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "stop":
+                for state in states.values():
+                    state.close()
+                conn.send(("ok", None))
+                return
+            try:
+                if op == "epoch":
+                    _, target = command
+                    result = {
+                        index: states[index].run_epoch(target)
+                        for index in sorted(states)
+                    }
+                elif op == "settle":
+                    result = {
+                        index: states[index].settle_round()
+                        for index in sorted(states)
+                    }
+                elif op == "collect":
+                    _, fields = command
+                    result = {
+                        index: states[index].snapshot(fields)
+                        for index in sorted(states)
+                    }
+                elif op == "inject":
+                    _, barrier_time, per_shard = command
+                    for index in sorted(per_shard):
+                        states[index].inject(per_shard[index], barrier_time)
+                    result = None
+                elif op == "mine":
+                    _, index, winner, records, difficulty = command
+                    result = states[index].mine(winner, records, difficulty)
+                elif op == "crash":
+                    _, index, name = command
+                    states[index].crash(name)
+                    result = None
+                elif op == "restart":
+                    _, index, name = command
+                    states[index].restart(name)
+                    result = None
+                elif op == "store_fault":
+                    _, index, name, kind, params = command
+                    states[index].store_fault(name, kind, params)
+                    result = None
+                elif op == "export":
+                    _, index, name = command
+                    result = states[index].export_replica_chain(name)
+                elif op == "adopt":
+                    _, blob, winner = command
+                    for index in sorted(states):
+                        states[index].adopt(blob, winner)
+                    result = None
+                elif op == "telemetry":
+                    result = {
+                        index: states[index].telemetry_payload()
+                        for index in sorted(states)
+                    }
+                else:
+                    raise ValueError(f"unknown worker command {op!r}")
+                conn.send(("ok", result))
+            except Exception as exc:  # ship the failure, keep serving
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):
+        pass
+
+
+class _SerialExecutor:
+    """All shards in this process — the parity oracle.
+
+    Frames still round-trip through the wire codec on every exchange, so
+    the serial run exercises the exact bytes a worker pipe would carry.
+    """
+
+    def __init__(self, blueprint: _Blueprint) -> None:
+        self.states = _build_states(
+            blueprint, tuple(range(blueprint.spec.shards))
+        )
+
+    def run_epoch(self, target: float) -> Tuple[int, Dict[int, Dict[int, bytes]]]:
+        fired = 0
+        outboxes: Dict[int, Dict[int, bytes]] = {}
+        for index in sorted(self.states):
+            count, frames = self.states[index].run_epoch(target)
+            fired += count
+            if frames:
+                outboxes[index] = frames
+        return fired, outboxes
+
+    def settle_round(self) -> Tuple[int, float, Dict[int, Dict[int, bytes]]]:
+        fired = 0
+        latest = 0.0
+        outboxes: Dict[int, Dict[int, bytes]] = {}
+        for index in sorted(self.states):
+            count, now, frames = self.states[index].settle_round()
+            fired += count
+            latest = max(latest, now)
+            if frames:
+                outboxes[index] = frames
+        return fired, latest, outboxes
+
+    def inject(self, routed: Dict[int, bytes], barrier_time: Optional[float]) -> None:
+        for index in sorted(routed):
+            self.states[index].inject(routed[index], barrier_time)
+
+    def mine(
+        self, index: int, winner: str, records: Tuple[ChainRecord, ...], difficulty: int
+    ) -> Optional[bytes]:
+        return self.states[index].mine(winner, records, difficulty)
+
+    def crash(self, index: int, name: str) -> None:
+        self.states[index].crash(name)
+
+    def restart(self, index: int, name: str) -> None:
+        self.states[index].restart(name)
+
+    def store_fault(
+        self, index: int, name: str, kind: str, params: Dict[str, Any]
+    ) -> None:
+        self.states[index].store_fault(name, kind, params)
+
+    def export_chain(self, index: int, name: str) -> bytes:
+        return self.states[index].export_replica_chain(name)
+
+    def adopt(self, blob: bytes, winner: str) -> None:
+        for index in sorted(self.states):
+            self.states[index].adopt(blob, winner)
+
+    def collect(self, fields: Tuple[str, ...]) -> Dict[int, Dict[str, Any]]:
+        return {
+            index: self.states[index].snapshot(fields)
+            for index in sorted(self.states)
+        }
+
+    def telemetry_payloads(self) -> Dict[int, Optional[Dict[str, Any]]]:
+        return {
+            index: self.states[index].telemetry_payload()
+            for index in sorted(self.states)
+        }
+
+    def close(self) -> None:
+        for state in self.states.values():
+            state.close()
+
+
+class _ProcessExecutor:
+    """Shards spread over persistent worker processes, round-robin."""
+
+    def __init__(self, blueprint: _Blueprint, workers: int) -> None:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context()
+        shards = blueprint.spec.shards
+        self._owner: Dict[int, int] = {
+            shard: shard % workers for shard in range(shards)
+        }
+        self._pipes = []
+        self._procs = []
+        for worker in range(workers):
+            owned = tuple(s for s in range(shards) if s % workers == worker)
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_shard_worker,
+                args=(child_conn, blueprint, owned),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+
+    def _gather(self, results: List[Any]) -> List[Any]:
+        unwrapped = []
+        for status, value in results:
+            if status != "ok":
+                raise RuntimeError(f"shard worker failed: {value}")
+            unwrapped.append(value)
+        return unwrapped
+
+    def _broadcast(self, command: Tuple) -> List[Any]:
+        for pipe in self._pipes:
+            pipe.send(command)
+        return self._gather([pipe.recv() for pipe in self._pipes])
+
+    def _send_owner(self, shard: int, command: Tuple) -> Any:
+        pipe = self._pipes[self._owner[shard]]
+        pipe.send(command)
+        return self._gather([pipe.recv()])[0]
+
+    def _merge_shard_maps(self, per_worker: List[Dict[int, Any]]) -> Dict[int, Any]:
+        merged: Dict[int, Any] = {}
+        for mapping in per_worker:
+            merged.update(mapping)
+        return merged
+
+    def run_epoch(self, target: float) -> Tuple[int, Dict[int, Dict[int, bytes]]]:
+        merged = self._merge_shard_maps(self._broadcast(("epoch", target)))
+        fired = sum(count for count, _ in merged.values())
+        outboxes = {
+            index: frames for index, (count, frames) in merged.items() if frames
+        }
+        return fired, outboxes
+
+    def settle_round(self) -> Tuple[int, float, Dict[int, Dict[int, bytes]]]:
+        merged = self._merge_shard_maps(self._broadcast(("settle",)))
+        fired = sum(count for count, _, _ in merged.values())
+        latest = max(now for _, now, _ in merged.values())
+        outboxes = {
+            index: frames for index, (_, _, frames) in merged.items() if frames
+        }
+        return fired, latest, outboxes
+
+    def inject(self, routed: Dict[int, bytes], barrier_time: Optional[float]) -> None:
+        per_worker: Dict[int, Dict[int, bytes]] = {}
+        for shard, blob in routed.items():
+            per_worker.setdefault(self._owner[shard], {})[shard] = blob
+        pending = []
+        for worker, mapping in per_worker.items():
+            self._pipes[worker].send(("inject", barrier_time, mapping))
+            pending.append(self._pipes[worker])
+        self._gather([pipe.recv() for pipe in pending])
+
+    def mine(
+        self, index: int, winner: str, records: Tuple[ChainRecord, ...], difficulty: int
+    ) -> Optional[bytes]:
+        return self._send_owner(index, ("mine", index, winner, records, difficulty))
+
+    def crash(self, index: int, name: str) -> None:
+        self._send_owner(index, ("crash", index, name))
+
+    def restart(self, index: int, name: str) -> None:
+        self._send_owner(index, ("restart", index, name))
+
+    def store_fault(
+        self, index: int, name: str, kind: str, params: Dict[str, Any]
+    ) -> None:
+        self._send_owner(index, ("store_fault", index, name, kind, params))
+
+    def export_chain(self, index: int, name: str) -> bytes:
+        return self._send_owner(index, ("export", index, name))
+
+    def adopt(self, blob: bytes, winner: str) -> None:
+        self._broadcast(("adopt", blob, winner))
+
+    def collect(self, fields: Tuple[str, ...]) -> Dict[int, Dict[str, Any]]:
+        return self._merge_shard_maps(self._broadcast(("collect", fields)))
+
+    def telemetry_payloads(self) -> Dict[int, Optional[Dict[str, Any]]]:
+        return self._merge_shard_maps(self._broadcast(("telemetry",)))
+
+    def close(self) -> None:
+        for pipe, proc in zip(self._pipes, self._procs):
+            try:
+                pipe.send(("stop",))
+                pipe.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            pipe.close()
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+
+
+class _ControlEvent:
+    """A coordinator-scheduled callback, fired at an epoch boundary."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback, args) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Unschedule (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_ControlEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+@dataclass
+class _PendingRecords:
+    records: List[ChainRecord]
+
+
+class ShardedSimulator:
+    """A partitioned fleet behind the canonical time-control surface.
+
+    Drives a :class:`FleetSpec` fleet the way :class:`DistributedChain`
+    drives an unsharded one — ``step``/``run_blocks`` for the mining
+    loop, ``submit_record``/``inject_byzantine_record`` for the record
+    feeds, ``crash``/``restart``/``inject_store_fault`` for the chaos
+    plane, ``finalize`` for convergence — plus the unified clock verbs
+    (``advance``/``advance_until``/``advance_for``, ``schedule``/
+    ``schedule_at``) so experiments and chaos plans stay engine-agnostic.
+
+    ``jobs`` picks the execution strategy only: 1 runs every shard in
+    this process (the parity oracle), >1 spreads shards over that many
+    persistent fork workers.  Results are bit-identical either way.
+
+    Coordinator-scheduled callbacks fire *at epoch boundaries*: the
+    engine cuts a barrier exactly at each callback's due time, so a
+    crash scheduled for ``t`` lands when every shard's clock reads ``t``.
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        shares: Optional[Mapping[str, float]] = None,
+        record_check: Optional[RecordCheck] = None,
+        byzantine: Optional[Set[str]] = None,
+        difficulty: int = 1000,
+        mean_block_time: float = 15.35,
+        latency: LatencyModel = DEFAULT_LATENCY,
+        confirmation_depth: int = 6,
+        seed: int = 0,
+        jobs: int = 1,
+        barrier_interval: float = 0.25,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if not isinstance(spec, FleetSpec):
+            raise TypeError(f"spec must be a FleetSpec, got {type(spec).__name__}")
+        if barrier_interval <= 0:
+            raise ValueError("barrier_interval must be > 0")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.spec = spec
+        full_names = spec.full_names()
+        if shares is None:
+            shares = spec.equal_shares()
+        elif set(shares) != set(full_names):
+            raise ValueError(
+                "shares must name exactly the spec's full nodes "
+                f"({len(full_names)} providers)"
+            )
+        self.byzantine = set(byzantine or ())
+        unknown = self.byzantine - set(full_names)
+        if unknown:
+            raise ValueError(f"byzantine names not in the fleet: {sorted(unknown)}")
+        # Master rng consumption order matches DistributedChain exactly:
+        # topology seed, network seed, model seed.  With one shard the
+        # network seed is used directly (derive_shard_seeds' k=1 case),
+        # so the unsharded anchor holds draw for draw.
+        rng = random.Random(seed)
+        topo_seed = rng.randrange(2**31)
+        net_base = rng.randrange(2**31)
+        model_seed = rng.randrange(2**31)
+        ring_order = _interleave(full_names, spec.light_names())
+        self._plan = build_plan(spec, ring_order)
+        blueprint = _Blueprint(
+            spec=spec,
+            assignments=self._plan.assignments,
+            topo_seed=topo_seed,
+            shard_seeds=tuple(derive_shard_seeds(net_base, spec.shards)),
+            difficulty=difficulty,
+            confirmation_depth=confirmation_depth,
+            latency=latency,
+            record_check=record_check,
+            byzantine=frozenset(self.byzantine),
+            telemetry_enabled=telemetry is not None and telemetry.enabled,
+        )
+        self.model = MiningModel.from_shares(
+            shares,
+            difficulty=difficulty,
+            mean_block_time=mean_block_time,
+            rng=random.Random(model_seed),
+        )
+        workers = min(jobs, spec.shards)
+        self.jobs = workers
+        if workers > 1:
+            self._executor = _ProcessExecutor(blueprint, workers)
+        else:
+            self._executor = _SerialExecutor(blueprint)
+        self.telemetry = telemetry
+        self._telemetry_merged = False
+        self._difficulty = difficulty
+        self._barrier_interval = barrier_interval
+        self._now = 0.0
+        self._control_heap: List[_ControlEvent] = []
+        self._control_seq = itertools.count()
+        self._crashed: Set[str] = set()
+        self._honest_mempool: List[ChainRecord] = []
+        self._byzantine_queue: Dict[str, _PendingRecords] = {
+            name: _PendingRecords([]) for name in self.byzantine
+        }
+        self.blocks_mined = 0
+        self._closed = False
+
+    # -- the canonical time-control surface --------------------------------
+
+    @property
+    def now(self) -> float:
+        """The fleet clock (every shard agrees at barriers)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> _ControlEvent:
+        """Run ``callback(*args)`` after ``delay`` fleet seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> _ControlEvent:
+        """Run ``callback(*args)`` at an absolute fleet time.
+
+        The callback fires on the coordinator at an epoch boundary cut
+        exactly at ``time`` — typically to drive the control plane
+        (``crash``/``restart``/``inject_store_fault``/``submit_record``).
+        """
+        if time < self._now:
+            raise ValueError("cannot schedule into the past")
+        event = _ControlEvent(time, next(self._control_seq), callback, args)
+        heapq.heappush(self._control_heap, event)
+        return event
+
+    def _next_control_time(self) -> Optional[float]:
+        heap = self._control_heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def _fire_controls(self) -> None:
+        heap = self._control_heap
+        while heap and (heap[0].cancelled or heap[0].time <= self._now):
+            event = heapq.heappop(heap)
+            if not event.cancelled:
+                event.callback(*event.args)
+
+    def advance_until(self, deadline: float) -> int:
+        """Run every shard to ``deadline`` in barrier-separated epochs."""
+        fired = 0
+        deadline = max(deadline, self._now)
+        while True:
+            target = min(deadline, self._now + self._barrier_interval)
+            next_control = self._next_control_time()
+            if next_control is not None and next_control < target:
+                target = max(next_control, self._now)
+            fired += self._epoch(target)
+            self._now = target
+            self._fire_controls()
+            if self._now >= deadline:
+                return fired
+
+    def advance_for(self, duration: float) -> int:
+        """Run every shard for the next ``duration`` fleet seconds."""
+        return self.advance_until(self._now + duration)
+
+    def advance(self, max_events: Optional[int] = None) -> int:
+        """Run the whole fleet to quiescence (cross-shard included)."""
+        if max_events is not None:
+            raise ValueError(
+                "the sharded engine always drains to quiescence; "
+                "bound the run with advance_until/advance_for instead"
+            )
+        fired = self._settle()
+        self._fire_controls()
+        return fired
+
+    def _epoch(self, target: float) -> int:
+        fired, outboxes = self._executor.run_epoch(target)
+        routed = self._route(outboxes)
+        if routed:
+            self._executor.inject(routed, target)
+        return fired
+
+    @staticmethod
+    def _route(outboxes: Dict[int, Dict[int, bytes]]) -> Dict[int, bytes]:
+        """Merge per-source frame blobs per destination, source-ordered.
+
+        Framed blobs concatenate losslessly, and concatenating in shard
+        index order makes barrier injection order independent of which
+        worker answered first — the heart of the jobs-parity guarantee.
+        """
+        routed: Dict[int, List[bytes]] = {}
+        for src in sorted(outboxes):
+            for dst in sorted(outboxes[src]):
+                routed.setdefault(dst, []).append(outboxes[src][dst])
+        return {dst: b"".join(blobs) for dst, blobs in routed.items()}
+
+    def _settle(self) -> int:
+        fired = 0
+        for _ in range(_MAX_SETTLE_ROUNDS):
+            count, latest, outboxes = self._executor.settle_round()
+            fired += count
+            # Like an unsharded settle(), the fleet clock lands on the
+            # last delivered event, so a subsequent step() advances
+            # from quiescence, not from the pre-settle barrier.
+            self._now = max(self._now, latest)
+            routed = self._route(outboxes)
+            if not routed:
+                return fired
+            self._executor.inject(routed, None)
+        raise RuntimeError("cross-shard traffic failed to quiesce")
+
+    # -- record feeds -------------------------------------------------------
+
+    def submit_record(self, record: ChainRecord) -> None:
+        """Queue an honest record for the next honest winner's block."""
+        self._honest_mempool.append(record)
+
+    def inject_byzantine_record(self, miner: str, record: ChainRecord) -> None:
+        """Queue a (typically invalid) record for a byzantine miner."""
+        if miner not in self.byzantine:
+            raise ValueError(f"{miner} is not byzantine")
+        self._byzantine_queue[miner].records.append(record)
+
+    # -- mining drive --------------------------------------------------------
+
+    def step(self) -> Optional[Block]:
+        """One mining round, identical in shape to the unsharded engine:
+        advance all shards by the sampled interval, then the winner
+        (wherever it lives) extends its own head and announces."""
+        outcome = self.model.next_block()
+        self.advance_until(self._now + outcome.interval)
+        if outcome.winner in self._crashed:
+            return None
+        if outcome.winner in self.byzantine:
+            queued = self._byzantine_queue[outcome.winner]
+            records = tuple(queued.records)
+            queued.records = []
+        else:
+            records = tuple(self._honest_mempool)
+            self._honest_mempool = []
+        blob = self._executor.mine(
+            self._plan.shard_of(outcome.winner), outcome.winner, records, self._difficulty
+        )
+        if blob is None:  # pragma: no cover - crash state is coordinator-owned
+            return None
+        self.blocks_mined += 1
+        return decode_block(blob)
+
+    def run_blocks(self, count: int) -> List[Optional[Block]]:
+        """Mine ``count`` rounds (entries are None for crashed winners)."""
+        return [self.step() for _ in range(count)]
+
+    def settle(self) -> None:
+        """Deliver all in-flight gossip, cross-shard frames included."""
+        self._settle()
+
+    # -- chaos plane ---------------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        """Crash a fleet member (full or light) wherever it lives."""
+        self._crashed.add(name)
+        self._executor.crash(self._plan.shard_of(name), name)
+
+    def restart(self, name: str) -> None:
+        """Restart a crashed member; its in-shard recovery hooks run."""
+        self._crashed.discard(name)
+        self._executor.restart(self._plan.shard_of(name), name)
+
+    def inject_store_fault(self, name: str, kind: str, **params: Any) -> None:
+        """Corrupt a member's durable store (``torn_write``/``bit_flip``/
+        ``drop_snapshot``/``drop_index``), as disk damage behind a dead
+        process; the harm surfaces at the restart's store recovery."""
+        if kind not in _STORE_FAULTS:
+            raise ValueError(f"unknown store fault {kind!r} (use {_STORE_FAULTS})")
+        self._executor.store_fault(self._plan.shard_of(name), name, kind, params)
+
+    # -- convergence ---------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Settle, then converge the fleet on its heaviest chain.
+
+        Cross-shard frames are drained to quiescence; the globally
+        heaviest alive replica (difficulty-then-name, the unsharded
+        tie-break) exports its canonical chain once; every shard adopts
+        it through the normal validated resync path; light replicas
+        then resync from their in-shard servers.
+        """
+        self._settle()
+        best = self._global_heaviest()
+        if best is None:
+            self._merge_telemetry()
+            return
+        _, winner, _ = best
+        blob = self._executor.export_chain(self._plan.shard_of(winner), winner)
+        self._executor.adopt(blob, winner)
+        self._merge_telemetry()
+
+    def _global_heaviest(self) -> Optional[Tuple[int, str, bytes]]:
+        best: Optional[Tuple[int, str, bytes]] = None
+        for _, snapshot in sorted(self._executor.collect(("candidate",)).items()):
+            candidate = snapshot["candidate"]
+            if candidate is None:
+                continue
+            if (
+                best is None
+                or candidate[0] > best[0]
+                or (candidate[0] == best[0] and candidate[1] < best[1])
+            ):
+                best = tuple(candidate)
+        return best
+
+    def _merge_telemetry(self) -> None:
+        if self.telemetry is None or not self.telemetry.enabled:
+            return
+        if self._telemetry_merged:
+            return
+        self._telemetry_merged = True
+        for _, payload in sorted(self._executor.telemetry_payloads().items()):
+            if payload is not None:
+                self.telemetry.merge_payload(payload)
+
+    # -- inspection ----------------------------------------------------------
+
+    def _gather(self, field: str) -> Dict[str, Any]:
+        """Merge one per-member view across shards, shard-ordered."""
+        merged: Dict[str, Any] = {}
+        for _, snapshot in sorted(self._executor.collect((field,)).items()):
+            merged.update(snapshot[field])
+        return merged
+
+    def heads(self) -> Dict[str, bytes]:
+        """Each full replica's canonical head id, fleet-wide."""
+        return self._gather("heads")
+
+    def light_heads(self) -> Dict[str, bytes]:
+        """Each light replica's best header id, fleet-wide."""
+        return self._gather("light_heads")
+
+    def chain_bytes(self) -> Dict[str, bytes]:
+        """Each full replica's confirmed chain, serialized — the
+        bit-level parity artifact the 3-seed suite compares."""
+        return self._gather("chain_bytes")
+
+    def replica_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-member accept/reject/resync/lifecycle counters."""
+        return self._gather("counters")
+
+    def converged(self, among: Optional[Set[str]] = None) -> bool:
+        """True if (the given) full replicas agree on one head."""
+        heads = self.heads()
+        names = among if among is not None else set(heads)
+        return len({heads[name] for name in names}) == 1
+
+    def light_converged(self) -> bool:
+        """True if all light tips match the heaviest full head."""
+        tips = set(self.light_heads().values())
+        if not tips:
+            return True
+        if len(tips) != 1:
+            return False
+        best = self._global_heaviest()
+        return best is None or tips == {best[2]}
+
+    def export_canonical(self) -> bytes:
+        """The heaviest alive replica's canonical chain, serialized —
+        feed to :func:`repro.chain.serialization.import_chain` or a
+        :class:`~repro.chain.ledger.LedgerStateMachine` replay."""
+        best = self._global_heaviest()
+        if best is None:
+            raise RuntimeError("no alive replica to export from")
+        _, winner, _ = best
+        return self._executor.export_chain(self._plan.shard_of(winner), winner)
+
+    def summary(self) -> Dict[str, float]:
+        """Fleet-wide transport counters (shard summaries merged)."""
+        merged: Dict[str, float] = {}
+        for summary in self.shard_summaries().values():
+            for key, value in summary.items():
+                if key == "time":
+                    merged[key] = max(merged.get(key, 0.0), value)
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def shard_summaries(self) -> Dict[int, Dict[str, float]]:
+        """Per-shard transport counters, for imbalance inspection."""
+        return {
+            index: snapshot["summary"]
+            for index, snapshot in sorted(
+                self._executor.collect(("summary",)).items()
+            )
+        }
+
+    @property
+    def shard_states(self) -> Optional[Dict[int, ShardState]]:
+        """Direct shard access — serial mode only (None under workers)."""
+        if isinstance(self._executor, _SerialExecutor):
+            return self._executor.states
+        return None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop workers (flushing any stores); safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
+        self._merge_telemetry()
+        self._executor.close()
+
+    def __enter__(self) -> "ShardedSimulator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

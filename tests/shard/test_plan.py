@@ -1,0 +1,111 @@
+"""Shard plans: deterministic fleet partitioning and seed derivation."""
+
+import pytest
+
+from repro.core.distributed import _interleave
+from repro.shard import FleetSpec, ShardPlan, build_plan, derive_shard_seeds
+
+
+def _ring_order(spec: FleetSpec):
+    return _interleave(spec.full_names(), spec.light_names())
+
+
+class TestShardPlan:
+    def test_rejects_empty_shards(self):
+        with pytest.raises(ValueError, match="owns no nodes"):
+            ShardPlan(assignments=(("a",), ()))
+
+    def test_rejects_double_assignment(self):
+        with pytest.raises(ValueError, match="two shards"):
+            ShardPlan(assignments=(("a",), ("a",)))
+
+    def test_lookup_surface(self):
+        plan = ShardPlan(assignments=(("a", "b"), ("c",)))
+        assert plan.shards == 2
+        assert plan.shard_of("c") == 1
+        assert plan.owns(0, "b") and not plan.owns(1, "b")
+        assert plan.members(1) == ("c",)
+        assert "a" in plan and "z" not in plan
+        with pytest.raises(KeyError):
+            plan.shard_of("z")
+
+
+class TestBuildPlan:
+    def test_single_shard_owns_everything_in_ring_order(self):
+        spec = FleetSpec(full_nodes=3, light_nodes=4)
+        order = _ring_order(spec)
+        plan = build_plan(spec, order)
+        assert plan.assignments == (tuple(order),)
+
+    def test_topology_strategy_slices_the_ring_contiguously(self):
+        spec = FleetSpec(full_nodes=4, light_nodes=8, shards=2)
+        order = _ring_order(spec)
+        plan = build_plan(spec, order)
+        # Concatenating the slices recovers the ring order exactly:
+        # neighbours stay together, nothing is lost or duplicated.
+        flattened = [name for shard in plan.assignments for name in shard]
+        assert flattened == order
+        sizes = [len(shard) for shard in plan.assignments]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_consistent_hash_strategy_covers_the_fleet(self):
+        spec = FleetSpec(
+            full_nodes=8, light_nodes=24, shards=3,
+            shard_strategy="consistent_hash",
+        )
+        order = _ring_order(spec)
+        plan = build_plan(spec, order)
+        owned = sorted(name for shard in plan.assignments for name in shard)
+        assert owned == sorted(order)
+        full = set(spec.full_names())
+        for index in range(plan.shards):
+            assert any(name in full for name in plan.members(index))
+
+    def test_consistent_hash_is_stable_under_fleet_growth(self):
+        # The consistent-hash pitch: adding nodes only moves the new
+        # names, never reshuffles the survivors.
+        small = FleetSpec(
+            full_nodes=8, light_nodes=16, shards=3,
+            shard_strategy="consistent_hash",
+        )
+        grown = FleetSpec(
+            full_nodes=8, light_nodes=32, shards=3,
+            shard_strategy="consistent_hash",
+        )
+        before = build_plan(small, _ring_order(small))
+        after = build_plan(grown, _ring_order(grown))
+        for name in _ring_order(small):
+            assert before.shard_of(name) == after.shard_of(name)
+
+    def test_plans_are_deterministic(self):
+        spec = FleetSpec(
+            full_nodes=6, light_nodes=10, shards=2,
+            shard_strategy="consistent_hash",
+        )
+        order = _ring_order(spec)
+        assert build_plan(spec, order) == build_plan(spec, order)
+
+    def test_stranded_shard_is_rejected(self):
+        # As many shards as full nodes under hashed placement: the hash
+        # ring lands two providers in one shard and strands another
+        # with no replica to mine or serve lights from.
+        spec = FleetSpec(full_nodes=4, light_nodes=20, shards=4,
+                         shard_strategy="consistent_hash")
+        with pytest.raises(ValueError, match="no full node"):
+            build_plan(spec, _ring_order(spec))
+
+
+class TestShardSeeds:
+    def test_one_shard_keeps_the_master_seed(self):
+        assert derive_shard_seeds(1234, 1) == [1234]
+
+    def test_derived_seeds_are_deterministic_and_distinct(self):
+        seeds = derive_shard_seeds(99, 4)
+        assert seeds == derive_shard_seeds(99, 4)
+        assert len(set(seeds)) == 4
+        assert derive_shard_seeds(100, 4) != seeds
+
+    def test_prefix_stability(self):
+        # Growing the shard count re-derives every seed (hash includes
+        # the index, not the count) but stays deterministic per index.
+        assert derive_shard_seeds(7, 2) == derive_shard_seeds(7, 3)[:2]

@@ -27,3 +27,12 @@ def test_api_reference_is_current():
         "docs/API.md is stale — regenerate it with "
         "`python scripts/gen_api_index.py`"
     )
+
+
+def test_shard_surface_is_indexed():
+    # The sharding API is part of the generated reference: the package
+    # section and its two load-bearing exports must be present.
+    checked_in = (REPO_ROOT / "docs" / "API.md").read_text()
+    assert "## `repro.shard`" in checked_in
+    assert "| `FleetSpec` |" in checked_in
+    assert "| `ShardedSimulator` |" in checked_in

@@ -33,6 +33,7 @@ def test_quick_suite_runs_every_probe(suite):
         "mini_experiment",
         "store_replay",
         "fleet_scale",
+        "fleet_shard",
         "query_serving",
     } <= set(suite["benchmarks"])
 
@@ -42,6 +43,8 @@ def test_structural_probes_hold(suite):
     assert suite["benchmarks"]["nonce_search"]["same_nonce_as_naive"]
     assert suite["benchmarks"]["economics_batch"]["identical_to_scalar"]
     assert suite["benchmarks"]["fleet_scale"]["converged"]
+    assert suite["benchmarks"]["fleet_shard"]["identical_to_single_process"]
+    assert suite["benchmarks"]["fleet_shard"]["points"]
     assert suite["benchmarks"]["query_serving"]["identical_to_scan"]
 
 
